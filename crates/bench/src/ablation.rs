@@ -1,0 +1,234 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+
+use suit_core::strategy::StrategyParams;
+use suit_core::OperatingStrategy;
+use suit_hw::{CpuModel, UndervoltLevel};
+use suit_isa::Opcode;
+use suit_sim::engine::{simulate, simulate_mixed, SimConfig};
+use suit_trace::profile::{self, OpcodeMix, WorkloadProfile};
+
+use crate::render::{pct, TextTable};
+
+/// Ablation: thrashing prevention on vs. off (§4.3) for the thrash-prone
+/// workloads. Without the guard, borderline gap cadences pay a curve
+/// switch per burst; with it, the CPU parks on the conservative curve.
+pub fn thrash_prevention(cap: Option<u64>) -> TextTable {
+    let cpu = CpuModel::xeon_4208();
+    let mut t = TextTable::new(
+        "Ablation — thrashing prevention (CPU C, fV, -97 mV)",
+        &["Workload", "Perf (on)", "Eff (on)", "Perf (off)", "Eff (off)", "Switches on/off"],
+    );
+    for name in ["520.omnetpp", "521.wrf", "502.gcc"] {
+        let p = profile::by_name(name).expect("profile");
+        let mut cfg = SimConfig::fv_intel(UndervoltLevel::Mv97);
+        cfg.max_insts = cap;
+        let on = simulate(&cpu, p, &cfg);
+        cfg.params = StrategyParams::intel().without_thrash_prevention();
+        let off = simulate(&cpu, p, &cfg);
+        t.row(vec![
+            name.into(),
+            pct(on.perf()),
+            pct(on.efficiency()),
+            pct(off.perf()),
+            pct(off.efficiency()),
+            format!("{}/{}", on.exceptions, off.exceptions),
+        ]);
+    }
+    t.note("expected: for thrash-prone workloads the guard trades a sliver of efficiency for far fewer switches and better performance");
+    t
+}
+
+/// Ablation: the three curve-switching strategies side by side (§4.3),
+/// plus the §6.8 adaptive emulation/fV chooser.
+pub fn strategies(cap: Option<u64>) -> TextTable {
+    let cpu = CpuModel::xeon_4208();
+    let mut t = TextTable::new(
+        "Ablation — operating strategies on CPU C at -97 mV",
+        &["Workload", "Strategy", "Perf", "Power", "Eff"],
+    );
+    for name in ["557.xz", "502.gcc", "Nginx"] {
+        let p = profile::by_name(name).expect("profile");
+        for strategy in [
+            OperatingStrategy::Frequency,
+            OperatingStrategy::Voltage,
+            OperatingStrategy::FreqVolt,
+        ] {
+            let cfg = SimConfig {
+                strategy,
+                params: StrategyParams::intel(),
+                level: UndervoltLevel::Mv97,
+                cores: 1,
+                seed: 0x5017,
+                max_insts: cap,
+                record_timeline: false,
+                adaptive: None,
+            };
+            let r = simulate(&cpu, p, &cfg);
+            t.row(vec![
+                name.into(),
+                strategy.to_string(),
+                pct(r.perf()),
+                pct(r.power()),
+                pct(r.efficiency()),
+            ]);
+        }
+        // §6.8 dynamic selection.
+        let mut cfg = SimConfig::adaptive_intel(UndervoltLevel::Mv97);
+        cfg.max_insts = cap;
+        let r = simulate(&cpu, p, &cfg);
+        t.row(vec![
+            name.into(),
+            "adaptive".into(),
+            pct(r.perf()),
+            pct(r.power()),
+            pct(r.efficiency()),
+        ]);
+    }
+    t.note("fV combines f's fast engage with V's full-speed dwell (Fig. 4)");
+    t.note("adaptive (Section 6.8) emulates sparse traffic and switches curves for bursts");
+    t
+}
+
+/// The IMUL-trap ablation workload: what §4.2 argues against — trapping
+/// IMUL like the other faultable instructions. With one IMUL every ~560 to
+/// ~1 400 instructions, the deadline never expires.
+pub fn imul_trap_profile() -> WorkloadProfile {
+    let base = profile::by_name("502.gcc").expect("profile");
+    WorkloadProfile {
+        name: "gcc+trapped-IMUL",
+        // One IMUL every 1/0.0007 ≈ 1 430 instructions, alone in its
+        // "burst": the trap cadence SUIT would face without hardening.
+        burst_interval_insts: 1.0 / base.imul_fraction,
+        interval_log_sigma: 0.3,
+        events_per_burst: 1.0,
+        within_gap_insts: 1.0,
+        opcode_mix: OpcodeMix::Only(Opcode::Imul),
+        ..base.clone()
+    }
+}
+
+/// Ablation: statically hardened IMUL vs. trapping IMUL (§4.2's "IMUL is
+/// the exception" argument).
+pub fn imul_hardening(cap: Option<u64>) -> TextTable {
+    let cpu = CpuModel::xeon_4208();
+    let mut t = TextTable::new(
+        "Ablation — hardened 4-cycle IMUL vs. trapping IMUL (CPU C, fV, -97 mV)",
+        &["Variant", "Residency", "Perf", "Eff"],
+    );
+    let mut cfg = SimConfig::fv_intel(UndervoltLevel::Mv97);
+    cfg.max_insts = cap.map(|c| c.min(1_000_000_000));
+
+    let hardened = simulate(&cpu, profile::by_name("502.gcc").expect("profile"), &cfg);
+    t.row(vec![
+        "hardened IMUL (SUIT)".into(),
+        format!("{:.1}%", hardened.residency() * 100.0),
+        pct(hardened.perf()),
+        pct(hardened.efficiency()),
+    ]);
+
+    let trap_profile = imul_trap_profile();
+    let trapped = simulate(&cpu, &trap_profile, &cfg);
+    t.row(vec![
+        "trapped IMUL".into(),
+        format!("{:.1}%", trapped.residency() * 100.0),
+        pct(trapped.perf()),
+        pct(trapped.efficiency()),
+    ]);
+    t.note("§4.2: trapping IMUL would keep the CPU permanently on the conservative curve, erasing the efficiency gain");
+    t
+}
+
+/// Ablation: workload consolidation on a single shared DVFS domain (§6.4
+/// extended) — a quiet benchmark next to increasingly noisy neighbours.
+pub fn noisy_neighbor(cap: Option<u64>) -> TextTable {
+    let cpu = CpuModel::i9_9900k(); // single shared domain
+    let xz = profile::by_name("557.xz").expect("profile");
+    let mut t = TextTable::new(
+        "Ablation — noisy neighbours on the i9-9900K's shared DVFS domain (fV, -97 mV)",
+        &["Configuration", "Domain residency", "Domain power", "557.xz perf"],
+    );
+    let mut cfg = SimConfig::fv_intel(UndervoltLevel::Mv97);
+    cfg.max_insts = cap.map(|c| c.min(1_500_000_000));
+
+    let solo = simulate(&cpu, xz, &cfg);
+    t.row(vec![
+        "557.xz alone".into(),
+        format!("{:.1}%", solo.residency() * 100.0),
+        pct(solo.power()),
+        pct(solo.perf()),
+    ]);
+    for neighbor in ["502.gcc", "Nginx", "520.omnetpp"] {
+        let n = profile::by_name(neighbor).expect("profile");
+        let m = simulate_mixed(&cpu, &[xz, n], &cfg);
+        t.row(vec![
+            format!("557.xz + {neighbor}"),
+            format!("{:.1}%", m.domain.residency() * 100.0),
+            pct(m.domain.power()),
+            pct(m.per_core[0].perf()),
+        ]);
+    }
+    t.note("a thrash-prone neighbour parks the whole domain on the conservative curve; per-core DVFS domains (CPU C) avoid this");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAP: Option<u64> = Some(300_000_000);
+
+    #[test]
+    fn thrash_guard_reduces_switching() {
+        let t = thrash_prevention(CAP);
+        // omnetpp row: switches with the guard must be far fewer.
+        let cells = &t.rows[0];
+        let parts: Vec<u64> = cells[5].split('/').map(|v| v.parse().unwrap()).collect();
+        assert!(parts[0] * 2 < parts[1], "on={} off={}", parts[0], parts[1]);
+    }
+
+    #[test]
+    fn fv_balances_performance_and_efficiency() {
+        // §4.3/§6.8: fV is the "one fits all" balance — near-top efficiency
+        // *and* top performance; pure-frequency saves more power but runs
+        // slower on C_f, pure-voltage pays long engage stalls.
+        let t = strategies(CAP);
+        let field = |row: &Vec<String>, i: usize| -> f64 {
+            row[i].trim_end_matches('%').parse::<f64>().unwrap()
+        };
+        for chunk in t.rows.chunks(4) {
+            let best_perf = chunk.iter().map(|r| field(r, 2)).fold(f64::NEG_INFINITY, f64::max);
+            let fv = chunk.iter().find(|r| r[1] == "fV").unwrap();
+            // fV never loses performance (the pure-frequency strategy
+            // saves more power but computes slower on C_f)...
+            assert!(field(fv, 2) >= best_perf - 0.5, "{}: fV perf {} vs best {best_perf}", chunk[0][0], field(fv, 2));
+            // ... while still improving efficiency on every workload.
+            assert!(field(fv, 4) > 0.0, "{}: fV eff {}", chunk[0][0], field(fv, 4));
+        }
+    }
+
+    #[test]
+    fn noisy_neighbors_degrade_shared_domains() {
+        let t = noisy_neighbor(CAP);
+        let res = |i: usize| -> f64 {
+            t.rows[i][1].trim_end_matches('%').parse::<f64>().unwrap()
+        };
+        assert!(res(0) > 80.0, "solo xz residency {}", res(0));
+        assert!(res(3) < 30.0, "omnetpp neighbour residency {}", res(3));
+        // Monotone-ish: noisier neighbours, lower residency.
+        assert!(res(3) <= res(1) + 1.0);
+    }
+
+    #[test]
+    fn trapping_imul_erases_the_gain() {
+        let t = imul_hardening(CAP);
+        let res = |i: usize| -> f64 {
+            t.rows[i][1].trim_end_matches('%').parse::<f64>().unwrap()
+        };
+        assert!(res(0) > 60.0, "hardened residency {}", res(0));
+        assert!(res(1) < 10.0, "trapped residency {}", res(1));
+        let eff = |i: usize| -> f64 {
+            t.rows[i][3].trim_start_matches('+').trim_end_matches('%').parse::<f64>().unwrap()
+        };
+        assert!(eff(0) > eff(1) + 3.0, "{} vs {}", eff(0), eff(1));
+    }
+}

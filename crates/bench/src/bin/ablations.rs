@@ -1,0 +1,8 @@
+//! Runs the DESIGN.md ablation studies.
+fn main() {
+    let cap = suit_bench::cap_from_args();
+    println!("{}", suit_bench::ablation::thrash_prevention(cap));
+    println!("{}", suit_bench::ablation::strategies(cap));
+    println!("{}", suit_bench::ablation::imul_hardening(cap));
+    println!("{}", suit_bench::ablation::noisy_neighbor(cap));
+}

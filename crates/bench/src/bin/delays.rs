@@ -1,0 +1,4 @@
+//! Prints the Section 5.2/5.3 transition-delay constants.
+fn main() {
+    println!("{}", suit_bench::tables::delays());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 10 (7700X frequency change).
+fn main() {
+    println!("{}", suit_bench::figs::fig10());
+}

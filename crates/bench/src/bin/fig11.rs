@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 11 (Xeon p-state change).
+fn main() {
+    println!("{}", suit_bench::figs::fig11());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 12 (undervolt sweep on the i9).
+fn main() {
+    println!("{}", suit_bench::figs::fig12());
+}

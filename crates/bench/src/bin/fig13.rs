@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 13 (f/V pairs and modified IMUL).
+fn main() {
+    println!("{}", suit_bench::figs::fig13());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 16 (per-application impact on CPU C).
+fn main() {
+    println!("{}", suit_bench::figs::fig16(suit_bench::cap_from_args()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 5 (burst and curve reaction).
+fn main() {
+    println!("{}", suit_bench::figs::fig5(suit_bench::cap_from_args()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 6 (fV sequence on a long burst).
+fn main() {
+    println!("{}", suit_bench::figs::fig6());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 7 (VLC AES gap timeline).
+fn main() {
+    println!("{}", suit_bench::figs::fig7());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 8 (i9 voltage settle).
+fn main() {
+    println!("{}", suit_bench::figs::fig8());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 9 (i9 frequency change with stall).
+fn main() {
+    println!("{}", suit_bench::figs::fig9());
+}

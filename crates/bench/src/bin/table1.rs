@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 1 (fault-injection campaign).
+fn main() {
+    println!("{}", suit_bench::tables::table1());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 2 (undervolting response).
+fn main() {
+    println!("{}", suit_bench::tables::table2());
+}

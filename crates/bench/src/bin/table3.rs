@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 3 (temperature guardband).
+fn main() {
+    println!("{}", suit_bench::tables::table3());
+}

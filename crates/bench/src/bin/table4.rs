@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 4 (no-SIMD performance impact).
+fn main() {
+    println!("{}", suit_bench::tables::table4());
+}

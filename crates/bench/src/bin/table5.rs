@@ -1,0 +1,4 @@
+//! Prints the paper's Table 5 (simulated system configuration).
+fn main() {
+    println!("{}", suit_bench::tables::table5());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Table 6 (the headline evaluation).
+use suit_hw::UndervoltLevel;
+fn main() {
+    let cap = suit_bench::cap_from_args();
+    for level in UndervoltLevel::ALL {
+        println!("{}", suit_bench::tables::table6(level, cap));
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 8 (no-SIMD vs. SUIT wins).
+fn main() {
+    println!("{}", suit_bench::tables::table8(suit_bench::cap_from_args()));
+}

@@ -1,0 +1,36 @@
+//! # suit-bench
+//!
+//! The experiment harness: one function (and one binary) per table and
+//! figure of the SUIT paper's evaluation, regenerating the same rows and
+//! series from this repository's models and simulators.
+//!
+//! Run any experiment with `cargo run --release -p suit-bench --bin <id>`
+//! where `<id>` is `table1` … `table8`, `fig5` … `fig16`, `delays`,
+//! `residency` or `security`. Binaries accept `--full` to run the
+//! uncapped 2 × 10¹⁰-instruction virtual traces (the default caps at
+//! 4 × 10⁹, which reproduces the same shapes in seconds).
+//!
+//! `EXPERIMENTS.md` at the repository root records paper-vs-measured for
+//! every experiment here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod figs;
+pub mod render;
+pub mod tables;
+
+pub use render::TextTable;
+
+/// Default per-workload instruction cap for the quick (non-`--full`) mode.
+pub const QUICK_CAP: u64 = 4_000_000_000;
+
+/// Parses the conventional binary arguments: `--full` lifts the cap.
+pub fn cap_from_args() -> Option<u64> {
+    if std::env::args().any(|a| a == "--full") {
+        None
+    } else {
+        Some(QUICK_CAP)
+    }
+}

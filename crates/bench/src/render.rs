@@ -1,0 +1,133 @@
+//! Plain-text table rendering for the experiment binaries.
+
+use std::fmt;
+
+/// A simple aligned text table with a title and optional footnotes.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    /// Table title (e.g. `"Table 6 — ..."`)
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Footnotes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl TextTable {
+    /// Creates a table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a footnote.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.chars().count());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        writeln!(f, "{}", self.title)?;
+        let line_len: usize = w.iter().sum::<usize>() + 3 * w.len().saturating_sub(1);
+        writeln!(f, "{}", "=".repeat(self.title.chars().count().max(line_len)))?;
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut first = true;
+            for (cell, width) in cells.iter().zip(&w) {
+                if !first {
+                    write!(f, " | ")?;
+                } else {
+                    first = false;
+                }
+                write!(f, "{cell:>width$}")?;
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.headers)?;
+        writeln!(f, "{}", "-".repeat(line_len))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  * {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fractional delta as a percentage (`-0.0972` → `"-9.7%"`).
+pub fn pct(delta: f64) -> String {
+    format!("{:+.1}%", delta * 100.0)
+}
+
+/// Formats a fractional delta with two decimals (`0.00031` → `"+0.03%"`).
+pub fn pct2(delta: f64) -> String {
+    format!("{:+.2}%", delta * 100.0)
+}
+
+/// Formats a plain float with the given precision.
+pub fn num(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TextTable::new("Demo", &["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "12345".into()]);
+        t.note("a footnote");
+        let s = t.to_string();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("alpha |     1"));
+        assert!(s.contains("    b | 12345"));
+        assert!(s.contains("* a footnote"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(-0.0972), "-9.7%");
+        assert_eq!(pct(0.208), "+20.8%");
+        assert_eq!(pct2(0.0003), "+0.03%");
+        assert_eq!(num(31.4159, 2), "31.42");
+    }
+}

@@ -1,0 +1,131 @@
+//! The deadline mechanism (§4.1).
+//!
+//! After a `#DO` trap moves the CPU to the conservative curve, SUIT must
+//! decide when to go back. The deadline timer counts down from `p_dl`;
+//! every execution of an instruction that *would* be disabled on the
+//! efficient curve resets it. When it reaches zero, an interrupt fires and
+//! the OS switches back to the efficient curve. This self-adjusts to any
+//! burst cadence and avoids most thrashing.
+
+use suit_isa::{SimDuration, SimTime};
+
+/// A count-down deadline timer, hardware-armed by the OS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeadlineTimer {
+    /// Absolute expiry time, if armed.
+    expires_at: Option<SimTime>,
+    /// The countdown the timer was last armed with (used by resets).
+    deadline: SimDuration,
+}
+
+impl DeadlineTimer {
+    /// A disarmed timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms the timer to fire `deadline` after `now`. Subsequent
+    /// [`reset`](Self::reset) calls reuse this deadline.
+    pub fn arm(&mut self, now: SimTime, deadline: SimDuration) {
+        self.deadline = deadline;
+        self.expires_at = Some(now + deadline);
+    }
+
+    /// Disarms the timer.
+    pub fn disarm(&mut self) {
+        self.expires_at = None;
+    }
+
+    /// Restarts the countdown from `now` with the armed deadline — the
+    /// hardware action on every faultable-instruction execution. No-op if
+    /// disarmed.
+    pub fn reset(&mut self, now: SimTime) {
+        if self.expires_at.is_some() {
+            self.expires_at = Some(now + self.deadline);
+        }
+    }
+
+    /// Whether the timer is armed.
+    pub fn is_armed(&self) -> bool {
+        self.expires_at.is_some()
+    }
+
+    /// The absolute expiry time, if armed.
+    pub fn expires_at(&self) -> Option<SimTime> {
+        self.expires_at
+    }
+
+    /// The deadline the timer was last armed with.
+    pub fn deadline(&self) -> SimDuration {
+        self.deadline
+    }
+
+    /// If the timer has expired by `now`, disarms it and returns `true` —
+    /// the simulator calls this to deliver the timer interrupt.
+    pub fn take_expired(&mut self, now: SimTime) -> bool {
+        match self.expires_at {
+            Some(t) if t <= now => {
+                self.expires_at = None;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_micros(v)
+    }
+
+    #[test]
+    fn arm_and_expire() {
+        let mut t = DeadlineTimer::new();
+        assert!(!t.is_armed());
+        t.arm(SimTime::ZERO, us(30));
+        assert!(t.is_armed());
+        assert!(!t.take_expired(SimTime::ZERO + us(29)));
+        assert!(t.take_expired(SimTime::ZERO + us(30)));
+        assert!(!t.is_armed(), "expiry disarms");
+        assert!(!t.take_expired(SimTime::ZERO + us(100)), "fires once");
+    }
+
+    #[test]
+    fn reset_pushes_expiry_out() {
+        let mut t = DeadlineTimer::new();
+        t.arm(SimTime::ZERO, us(30));
+        // A faultable instruction at t = 25 restarts the countdown.
+        t.reset(SimTime::ZERO + us(25));
+        assert!(!t.take_expired(SimTime::ZERO + us(54)));
+        assert!(t.take_expired(SimTime::ZERO + us(55)));
+    }
+
+    #[test]
+    fn reset_when_disarmed_is_noop() {
+        let mut t = DeadlineTimer::new();
+        t.reset(SimTime::ZERO + us(5));
+        assert!(!t.is_armed());
+    }
+
+    #[test]
+    fn rearm_overrides_deadline() {
+        let mut t = DeadlineTimer::new();
+        t.arm(SimTime::ZERO, us(30));
+        // Thrashing prevention re-arms with p_dl · p_df.
+        t.arm(SimTime::ZERO + us(10), us(420));
+        assert_eq!(t.deadline(), us(420));
+        assert!(!t.take_expired(SimTime::ZERO + us(100)));
+        assert!(t.take_expired(SimTime::ZERO + us(430)));
+    }
+
+    #[test]
+    fn disarm() {
+        let mut t = DeadlineTimer::new();
+        t.arm(SimTime::ZERO, us(30));
+        t.disarm();
+        assert!(!t.take_expired(SimTime::ZERO + us(1000)));
+    }
+}

@@ -1,0 +1,69 @@
+//! The Disabled Opcode (`#DO`) CPU exception (§3.3).
+//!
+//! SUIT repurposes a reserved x86 interrupt vector for a new fault-class
+//! exception raised when a disabled instruction reaches execution. Like
+//! other CPU exceptions it preserves the register state so the program can
+//! resume: after the handler re-enables the instruction (curve switch) or
+//! computes its result (emulation), execution continues at — or
+//! respectively after — the faulting instruction.
+//!
+//! §8 ("Speculative Execution") requires that disabled instructions are
+//! *not* executed speculatively; the exception must be taken no later than
+//! dispatch. The out-of-order model in `suit-ooo` honours that.
+
+use suit_isa::{Opcode, SimTime};
+
+/// The interrupt vector SUIT assigns to `#DO`. Vector 30 is in the range
+/// Intel reserves for future architectural exceptions (vectors 22–31,
+/// SDM Vol. 3 §6.2); 21 (#CP) and below are taken.
+pub const DO_VECTOR: u8 = 30;
+
+/// A pending `#DO` exception record, as pushed to the OS handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisabledOpcode {
+    /// The disabled opcode that was fetched.
+    pub opcode: Opcode,
+    /// The core that raised the exception.
+    pub core: usize,
+    /// When the exception was raised.
+    pub at: SimTime,
+}
+
+impl DisabledOpcode {
+    /// Creates an exception record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opcode` is not faultable: hardware only checks disabled
+    /// opcodes, which are always drawn from the faultable set.
+    pub fn new(opcode: Opcode, core: usize, at: SimTime) -> Self {
+        assert!(opcode.is_faultable(), "#DO can only be raised for faultable opcodes");
+        DisabledOpcode { opcode, core, at }
+    }
+}
+
+impl core::fmt::Display for DisabledOpcode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "#DO(vector {DO_VECTOR}): {} on core {} at {}", self.opcode, self.core, self.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_fields() {
+        let e = DisabledOpcode::new(Opcode::Aesenc, 2, SimTime::ZERO);
+        assert_eq!(e.opcode, Opcode::Aesenc);
+        assert_eq!(e.core, 2);
+        assert!(e.to_string().contains("AESENC"));
+        assert!(e.to_string().contains("vector 30"));
+    }
+
+    #[test]
+    #[should_panic(expected = "faultable")]
+    fn rejects_non_faultable() {
+        let _ = DisabledOpcode::new(Opcode::Alu, 0, SimTime::ZERO);
+    }
+}

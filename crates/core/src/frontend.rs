@@ -1,0 +1,374 @@
+//! A functional model of the Fig. 3 front end: *"Check Opcode →
+//! Not Disabled → Backend"* / *"Disabled → #DO exception"*.
+//!
+//! This is the architectural (value-level) counterpart of the timing
+//! simulators: it fetches real x86-64 bytes, decodes them with
+//! `suit-isa`'s decoder, consults the disable-opcode MSR, and either
+//!
+//! * **executes** the instruction against architectural state through the
+//!   emulation library (which doubles as the functional ALU here), or
+//! * **raises `#DO`** with the faulting RIP, exactly like the hardware of
+//!   §3.3 — the instruction has *no* architectural effect, and the OS can
+//!   resume after handling.
+//!
+//! [`SuitFrontend::run_with_emulation_os`] closes the loop of §3.4: on
+//! every trap it plays the OS role, computes the result in software, and
+//! resumes at the next instruction — so a program produces bit-identical
+//! final state whether its faultable instructions execute "in hardware"
+//! or through traps. That equivalence is the architectural contract the
+//! paper's emulation strategy rests on, and it is tested here.
+
+use suit_emu::aes::{bitsliced, decrypt};
+use suit_emu::{emulate, EmuOperands};
+use suit_isa::decode::{decode, AesVariant, DecodeError, Decoded};
+use suit_isa::{Opcode, Vec128};
+
+use crate::msr::SuitMsrs;
+
+/// Architectural register state (XMM file + the GPRs IMUL touches).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineState {
+    /// XMM registers.
+    pub xmm: [Vec128; 16],
+    /// General-purpose registers.
+    pub gpr: [u64; 16],
+    /// Instruction pointer (byte offset into the program).
+    pub rip: usize,
+}
+
+impl Default for MachineState {
+    fn default() -> Self {
+        MachineState { xmm: [Vec128::ZERO; 16], gpr: [0; 16], rip: 0 }
+    }
+}
+
+/// Outcome of one fetch-decode-execute step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The instruction executed; RIP advanced.
+    Retired {
+        /// The executed opcode family.
+        opcode: Opcode,
+    },
+    /// The instruction is disabled: `#DO` raised, no architectural effect,
+    /// RIP still points at the faulting instruction.
+    DisabledOpcode {
+        /// The trapped opcode family.
+        opcode: Opcode,
+        /// The faulting RIP.
+        rip: usize,
+    },
+    /// End of program.
+    Done,
+}
+
+/// Errors a step can surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepError {
+    /// The bytes at RIP did not decode to a supported instruction.
+    Decode(DecodeError),
+    /// The instruction uses a memory operand, which this register-level
+    /// model does not implement.
+    MemoryOperand,
+}
+
+impl From<DecodeError> for StepError {
+    fn from(e: DecodeError) -> Self {
+        StepError::Decode(e)
+    }
+}
+
+impl core::fmt::Display for StepError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StepError::Decode(e) => write!(f, "decode failed: {e}"),
+            StepError::MemoryOperand => write!(f, "memory operands are not modelled"),
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
+
+/// The SUIT front end: MSRs + architectural state.
+#[derive(Debug, Clone)]
+pub struct SuitFrontend {
+    /// The disable-opcode / curve-select MSR pair.
+    pub msrs: SuitMsrs,
+    /// Architectural registers.
+    pub state: MachineState,
+    /// `#DO` exceptions raised so far.
+    pub traps: u64,
+    /// Instructions emulated by the OS path.
+    pub emulated: u64,
+}
+
+impl SuitFrontend {
+    /// A front end booted like a current CPU: conservative curve,
+    /// everything enabled.
+    pub fn new() -> Self {
+        SuitFrontend {
+            msrs: SuitMsrs::suit_cpu(),
+            state: MachineState::default(),
+            traps: 0,
+            emulated: 0,
+        }
+    }
+
+    fn operands(&self, d: &Decoded) -> Result<EmuOperands, StepError> {
+        let rm = d.rm_reg.ok_or(StepError::MemoryOperand)? as usize;
+        Ok(match d.opcode {
+            Opcode::Imul => {
+                // Two-operand form: reg ← reg × rm (GPR file).
+                EmuOperands::new(
+                    Vec128::from_u64x2([self.state.gpr[d.reg as usize & 15], 0]),
+                    Vec128::from_u64x2([self.state.gpr[rm & 15], 0]),
+                )
+            }
+            _ => {
+                // SSE: dst is also first source. VEX: first source is vvvv.
+                let a = match d.vvvv {
+                    Some(v) if d.vex => self.state.xmm[v as usize & 15],
+                    _ => self.state.xmm[d.reg as usize & 15],
+                };
+                EmuOperands::with_imm(a, self.state.xmm[rm & 15], d.imm8.unwrap_or(0))
+            }
+        })
+    }
+
+    /// Computes the architectural result of a decoded instruction —
+    /// dispatching AES decodes on their round variant (the four AES-NI
+    /// rounds share a Table 1 family but compute different functions) and
+    /// handling PSRAD's register-count form (`0F E2` takes the shift count
+    /// from the source operand's low quadword, not an immediate).
+    fn compute(&self, d: &Decoded) -> Result<Vec128, StepError> {
+        let operands = self.operands(d)?;
+        if d.opcode == Opcode::Aesenc {
+            let (a, b) = (operands.a, operands.b);
+            return Ok(match d.aes.expect("AES decodes carry a variant") {
+                AesVariant::Enc => bitsliced::aesenc(a, b),
+                AesVariant::EncLast => bitsliced::aesenclast(a, b),
+                AesVariant::Dec => decrypt::aesdec(a, b),
+                AesVariant::DecLast => decrypt::aesdeclast(a, b),
+            });
+        }
+        if d.opcode == Opcode::Vpsrad && d.imm8.is_none() {
+            // SDM: count = low 64 bits of the source; ≥ 32 saturates.
+            let count = operands.b.to_u64x2()[0].min(255) as u8;
+            return Ok(suit_emu::simd::vpsrad(operands.a, count));
+        }
+        Ok(emulate(d.opcode, operands)
+            .expect("faultable decode set is emulatable")
+            .value)
+    }
+
+    fn writeback(&mut self, d: &Decoded, value: Vec128) {
+        match d.opcode {
+            Opcode::Imul => {
+                // Two-operand IMUL keeps the low 64 bits.
+                self.state.gpr[d.reg as usize & 15] = value.to_u64x2()[0];
+            }
+            _ => self.state.xmm[d.reg as usize & 15] = value,
+        }
+    }
+
+    /// Fetch-decode-execute one instruction of `program` at RIP.
+    pub fn step(&mut self, program: &[u8]) -> Result<StepOutcome, StepError> {
+        if self.state.rip >= program.len() {
+            return Ok(StepOutcome::Done);
+        }
+        let d = decode(&program[self.state.rip..])?;
+
+        if self.msrs.is_disabled(d.opcode) {
+            // The Fig. 3 check: disabled opcodes never reach the backend.
+            self.traps += 1;
+            return Ok(StepOutcome::DisabledOpcode { opcode: d.opcode, rip: self.state.rip });
+        }
+
+        self.execute(&d)?;
+        Ok(StepOutcome::Retired { opcode: d.opcode })
+    }
+
+    /// Computes, writes back, and advances RIP for one decoded
+    /// instruction — shared by direct execution and the OS emulation
+    /// handler, so the trap-equals-direct invariant holds by construction.
+    fn execute(&mut self, d: &Decoded) -> Result<(), StepError> {
+        let value = self.compute(d)?;
+        self.writeback(d, value);
+        self.state.rip += d.length;
+        Ok(())
+    }
+
+    /// Runs `program` to completion with the §3.4 OS behaviour: every
+    /// `#DO` is handled by emulating the instruction in software and
+    /// resuming after it. Returns the retired-instruction count.
+    pub fn run_with_emulation_os(&mut self, program: &[u8]) -> Result<u64, StepError> {
+        let mut retired = 0;
+        loop {
+            match self.step(program)? {
+                StepOutcome::Done => return Ok(retired),
+                StepOutcome::Retired { .. } => retired += 1,
+                StepOutcome::DisabledOpcode { .. } => {
+                    // OS handler: decode at the faulting RIP, execute in
+                    // software, resume after the instruction.
+                    let d = decode(&program[self.state.rip..])?;
+                    self.execute(&d)?;
+                    self.emulated += 1;
+                    retired += 1;
+                }
+            }
+        }
+    }
+}
+
+impl Default for SuitFrontend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msr::CurveSelect;
+
+    /// AESENC xmm0, xmm1; PXOR xmm2, xmm0; IMUL eax, ebx (0F AF C3);
+    /// PCLMULQDQ xmm3, xmm2, 0x00.
+    fn program() -> Vec<u8> {
+        let mut p = Vec::new();
+        p.extend_from_slice(&[0x66, 0x0F, 0x38, 0xDC, 0xC1]); // AESENC xmm0, xmm1
+        p.extend_from_slice(&[0x66, 0x0F, 0xEF, 0xD0]); // PXOR xmm2, xmm0
+        p.extend_from_slice(&[0x0F, 0xAF, 0xC3]); // IMUL eax, ebx
+        p.extend_from_slice(&[0x66, 0x0F, 0x3A, 0x44, 0xDA, 0x00]); // PCLMULQDQ xmm3, xmm2, 0
+        p
+    }
+
+    fn seeded() -> SuitFrontend {
+        let mut f = SuitFrontend::new();
+        f.state.xmm[0] = Vec128::from_u128(0x11111111_22222222_33333333_44444444);
+        f.state.xmm[1] = Vec128::from_u128(0x55555555_66666666_77777777_88888888);
+        f.state.xmm[2] = Vec128::from_u128(0x9999aaaa_bbbbcccc_ddddeeee_ffff0000);
+        f.state.xmm[3] = Vec128::from_u128(0x12345678_9abcdef0_0fedcba9_87654321);
+        f.state.gpr[0] = 123_456_789;
+        f.state.gpr[3] = 987_654_321;
+        f
+    }
+
+    #[test]
+    fn enabled_front_end_retires_everything() {
+        let mut f = seeded();
+        let retired = f.run_with_emulation_os(&program()).unwrap();
+        assert_eq!(retired, 4);
+        assert_eq!(f.traps, 0);
+        assert_eq!(f.emulated, 0);
+        assert_eq!(f.state.gpr[0], 123_456_789u64.wrapping_mul(987_654_321));
+    }
+
+    #[test]
+    fn disabled_opcodes_trap_without_side_effects() {
+        let mut f = seeded();
+        f.msrs.disable_faultable();
+        f.msrs.write_curve(CurveSelect::Efficient).unwrap();
+        let before = f.state.clone();
+        let out = f.step(&program()).unwrap();
+        assert_eq!(
+            out,
+            StepOutcome::DisabledOpcode { opcode: Opcode::Aesenc, rip: 0 }
+        );
+        assert_eq!(f.state, before, "a trapped instruction has no effect");
+        assert_eq!(f.traps, 1);
+    }
+
+    #[test]
+    fn trap_plus_emulation_equals_direct_execution() {
+        // The architectural contract of §3.4: identical final state.
+        let prog = program();
+
+        let mut direct = seeded();
+        direct.run_with_emulation_os(&prog).unwrap();
+
+        let mut trapped = seeded();
+        trapped.msrs.disable_faultable();
+        trapped.msrs.write_curve(CurveSelect::Efficient).unwrap();
+        let retired = trapped.run_with_emulation_os(&prog).unwrap();
+
+        assert_eq!(retired, 4);
+        assert_eq!(trapped.state, direct.state);
+        // AESENC, PXOR and PCLMULQDQ are in the SUIT disable set; the
+        // hardened IMUL is not (§4.2) and executes natively.
+        assert_eq!(trapped.traps, 3);
+        assert_eq!(trapped.emulated, 3);
+    }
+
+    #[test]
+    fn aes_round_variants_compute_their_own_functions() {
+        use suit_emu::aes::{reference, Aes128Key};
+        // AESENC, AESENCLAST, AESDEC, AESDECLAST xmm0, xmm1 in sequence,
+        // each checked against its architectural reference.
+        let key = Aes128Key::expand([0x3c; 16]);
+        let rk = key.round_key(4);
+        let start = Vec128::from_u128(0x0011_2233_4455_6677_8899_aabb_ccdd_eeff);
+        for (byte, expect) in [
+            (0xDCu8, reference::aesenc(start, rk)),
+            (0xDD, reference::aesenclast(start, rk)),
+            (0xDE, suit_emu::aes::decrypt::aesdec(start, rk)),
+            (0xDF, suit_emu::aes::decrypt::aesdeclast(start, rk)),
+        ] {
+            let mut f = SuitFrontend::new();
+            f.state.xmm[0] = start;
+            f.state.xmm[1] = rk;
+            let prog = vec![0x66, 0x0F, 0x38, byte, 0xC1];
+            f.run_with_emulation_os(&prog).unwrap();
+            assert_eq!(f.state.xmm[0], expect, "opcode byte {byte:#x}");
+            // And identically through the trap path.
+            let mut t = SuitFrontend::new();
+            t.state.xmm[0] = start;
+            t.state.xmm[1] = rk;
+            t.msrs.disable_faultable();
+            t.msrs.write_curve(CurveSelect::Efficient).unwrap();
+            t.run_with_emulation_os(&prog).unwrap();
+            assert_eq!(t.state.xmm[0], expect, "trapped {byte:#x}");
+        }
+    }
+
+    #[test]
+    fn vex_three_operand_form_reads_vvvv() {
+        // VPOR xmm0, xmm1, xmm2 (C5 F1 EB C2): dst=0, src1=vvvv=1, src2=2.
+        let prog = vec![0xC5, 0xF1, 0xEB, 0xC2];
+        let mut f = seeded();
+        f.step(&prog).unwrap();
+        let a = seeded().state.xmm[1];
+        let b = seeded().state.xmm[2];
+        assert_eq!(f.state.xmm[0], a | b);
+    }
+
+    #[test]
+    fn psrad_register_form_reads_count_from_source() {
+        // 66 0F E2 C1 = PSRAD xmm0, xmm1 (count in xmm1's low quadword).
+        let prog = vec![0x66, 0x0F, 0xE2, 0xC1];
+        let mut f = SuitFrontend::new();
+        f.state.xmm[0] = Vec128::from_i32x4([-8, 16, -1, 4]);
+        f.state.xmm[1] = Vec128::from_u64x2([2, 0]);
+        f.run_with_emulation_os(&prog).unwrap();
+        assert_eq!(f.state.xmm[0].to_i32x4(), [-2, 4, -1, 1]);
+        // Oversized counts saturate to sign fill.
+        let mut g = SuitFrontend::new();
+        g.state.xmm[0] = Vec128::from_i32x4([-8, 16, -1, 4]);
+        g.state.xmm[1] = Vec128::from_u64x2([1000, 0]);
+        g.run_with_emulation_os(&prog).unwrap();
+        assert_eq!(g.state.xmm[0].to_i32x4(), [-1, 0, -1, 0]);
+    }
+
+    #[test]
+    fn memory_operands_are_rejected_cleanly() {
+        // PXOR xmm0, [rsp] — register-level model refuses.
+        let prog = vec![0x66, 0x0F, 0xEF, 0x04, 0x24];
+        let mut f = seeded();
+        assert_eq!(f.step(&prog), Err(StepError::MemoryOperand));
+    }
+
+    #[test]
+    fn decode_errors_surface() {
+        let mut f = seeded();
+        assert!(matches!(f.step(&[0x90]), Err(StepError::Decode(_))));
+    }
+}

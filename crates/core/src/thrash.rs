@@ -1,0 +1,129 @@
+//! Thrashing prevention (§4.3).
+//!
+//! If the gap between disabled instructions is a bit longer than the
+//! deadline, the CPU would constantly bounce between DVFS curves, paying
+//! the switch delay every time. The OS detects this by counting `#DO`
+//! exceptions over a sliding look-back window of `p_ts`; at `p_ec` or more
+//! it multiplies the deadline by `p_df` for the next stable period, which
+//! keeps the CPU parked on the conservative curve.
+
+use std::collections::VecDeque;
+
+use suit_isa::{SimDuration, SimTime};
+
+/// Sliding-window `#DO` exception counter implementing the §4.3 policy.
+#[derive(Debug, Clone)]
+pub struct ThrashGuard {
+    /// Look-back window p_ts.
+    window: SimDuration,
+    /// Threshold p_ec.
+    threshold: u32,
+    /// Exception timestamps inside the window.
+    events: VecDeque<SimTime>,
+    /// How many times thrashing was detected (statistics).
+    activations: u64,
+}
+
+impl ThrashGuard {
+    /// Creates a guard with look-back `window` (p_ts) and exception-count
+    /// threshold (p_ec).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero or `window` is zero.
+    pub fn new(window: SimDuration, threshold: u32) -> Self {
+        assert!(threshold > 0, "p_ec must be at least 1");
+        assert!(!window.is_zero(), "p_ts must be positive");
+        ThrashGuard { window, threshold, events: VecDeque::new(), activations: 0 }
+    }
+
+    /// Records a `#DO` exception at `now` and reports whether thrashing is
+    /// detected, i.e. whether at least p_ec exceptions (including this
+    /// one) fall within the last p_ts.
+    pub fn record_exception(&mut self, now: SimTime) -> bool {
+        self.events.push_back(now);
+        self.evict(now);
+        let thrashing = self.events.len() as u32 >= self.threshold;
+        if thrashing {
+            self.activations += 1;
+        }
+        thrashing
+    }
+
+    /// Exceptions currently inside the window ending at `now`.
+    pub fn count_in_window(&mut self, now: SimTime) -> u32 {
+        self.evict(now);
+        self.events.len() as u32
+    }
+
+    /// Total thrashing detections so far.
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    fn evict(&mut self, now: SimTime) {
+        while let Some(&front) = self.events.front() {
+            if now.saturating_since(front) > self.window {
+                self.events.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_micros(v)
+    }
+
+    fn at(v: u64) -> SimTime {
+        SimTime::ZERO + us(v)
+    }
+
+    #[test]
+    fn detects_burst_of_exceptions() {
+        // Table 7 parameters for 𝒜/𝒞: p_ts = 450 µs, p_ec = 3.
+        let mut g = ThrashGuard::new(us(450), 3);
+        assert!(!g.record_exception(at(0)));
+        assert!(!g.record_exception(at(100)));
+        assert!(g.record_exception(at(200)), "third exception within 450 µs");
+        assert_eq!(g.activations(), 1);
+    }
+
+    #[test]
+    fn old_exceptions_age_out() {
+        let mut g = ThrashGuard::new(us(450), 3);
+        assert!(!g.record_exception(at(0)));
+        assert!(!g.record_exception(at(100)));
+        // 600 µs later the first two are outside the window.
+        assert!(!g.record_exception(at(700)));
+        assert_eq!(g.count_in_window(at(700)), 1);
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let mut g = ThrashGuard::new(us(450), 2);
+        assert!(!g.record_exception(at(0)));
+        // Exactly p_ts later: still inside the window.
+        assert!(g.record_exception(at(450)));
+    }
+
+    #[test]
+    fn slow_cadence_never_triggers() {
+        let mut g = ThrashGuard::new(us(450), 3);
+        for i in 0..50 {
+            assert!(!g.record_exception(at(i * 500)), "exception {i}");
+        }
+        assert_eq!(g.activations(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p_ec")]
+    fn rejects_zero_threshold() {
+        let _ = ThrashGuard::new(us(450), 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! AES decryption — the `AESDEC`/`AESDECLAST` counterparts.
+//!
+//! The faultable set of Table 1 names `AESENC`, but a real OS emulation
+//! library must cover the whole AES-NI family: a server that decrypts TLS
+//! records executes `AESDEC` just as often as it encrypts. The inverse
+//! round primitives follow the Intel SDM:
+//!
+//! ```text
+//! AESDEC:     state = InvMixColumns(AddRoundKey⁻¹-ordered state)
+//!             — precisely: InvShiftRows → InvSubBytes → InvMixColumns →
+//!               XOR round key
+//! AESDECLAST: the same without InvMixColumns
+//! ```
+//!
+//! Decryption uses the *equivalent inverse cipher* key schedule: round
+//! keys in reverse order with `InvMixColumns` applied to the middle ones
+//! (SDM `AESIMC`), so `AESDEC` chains mirror `AESENC` chains.
+
+use super::{Aes128Key, SHIFT_ROWS_SRC};
+use crate::gf;
+use suit_isa::Vec128;
+
+/// The inverse ShiftRows byte permutation: output byte index → input byte
+/// index (row r rotates *right* by r columns).
+pub const INV_SHIFT_ROWS_SRC: [usize; 16] = inv_shift_rows_table();
+
+const fn inv_shift_rows_table() -> [usize; 16] {
+    // Invert SHIFT_ROWS_SRC: if ShiftRows reads new[b] = old[src[b]], then
+    // InvShiftRows reads new[src[b]] = old[b], i.e. inv[src[b]] = b… as a
+    // source table: inv_src[dst] = s where src[s] = dst.
+    let mut inv = [0usize; 16];
+    let mut b = 0;
+    while b < 16 {
+        inv[SHIFT_ROWS_SRC[b]] = b;
+        b += 1;
+    }
+    inv
+}
+
+fn inv_shift_rows(state: [u8; 16]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    let mut b = 0;
+    while b < 16 {
+        out[b] = state[INV_SHIFT_ROWS_SRC[b]];
+        b += 1;
+    }
+    out
+}
+
+fn inv_sub_bytes(state: [u8; 16]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    for (o, s) in out.iter_mut().zip(state) {
+        *o = gf::inv_sbox(s);
+    }
+    out
+}
+
+/// InvMixColumns over one 16-byte state (matrix {0e,0b,0d,09}).
+pub fn inv_mix_columns(state: [u8; 16]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    for c in 0..4 {
+        let col = &state[4 * c..4 * c + 4];
+        let m = |v: u8, k: u8| gf::gf_mul(v, k);
+        out[4 * c] = m(col[0], 0x0e) ^ m(col[1], 0x0b) ^ m(col[2], 0x0d) ^ m(col[3], 0x09);
+        out[4 * c + 1] = m(col[0], 0x09) ^ m(col[1], 0x0e) ^ m(col[2], 0x0b) ^ m(col[3], 0x0d);
+        out[4 * c + 2] = m(col[0], 0x0d) ^ m(col[1], 0x09) ^ m(col[2], 0x0e) ^ m(col[3], 0x0b);
+        out[4 * c + 3] = m(col[0], 0x0b) ^ m(col[1], 0x0d) ^ m(col[2], 0x09) ^ m(col[3], 0x0e);
+    }
+    out
+}
+
+/// `AESIMC`: InvMixColumns of a round key, used to build the equivalent
+/// inverse-cipher schedule.
+pub fn aesimc(key: Vec128) -> Vec128 {
+    Vec128::from_bytes(inv_mix_columns(key.to_bytes()))
+}
+
+/// One middle inverse round — the architectural semantics of
+/// `AESDEC state, round_key`.
+pub fn aesdec(state: Vec128, round_key: Vec128) -> Vec128 {
+    let s = inv_mix_columns(inv_sub_bytes(inv_shift_rows(state.to_bytes())));
+    Vec128::from_bytes(s) ^ round_key
+}
+
+/// The final inverse round (`AESDECLAST`): like [`aesdec`] without
+/// InvMixColumns.
+pub fn aesdeclast(state: Vec128, round_key: Vec128) -> Vec128 {
+    let s = inv_sub_bytes(inv_shift_rows(state.to_bytes()));
+    Vec128::from_bytes(s) ^ round_key
+}
+
+/// Full AES-128 block decryption via the equivalent inverse cipher:
+/// `AddRoundKey(k10); 9 × AESDEC(imc(k9..k1)); AESDECLAST(k0)`.
+pub fn decrypt128(key: &Aes128Key, block: Vec128) -> Vec128 {
+    let mut s = block ^ key.round_key(10);
+    for r in (1..=9).rev() {
+        s = aesdec(s, aesimc(key.round_key(r)));
+    }
+    aesdeclast(s, key.round_key(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::reference;
+
+    #[test]
+    fn inv_shift_rows_inverts_shift_rows() {
+        let mut state = [0u8; 16];
+        for (i, b) in state.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let shifted: [u8; 16] = {
+            let mut out = [0u8; 16];
+            for b in 0..16 {
+                out[b] = state[SHIFT_ROWS_SRC[b]];
+            }
+            out
+        };
+        assert_eq!(inv_shift_rows(shifted), state);
+    }
+
+    #[test]
+    fn inv_mix_columns_inverts_mix_columns() {
+        // MixColumns of a uniform column is a fixed point; use AESENC and
+        // AESDEC round-tripping instead for full coverage below. Here:
+        // spot-check the {0e,0b,0d,09} matrix against FIPS-197 math.
+        let st = [0xdb, 0x13, 0x53, 0x45, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        // MixColumns([db,13,53,45]) = [8e,4d,a1,bc] (FIPS-197 example);
+        // so InvMixColumns([8e,4d,a1,bc]) must give back the original.
+        let mixed = [0x8e, 0x4d, 0xa1, 0xbc, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        assert_eq!(inv_mix_columns(mixed)[..4], st[..4]);
+    }
+
+    #[test]
+    fn aesdec_inverts_aesenc_with_transformed_key() {
+        // SDM identity: AESDEC(AESENC(s, k) , imc(k')) undoes the round
+        // when keys line up in the equivalent-inverse-cipher order. The
+        // most direct check is the full-cipher round trip below; here,
+        // verify a single round against its algebraic inverse.
+        let s = Vec128::from_u128(0x00112233_44556677_8899aabb_ccddeeff);
+        let k = Vec128::from_u128(0x0f0e0d0c_0b0a0908_07060504_03020100);
+        let enc = reference::aesenc(s, k);
+        // Invert manually: XOR key, InvMixColumns, InvSubBytes/InvShiftRows.
+        let x = (enc ^ k).to_bytes();
+        let undone = inv_shift_rows(inv_sub_bytes(inv_mix_columns(x)));
+        assert_eq!(Vec128::from_bytes(undone), s);
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt_fips_vector() {
+        let key = Aes128Key::expand([
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ]);
+        let ct = Vec128::from_bytes([
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ]);
+        let pt = decrypt128(&key, ct);
+        assert_eq!(
+            pt.to_bytes(),
+            [
+                0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc,
+                0xdd, 0xee, 0xff
+            ]
+        );
+    }
+
+    #[test]
+    fn decrypt_round_trips_many_blocks() {
+        let key = Aes128Key::expand([0x5a; 16]);
+        for i in 0..50u128 {
+            let pt = Vec128::from_u128(i.wrapping_mul(0x9e3779b97f4a7c15_9e3779b97f4a7c15));
+            let ct = reference::encrypt128(&key, pt);
+            assert_eq!(decrypt128(&key, ct), pt, "block {i}");
+        }
+    }
+
+    #[test]
+    fn aesimc_matches_inv_mix_columns() {
+        let k = Vec128::from_u128(0x0123456789abcdef_fedcba9876543210);
+        assert_eq!(aesimc(k).to_bytes(), inv_mix_columns(k.to_bytes()));
+    }
+}

@@ -1,0 +1,155 @@
+//! The `#DO` emulation dispatcher.
+//!
+//! When the OS handles a Disabled-Opcode exception with the *emulation*
+//! strategy (§3.4), it decodes the trapped instruction and executes its
+//! architectural semantics in software. [`emulate`] is that dispatch: it
+//! maps a faultable [`Opcode`] plus operands to the instruction's result.
+//!
+//! `IMUL` is included for completeness — a CPU *without* SUIT's static
+//! hardening (§4.2) would have to trap and emulate it too, which is the
+//! ablation the paper argues against (one trap every ~560 instructions).
+
+use suit_isa::{Opcode, Vec128};
+
+use crate::aes::bitsliced;
+use crate::simd;
+
+/// Operands for an emulated instruction.
+///
+/// `a` is the first (destination-source) operand, `b` the second source,
+/// `imm8` the immediate where the instruction takes one (`VPSRAD`,
+/// `VPCLMULQDQ`). Scalar `IMUL` sources travel in the low 64-bit lanes of
+/// `a` and `b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EmuOperands {
+    /// First source operand.
+    pub a: Vec128,
+    /// Second source operand (ignored by unary instructions).
+    pub b: Vec128,
+    /// Immediate byte (ignored by instructions without one).
+    pub imm8: u8,
+}
+
+impl EmuOperands {
+    /// Two-operand constructor.
+    pub fn new(a: Vec128, b: Vec128) -> Self {
+        EmuOperands { a, b, imm8: 0 }
+    }
+
+    /// Two operands plus an immediate.
+    pub fn with_imm(a: Vec128, b: Vec128, imm8: u8) -> Self {
+        EmuOperands { a, b, imm8 }
+    }
+}
+
+/// The result of a successful emulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmuResult {
+    /// The architectural result value (for `IMUL`, the low 64-bit lane holds
+    /// the low half of the product and the high lane the high half, i.e.
+    /// the RDX:RAX pair of the one-operand form).
+    pub value: Vec128,
+}
+
+/// Emulation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmuError {
+    /// The opcode is not in the faultable set, so the OS would never see a
+    /// `#DO` trap for it and has no emulation for it.
+    NotFaultable(Opcode),
+}
+
+impl core::fmt::Display for EmuError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EmuError::NotFaultable(op) => {
+                write!(f, "opcode {op} is not in the faultable set; nothing to emulate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmuError {}
+
+/// Emulates one faultable instruction, returning its architectural result.
+///
+/// # Errors
+///
+/// Returns [`EmuError::NotFaultable`] if `op` is not in Table 1's faultable
+/// set — such instructions never raise `#DO` and reaching the handler with
+/// one indicates a simulator bug.
+///
+/// # Examples
+///
+/// ```
+/// use suit_emu::{emulate, EmuOperands};
+/// use suit_isa::{Opcode, Vec128};
+///
+/// let a = Vec128::from_u64x2([0xF0, 0x00]);
+/// let b = Vec128::from_u64x2([0x0F, 0x00]);
+/// let r = emulate(Opcode::Vor, EmuOperands::new(a, b)).unwrap();
+/// assert_eq!(r.value.to_u64x2()[0], 0xFF);
+/// ```
+pub fn emulate(op: Opcode, operands: EmuOperands) -> Result<EmuResult, EmuError> {
+    let EmuOperands { a, b, imm8 } = operands;
+    let value = match op {
+        Opcode::Imul => {
+            let x = a.to_u64x2()[0];
+            let y = b.to_u64x2()[0];
+            let wide = (x as u128).wrapping_mul(y as u128);
+            Vec128::from_u128(wide)
+        }
+        Opcode::Aesenc => bitsliced::aesenc(a, b),
+        Opcode::Vor => simd::vor(a, b),
+        Opcode::Vxor => simd::vxor(a, b),
+        Opcode::Vand => simd::vand(a, b),
+        Opcode::Vandn => simd::vandn(a, b),
+        Opcode::Vpaddq => simd::vpaddq(a, b),
+        Opcode::Vpmax => simd::vpmaxsd(a, b),
+        Opcode::Vpcmp => simd::vpcmpeqd(a, b),
+        Opcode::Vpsrad => simd::vpsrad(a, imm8),
+        Opcode::Vsqrtpd => simd::vsqrtpd(a),
+        Opcode::Vpclmulqdq => simd::vpclmulqdq(a, b, imm8),
+        other => return Err(EmuError::NotFaultable(other)),
+    };
+    Ok(EmuResult { value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suit_isa::FaultableSet;
+
+    #[test]
+    fn every_faultable_opcode_is_emulatable() {
+        let ops = EmuOperands::new(Vec128::from_u128(7), Vec128::from_u128(9));
+        for op in FaultableSet::table1().iter() {
+            assert!(emulate(op, ops).is_ok(), "{op}");
+        }
+    }
+
+    #[test]
+    fn non_faultable_opcodes_are_rejected() {
+        let ops = EmuOperands::default();
+        for op in [Opcode::Alu, Opcode::Load, Opcode::Branch, Opcode::Fp] {
+            assert_eq!(emulate(op, ops), Err(EmuError::NotFaultable(op)));
+        }
+    }
+
+    #[test]
+    fn imul_produces_full_128_bit_product() {
+        let a = Vec128::from_u64x2([u64::MAX, 0]);
+        let b = Vec128::from_u64x2([2, 0]);
+        let r = emulate(Opcode::Imul, EmuOperands::new(a, b)).unwrap();
+        // (2^64 - 1) * 2 = 2^65 - 2: low lane wraps, high lane is 1.
+        assert_eq!(r.value.to_u64x2(), [u64::MAX - 1, 1]);
+    }
+
+    #[test]
+    fn aesenc_goes_through_bitsliced_path() {
+        let s = Vec128::from_u128(0x1234);
+        let k = Vec128::from_u128(0x5678);
+        let r = emulate(Opcode::Aesenc, EmuOperands::new(s, k)).unwrap();
+        assert_eq!(r.value, crate::aes::reference::aesenc(s, k));
+    }
+}

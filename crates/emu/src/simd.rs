@@ -1,0 +1,206 @@
+//! Scalar (non-vectorized) emulation of the faultable SIMD instructions.
+//!
+//! §3.4: *"SUIT emulates instructions like VOR or VPCMP with non-vectorized
+//! alternatives."* Each function here implements the architectural
+//! semantics of one faultable-set opcode family over [`Vec128`] using only
+//! scalar integer/float operations — precisely the code the OS maps into a
+//! user process to execute after a `#DO` trap.
+//!
+//! Lane interpretations follow the Intel SDM. Where the paper's Table 1
+//! names a family (`VPCMP*`, `VPMAX*`), the most common family members are
+//! provided and the family dispatcher in [`crate::handler`] picks the
+//! canonical one.
+
+use suit_isa::Vec128;
+
+use crate::gf::clmul64;
+
+/// `VPOR` / `VOR*`: bitwise OR.
+#[inline]
+pub fn vor(a: Vec128, b: Vec128) -> Vec128 {
+    a | b
+}
+
+/// `VPXOR` / `VXOR*`: bitwise XOR.
+#[inline]
+pub fn vxor(a: Vec128, b: Vec128) -> Vec128 {
+    a ^ b
+}
+
+/// `VPAND` / `VAND*`: bitwise AND.
+#[inline]
+pub fn vand(a: Vec128, b: Vec128) -> Vec128 {
+    a & b
+}
+
+/// `VPANDN` / `VANDN*`: bitwise AND-NOT — note the x86 operand order:
+/// `dst = NOT(a) AND b`.
+#[inline]
+pub fn vandn(a: Vec128, b: Vec128) -> Vec128 {
+    !a & b
+}
+
+/// `VPADDQ`: lane-wise wrapping addition of the two 64-bit lanes.
+pub fn vpaddq(a: Vec128, b: Vec128) -> Vec128 {
+    let [a0, a1] = a.to_u64x2();
+    let [b0, b1] = b.to_u64x2();
+    Vec128::from_u64x2([a0.wrapping_add(b0), a1.wrapping_add(b1)])
+}
+
+/// `VPMAXSD`: lane-wise signed 32-bit maximum.
+pub fn vpmaxsd(a: Vec128, b: Vec128) -> Vec128 {
+    let al = a.to_i32x4();
+    let bl = b.to_i32x4();
+    Vec128::from_i32x4([
+        al[0].max(bl[0]),
+        al[1].max(bl[1]),
+        al[2].max(bl[2]),
+        al[3].max(bl[3]),
+    ])
+}
+
+/// `VPMAXUB`: byte-wise unsigned maximum.
+pub fn vpmaxub(a: Vec128, b: Vec128) -> Vec128 {
+    let mut out = [0u8; 16];
+    let ab = a.to_bytes();
+    let bb = b.to_bytes();
+    for i in 0..16 {
+        out[i] = ab[i].max(bb[i]);
+    }
+    Vec128::from_bytes(out)
+}
+
+/// `VPCMPEQD`: lane-wise 32-bit equality compare; equal lanes become
+/// all-ones, unequal lanes all-zeros.
+pub fn vpcmpeqd(a: Vec128, b: Vec128) -> Vec128 {
+    let al = a.to_u32x4();
+    let bl = b.to_u32x4();
+    let mut out = [0u32; 4];
+    for i in 0..4 {
+        out[i] = if al[i] == bl[i] { u32::MAX } else { 0 };
+    }
+    Vec128::from_u32x4(out)
+}
+
+/// `VPCMPGTD`: lane-wise signed 32-bit greater-than compare.
+pub fn vpcmpgtd(a: Vec128, b: Vec128) -> Vec128 {
+    let al = a.to_i32x4();
+    let bl = b.to_i32x4();
+    let mut out = [0u32; 4];
+    for i in 0..4 {
+        out[i] = if al[i] > bl[i] { u32::MAX } else { 0 };
+    }
+    Vec128::from_u32x4(out)
+}
+
+/// `VPSRAD xmm, imm8`: lane-wise 32-bit arithmetic shift right. Counts
+/// above 31 fill each lane with its sign bit (Intel SDM behaviour).
+pub fn vpsrad(a: Vec128, count: u8) -> Vec128 {
+    let shift = u32::from(count).min(31);
+    let al = a.to_i32x4();
+    Vec128::from_i32x4([
+        al[0] >> shift,
+        al[1] >> shift,
+        al[2] >> shift,
+        al[3] >> shift,
+    ])
+}
+
+/// `VSQRTPD`: lane-wise double-precision square root. Negative inputs
+/// produce NaN, as the hardware instruction does (we do not model the
+/// `#IE` floating-point exception flags).
+pub fn vsqrtpd(a: Vec128) -> Vec128 {
+    let [l0, l1] = a.to_f64x2();
+    Vec128::from_f64x2([l0.sqrt(), l1.sqrt()])
+}
+
+/// `VPCLMULQDQ xmm1, xmm2, imm8`: carry-less multiplication of one 64-bit
+/// lane of each source. Bit 0 of `imm8` selects the lane of `a`, bit 4 the
+/// lane of `b`.
+pub fn vpclmulqdq(a: Vec128, b: Vec128, imm8: u8) -> Vec128 {
+    let al = a.to_u64x2();
+    let bl = b.to_u64x2();
+    let x = al[(imm8 & 1) as usize];
+    let y = bl[((imm8 >> 4) & 1) as usize];
+    Vec128::from_u128(clmul64(x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(lo: u64, hi: u64) -> Vec128 {
+        Vec128::from_u64x2([lo, hi])
+    }
+
+    #[test]
+    fn bitwise_ops_match_definitions() {
+        let a = v(0xF0F0, 0xAAAA);
+        let b = v(0xFF00, 0x5555);
+        assert_eq!(vor(a, b), a | b);
+        assert_eq!(vxor(a, b), a ^ b);
+        assert_eq!(vand(a, b), a & b);
+        // x86 ANDN is NOT(first) AND second.
+        assert_eq!(vandn(a, b).to_u64x2()[0], !0xF0F0u64 & 0xFF00);
+    }
+
+    #[test]
+    fn vpaddq_wraps() {
+        let a = v(u64::MAX, 1);
+        let b = v(1, 2);
+        assert_eq!(vpaddq(a, b).to_u64x2(), [0, 3]);
+    }
+
+    #[test]
+    fn vpmaxsd_is_signed() {
+        let a = Vec128::from_i32x4([-1, 5, i32::MIN, 0]);
+        let b = Vec128::from_i32x4([0, -5, i32::MAX, 0]);
+        assert_eq!(vpmaxsd(a, b).to_i32x4(), [0, 5, i32::MAX, 0]);
+    }
+
+    #[test]
+    fn vpmaxub_is_unsigned() {
+        let mut ab = [0u8; 16];
+        let mut bb = [0u8; 16];
+        ab[0] = 0xFF; // 255 unsigned, -1 signed
+        bb[0] = 0x01;
+        assert_eq!(vpmaxub(Vec128::from_bytes(ab), Vec128::from_bytes(bb)).to_bytes()[0], 0xFF);
+    }
+
+    #[test]
+    fn compares_produce_masks() {
+        let a = Vec128::from_i32x4([1, 2, 3, -4]);
+        let b = Vec128::from_i32x4([1, 3, 2, 4]);
+        assert_eq!(vpcmpeqd(a, b).to_u32x4(), [u32::MAX, 0, 0, 0]);
+        assert_eq!(vpcmpgtd(a, b).to_u32x4(), [0, 0, u32::MAX, 0]);
+    }
+
+    #[test]
+    fn vpsrad_saturates_count_at_31() {
+        let a = Vec128::from_i32x4([-8, 8, i32::MIN, 1]);
+        assert_eq!(vpsrad(a, 2).to_i32x4(), [-2, 2, i32::MIN >> 2, 0]);
+        // Count ≥ 32 behaves like 31: all sign bits.
+        assert_eq!(vpsrad(a, 200).to_i32x4(), [-1, 0, -1, 0]);
+    }
+
+    #[test]
+    fn vsqrtpd_lanes() {
+        let a = Vec128::from_f64x2([4.0, 9.0]);
+        assert_eq!(vsqrtpd(a).to_f64x2(), [2.0, 3.0]);
+        let n = vsqrtpd(Vec128::from_f64x2([-1.0, 0.0])).to_f64x2();
+        assert!(n[0].is_nan());
+        assert_eq!(n[1], 0.0);
+    }
+
+    #[test]
+    fn vpclmulqdq_lane_selection() {
+        let a = v(3, 5); // low = 0b11, high = 0b101
+        let b = v(3, 7);
+        // low × low: (x+1)² = x²+1 = 0b101.
+        assert_eq!(vpclmulqdq(a, b, 0x00).as_u128(), 0b101);
+        // high(a) × low(b): 0b101 ⊗ 0b11 = 0b1111.
+        assert_eq!(vpclmulqdq(a, b, 0x01).as_u128(), 0b1111);
+        // low(a) × high(b): 0b11 ⊗ 0b111 = 0b1001 ... compute: (x+1)(x²+x+1) = x³+1.
+        assert_eq!(vpclmulqdq(a, b, 0x10).as_u128(), 0b1001);
+    }
+}

@@ -1,0 +1,350 @@
+//! The motivating attack, reproduced in simulation: RSA-CRT key recovery
+//! from a single faulty multiplication (Boneh–DeMillo–Lipton), the class
+//! of exploit Plundervolt \[47\] mounted through undervolted `IMUL`s.
+//!
+//! The paper's threat model (§1, §3.1): a silent data error in *one*
+//! multiply during CRT exponentiation produces a signature `s'` that is
+//! correct modulo one prime and wrong modulo the other; then
+//! `gcd(s'^e − m, n)` reveals a prime factor of `n` — the complete
+//! private key, from one fault. This module:
+//!
+//! * implements a miniature RSA-CRT signer whose multiplications run
+//!   through the undervolting fault model (`execute_with_faults` on
+//!   `IMUL`),
+//! * implements the factor-recovery attack,
+//! * and shows the defence: under SUIT the signer's multiplies are the
+//!   *hardened* IMUL (safe on the efficient curve), so no faulty
+//!   signature ever appears.
+//!
+//! Key sizes are toy (32-bit primes) — the algebra of the attack is
+//! identical at any size and the point is the fault plumbing, not
+//! cryptographic strength.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use suit_emu::EmuOperands;
+use suit_isa::{Opcode, Vec128};
+
+use crate::inject::execute_with_faults;
+use crate::vmin::ChipVminModel;
+
+/// A toy RSA key pair with CRT parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RsaKey {
+    /// Modulus n = p·q.
+    pub n: u64,
+    /// Public exponent.
+    pub e: u64,
+    /// First prime.
+    pub p: u32,
+    /// Second prime.
+    pub q: u32,
+    /// d mod (p−1).
+    pub dp: u64,
+    /// d mod (q−1).
+    pub dq: u64,
+    /// q⁻¹ mod p (CRT recombination coefficient).
+    pub qinv: u64,
+}
+
+/// Deterministic Miller–Rabin for u64 (sufficient witness set).
+fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n % p == 0 {
+            return n == p;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = modexp(a % n, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mulmod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn mulmod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn modexp(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc: u64 = 1 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mulmod(acc, base, m);
+        }
+        base = mulmod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+fn egcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, x, y) = egcd(b, a % b);
+        (g, y, x - (a / b) * y)
+    }
+}
+
+fn modinv(a: u64, m: u64) -> Option<u64> {
+    let (g, x, _) = egcd(a as i128, m as i128);
+    if g != 1 {
+        return None;
+    }
+    Some((x.rem_euclid(m as i128)) as u64)
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+impl RsaKey {
+    /// Generates a toy key with ~32-bit primes from a seed.
+    pub fn generate(seed: u64) -> RsaKey {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut prime = || loop {
+            let candidate: u32 = rng.gen_range(1 << 30..u32::MAX) | 1;
+            if is_prime(u64::from(candidate)) {
+                return candidate;
+            }
+        };
+        loop {
+            let p = prime();
+            let q = prime();
+            if p == q {
+                continue;
+            }
+            let e = 65537u64;
+            let phi = u64::from(p - 1) as u128 * u64::from(q - 1) as u128;
+            // e must be invertible mod φ; d = e⁻¹ mod φ.
+            let (g, x, _) = egcd(e as i128, phi as i128);
+            if g != 1 {
+                continue;
+            }
+            let d = x.rem_euclid(phi as i128) as u128;
+            let dp = (d % u128::from(p - 1)) as u64;
+            let dq = (d % u128::from(q - 1)) as u64;
+            let Some(qinv) = modinv(u64::from(q), u64::from(p)) else { continue };
+            return RsaKey {
+                n: u64::from(p) * u64::from(q),
+                e,
+                p,
+                q,
+                dp,
+                dq,
+                qinv,
+            };
+        }
+    }
+
+    /// Textbook verification: `s^e mod n == m`.
+    pub fn verify(&self, m: u64, s: u64) -> bool {
+        modexp(s, self.e, self.n) == m % self.n
+    }
+}
+
+/// How the signer's multiplies execute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SignerEnv<'a> {
+    /// All multiplications are exact (stock voltage, or SUIT's hardened
+    /// IMUL on the efficient curve — its +220 mV slack absorbs the offset).
+    Reliable,
+    /// Naive undervolting: every multiply runs at `offset_mv` below the
+    /// conservative curve through the fault model.
+    NaiveUndervolt {
+        /// The chip under attack.
+        chip: &'a ChipVminModel,
+        /// Core executing the signer.
+        core: usize,
+        /// Applied offset, mV (negative).
+        offset_mv: f64,
+    },
+}
+
+/// One 64×64 multiply executed through the environment (possibly faulted).
+fn mul_via_env(env: &SignerEnv<'_>, rng: &mut StdRng, a: u64, b: u64) -> u128 {
+    match env {
+        SignerEnv::Reliable => a as u128 * b as u128,
+        SignerEnv::NaiveUndervolt { chip, core, offset_mv } => {
+            let ops = EmuOperands::new(Vec128::from_u64x2([a, 0]), Vec128::from_u64x2([b, 0]));
+            let (v, _faulted) =
+                execute_with_faults(chip, *core, Opcode::Imul, ops, *offset_mv, rng);
+            v.as_u128()
+        }
+    }
+}
+
+fn mulmod_env(env: &SignerEnv<'_>, rng: &mut StdRng, a: u64, b: u64, m: u64) -> u64 {
+    (mul_via_env(env, rng, a, b) % m as u128) as u64
+}
+
+fn modexp_env(env: &SignerEnv<'_>, rng: &mut StdRng, mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc: u64 = 1 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mulmod_env(env, rng, acc, base, m);
+        }
+        base = mulmod_env(env, rng, base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// CRT signing with the environment's multiplier: the Plundervolt victim.
+pub fn sign_crt(key: &RsaKey, m: u64, env: &SignerEnv<'_>, seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = u64::from(key.p);
+    let q = u64::from(key.q);
+    let sp = modexp_env(env, &mut rng, m % p, key.dp, p);
+    let sq = modexp_env(env, &mut rng, m % q, key.dq, q);
+    // s = sq + q · ((sp − sq) · qinv mod p)
+    let h = mulmod_env(env, &mut rng, (sp + p - sq % p) % p, key.qinv, p);
+    (sq as u128 + q as u128 * h as u128) as u64 % key.n
+}
+
+/// The Boneh–DeMillo–Lipton factor recovery: from a faulty signature,
+/// `gcd(s'^e − m, n)` yields a prime factor.
+///
+/// ```
+/// use suit_faults::{RsaKey, SignerEnv, sign_crt};
+/// use suit_faults::attack::recover_factor;
+///
+/// let key = RsaKey::generate(7);
+/// let good = sign_crt(&key, 42, &SignerEnv::Reliable, 0);
+/// // A correct signature leaks nothing…
+/// assert!(recover_factor(key.n, key.e, 42, good).is_none());
+/// // …but one corrupted in a single CRT branch leaks a prime factor.
+/// let faulty = (good as u128 + u64::from(key.p) as u128) as u64 % key.n;
+/// let f = recover_factor(key.n, key.e, 42, faulty).unwrap();
+/// assert_eq!(key.n % f, 0);
+/// ```
+pub fn recover_factor(key_public_n: u64, e: u64, m: u64, faulty_sig: u64) -> Option<u64> {
+    let se = modexp(faulty_sig, e, key_public_n);
+    let diff = if se >= m % key_public_n { se - m % key_public_n } else { key_public_n - (m % key_public_n - se) };
+    if diff == 0 {
+        return None; // signature was correct
+    }
+    let g = gcd(diff, key_public_n);
+    (g != 1 && g != key_public_n).then_some(g)
+}
+
+/// Runs the full attack campaign: request signatures from the victim until
+/// a faulty one leaks a factor, up to `attempts`. Returns the recovered
+/// factor and the number of signatures it took.
+pub fn attack(
+    key: &RsaKey,
+    env: &SignerEnv<'_>,
+    attempts: u32,
+    seed: u64,
+) -> Option<(u64, u32)> {
+    for i in 0..attempts {
+        let m = 0x1234_5678 ^ (u64::from(i) * 0x9e37);
+        let s = sign_crt(key, m, env, seed.wrapping_add(u64::from(i)));
+        if !key.verify(m, s) {
+            if let Some(f) = recover_factor(key.n, key.e, m, s) {
+                return Some((f, i + 1));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::security::HARDENED_IMUL_EXTRA_MARGIN_MV;
+
+    #[test]
+    fn key_generation_and_reliable_signing() {
+        let key = RsaKey::generate(1);
+        assert!(is_prime(u64::from(key.p)));
+        assert!(is_prime(u64::from(key.q)));
+        let env = SignerEnv::Reliable;
+        for m in [2u64, 12345, 0xdead_beef] {
+            let s = sign_crt(&key, m, &env, 0);
+            assert!(key.verify(m, s), "m = {m}");
+        }
+    }
+
+    #[test]
+    fn recover_factor_on_a_synthetic_fault() {
+        // Corrupt only the q-branch: s' ≡ s (mod p) but not (mod q).
+        let key = RsaKey::generate(2);
+        let m = 987_654_321u64;
+        let good = sign_crt(&key, m, &SignerEnv::Reliable, 0);
+        // Add p·k to shift the value mod q while keeping it mod p… easier:
+        // flip s by a multiple of p (stays correct mod p, breaks mod q).
+        let faulty = (good as u128 + u64::from(key.p) as u128) as u64 % key.n;
+        assert!(!key.verify(m, faulty));
+        let f = recover_factor(key.n, key.e, m, faulty).expect("factor leaks");
+        assert!(f == u64::from(key.p) || f == u64::from(key.q));
+        assert_eq!(key.n % f, 0);
+    }
+
+    #[test]
+    fn plundervolt_attack_succeeds_against_naive_undervolting() {
+        // Deep undervolt: IMUL faults with small probability per multiply;
+        // across a few hundred signatures one CRT branch gets corrupted.
+        let key = RsaKey::generate(3);
+        let chip = ChipVminModel::sample(1, 0.0, 3);
+        let offset = -(chip.margin_mv(0, Opcode::Imul) + 4.0); // onset region
+        let env = SignerEnv::NaiveUndervolt { chip: &chip, core: 0, offset_mv: offset };
+        let (factor, tries) = attack(&key, &env, 400, 7).expect("key must leak");
+        assert_eq!(key.n % factor, 0);
+        assert!(factor == u64::from(key.p) || factor == u64::from(key.q));
+        assert!(tries >= 1);
+    }
+
+    #[test]
+    fn suit_hardened_imul_defeats_the_attack() {
+        // Under SUIT, the signer's multiplies are the hardened IMUL whose
+        // +220 mV slack absorbs any evaluated offset — the environment is
+        // [`SignerEnv::Reliable`] by construction (cf. security::audit):
+        // at −97 mV the hardened margin is nowhere near exhausted.
+        let key = RsaKey::generate(4);
+        let chip = ChipVminModel::sample(1, 12.0, 4);
+        let effective = -97.0 + HARDENED_IMUL_EXTRA_MARGIN_MV;
+        assert!(effective > 0.0, "offset fully absorbed");
+        let env = SignerEnv::Reliable;
+        assert!(attack(&key, &env, 200, 9).is_none(), "no faulty signature may appear");
+        // And every signature verifies.
+        for m in 0..20u64 {
+            let s = sign_crt(&key, m + 2, &env, m);
+            assert!(key.verify(m + 2, s));
+        }
+        let _ = chip;
+    }
+
+    #[test]
+    fn shallow_undervolt_is_also_safe_without_suit() {
+        // Above the IMUL margin nothing faults — the guardband works; the
+        // attack only exists because naive undervolting *removes* it.
+        let key = RsaKey::generate(5);
+        let chip = ChipVminModel::sample(1, 0.0, 5);
+        let env = SignerEnv::NaiveUndervolt { chip: &chip, core: 0, offset_mv: -40.0 };
+        assert!(attack(&key, &env, 100, 11).is_none());
+    }
+}

@@ -1,0 +1,155 @@
+//! Aging and temperature guardband models (§2.2, §3.1, §5.6, §5.7).
+//!
+//! Vendors supply CPUs with more voltage than the nominal minimum to cover
+//! aging (bias temperature instability, hot-carrier injection) and
+//! temperature effects over a 10-year worst-case lifetime. SUIT keeps
+//! these guardbands intact in principle, but §3.1 argues that during the
+//! first years of a CPU's (shorter, cooler) real deployment a *fraction*
+//! of the aging guardband is provably unused and can be borrowed — the
+//! extra −27 mV that turns the −70 mV offset into −97 mV.
+
+use crate::measured;
+use crate::pstate::DvfsCurve;
+
+/// The aging guardband designed into `curve`: the voltage needed for a
+/// `degradation` (15 % over 10 years, §5.6) higher frequency at the top
+/// p-state.
+///
+/// For the i9-9900K curve this evaluates to ≈ 137 mV (5 GHz · 15 % ·
+/// 183 mV/GHz), 12 % of the supply voltage.
+pub fn aging_guardband_mv(curve: &DvfsCurve) -> f64 {
+    let fmax = curve.max_freq_ghz();
+    let grad = curve.gradient_mv_per_ghz(fmax - 1.0, fmax);
+    fmax * measured::AGING_DELAY_DEGRADATION_10Y * grad
+}
+
+/// A model of how much of the aging guardband a deployment actually
+/// consumes, so the remainder can be borrowed for undervolting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgingModel {
+    /// Worst-case propagation-delay degradation after
+    /// [`DESIGN_LIFETIME_YEARS`](AgingModel::DESIGN_LIFETIME_YEARS) at the
+    /// worst-case temperature (0.15 per §5.6).
+    pub worst_case_degradation: f64,
+    /// Worst-case junction temperature the guardband is designed for, °C.
+    pub design_temp_c: f64,
+}
+
+impl Default for AgingModel {
+    fn default() -> Self {
+        AgingModel {
+            worst_case_degradation: measured::AGING_DELAY_DEGRADATION_10Y,
+            design_temp_c: 105.0,
+        }
+    }
+}
+
+impl AgingModel {
+    /// The design lifetime the guardband covers, years.
+    pub const DESIGN_LIFETIME_YEARS: f64 = 10.0;
+
+    /// Fractional propagation-delay degradation after `years` at a core
+    /// temperature of `temp_c`.
+    ///
+    /// BTI-style aging follows a sub-linear power law in time (~t^0.25) and
+    /// accelerates with temperature (§3.1: "aging degradation is larger at
+    /// higher temperatures"); we model the temperature acceleration as a
+    /// doubling per 25 °C toward the design corner.
+    pub fn degradation(&self, years: f64, temp_c: f64) -> f64 {
+        assert!(years >= 0.0, "years must be non-negative");
+        let time_factor = (years / Self::DESIGN_LIFETIME_YEARS).powf(0.25);
+        let temp_factor = 2.0f64.powf((temp_c - self.design_temp_c) / 25.0).min(1.0);
+        (self.worst_case_degradation * time_factor * temp_factor)
+            .min(self.worst_case_degradation)
+    }
+
+    /// The fraction of the aging guardband still unused after `years` at
+    /// `temp_c` — the share §3.1 proposes to borrow for undervolting.
+    pub fn unused_fraction(&self, years: f64, temp_c: f64) -> f64 {
+        1.0 - self.degradation(years, temp_c) / self.worst_case_degradation
+    }
+
+    /// Millivolts of the aging guardband of `curve` that are safely
+    /// borrowable after `years` of deployment at `temp_c`, keeping
+    /// `reserve_frac` of the unused share in reserve.
+    pub fn borrowable_mv(
+        &self,
+        curve: &DvfsCurve,
+        years: f64,
+        temp_c: f64,
+        reserve_frac: f64,
+    ) -> f64 {
+        assert!((0.0..=1.0).contains(&reserve_frac));
+        aging_guardband_mv(curve) * self.unused_fraction(years, temp_c) * (1.0 - reserve_frac)
+    }
+}
+
+/// Temperature model of §5.7 / Table 3: the maximum safe undervolt offset
+/// as a function of core temperature, linear through the two measured
+/// points (50 °C → −90 mV, 88 °C → −55 mV).
+pub fn max_undervolt_at_temp_mv(temp_c: f64) -> f64 {
+    let slope = (measured::MAX_UNDERVOLT_AT_88C_MV - measured::MAX_UNDERVOLT_AT_50C_MV)
+        / (88.0 - 50.0);
+    measured::MAX_UNDERVOLT_AT_50C_MV + slope * (temp_c - 50.0)
+}
+
+/// Fan model of Table 3: steady-state core temperature under full SPEC
+/// load as a function of fan speed, linear through (1800 RPM, 50 °C) and
+/// (300 RPM, 88 °C), clamped to the thermal-throttle limit of 90 °C.
+pub fn core_temp_at_fan_rpm(rpm: f64) -> f64 {
+    assert!(rpm > 0.0, "fan speed must be positive");
+    let slope = (50.0 - 88.0) / (1800.0 - 300.0);
+    (88.0 + slope * (rpm - 300.0)).clamp(30.0, 90.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i9_guardband_is_137mv() {
+        let gb = aging_guardband_mv(&DvfsCurve::i9_9900k());
+        assert!((gb - measured::AGING_GUARDBAND_MV).abs() < 2.0, "{gb}");
+    }
+
+    #[test]
+    fn degradation_is_zero_at_birth_and_full_at_design_corner() {
+        let m = AgingModel::default();
+        assert_eq!(m.degradation(0.0, 105.0), 0.0);
+        let full = m.degradation(10.0, 105.0);
+        assert!((full - 0.15).abs() < 1e-12, "{full}");
+        assert!(m.unused_fraction(0.0, 105.0) > 0.999);
+        assert!(m.unused_fraction(10.0, 105.0) < 1e-9);
+    }
+
+    #[test]
+    fn cooler_cpus_age_slower() {
+        let m = AgingModel::default();
+        assert!(m.degradation(5.0, 60.0) < m.degradation(5.0, 105.0));
+        // Degradation never exceeds the design worst case.
+        assert!(m.degradation(10.0, 150.0) <= 0.15 + 1e-12);
+    }
+
+    #[test]
+    fn borrowing_20_percent_of_fresh_guardband_is_27mv() {
+        // §3.1: the −97 mV offset = −70 mV + 20 % of the 137 mV guardband.
+        let m = AgingModel::default();
+        let curve = DvfsCurve::i9_9900k();
+        let b = m.borrowable_mv(&curve, 0.0, 60.0, 0.8);
+        assert!((b - 27.4).abs() < 1.5, "{b}");
+    }
+
+    #[test]
+    fn table3_endpoints_reproduce() {
+        assert!((max_undervolt_at_temp_mv(50.0) - (-90.0)).abs() < 1e-9);
+        assert!((max_undervolt_at_temp_mv(88.0) - (-55.0)).abs() < 1e-9);
+        assert!((core_temp_at_fan_rpm(1800.0) - 50.0).abs() < 1e-9);
+        assert!((core_temp_at_fan_rpm(300.0) - 88.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hotter_cores_tolerate_less_undervolt() {
+        assert!(max_undervolt_at_temp_mv(88.0) > max_undervolt_at_temp_mv(50.0));
+        // (Offsets are negative: "greater" means less undervolting room.)
+    }
+}

@@ -1,0 +1,262 @@
+//! P-state tables and DVFS curves (Fig. 13, §2.4, §3.2).
+//!
+//! A DVFS curve is a set of vendor-defined (frequency, voltage) pairs that
+//! guarantee stable operation. SUIT adds a second, *efficient* curve
+//! obtained by excluding the faultable instruction set, which lowers the
+//! required voltage at every frequency by the undervolt offset (§3.2).
+//!
+//! The concrete numbers model the Intel Core i9-9900K of Fig. 13: a linear
+//! region with gradient 183 mV/GHz anchored at 991 mV @ 4 GHz, flattening
+//! toward a ~0.8 V floor at low frequencies (the shape visible in the
+//! figure).
+
+use crate::measured;
+
+/// One vendor-defined p-state: a frequency/voltage pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PState {
+    /// Core clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Core supply voltage in mV.
+    pub voltage_mv: f64,
+}
+
+/// A DVFS curve: p-states ordered by ascending frequency, with
+/// interpolation between them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DvfsCurve {
+    points: Vec<PState>,
+}
+
+impl DvfsCurve {
+    /// Builds a curve from p-states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given, or if frequencies are not
+    /// strictly increasing, or if voltages ever decrease with frequency
+    /// (a physically impossible curve).
+    pub fn new(points: Vec<PState>) -> Self {
+        assert!(points.len() >= 2, "a DVFS curve needs at least two p-states");
+        for w in points.windows(2) {
+            assert!(
+                w[1].freq_ghz > w[0].freq_ghz,
+                "p-state frequencies must be strictly increasing"
+            );
+            assert!(
+                w[1].voltage_mv >= w[0].voltage_mv,
+                "voltage cannot decrease with frequency"
+            );
+        }
+        DvfsCurve { points }
+    }
+
+    /// The conservative DVFS curve of the modelled i9-9900K (Fig. 13):
+    /// voltage floor ~0.8 V below ~1.5 GHz, then rising to 1.174 V at 5 GHz
+    /// with the measured 183 mV/GHz gradient in the 4–5 GHz region.
+    pub fn i9_9900k() -> Self {
+        // The linear segment anchored per §5.6; the low-frequency points
+        // follow the flattening visible in Fig. 13.
+        DvfsCurve::new(vec![
+            PState { freq_ghz: 1.0, voltage_mv: 800.0 },
+            PState { freq_ghz: 1.5, voltage_mv: 805.0 },
+            PState { freq_ghz: 2.0, voltage_mv: 830.0 },
+            PState { freq_ghz: 2.5, voltage_mv: 860.0 },
+            PState { freq_ghz: 3.0, voltage_mv: 900.0 },
+            PState { freq_ghz: 3.5, voltage_mv: 944.0 },
+            PState { freq_ghz: 4.0, voltage_mv: measured::I9_VOLT_AT_4GHZ_MV },
+            PState { freq_ghz: 4.5, voltage_mv: 1082.0 },
+            PState { freq_ghz: 5.0, voltage_mv: measured::I9_VOLT_AT_5GHZ_MV },
+        ])
+    }
+
+    /// The p-states, ascending by frequency.
+    pub fn points(&self) -> &[PState] {
+        &self.points
+    }
+
+    /// Lowest supported frequency, GHz.
+    pub fn min_freq_ghz(&self) -> f64 {
+        self.points.first().unwrap().freq_ghz
+    }
+
+    /// Highest supported frequency, GHz.
+    pub fn max_freq_ghz(&self) -> f64 {
+        self.points.last().unwrap().freq_ghz
+    }
+
+    /// The stable voltage at `freq_ghz`, linearly interpolated between
+    /// p-states and clamped to the end points.
+    pub fn voltage_at(&self, freq_ghz: f64) -> f64 {
+        let pts = &self.points;
+        if freq_ghz <= pts[0].freq_ghz {
+            return pts[0].voltage_mv;
+        }
+        if freq_ghz >= pts[pts.len() - 1].freq_ghz {
+            return pts[pts.len() - 1].voltage_mv;
+        }
+        for w in pts.windows(2) {
+            if freq_ghz <= w[1].freq_ghz {
+                let t = (freq_ghz - w[0].freq_ghz) / (w[1].freq_ghz - w[0].freq_ghz);
+                return w[0].voltage_mv + t * (w[1].voltage_mv - w[0].voltage_mv);
+            }
+        }
+        unreachable!("interpolation covers the full range")
+    }
+
+    /// The highest frequency stable at `voltage_mv` on this curve
+    /// (the 𝐶𝑓 switching target of Fig. 4: keep the voltage, drop the
+    /// frequency until the conservative curve is satisfied).
+    pub fn max_freq_at_voltage(&self, voltage_mv: f64) -> f64 {
+        let pts = &self.points;
+        if voltage_mv >= pts[pts.len() - 1].voltage_mv {
+            return pts[pts.len() - 1].freq_ghz;
+        }
+        if voltage_mv <= pts[0].voltage_mv {
+            return pts[0].freq_ghz;
+        }
+        for w in pts.windows(2).rev() {
+            if voltage_mv >= w[0].voltage_mv {
+                let span = w[1].voltage_mv - w[0].voltage_mv;
+                if span <= f64::EPSILON {
+                    return w[1].freq_ghz;
+                }
+                let t = (voltage_mv - w[0].voltage_mv) / span;
+                return w[0].freq_ghz + t * (w[1].freq_ghz - w[0].freq_ghz);
+            }
+        }
+        pts[0].freq_ghz
+    }
+
+    /// Derives the *efficient* DVFS curve of §3.2: the same frequencies at
+    /// `offset_mv` lower voltage (offset is negative for an undervolt).
+    /// This is the curve the vendor determines by excluding the faultable
+    /// instruction set.
+    pub fn with_offset(&self, offset_mv: f64) -> DvfsCurve {
+        DvfsCurve {
+            points: self
+                .points
+                .iter()
+                .map(|p| PState { freq_ghz: p.freq_ghz, voltage_mv: p.voltage_mv + offset_mv })
+                .collect(),
+        }
+    }
+
+    /// The safe-voltage curve for `IMUL` after increasing its latency from
+    /// 3 to 4 cycles (§6.9, the "Modified IMUL" plot of Fig. 13).
+    ///
+    /// One extra pipeline stage gives each stage 4/3 of the clock period,
+    /// which is timing-equivalent to running the original 3-stage datapath
+    /// at three quarters of the frequency — so the safe voltage at `f` is
+    /// the conservative voltage at `0.75·f`. At 5 GHz this yields the
+    /// ~220 mV reduction the paper reports; at low frequencies, where the
+    /// curve flattens, the reduction is negligible (also as reported).
+    pub fn modified_imul(&self) -> DvfsCurve {
+        DvfsCurve {
+            points: self
+                .points
+                .iter()
+                .map(|p| PState {
+                    freq_ghz: p.freq_ghz,
+                    voltage_mv: self.voltage_at(p.freq_ghz * 0.75),
+                })
+                .collect(),
+        }
+    }
+
+    /// The linear-region gradient in mV/GHz between two frequencies.
+    pub fn gradient_mv_per_ghz(&self, f0: f64, f1: f64) -> f64 {
+        assert!(f1 > f0, "f1 must exceed f0");
+        (self.voltage_at(f1) - self.voltage_at(f0)) / (f1 - f0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i9_curve_matches_measured_anchors() {
+        let c = DvfsCurve::i9_9900k();
+        assert_eq!(c.voltage_at(4.0), measured::I9_VOLT_AT_4GHZ_MV);
+        assert_eq!(c.voltage_at(5.0), measured::I9_VOLT_AT_5GHZ_MV);
+        // §5.6: gradient between 4 and 5 GHz is 183 mV/GHz.
+        let g = c.gradient_mv_per_ghz(4.0, 5.0);
+        assert!((g - measured::I9_CURVE_GRADIENT_MV_PER_GHZ).abs() < 1.0, "{g}");
+    }
+
+    #[test]
+    fn interpolation_is_monotone_and_clamped() {
+        let c = DvfsCurve::i9_9900k();
+        let mut last = 0.0;
+        let mut f = 0.5;
+        while f <= 5.5 {
+            let v = c.voltage_at(f);
+            assert!(v >= last, "voltage decreased at {f} GHz");
+            last = v;
+            f += 0.05;
+        }
+        assert_eq!(c.voltage_at(0.1), c.voltage_at(1.0));
+        assert_eq!(c.voltage_at(9.0), c.voltage_at(5.0));
+    }
+
+    #[test]
+    fn max_freq_at_voltage_inverts_voltage_at() {
+        let c = DvfsCurve::i9_9900k();
+        for f in [1.2, 2.2, 3.3, 4.4, 4.9] {
+            let v = c.voltage_at(f);
+            let back = c.max_freq_at_voltage(v);
+            assert!((back - f).abs() < 1e-9, "{f} -> {v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn cf_switch_drops_frequency_by_offset_over_gradient() {
+        // Switching E → C_f at 4.5 GHz with a −97 mV offset drops the
+        // frequency by at least 97 / 183 ≈ 0.53 GHz (more where the curve
+        // is shallower than the 4–5 GHz gradient, as in Fig. 13's convex
+        // shape).
+        let c = DvfsCurve::i9_9900k();
+        let v_eff = c.voltage_at(4.5) - 97.0;
+        let f_cf = c.max_freq_at_voltage(v_eff);
+        let drop = 4.5 - f_cf;
+        assert!(drop >= 97.0 / 183.0 - 1e-9, "drop {drop} GHz");
+        assert!(drop < 0.8, "drop {drop} GHz implausibly large");
+    }
+
+    #[test]
+    fn modified_imul_reduction_matches_section_6_9() {
+        // §6.9: at 5 GHz the 4-cycle IMUL tolerates ≈ 220 mV less voltage.
+        let c = DvfsCurve::i9_9900k();
+        let m = c.modified_imul();
+        let red = c.voltage_at(5.0) - m.voltage_at(5.0);
+        assert!((190.0..250.0).contains(&red), "reduction {red} mV");
+        // At low frequencies the reduction is negligible (flat region).
+        let red_low = c.voltage_at(1.2) - m.voltage_at(1.2);
+        assert!(red_low < 10.0, "low-freq reduction {red_low} mV");
+    }
+
+    #[test]
+    fn efficient_curve_is_uniformly_offset() {
+        let c = DvfsCurve::i9_9900k();
+        let e = c.with_offset(-70.0);
+        for f in [1.0, 2.5, 4.0, 5.0] {
+            assert!((c.voltage_at(f) - e.voltage_at(f) - 70.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_points() {
+        let _ = DvfsCurve::new(vec![
+            PState { freq_ghz: 2.0, voltage_mv: 900.0 },
+            PState { freq_ghz: 1.0, voltage_mv: 800.0 },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_point() {
+        let _ = DvfsCurve::new(vec![PState { freq_ghz: 2.0, voltage_mv: 900.0 }]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Transient thermal model (§5.7 dynamics behind Table 3).
+//!
+//! The paper steers core temperature through fan speed and reads off the
+//! maximum safe undervolt at each temperature. The steady-state anchors
+//! live in [`crate::guardband`]; this module adds the *dynamics*: a
+//! first-order RC thermal model
+//!
+//! ```text
+//! C_th · dT/dt = P − (T − T_amb) / R_th(fan)
+//! ```
+//!
+//! with the thermal resistance a function of fan speed, calibrated so the
+//! steady states reproduce Table 3 (93 W → 50 °C at 1800 RPM, → 88 °C at
+//! 300 RPM). This is what a SUIT governor would integrate to decide how
+//! much temperature guardband is momentarily available (§3.1's
+//! "well-controlled core temperatures").
+
+use suit_isa::SimDuration;
+
+use crate::guardband::max_undervolt_at_temp_mv;
+
+/// Ambient temperature used throughout, °C (the paper's room ≈ 25 °C).
+pub const AMBIENT_C: f64 = 25.0;
+
+/// First-order package thermal model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalModel {
+    /// Thermal capacitance, J/K (package + heatsink mass).
+    pub c_th: f64,
+    /// Current junction temperature, °C.
+    temp_c: f64,
+    /// Current fan speed, RPM.
+    fan_rpm: f64,
+}
+
+impl ThermalModel {
+    /// Thermal-throttle limit the i9-9900K must not exceed (§5.7).
+    pub const THROTTLE_C: f64 = 90.0;
+
+    /// Creates a model at thermal equilibrium with the ambient.
+    pub fn new(fan_rpm: f64) -> Self {
+        assert!(fan_rpm > 0.0);
+        ThermalModel { c_th: 120.0, temp_c: AMBIENT_C, fan_rpm }
+    }
+
+    /// Thermal resistance heatsink→ambient at a fan speed, K/W.
+    ///
+    /// Calibrated through Table 3's two steady states at 93 W SPEC load:
+    /// 1800 RPM → 50 °C ⇒ R = 25/93 ≈ 0.269; 300 RPM → 88 °C ⇒
+    /// R = 63/93 ≈ 0.677. Interpolated as `a + b / rpm` (convective
+    /// resistance falls with airflow).
+    pub fn resistance(fan_rpm: f64) -> f64 {
+        assert!(fan_rpm > 0.0);
+        // Solve a + b/1800 = 0.2688, a + b/300 = 0.6774.
+        let b = (0.6774 - 0.2688) / (1.0 / 300.0 - 1.0 / 1800.0);
+        let a = 0.2688 - b / 1800.0;
+        (a + b / fan_rpm).max(0.05)
+    }
+
+    /// Current junction temperature, °C.
+    pub fn temperature_c(&self) -> f64 {
+        self.temp_c
+    }
+
+    /// Sets the fan speed.
+    pub fn set_fan_rpm(&mut self, rpm: f64) {
+        assert!(rpm > 0.0);
+        self.fan_rpm = rpm;
+    }
+
+    /// The steady-state temperature this model converges to at `watts`.
+    pub fn steady_state_c(&self, watts: f64) -> f64 {
+        AMBIENT_C + watts * Self::resistance(self.fan_rpm)
+    }
+
+    /// Advances the model by `dt` under `watts` of package power.
+    pub fn step(&mut self, dt: SimDuration, watts: f64) {
+        assert!(watts >= 0.0);
+        let r = Self::resistance(self.fan_rpm);
+        let tau = r * self.c_th; // seconds
+        let target = AMBIENT_C + watts * r;
+        let alpha = 1.0 - (-dt.as_secs_f64() / tau).exp();
+        self.temp_c += (target - self.temp_c) * alpha;
+    }
+
+    /// Whether the package is at or above the thermal-throttle limit.
+    pub fn throttling(&self) -> bool {
+        self.temp_c >= Self::THROTTLE_C
+    }
+
+    /// The maximum safe undervolt offset at the *current* temperature
+    /// (Table 3's relationship): cooler silicon tolerates deeper offsets.
+    pub fn max_undervolt_mv(&self) -> f64 {
+        max_undervolt_at_temp_mv(self.temp_c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_states_reproduce_table3() {
+        let hot = ThermalModel::new(300.0);
+        let cool = ThermalModel::new(1800.0);
+        assert!((hot.steady_state_c(93.0) - 88.0).abs() < 0.5, "{}", hot.steady_state_c(93.0));
+        assert!((cool.steady_state_c(93.0) - 50.0).abs() < 0.5, "{}", cool.steady_state_c(93.0));
+    }
+
+    #[test]
+    fn transient_converges_to_steady_state() {
+        let mut m = ThermalModel::new(1800.0);
+        for _ in 0..5_000 {
+            m.step(SimDuration::from_millis(100), 93.0);
+        }
+        assert!((m.temperature_c() - m.steady_state_c(93.0)).abs() < 0.2);
+    }
+
+    #[test]
+    fn heating_is_gradual_not_instant() {
+        let mut m = ThermalModel::new(1800.0);
+        m.step(SimDuration::from_millis(500), 93.0);
+        let t = m.temperature_c();
+        assert!(t > AMBIENT_C + 0.05, "must heat: {t}");
+        // Far from equilibrium after half a second (τ ≈ 32 s).
+        let rise = t - AMBIENT_C;
+        let full_rise = m.steady_state_c(93.0) - AMBIENT_C;
+        assert!(rise < 0.5 * full_rise, "but not instantly: {t}");
+    }
+
+    #[test]
+    fn slowing_the_fan_raises_temperature_and_shrinks_the_offset() {
+        let mut m = ThermalModel::new(1800.0);
+        for _ in 0..5_000 {
+            m.step(SimDuration::from_millis(100), 93.0);
+        }
+        let offset_cool = m.max_undervolt_mv();
+        m.set_fan_rpm(300.0);
+        for _ in 0..5_000 {
+            m.step(SimDuration::from_millis(100), 93.0);
+        }
+        let offset_hot = m.max_undervolt_mv();
+        // Table 3: −90 mV at 50 °C vs −55 mV at 88 °C.
+        assert!((offset_cool - (-90.0)).abs() < 2.0, "{offset_cool}");
+        assert!((offset_hot - (-55.0)).abs() < 2.0, "{offset_hot}");
+        assert!(m.throttling() || m.temperature_c() > 85.0);
+    }
+
+    #[test]
+    fn idle_package_cools_to_ambient() {
+        let mut m = ThermalModel::new(300.0);
+        for _ in 0..5_000 {
+            m.step(SimDuration::from_millis(100), 93.0);
+        }
+        assert!(m.temperature_c() > 80.0);
+        for _ in 0..20_000 {
+            m.step(SimDuration::from_millis(100), 0.0);
+        }
+        assert!((m.temperature_c() - AMBIENT_C).abs() < 0.5);
+        assert!(!m.throttling());
+    }
+
+    #[test]
+    fn resistance_decreases_with_airflow() {
+        assert!(ThermalModel::resistance(300.0) > ThermalModel::resistance(900.0));
+        assert!(ThermalModel::resistance(900.0) > ThermalModel::resistance(1800.0));
+        assert!(ThermalModel::resistance(100_000.0) >= 0.05, "floor holds");
+    }
+}

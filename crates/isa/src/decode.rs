@@ -1,0 +1,470 @@
+//! x86-64 instruction decoding for the faultable set.
+//!
+//! A real `#DO` handler receives only a faulting RIP; to emulate the
+//! instruction (§3.4) the OS must decode its bytes: identify the opcode
+//! family, locate the register operands, and find any immediate. This
+//! module implements that decoder for every instruction family in
+//! Table 1 — legacy-SSE encodings (`66 0F …`) and their VEX forms
+//! (`C4`/`C5`) — plus the `IMUL`/`MUL` encodings, with full ModRM/SIB/
+//! displacement length calculation so the handler can compute the
+//! resume RIP.
+//!
+//! Unknown or non-faultable instructions decode to [`DecodeError`]; the
+//! handler treats that as a kernel bug (hardware only traps disabled
+//! opcodes).
+
+use crate::opcode::Opcode;
+
+/// Which member of the AES-NI round family an `Aesenc`-class decode is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AesVariant {
+    /// `AESENC` — middle encryption round.
+    Enc,
+    /// `AESENCLAST` — final encryption round (no MixColumns).
+    EncLast,
+    /// `AESDEC` — middle decryption round.
+    Dec,
+    /// `AESDECLAST` — final decryption round.
+    DecLast,
+}
+
+/// A successfully decoded faultable instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decoded {
+    /// The opcode family (maps onto the Table 1 rows).
+    pub opcode: Opcode,
+    /// The concrete AES round operation when `opcode` is
+    /// [`Opcode::Aesenc`] (the Table 1 family covers all four) — the
+    /// emulation handler must dispatch on this, since the four rounds
+    /// compute different functions.
+    pub aes: Option<AesVariant>,
+    /// Total instruction length in bytes (for computing the resume RIP).
+    pub length: usize,
+    /// Destination register number (ModRM.reg with REX/VEX extension).
+    pub reg: u8,
+    /// Source register number when the operand is a register
+    /// (ModRM.rm + extension); `None` for memory operands.
+    pub rm_reg: Option<u8>,
+    /// The second source for VEX three-operand forms (vvvv), if any.
+    pub vvvv: Option<u8>,
+    /// Trailing immediate byte, when the encoding has one.
+    pub imm8: Option<u8>,
+    /// Whether the instruction used a VEX prefix (AVX form).
+    pub vex: bool,
+}
+
+/// Decode failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The byte stream ended mid-instruction.
+    Truncated,
+    /// The instruction is valid x86 but not in the faultable set.
+    NotFaultable,
+    /// The bytes do not form a recognised instruction.
+    Unknown,
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "instruction bytes truncated"),
+            DecodeError::NotFaultable => write!(f, "instruction is not in the faultable set"),
+            DecodeError::Unknown => write!(f, "unrecognised instruction bytes"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn next(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.bytes.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn skip(&mut self, n: usize) -> Result<(), DecodeError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(DecodeError::Truncated);
+        }
+        self.pos += n;
+        Ok(())
+    }
+}
+
+/// ModRM operand information.
+struct ModRm {
+    reg: u8,
+    rm_reg: Option<u8>,
+}
+
+/// Parses ModRM (+ SIB + displacement), returning operand registers and
+/// advancing past the addressing bytes. `rex_r`/`rex_b` extend reg/rm.
+fn parse_modrm(c: &mut Cursor<'_>, rex_r: bool, rex_b: bool) -> Result<ModRm, DecodeError> {
+    let modrm = c.next()?;
+    let modb = modrm >> 6;
+    let reg = ((modrm >> 3) & 7) | if rex_r { 8 } else { 0 };
+    let rm = modrm & 7;
+
+    if modb == 3 {
+        return Ok(ModRm { reg, rm_reg: Some(rm | if rex_b { 8 } else { 0 }) });
+    }
+
+    // Memory operand: consume SIB/displacement, report no rm register.
+    if rm == 4 {
+        let sib = c.next()?;
+        // SIB with base = 5 and mod = 0 has a 4-byte displacement.
+        if modb == 0 && (sib & 7) == 5 {
+            c.skip(4)?;
+        }
+    } else if modb == 0 && rm == 5 {
+        // RIP-relative: 4-byte displacement.
+        c.skip(4)?;
+    }
+    match modb {
+        1 => c.skip(1)?,
+        2 => c.skip(4)?,
+        _ => {}
+    }
+    Ok(ModRm { reg, rm_reg: None })
+}
+
+/// Opcode-map lookup shared by legacy (`0F`, `0F 38`, `0F 3A`) and VEX
+/// (map 1/2/3) encodings. Requires the operand-size prefix semantics
+/// (66 / VEX.pp = 01) that the faultable instructions use.
+fn map_opcode(map: u8, op: u8) -> Option<(Opcode, bool /* has imm8 */, Option<AesVariant>)> {
+    match (map, op) {
+        // Map 1 (0F xx)
+        (1, 0xAF) => Some((Opcode::Imul, false, None)), // IMUL r, r/m
+        (1, 0xEB) => Some((Opcode::Vor, false, None)),  // POR / VPOR
+        (1, 0xEF) => Some((Opcode::Vxor, false, None)), // PXOR / VPXOR
+        (1, 0xDB) => Some((Opcode::Vand, false, None)), // PAND / VPAND
+        (1, 0xDF) => Some((Opcode::Vandn, false, None)), // PANDN / VPANDN
+        (1, 0x51) => Some((Opcode::Vsqrtpd, false, None)), // SQRTPD / VSQRTPD
+        (1, 0xE2) => Some((Opcode::Vpsrad, false, None)), // PSRAD xmm, xmm/m
+        (1, 0x76) => Some((Opcode::Vpcmp, false, None)), // PCMPEQD
+        (1, 0x66) => Some((Opcode::Vpcmp, false, None)), // PCMPGTD
+        (1, 0xDE) => Some((Opcode::Vpmax, false, None)), // PMAXUB
+        (1, 0xD4) => Some((Opcode::Vpaddq, false, None)), // PADDQ / VPADDQ
+        // Map 2 (0F 38 xx): the AES-NI round family.
+        (2, 0xDC) => Some((Opcode::Aesenc, false, Some(AesVariant::Enc))),
+        (2, 0xDD) => Some((Opcode::Aesenc, false, Some(AesVariant::EncLast))),
+        (2, 0xDE) => Some((Opcode::Aesenc, false, Some(AesVariant::Dec))),
+        (2, 0xDF) => Some((Opcode::Aesenc, false, Some(AesVariant::DecLast))),
+        (2, 0x3D) => Some((Opcode::Vpmax, false, None)), // PMAXSD
+        // Map 3 (0F 3A xx)
+        (3, 0x44) => Some((Opcode::Vpclmulqdq, true, None)),
+        _ => None,
+    }
+}
+
+/// Decodes one instruction starting at `bytes[0]`.
+///
+/// ```
+/// use suit_isa::decode::decode;
+/// use suit_isa::Opcode;
+///
+/// // 66 0F 38 DC C1 = AESENC xmm0, xmm1
+/// let d = decode(&[0x66, 0x0F, 0x38, 0xDC, 0xC1]).unwrap();
+/// assert_eq!(d.opcode, Opcode::Aesenc);
+/// assert_eq!(d.length, 5);
+/// ```
+///
+/// # Errors
+///
+/// [`DecodeError::NotFaultable`] for recognisable instructions outside
+/// Table 1, [`DecodeError::Unknown`] for unrecognised bytes, and
+/// [`DecodeError::Truncated`] when `bytes` is too short.
+pub fn decode(bytes: &[u8]) -> Result<Decoded, DecodeError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    let mut b = c.next()?;
+
+    // --- VEX prefixes -----------------------------------------------------
+    if b == 0xC5 || b == 0xC4 {
+        let (map, rex_r, rex_b, vvvv, pp) = if b == 0xC5 {
+            let p1 = c.next()?;
+            // 2-byte VEX: map is always 1; R is bit 7 inverted.
+            (1u8, p1 & 0x80 == 0, false, (!p1 >> 3) & 0xF, p1 & 0x3)
+        } else {
+            let p1 = c.next()?;
+            let p2 = c.next()?;
+            (p1 & 0x1F, p1 & 0x80 == 0, p1 & 0x20 == 0, (!p2 >> 3) & 0xF, p2 & 0x3)
+        };
+        let op = c.next()?;
+        // Every faultable VEX encoding uses the 66 operand-size class
+        // (VEX.pp = 01); other pp values select different instructions.
+        if pp != 0b01 {
+            return Err(DecodeError::Unknown);
+        }
+        let (opcode, has_imm, aes) = map_opcode(map, op).ok_or(DecodeError::Unknown)?;
+        let m = parse_modrm(&mut c, rex_r, rex_b)?;
+        let imm8 = if has_imm { Some(c.next()?) } else { None };
+        return Ok(Decoded {
+            opcode,
+            aes,
+            length: c.pos,
+            reg: m.reg,
+            rm_reg: m.rm_reg,
+            vvvv: Some(vvvv),
+            imm8,
+            vex: true,
+        });
+    }
+
+    // --- Legacy prefixes ---------------------------------------------------
+    let mut has_66 = false;
+    loop {
+        match b {
+            0x66 => {
+                has_66 = true;
+                b = c.next()?;
+            }
+            0xF2 | 0xF3 | 0x2E | 0x3E | 0x26 | 0x36 | 0x64 | 0x65 => b = c.next()?,
+            _ => break,
+        }
+    }
+    let (mut rex_r, mut rex_b) = (false, false);
+    if (0x40..=0x4F).contains(&b) {
+        rex_r = b & 0x04 != 0;
+        rex_b = b & 0x01 != 0;
+        b = c.next()?;
+    }
+
+    // One-byte-opcode IMUL forms.
+    match b {
+        0x69 | 0x6B => {
+            // IMUL r, r/m, imm — immediate is 1 or 4 bytes.
+            let m = parse_modrm(&mut c, rex_r, rex_b)?;
+            let imm8 = if b == 0x6B {
+                Some(c.next()?)
+            } else {
+                c.skip(4)?;
+                None
+            };
+            return Ok(Decoded {
+                opcode: Opcode::Imul,
+                aes: None,
+                length: c.pos,
+                reg: m.reg,
+                rm_reg: m.rm_reg,
+                vvvv: None,
+                imm8,
+                vex: false,
+            });
+        }
+        0xF7 => {
+            // Group 3: /4 = MUL, /5 = IMUL (one-operand); other /r values
+            // (NOT, NEG, DIV, …) are not faultable.
+            let m = parse_modrm(&mut c, rex_r, rex_b)?;
+            let op_ext = m.reg & 7;
+            if op_ext == 4 || op_ext == 5 {
+                return Ok(Decoded {
+                    opcode: Opcode::Imul,
+                    aes: None,
+                    length: c.pos,
+                    reg: 0, // implicit RDX:RAX
+                    rm_reg: m.rm_reg,
+                    vvvv: None,
+                    imm8: None,
+                    vex: false,
+                });
+            }
+            return Err(DecodeError::NotFaultable);
+        }
+        _ => {}
+    }
+
+    if b != 0x0F {
+        return Err(DecodeError::Unknown);
+    }
+    let b2 = c.next()?;
+    let (map, op) = match b2 {
+        0x38 => (2u8, c.next()?),
+        0x3A => (3u8, c.next()?),
+        other => (1u8, other),
+    };
+
+    // Legacy SSE forms of the SIMD faultables require the 66 prefix
+    // (except IMUL 0F AF, which must *not* have one for register forms —
+    // we accept either, as real decoders do).
+    let (opcode, has_imm, aes) = map_opcode(map, op).ok_or(DecodeError::Unknown)?;
+    if opcode != Opcode::Imul && !has_66 {
+        // MMX form (no 66): architecturally distinct registers; the
+        // faultable set is about the XMM datapath.
+        return Err(DecodeError::NotFaultable);
+    }
+    let m = parse_modrm(&mut c, rex_r, rex_b)?;
+    let imm8 = if has_imm { Some(c.next()?) } else { None };
+    Ok(Decoded {
+        opcode,
+        aes,
+        length: c.pos,
+        reg: m.reg,
+        rm_reg: m.rm_reg,
+        vvvv: None,
+        imm8,
+        vex: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_aesenc() {
+        // 66 0F 38 DC C1 = AESENC xmm0, xmm1
+        let d = decode(&[0x66, 0x0F, 0x38, 0xDC, 0xC1]).unwrap();
+        assert_eq!(d.opcode, Opcode::Aesenc);
+        assert_eq!(d.aes, Some(AesVariant::Enc));
+        assert_eq!(d.length, 5);
+        assert_eq!(d.reg, 0);
+        assert_eq!(d.rm_reg, Some(1));
+        assert!(!d.vex);
+    }
+
+    #[test]
+    fn distinguishes_the_four_aes_rounds() {
+        // The family shares one Table 1 row but the four opcodes compute
+        // different functions — the decoder must keep them apart.
+        let cases = [
+            (0xDCu8, AesVariant::Enc),
+            (0xDD, AesVariant::EncLast),
+            (0xDE, AesVariant::Dec),
+            (0xDF, AesVariant::DecLast),
+        ];
+        for (byte, variant) in cases {
+            let d = decode(&[0x66, 0x0F, 0x38, byte, 0xC1]).unwrap();
+            assert_eq!(d.opcode, Opcode::Aesenc);
+            assert_eq!(d.aes, Some(variant), "{byte:#x}");
+        }
+        // Non-AES decodes carry no variant.
+        assert_eq!(decode(&[0x0F, 0xAF, 0xC1]).unwrap().aes, None);
+    }
+
+    #[test]
+    fn decodes_vex_vpor() {
+        // C5 F5 EB C2 = VPOR ymm0, ymm1, ymm2 (2-byte VEX, vvvv = 1).
+        let d = decode(&[0xC5, 0xF5, 0xEB, 0xC2]).unwrap();
+        assert_eq!(d.opcode, Opcode::Vor);
+        assert_eq!(d.length, 4);
+        assert_eq!(d.reg, 0);
+        assert_eq!(d.rm_reg, Some(2));
+        assert_eq!(d.vvvv, Some(1));
+        assert!(d.vex);
+    }
+
+    #[test]
+    fn decodes_vpclmulqdq_with_imm() {
+        // 66 0F 3A 44 C1 10 = PCLMULQDQ xmm0, xmm1, 0x10
+        let d = decode(&[0x66, 0x0F, 0x3A, 0x44, 0xC1, 0x10]).unwrap();
+        assert_eq!(d.opcode, Opcode::Vpclmulqdq);
+        assert_eq!(d.imm8, Some(0x10));
+        assert_eq!(d.length, 6);
+        // 3-byte VEX form: C4 E3 71 44 C2 01 = VPCLMULQDQ xmm0, xmm1, xmm2, 1
+        let v = decode(&[0xC4, 0xE3, 0x71, 0x44, 0xC2, 0x01]).unwrap();
+        assert_eq!(v.opcode, Opcode::Vpclmulqdq);
+        assert_eq!(v.imm8, Some(0x01));
+        assert_eq!(v.vvvv, Some(1));
+        assert_eq!(v.rm_reg, Some(2));
+    }
+
+    #[test]
+    fn decodes_imul_forms() {
+        // 0F AF C3 = IMUL eax, ebx
+        let d = decode(&[0x0F, 0xAF, 0xC3]).unwrap();
+        assert_eq!(d.opcode, Opcode::Imul);
+        assert_eq!(d.reg, 0);
+        assert_eq!(d.rm_reg, Some(3));
+        // 48 0F AF C3 = IMUL rax, rbx (REX.W)
+        let d = decode(&[0x48, 0x0F, 0xAF, 0xC3]).unwrap();
+        assert_eq!(d.length, 4);
+        // 6B C3 07 = IMUL eax, ebx, 7
+        let d = decode(&[0x6B, 0xC3, 0x07]).unwrap();
+        assert_eq!(d.opcode, Opcode::Imul);
+        assert_eq!(d.imm8, Some(7));
+        // 69 C3 78 56 34 12 = IMUL eax, ebx, 0x12345678
+        let d = decode(&[0x69, 0xC3, 0x78, 0x56, 0x34, 0x12]).unwrap();
+        assert_eq!(d.length, 6);
+        // F7 EB = IMUL ebx (one-operand, /5)
+        let d = decode(&[0xF7, 0xEB]).unwrap();
+        assert_eq!(d.opcode, Opcode::Imul);
+        // F7 E3 = MUL ebx (/4) — same family.
+        let d = decode(&[0xF7, 0xE3]).unwrap();
+        assert_eq!(d.opcode, Opcode::Imul);
+        // F7 D8 = NEG eax (/3): not faultable.
+        assert_eq!(decode(&[0xF7, 0xD8]), Err(DecodeError::NotFaultable));
+    }
+
+    #[test]
+    fn rex_extends_registers() {
+        // 66 45 0F EF C9 = PXOR xmm9, xmm9 (REX.R + REX.B)
+        let d = decode(&[0x66, 0x45, 0x0F, 0xEF, 0xC9]).unwrap();
+        assert_eq!(d.opcode, Opcode::Vxor);
+        assert_eq!(d.reg, 9);
+        assert_eq!(d.rm_reg, Some(9));
+    }
+
+    #[test]
+    fn memory_operands_consume_addressing_bytes() {
+        // 66 0F 38 DC 04 24 = AESENC xmm0, [rsp] (SIB, no disp)
+        let d = decode(&[0x66, 0x0F, 0x38, 0xDC, 0x04, 0x24]).unwrap();
+        assert_eq!(d.length, 6);
+        assert_eq!(d.rm_reg, None);
+        // 66 0F EF 45 10 = PXOR xmm0, [rbp+0x10] (disp8)
+        let d = decode(&[0x66, 0x0F, 0xEF, 0x45, 0x10]).unwrap();
+        assert_eq!(d.length, 5);
+        // 66 0F EF 80 00 01 00 00 = PXOR xmm0, [rax+0x100] (disp32)
+        let d = decode(&[0x66, 0x0F, 0xEF, 0x80, 0x00, 0x01, 0x00, 0x00]).unwrap();
+        assert_eq!(d.length, 8);
+        // RIP-relative: 66 0F EF 05 xx xx xx xx
+        let d = decode(&[0x66, 0x0F, 0xEF, 0x05, 1, 2, 3, 4]).unwrap();
+        assert_eq!(d.length, 8);
+    }
+
+    #[test]
+    fn vex_pp_must_select_the_66_class() {
+        // C5 F4 EB C2 would be VEX.pp=00 (no 66): a different instruction
+        // family, not the faultable VPOR.
+        assert_eq!(decode(&[0xC5, 0xF4, 0xEB, 0xC2]), Err(DecodeError::Unknown));
+        // pp=01 (C5 F5 ...) decodes.
+        assert!(decode(&[0xC5, 0xF5, 0xEB, 0xC2]).is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_and_truncated() {
+        assert_eq!(decode(&[0x90]), Err(DecodeError::Unknown)); // NOP
+        assert_eq!(decode(&[0x0F, 0x05]), Err(DecodeError::Unknown)); // SYSCALL
+        assert_eq!(decode(&[0x66, 0x0F, 0x38]), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated));
+        // MMX POR (no 66 prefix) is not the XMM faultable.
+        assert_eq!(decode(&[0x0F, 0xEB, 0xC1]), Err(DecodeError::NotFaultable));
+    }
+
+    #[test]
+    fn every_table1_family_has_a_decodable_encoding() {
+        let cases: &[(&[u8], Opcode)] = &[
+            (&[0x0F, 0xAF, 0xC1], Opcode::Imul),
+            (&[0x66, 0x0F, 0xEB, 0xC1], Opcode::Vor),
+            (&[0x66, 0x0F, 0x38, 0xDC, 0xC1], Opcode::Aesenc),
+            (&[0x66, 0x0F, 0xEF, 0xC1], Opcode::Vxor),
+            (&[0x66, 0x0F, 0xDF, 0xC1], Opcode::Vandn),
+            (&[0x66, 0x0F, 0xDB, 0xC1], Opcode::Vand),
+            (&[0x66, 0x0F, 0x51, 0xC1], Opcode::Vsqrtpd),
+            (&[0x66, 0x0F, 0x3A, 0x44, 0xC1, 0x00], Opcode::Vpclmulqdq),
+            (&[0x66, 0x0F, 0xE2, 0xC1], Opcode::Vpsrad),
+            (&[0x66, 0x0F, 0x76, 0xC1], Opcode::Vpcmp),
+            (&[0x66, 0x0F, 0x38, 0x3D, 0xC1], Opcode::Vpmax),
+            (&[0x66, 0x0F, 0xD4, 0xC1], Opcode::Vpaddq),
+        ];
+        for (bytes, expect) in cases {
+            let d = decode(bytes).unwrap_or_else(|e| panic!("{expect}: {e}"));
+            assert_eq!(d.opcode, *expect);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # suit-isa
+//!
+//! Shared x86-64 instruction model for the SUIT reproduction.
+//!
+//! This crate defines the vocabulary used by every other crate in the
+//! workspace:
+//!
+//! * [`Opcode`] — the instruction opcodes SUIT cares about, including the
+//!   full *faultable set* of the paper's Table 1 (instructions observed to
+//!   produce silent data errors when undervolted) plus the common
+//!   non-faultable instruction classes needed to model whole programs.
+//! * [`FaultableSet`] — the set of opcodes the operating system disables
+//!   while the CPU runs on the efficient DVFS curve (§3.3 of the paper).
+//! * [`Vec128`] — a 128-bit SIMD value with typed lane views, used by the
+//!   emulation library and the fault model.
+//! * [`SimTime`] / [`SimDuration`] — picosecond-resolution simulation time,
+//!   shared by the hardware models and both simulators.
+//! * [`Inst`] — a decoded instruction descriptor consumed by the
+//!   out-of-order core model and the trace-driven simulator.
+//! * [`mod@decode`] — an x86-64 byte decoder for the faultable-set encodings
+//!   (legacy SSE and VEX), what a real `#DO` handler runs at the faulting
+//!   RIP.
+//!
+//! The crate is dependency-free and forbids `unsafe`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decode;
+pub mod inst;
+pub mod opcode;
+pub mod time;
+pub mod vec;
+
+pub use decode::{decode, AesVariant, DecodeError, Decoded};
+pub use inst::{Inst, InstKind};
+pub use opcode::{FaultableSet, Opcode, OpcodeClass, TABLE1};
+pub use time::{SimDuration, SimTime};
+pub use vec::Vec128;

@@ -1,0 +1,267 @@
+//! A 128-bit SIMD value with typed lane views.
+//!
+//! [`Vec128`] is the data type the emulation library (`suit-emu`) operates
+//! on: the OS emulation handlers of §3.4 replace a disabled SIMD or AES
+//! instruction with scalar code over this value. It is stored as a single
+//! little-endian `u128`, matching x86 XMM register layout, with accessors
+//! for the 64/32/16/8-bit lane interpretations.
+
+use core::fmt;
+use core::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A 128-bit value with x86 XMM lane semantics (little-endian lane order:
+/// lane 0 is the least significant).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Vec128(u128);
+
+impl Vec128 {
+    /// The all-zeros vector.
+    pub const ZERO: Vec128 = Vec128(0);
+    /// The all-ones vector.
+    pub const ONES: Vec128 = Vec128(u128::MAX);
+
+    /// Creates a vector from a raw `u128` (lane 0 in the low bits).
+    #[inline]
+    pub const fn from_u128(v: u128) -> Self {
+        Vec128(v)
+    }
+
+    /// The raw `u128` representation.
+    #[inline]
+    pub const fn as_u128(self) -> u128 {
+        self.0
+    }
+
+    /// Creates a vector from two `u64` lanes (`lanes[0]` is least
+    /// significant, like `_mm_set_epi64x(hi, lo)` reversed).
+    #[inline]
+    pub const fn from_u64x2(lanes: [u64; 2]) -> Self {
+        Vec128((lanes[1] as u128) << 64 | lanes[0] as u128)
+    }
+
+    /// The two `u64` lanes, least significant first.
+    #[inline]
+    pub const fn to_u64x2(self) -> [u64; 2] {
+        [self.0 as u64, (self.0 >> 64) as u64]
+    }
+
+    /// Creates a vector from four `u32` lanes, least significant first.
+    pub const fn from_u32x4(lanes: [u32; 4]) -> Self {
+        let mut v: u128 = 0;
+        let mut i = 0;
+        while i < 4 {
+            v |= (lanes[i] as u128) << (32 * i);
+            i += 1;
+        }
+        Vec128(v)
+    }
+
+    /// The four `u32` lanes, least significant first.
+    pub const fn to_u32x4(self) -> [u32; 4] {
+        [
+            self.0 as u32,
+            (self.0 >> 32) as u32,
+            (self.0 >> 64) as u32,
+            (self.0 >> 96) as u32,
+        ]
+    }
+
+    /// Creates a vector from eight `u16` lanes, least significant first.
+    pub const fn from_u16x8(lanes: [u16; 8]) -> Self {
+        let mut v: u128 = 0;
+        let mut i = 0;
+        while i < 8 {
+            v |= (lanes[i] as u128) << (16 * i);
+            i += 1;
+        }
+        Vec128(v)
+    }
+
+    /// The eight `u16` lanes, least significant first.
+    pub const fn to_u16x8(self) -> [u16; 8] {
+        let mut out = [0u16; 8];
+        let mut i = 0;
+        while i < 8 {
+            out[i] = (self.0 >> (16 * i)) as u16;
+            i += 1;
+        }
+        out
+    }
+
+    /// Creates a vector from sixteen bytes, least significant first
+    /// (i.e. `bytes[0]` is the lowest-addressed byte of an XMM register in
+    /// memory).
+    pub const fn from_bytes(bytes: [u8; 16]) -> Self {
+        Vec128(u128::from_le_bytes(bytes))
+    }
+
+    /// The sixteen bytes, least significant first.
+    pub const fn to_bytes(self) -> [u8; 16] {
+        self.0.to_le_bytes()
+    }
+
+    /// Creates a vector from two `f64` lanes, least significant first
+    /// (the `VSQRTPD` operand layout).
+    pub fn from_f64x2(lanes: [f64; 2]) -> Self {
+        Self::from_u64x2([lanes[0].to_bits(), lanes[1].to_bits()])
+    }
+
+    /// The two `f64` lanes, least significant first.
+    pub fn to_f64x2(self) -> [f64; 2] {
+        let [a, b] = self.to_u64x2();
+        [f64::from_bits(a), f64::from_bits(b)]
+    }
+
+    /// Creates a vector from four `i32` lanes, least significant first
+    /// (the `VPSRAD`/`VPCMPGTD` operand layout).
+    pub const fn from_i32x4(lanes: [i32; 4]) -> Self {
+        Self::from_u32x4([
+            lanes[0] as u32,
+            lanes[1] as u32,
+            lanes[2] as u32,
+            lanes[3] as u32,
+        ])
+    }
+
+    /// The four `i32` lanes, least significant first.
+    pub const fn to_i32x4(self) -> [i32; 4] {
+        let l = self.to_u32x4();
+        [l[0] as i32, l[1] as i32, l[2] as i32, l[3] as i32]
+    }
+
+    /// Bit `i` (0 = least significant) as a bool.
+    #[inline]
+    pub const fn bit(self, i: u32) -> bool {
+        assert!(i < 128);
+        (self.0 >> i) & 1 == 1
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub const fn count_ones(self) -> u32 {
+        self.0.count_ones()
+    }
+}
+
+impl BitAnd for Vec128 {
+    type Output = Vec128;
+    #[inline]
+    fn bitand(self, rhs: Vec128) -> Vec128 {
+        Vec128(self.0 & rhs.0)
+    }
+}
+
+impl BitOr for Vec128 {
+    type Output = Vec128;
+    #[inline]
+    fn bitor(self, rhs: Vec128) -> Vec128 {
+        Vec128(self.0 | rhs.0)
+    }
+}
+
+impl BitXor for Vec128 {
+    type Output = Vec128;
+    #[inline]
+    fn bitxor(self, rhs: Vec128) -> Vec128 {
+        Vec128(self.0 ^ rhs.0)
+    }
+}
+
+impl Not for Vec128 {
+    type Output = Vec128;
+    #[inline]
+    fn not(self) -> Vec128 {
+        Vec128(!self.0)
+    }
+}
+
+impl fmt::Debug for Vec128 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vec128(0x{:032x})", self.0)
+    }
+}
+
+impl fmt::Display for Vec128 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [lo, hi] = self.to_u64x2();
+        write!(f, "{hi:016x}:{lo:016x}")
+    }
+}
+
+impl From<u128> for Vec128 {
+    fn from(v: u128) -> Self {
+        Vec128(v)
+    }
+}
+
+impl From<Vec128> for u128 {
+    fn from(v: Vec128) -> u128 {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_lane_order_is_little_endian() {
+        let v = Vec128::from_u64x2([0x1111, 0x2222]);
+        assert_eq!(v.as_u128(), 0x2222_u128 << 64 | 0x1111);
+        assert_eq!(v.to_u64x2(), [0x1111, 0x2222]);
+    }
+
+    #[test]
+    fn u32_lanes_roundtrip() {
+        let lanes = [1u32, 2, 3, 4];
+        assert_eq!(Vec128::from_u32x4(lanes).to_u32x4(), lanes);
+    }
+
+    #[test]
+    fn u16_lanes_roundtrip() {
+        let lanes = [1u16, 2, 3, 4, 5, 6, 7, 8];
+        assert_eq!(Vec128::from_u16x8(lanes).to_u16x8(), lanes);
+    }
+
+    #[test]
+    fn byte_order_matches_u128_le() {
+        let mut bytes = [0u8; 16];
+        bytes[0] = 0xAA;
+        bytes[15] = 0xBB;
+        let v = Vec128::from_bytes(bytes);
+        assert_eq!(v.as_u128() & 0xFF, 0xAA);
+        assert_eq!(v.as_u128() >> 120, 0xBB);
+        assert_eq!(v.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn f64_lanes_roundtrip() {
+        let v = Vec128::from_f64x2([1.5, -2.25]);
+        assert_eq!(v.to_f64x2(), [1.5, -2.25]);
+    }
+
+    #[test]
+    fn i32_lanes_preserve_sign() {
+        let lanes = [-1, i32::MIN, 0, i32::MAX];
+        assert_eq!(Vec128::from_i32x4(lanes).to_i32x4(), lanes);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let a = Vec128::from_u64x2([0xF0F0, 0x0F0F]);
+        let b = Vec128::from_u64x2([0xFF00, 0x00FF]);
+        assert_eq!((a & b).to_u64x2(), [0xF000, 0x000F]);
+        assert_eq!((a | b).to_u64x2(), [0xFFF0, 0x0FFF]);
+        assert_eq!((a ^ b).to_u64x2(), [0x0FF0, 0x0FF0]);
+        assert_eq!(!Vec128::ZERO, Vec128::ONES);
+    }
+
+    #[test]
+    fn bit_access() {
+        let v = Vec128::from_u128(1 << 127 | 1);
+        assert!(v.bit(0));
+        assert!(v.bit(127));
+        assert!(!v.bit(64));
+        assert_eq!(v.count_ones(), 2);
+    }
+}

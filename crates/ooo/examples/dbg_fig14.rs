@@ -1,0 +1,19 @@
+use suit_ooo::config::O3Config;
+use suit_ooo::core::O3Core;
+use suit_ooo::workload::{by_name, UopStream};
+
+fn main() {
+    let p = by_name("525.x264").unwrap();
+    for lat in [3u32, 4, 30] {
+        let mut core = O3Core::new(O3Config::with_imul_latency(lat));
+        let s = core.run(UopStream::new(p.clone(), 0xf16), 400_000);
+        println!("global lat {lat}: ipc {:.3} cycles {}", s.ipc(), s.cycles);
+    }
+    let mut k = p.clone();
+    k.imul_phase_frac = 0.97;
+    for lat in [3u32, 4, 30] {
+        let mut core = O3Core::new(O3Config::with_imul_latency(lat));
+        let s = core.run(UopStream::new(k.clone(), 0xf16), 400_000);
+        println!("kernel lat {lat}: ipc {:.3} cycles {}", s.ipc(), s.cycles);
+    }
+}

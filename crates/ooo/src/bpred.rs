@@ -1,0 +1,108 @@
+//! Gshare branch predictor with 2-bit saturating counters.
+
+/// A gshare predictor: global-history XOR PC indexes a table of 2-bit
+/// counters.
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    counters: Vec<u8>,
+    history: u64,
+    mask: u64,
+    lookups: u64,
+    mispredicts: u64,
+}
+
+impl Gshare {
+    /// Creates a predictor with `2^bits` counters.
+    pub fn new(bits: u32) -> Self {
+        assert!((4..=24).contains(&bits), "table size out of range");
+        Gshare {
+            counters: vec![2; 1 << bits], // weakly taken
+            history: 0,
+            mask: (1u64 << bits) - 1,
+            lookups: 0,
+            mispredicts: 0,
+        }
+    }
+
+    /// Predicts and trains on the branch at `pc` with the actual `taken`
+    /// outcome; returns `true` if the prediction was correct.
+    pub fn predict_and_train(&mut self, pc: u64, taken: bool) -> bool {
+        self.lookups += 1;
+        let idx = ((pc >> 2) ^ self.history) & self.mask;
+        let ctr = &mut self.counters[idx as usize];
+        let predicted_taken = *ctr >= 2;
+        // Train.
+        if taken {
+            *ctr = (*ctr + 1).min(3);
+        } else {
+            *ctr = ctr.saturating_sub(1);
+        }
+        self.history = ((self.history << 1) | u64::from(taken)) & self.mask;
+        let correct = predicted_taken == taken;
+        if !correct {
+            self.mispredicts += 1;
+        }
+        correct
+    }
+
+    /// Mispredict ratio so far.
+    pub fn mispredict_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn learns_an_always_taken_branch() {
+        let mut p = Gshare::new(12);
+        let mut wrong = 0;
+        for _ in 0..1000 {
+            if !p.predict_and_train(0x400100, true) {
+                wrong += 1;
+            }
+        }
+        assert!(wrong <= 2, "{wrong} mispredicts on a monotone branch");
+    }
+
+    #[test]
+    fn learns_an_alternating_pattern_through_history() {
+        let mut p = Gshare::new(12);
+        for i in 0..2000u64 {
+            p.predict_and_train(0x400200, i % 2 == 0);
+        }
+        // After warm-up, gshare's history disambiguates the alternation.
+        let mut wrong = 0;
+        for i in 2000..3000u64 {
+            if !p.predict_and_train(0x400200, i % 2 == 0) {
+                wrong += 1;
+            }
+        }
+        assert!(wrong < 50, "{wrong} mispredicts on a learnable pattern");
+    }
+
+    #[test]
+    fn random_branches_mispredict_half_the_time() {
+        let mut p = Gshare::new(12);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20_000 {
+            p.predict_and_train(rng.gen::<u64>() & 0xfffc, rng.gen());
+        }
+        let r = p.mispredict_ratio();
+        assert!((0.40..0.60).contains(&r), "ratio {r:.3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_huge_tables() {
+        let _ = Gshare::new(40);
+    }
+}

@@ -1,0 +1,223 @@
+//! Machine configuration — the Table 5 gem5 system.
+
+use suit_isa::{Opcode, OpcodeClass};
+
+/// Functional-unit port classes of the backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Port {
+    /// Simple integer ALU (two ports).
+    Alu0,
+    /// Second ALU port.
+    Alu1,
+    /// Integer multiply/divide pipe.
+    Mul,
+    /// SIMD / FP pipe.
+    Vec,
+    /// Load port.
+    Load,
+    /// Store port.
+    Store,
+    /// Branch port.
+    Branch,
+}
+
+impl Port {
+    /// All ports, for iteration.
+    pub const ALL: [Port; 7] =
+        [Port::Alu0, Port::Alu1, Port::Mul, Port::Vec, Port::Load, Port::Store, Port::Branch];
+
+    /// Dense index.
+    pub fn index(self) -> usize {
+        match self {
+            Port::Alu0 => 0,
+            Port::Alu1 => 1,
+            Port::Mul => 2,
+            Port::Vec => 3,
+            Port::Load => 4,
+            Port::Store => 5,
+            Port::Branch => 6,
+        }
+    }
+}
+
+/// The out-of-order machine description (paper Table 5: x86-64 O3 CPU at
+/// 3 GHz, full-system gem5, 64 kB L1I, 32 kB L1D, 2 MB LLC, DDR4-2400).
+#[derive(Debug, Clone, PartialEq)]
+pub struct O3Config {
+    /// Core clock, GHz (Table 5: 3 GHz).
+    pub freq_ghz: f64,
+    /// Dispatch/retire width, instructions per cycle.
+    pub width: u32,
+    /// Reorder-buffer capacity.
+    pub rob_size: usize,
+    /// IMUL latency in cycles — *the* experimental knob (§6.1). Stock
+    /// CPUs use 3; SUIT hardens to 4; the sweep goes to 30.
+    pub imul_latency: u32,
+    /// Scalar ALU latency.
+    pub alu_latency: u32,
+    /// Integer divide latency (unpipelined).
+    pub div_latency: u32,
+    /// Scalar FP latency.
+    pub fp_latency: u32,
+    /// SIMD latency.
+    pub simd_latency: u32,
+    /// L1D hit latency, cycles.
+    pub l1d_latency: u32,
+    /// L2/LLC hit latency, cycles.
+    pub llc_latency: u32,
+    /// DRAM access latency, cycles (DDR4-2400 ≈ 60 ns at 3 GHz).
+    pub dram_latency: u32,
+    /// L1D size in bytes (Table 5: 32 kB).
+    pub l1d_bytes: usize,
+    /// LLC size in bytes (Table 5: 2 MB).
+    pub llc_bytes: usize,
+    /// Branch mispredict redirect penalty, cycles.
+    pub mispredict_penalty: u32,
+    /// Enable the L1D stride prefetcher (gem5 attaches one by default).
+    pub prefetcher: bool,
+}
+
+impl Default for O3Config {
+    fn default() -> Self {
+        O3Config {
+            freq_ghz: 3.0,
+            width: 4,
+            rob_size: 192,
+            imul_latency: 3,
+            alu_latency: 1,
+            div_latency: 20,
+            fp_latency: 4,
+            simd_latency: 3,
+            l1d_latency: 4,
+            llc_latency: 30,
+            dram_latency: 180,
+            l1d_bytes: 32 * 1024,
+            llc_bytes: 2 * 1024 * 1024,
+            mispredict_penalty: 14,
+            prefetcher: true,
+        }
+    }
+}
+
+impl O3Config {
+    /// The Table 5 system with a given IMUL latency.
+    pub fn with_imul_latency(imul_latency: u32) -> Self {
+        assert!(imul_latency >= 1, "latency must be at least one cycle");
+        O3Config { imul_latency, ..O3Config::default() }
+    }
+
+    /// Execution latency for an opcode.
+    pub fn latency(&self, op: Opcode) -> u32 {
+        match op {
+            Opcode::Imul => self.imul_latency,
+            Opcode::Div => self.div_latency,
+            Opcode::Fp => self.fp_latency,
+            Opcode::Vsqrtpd => 15,
+            op if op.class() == OpcodeClass::Simd => self.simd_latency,
+            Opcode::Aesenc => 4,
+            Opcode::Branch => 1,
+            // Loads get their latency from the cache model; this is the
+            // address-generation part.
+            Opcode::Load | Opcode::Store => 1,
+            _ => self.alu_latency,
+        }
+    }
+
+    /// Issue port for an opcode. The second ALU port is chosen dynamically
+    /// by the core; this returns the primary port.
+    pub fn port(&self, op: Opcode) -> Port {
+        match op {
+            Opcode::Imul | Opcode::Div => Port::Mul,
+            Opcode::Load => Port::Load,
+            Opcode::Store => Port::Store,
+            Opcode::Branch => Port::Branch,
+            Opcode::Fp | Opcode::Aesenc => Port::Vec,
+            op if op.class() == OpcodeClass::Simd => Port::Vec,
+            _ => Port::Alu0,
+        }
+    }
+
+    /// Issue initiation interval on the port (1 = fully pipelined). The
+    /// multiplier stays fully pipelined at *any* latency — §4.2: "while
+    /// the latency is 3 cycles, already after the first cycle, another
+    /// input can be pushed into the IMUL pipeline".
+    pub fn initiation_interval(&self, op: Opcode) -> u32 {
+        match op {
+            Opcode::Div => self.div_latency, // unpipelined
+            Opcode::Vsqrtpd => 8,
+            _ => 1,
+        }
+    }
+
+    /// Renders the configuration as the paper's Table 5 rows.
+    pub fn table5(&self) -> Vec<(String, String)> {
+        vec![
+            (
+                "CPU".into(),
+                format!(
+                    "x86-64, 2 Core, {} GHz, O3 (Out-Of-Order) CPU",
+                    self.freq_ghz
+                ),
+            ),
+            ("DRAM".into(), "2 Channel, 3 GB DDR4_2400_8x8".into()),
+            (
+                "Cache".into(),
+                format!(
+                    "64 kB L1I, {} kB L1D, {} MB LLC",
+                    self.l1d_bytes / 1024,
+                    self.llc_bytes / (1024 * 1024)
+                ),
+            ),
+            ("gem5 Mode".into(), "Full System".into()),
+            ("OS".into(), "Ubuntu 20.04.1 with Linux kernel v5.19.0".into()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_imul_is_three_cycles() {
+        let c = O3Config::default();
+        assert_eq!(c.latency(Opcode::Imul), 3);
+        assert_eq!(c.initiation_interval(Opcode::Imul), 1, "fully pipelined");
+    }
+
+    #[test]
+    fn suit_hardening_adds_one_cycle() {
+        let c = O3Config::with_imul_latency(4);
+        assert_eq!(c.latency(Opcode::Imul), 4);
+        // Throughput is unchanged (§4.2).
+        assert_eq!(c.initiation_interval(Opcode::Imul), 1);
+        // Nothing else moves.
+        assert_eq!(c.latency(Opcode::Alu), 1);
+        assert_eq!(c.latency(Opcode::Fp), 4);
+    }
+
+    #[test]
+    fn table5_matches_paper_rows() {
+        let rows = O3Config::default().table5();
+        assert_eq!(rows.len(), 5);
+        assert!(rows[0].1.contains("3 GHz"));
+        assert!(rows[2].1.contains("32 kB L1D"));
+        assert!(rows[2].1.contains("2 MB LLC"));
+        assert!(rows[4].1.contains("v5.19.0"));
+    }
+
+    #[test]
+    fn ports_route_sensibly() {
+        let c = O3Config::default();
+        assert_eq!(c.port(Opcode::Imul), Port::Mul);
+        assert_eq!(c.port(Opcode::Load), Port::Load);
+        assert_eq!(c.port(Opcode::Vxor), Port::Vec);
+        assert_eq!(c.port(Opcode::Alu), Port::Alu0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_zero_latency() {
+        let _ = O3Config::with_imul_latency(0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # suit-sim
+//!
+//! The event-based, trace-driven system simulator of the SUIT paper's
+//! Fig. 15: a CPU model (from `suit-hw`) executing an instruction stream
+//! (from `suit-trace`) under an operating strategy (from `suit-core`).
+//!
+//! The simulator advances time between *events* — faultable-instruction
+//! executions, deadline-timer expiries, and asynchronous p-state arrivals —
+//! and integrates instruction progress and relative package power over the
+//! operating points `E`, `C_f` and `C_V` (Fig. 4), charging the measured
+//! §5.2/§5.3 delays at every transition. Dense bursts are handled in
+//! per-event steps but generated lazily, so multi-second virtual traces
+//! with millions of faultable instructions simulate in milliseconds.
+//!
+//! * [`engine`] — the discrete-event core for the curve-switching
+//!   strategies (𝑓, 𝑉, 𝑓𝑉), including multi-core runs sharing one DVFS
+//!   domain (CPU 𝒜).
+//! * [`analytic`] — closed-form evaluation of the *emulation* and
+//!   *no-SIMD* modes, which never switch curves (§6.2's methodology:
+//!   no-SIMD recompile overhead plus one emulation-call delay per disabled
+//!   instruction).
+//! * [`result`] — run results: performance / power / efficiency deltas and
+//!   efficient-curve residency.
+//! * [`experiment`] — the Table 6 / Fig. 16 harness: every (CPU, cores,
+//!   strategy, offset) × workload combination, with SPEC aggregation.
+//! * [`timeline`] — p-state timelines for Figs. 5 and 6.
+//! * [`montecarlo`] — distributional re-runs with sampled transition
+//!   delays and trace seeds (the error bars around the point estimates).
+//! * [`thermal_loop`] — the governor, thermal RC model and simulator
+//!   coupled into a closed control loop (the operational form of the
+//!   §3.1/§5.7 temperature budgets).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod engine;
+pub mod experiment;
+pub mod montecarlo;
+pub mod result;
+pub mod thermal_loop;
+pub mod timeline;
+
+pub use engine::{simulate, SimConfig};
+pub use result::RunResult;

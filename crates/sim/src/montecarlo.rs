@@ -1,0 +1,191 @@
+//! Monte-Carlo simulation: sampled delays and trace randomness.
+//!
+//! The deterministic engine charges the *mean* measured delays, as the
+//! paper's simulator does. Real transitions jitter (Fig. 8's 20-rep
+//! scatter; the 7700X's σ = 292 µs!), and synthetic traces are one draw
+//! from the burst process. This module re-runs a configuration with
+//! per-run sampled [`suit_hw::TransitionDelays`] and trace seeds and reports the
+//! resulting distributions — the error bars the single numbers live in.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use suit_hw::CpuModel;
+use suit_trace::WorkloadProfile;
+
+use crate::engine::{simulate, SimConfig};
+
+/// Summary statistics of one metric across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distribution {
+    /// Per-run values, sorted ascending.
+    pub values: Vec<f64>,
+}
+
+impl Distribution {
+    fn from(mut values: Vec<f64>) -> Self {
+        assert!(!values.is_empty());
+        values.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Distribution { values }
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Sample standard deviation.
+    pub fn std(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (n - 1) as f64).sqrt()
+    }
+
+    /// Linear-interpolated percentile (`p` in [0, 100]).
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p));
+        let n = self.values.len();
+        if n == 1 {
+            return self.values[0];
+        }
+        let rank = p / 100.0 * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.values[lo] * (1.0 - frac) + self.values[hi] * frac
+    }
+
+    /// Minimum observed value.
+    pub fn min(&self) -> f64 {
+        self.values[0]
+    }
+
+    /// Maximum observed value.
+    pub fn max(&self) -> f64 {
+        *self.values.last().expect("non-empty")
+    }
+}
+
+/// Distributions of the headline metrics across Monte-Carlo runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McSummary {
+    /// Performance deltas.
+    pub perf: Distribution,
+    /// Power deltas.
+    pub power: Distribution,
+    /// Efficiency deltas.
+    pub eff: Distribution,
+    /// Efficient-curve residencies.
+    pub residency: Distribution,
+}
+
+/// Runs `runs` simulations of (`cpu`, `profile`, `cfg`), each with freshly
+/// sampled transition delays and a distinct trace seed.
+///
+/// # Panics
+///
+/// Panics if `runs` is zero.
+pub fn monte_carlo(
+    cpu: &CpuModel,
+    profile: &WorkloadProfile,
+    cfg: &SimConfig,
+    runs: usize,
+) -> McSummary {
+    assert!(runs >= 1, "need at least one run");
+    let mut perf = Vec::with_capacity(runs);
+    let mut power = Vec::with_capacity(runs);
+    let mut eff = Vec::with_capacity(runs);
+    let mut residency = Vec::with_capacity(runs);
+
+    for i in 0..runs {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)));
+        let mut cpu_i = cpu.clone();
+        // Sample this run's realised transition delays around the measured
+        // means (Figs. 8–11 spreads).
+        cpu_i.delays.freq_change_us =
+            cpu.delays.sample_freq_change(&mut rng).as_micros_f64();
+        cpu_i.delays.volt_change_us =
+            cpu.delays.sample_volt_change(&mut rng).as_micros_f64();
+        // The stall tracks the realised change on stalling parts.
+        if cpu.delays.freq_stall_us > 0.0 {
+            cpu_i.delays.freq_stall_us =
+                cpu_i.delays.freq_change_us.min(cpu.delays.freq_stall_us);
+        }
+
+        let mut cfg_i = cfg.clone();
+        cfg_i.seed = cfg.seed.wrapping_add(i as u64 * 7919);
+        let r = simulate(&cpu_i, profile, &cfg_i);
+        perf.push(r.perf());
+        power.push(r.power());
+        eff.push(r.efficiency());
+        residency.push(r.residency());
+    }
+
+    McSummary {
+        perf: Distribution::from(perf),
+        power: Distribution::from(power),
+        eff: Distribution::from(eff),
+        residency: Distribution::from(residency),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suit_hw::UndervoltLevel;
+    use suit_trace::profile;
+
+    fn setup() -> (CpuModel, &'static WorkloadProfile, SimConfig) {
+        (
+            CpuModel::xeon_4208(),
+            profile::by_name("502.gcc").unwrap(),
+            SimConfig::fv_intel(UndervoltLevel::Mv97).with_max_insts(400_000_000),
+        )
+    }
+
+    #[test]
+    fn distribution_statistics() {
+        let d = Distribution::from(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(d.values, vec![1.0, 2.0, 3.0, 4.0]);
+        assert!((d.mean() - 2.5).abs() < 1e-12);
+        assert!((d.percentile(0.0) - 1.0).abs() < 1e-12);
+        assert!((d.percentile(100.0) - 4.0).abs() < 1e-12);
+        assert!((d.percentile(50.0) - 2.5).abs() < 1e-12);
+        assert!(d.std() > 1.0 && d.std() < 1.5);
+        assert_eq!(d.min(), 1.0);
+        assert_eq!(d.max(), 4.0);
+    }
+
+    #[test]
+    fn monte_carlo_spreads_around_the_deterministic_run() {
+        let (cpu, p, cfg) = setup();
+        let det = simulate(&cpu, p, &cfg);
+        let mc = monte_carlo(&cpu, p, &cfg, 12);
+        // The deterministic mean-delay run sits inside the MC envelope.
+        assert!(det.efficiency() >= mc.eff.min() - 0.01, "{}", det.efficiency());
+        assert!(det.efficiency() <= mc.eff.max() + 0.01);
+        // Seeds & sampled delays must actually produce spread.
+        assert!(mc.eff.std() > 0.0);
+        assert!(mc.residency.std() > 0.0);
+        // But SUIT's result is robust: the envelope is tight (the paper's
+        // flat-parameter observation, §6.4).
+        assert!(mc.eff.max() - mc.eff.min() < 0.06, "{:?}", mc.eff);
+    }
+
+    #[test]
+    fn monte_carlo_is_reproducible() {
+        let (cpu, p, cfg) = setup();
+        let a = monte_carlo(&cpu, p, &cfg, 5);
+        let b = monte_carlo(&cpu, p, &cfg, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn rejects_zero_runs() {
+        let (cpu, p, cfg) = setup();
+        let _ = monte_carlo(&cpu, p, &cfg, 0);
+    }
+}

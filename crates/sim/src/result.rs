@@ -1,0 +1,224 @@
+//! Simulation results and derived metrics.
+
+use suit_isa::SimDuration;
+
+/// The outcome of simulating one workload under one configuration.
+///
+/// All relative metrics are against the *baseline*: the same CPU without
+/// SUIT, running the whole workload on the conservative curve at nominal
+/// voltage (operating point `C_V`, relative performance and power 1.0).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: String,
+    /// Simulated wall-clock duration with SUIT.
+    pub duration: SimDuration,
+    /// Baseline duration (conservative curve, no SUIT, 3-cycle IMUL).
+    pub baseline_duration: SimDuration,
+    /// Integrated relative package power (relative-power × seconds); the
+    /// baseline integrates 1.0 over `baseline_duration`.
+    pub energy_rel: f64,
+    /// Time spent on the efficient curve.
+    pub time_e: SimDuration,
+    /// Time spent at the conservative-by-frequency point.
+    pub time_cf: SimDuration,
+    /// Time spent at the conservative-by-voltage point.
+    pub time_cv: SimDuration,
+    /// Time lost to stalls (curve-switch waits, exception entries).
+    pub time_stall: SimDuration,
+    /// Faultable instructions executed (or emulated).
+    pub events: u64,
+    /// `#DO` exceptions taken.
+    pub exceptions: u64,
+    /// Deadline-timer interrupts.
+    pub timer_fires: u64,
+    /// Exceptions handled while thrashing prevention was active.
+    pub thrash_hits: u64,
+}
+
+impl RunResult {
+    /// Performance change vs. baseline (+0.01 = 1 % faster; the paper's
+    /// "Perf." rows of Table 6).
+    pub fn perf(&self) -> f64 {
+        self.baseline_duration.as_secs_f64() / self.duration.as_secs_f64() - 1.0
+    }
+
+    /// Mean package-power change vs. baseline (the "Pwr" rows).
+    pub fn power(&self) -> f64 {
+        self.energy_rel / self.duration.as_secs_f64() - 1.0
+    }
+
+    /// Efficiency change (the "Eff." rows): `(1 + perf) / (1 + power) − 1`,
+    /// i.e. one over the change in duration times the change in power
+    /// (§5.4).
+    pub fn efficiency(&self) -> f64 {
+        (1.0 + self.perf()) / (1.0 + self.power()) - 1.0
+    }
+
+    /// Fraction of the run spent on the efficient DVFS curve (§6.4's
+    /// residency metric; 72.7 % on SPEC average in the paper).
+    pub fn residency(&self) -> f64 {
+        self.time_e.as_secs_f64() / self.duration.as_secs_f64()
+    }
+
+    /// Total energy change vs. baseline: `(1 + power) · (1 + Δduration) − 1`
+    /// — what the electricity bill sees.
+    pub fn energy(&self) -> f64 {
+        self.energy_rel / self.baseline_duration.as_secs_f64() - 1.0
+    }
+
+    /// Energy-delay-product change vs. baseline (the DVFS literature's
+    /// fused metric; negative is better).
+    pub fn edp(&self) -> f64 {
+        let d = self.duration.as_secs_f64() / self.baseline_duration.as_secs_f64();
+        (1.0 + self.energy()) * d - 1.0
+    }
+}
+
+/// Aggregates over a set of per-workload results (the SPECgmean /
+/// SPECmedian columns of Table 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregate {
+    /// Geometric-mean performance change.
+    pub perf_gmean: f64,
+    /// Median performance change.
+    pub perf_median: f64,
+    /// Geometric-mean power change.
+    pub power_gmean: f64,
+    /// Median power change.
+    pub power_median: f64,
+    /// Geometric-mean efficiency change.
+    pub eff_gmean: f64,
+    /// Median efficiency change.
+    pub eff_median: f64,
+    /// Mean efficient-curve residency.
+    pub residency_mean: f64,
+}
+
+impl Aggregate {
+    /// Computes the Table 6 aggregates over `results`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results` is empty.
+    pub fn over(results: &[RunResult]) -> Aggregate {
+        assert!(!results.is_empty(), "cannot aggregate zero results");
+        Aggregate {
+            perf_gmean: gmean_delta(results.iter().map(RunResult::perf)),
+            perf_median: median(results.iter().map(RunResult::perf)),
+            power_gmean: gmean_delta(results.iter().map(RunResult::power)),
+            power_median: median(results.iter().map(RunResult::power)),
+            eff_gmean: gmean_delta(results.iter().map(RunResult::efficiency)),
+            eff_median: median(results.iter().map(RunResult::efficiency)),
+            residency_mean: results.iter().map(RunResult::residency).sum::<f64>()
+                / results.len() as f64,
+        }
+    }
+}
+
+/// Geometric mean of `(1 + δ)` factors, returned as a delta.
+pub fn gmean_delta<I: Iterator<Item = f64>>(deltas: I) -> f64 {
+    let mut sum_ln = 0.0;
+    let mut n = 0usize;
+    for d in deltas {
+        assert!(d > -1.0, "delta {d} implies non-positive factor");
+        sum_ln += (1.0 + d).ln();
+        n += 1;
+    }
+    assert!(n > 0);
+    (sum_ln / n as f64).exp() - 1.0
+}
+
+/// Median of a sequence of deltas.
+pub fn median<I: Iterator<Item = f64>>(deltas: I) -> f64 {
+    let mut v: Vec<f64> = deltas.collect();
+    assert!(!v.is_empty());
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(perf: f64, power: f64, residency: f64) -> RunResult {
+        let base = SimDuration::from_millis(1000);
+        let duration = SimDuration::from_secs_f64(base.as_secs_f64() / (1.0 + perf));
+        RunResult {
+            workload: "test".into(),
+            duration,
+            baseline_duration: base,
+            energy_rel: (1.0 + power) * duration.as_secs_f64(),
+            time_e: SimDuration::from_secs_f64(duration.as_secs_f64() * residency),
+            time_cf: SimDuration::ZERO,
+            time_cv: SimDuration::ZERO,
+            time_stall: SimDuration::ZERO,
+            events: 0,
+            exceptions: 0,
+            timer_fires: 0,
+            thrash_hits: 0,
+        }
+    }
+
+    #[test]
+    fn metric_roundtrip() {
+        let r = result(0.02, -0.10, 0.8);
+        assert!((r.perf() - 0.02).abs() < 1e-9);
+        assert!((r.power() - (-0.10)).abs() < 1e-9);
+        assert!((r.efficiency() - (1.02 / 0.90 - 1.0)).abs() < 1e-9);
+        assert!((r.residency() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_and_edp_derive_consistently() {
+        // +2 % perf, −10 % power ⇒ energy = 0.90 / 1.02 − 1 ≈ −11.8 %,
+        // EDP = (1 + energy) / 1.02 − 1 ≈ −13.5 %.
+        let r = result(0.02, -0.10, 0.8);
+        let expect_energy = 0.90 / 1.02 - 1.0;
+        assert!((r.energy() - expect_energy).abs() < 1e-9, "{}", r.energy());
+        let expect_edp = (1.0 + expect_energy) / 1.02 - 1.0;
+        assert!((r.edp() - expect_edp).abs() < 1e-9, "{}", r.edp());
+        // EDP rewards the perf gain beyond raw energy.
+        assert!(r.edp() < r.energy());
+    }
+
+    #[test]
+    fn aggregate_median_and_gmean() {
+        let rs = vec![result(0.10, -0.1, 1.0), result(-0.50, -0.1, 0.0), result(0.0, -0.1, 0.5)];
+        let a = Aggregate::over(&rs);
+        assert!((a.perf_median - 0.0).abs() < 1e-12);
+        // gmean = (1.1 · 0.5 · 1.0)^(1/3) − 1.
+        let expect = (1.1f64 * 0.5 * 1.0).powf(1.0 / 3.0) - 1.0;
+        assert!((a.perf_gmean - expect).abs() < 1e-12);
+        assert!((a.residency_mean - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_even_count_averages() {
+        assert!((median([0.1, 0.3].into_iter()) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero results")]
+    fn aggregate_rejects_empty() {
+        let _ = Aggregate::over(&[]);
+    }
+
+    #[test]
+    fn gmean_is_dominated_by_large_losses() {
+        // The §6.6 phenomenon: a few −95 % benchmarks drag the geometric
+        // mean far below the median.
+        let mut rs = vec![result(-0.95, 0.0, 0.0), result(-0.95, 0.0, 0.0)];
+        for _ in 0..8 {
+            rs.push(result(0.02, 0.0, 1.0));
+        }
+        let a = Aggregate::over(&rs);
+        assert!(a.perf_median > -0.05);
+        assert!(a.perf_gmean < -0.40, "gmean {}", a.perf_gmean);
+    }
+}

@@ -1,0 +1,276 @@
+//! `suit-cli` — drive the SUIT reproduction from the command line.
+//!
+//! ```text
+//! suit-cli list
+//! suit-cli simulate --workload 557.xz --cpu c --strategy fv --offset 97
+//! suit-cli simulate --workload Nginx --cpu a --strategy adaptive --insts 2000000000
+//! suit-cli trace record --workload 502.gcc --out gcc.suittrc --bursts 5000
+//! suit-cli trace info gcc.suittrc
+//! suit-cli security
+//! ```
+
+use std::process::ExitCode;
+
+use suit::core::OperatingStrategy;
+use suit::core::strategy::StrategyParams;
+use suit::hw::{CpuModel, UndervoltLevel};
+use suit::sim::analytic::simulate_emulation;
+use suit::sim::engine::{simulate, SimConfig};
+use suit::trace::io::{read_trace, write_trace, TraceMeta};
+use suit::trace::{profile, TraceGen};
+
+fn main() -> ExitCode {
+    // `suit-cli ... | head` is normal usage; `println!` panics on EPIPE,
+    // so treat a broken pipe as a clean exit instead of a crash.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let broken_pipe = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.contains("Broken pipe"));
+        if broken_pipe {
+            std::process::exit(0);
+        }
+        default_hook(info);
+    }));
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("security") => cmd_security(),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("mix") => cmd_mix(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: suit-cli <list|simulate|mix|trace|analyze|security> [options]\n\
+                 \x20 simulate --workload <name> [--cpu a|b|c] [--strategy fv|f|v|e|adaptive]\n\
+                 \x20          [--offset 70|97] [--cores N] [--insts N] [--seed N]\n\
+                 \x20 trace record --workload <name> --out <file> [--bursts N]\n\
+                 \x20 trace info <file>"
+            );
+            Err("missing or unknown subcommand".into())
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), String>;
+
+fn opt(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn cmd_list() -> CliResult {
+    println!("Workloads (25):");
+    for p in profile::all() {
+        println!(
+            "  {:<16} {:?}  ipc {:.1}  target residency {:>5.1}%",
+            p.name,
+            p.suite,
+            p.ipc,
+            p.target_residency * 100.0
+        );
+    }
+    println!("\nCPUs: a = i9-9900K (shared domain), b = Ryzen 7 7700X (per-core freq), c = Xeon 4208 (per-core p-states)");
+    println!("Strategies: fv (default), f, v, e (emulation), adaptive (Section 6.8)");
+    Ok(())
+}
+
+fn parse_cpu(s: Option<String>) -> Result<CpuModel, String> {
+    match s.as_deref().unwrap_or("c") {
+        "a" => Ok(CpuModel::i9_9900k()),
+        "b" => Ok(CpuModel::ryzen_7700x()),
+        "c" => Ok(CpuModel::xeon_4208()),
+        other => Err(format!("unknown CPU '{other}' (expected a, b or c)")),
+    }
+}
+
+fn parse_level(s: Option<String>) -> Result<UndervoltLevel, String> {
+    match s.as_deref().unwrap_or("97") {
+        "70" | "-70" => Ok(UndervoltLevel::Mv70),
+        "97" | "-97" => Ok(UndervoltLevel::Mv97),
+        other => Err(format!("unknown offset '{other}' (expected 70 or 97)")),
+    }
+}
+
+fn cmd_simulate(args: &[String]) -> CliResult {
+    let name = opt(args, "--workload").ok_or("missing --workload <name> (see `suit-cli list`)")?;
+    let p = profile::by_name(&name).ok_or_else(|| format!("unknown workload '{name}'"))?;
+    let cpu = parse_cpu(opt(args, "--cpu"))?;
+    let level = parse_level(opt(args, "--offset"))?;
+    let cores: usize = opt(args, "--cores").map_or(Ok(1), |v| v.parse().map_err(|e| format!("--cores: {e}")))?;
+    let insts: Option<u64> =
+        opt(args, "--insts").map(|v| v.parse().map_err(|e| format!("--insts: {e}"))).transpose()?;
+    if insts == Some(0) {
+        return Err("--insts must be at least 1".into());
+    }
+    let seed: u64 =
+        opt(args, "--seed").map_or(Ok(0x5017), |v| v.parse().map_err(|e| format!("--seed: {e}")))?;
+    let strategy = opt(args, "--strategy").unwrap_or_else(|| "fv".into());
+
+    let params = match cpu.kind {
+        suit::hw::CpuKind::AmdRyzen7700X => StrategyParams::amd(),
+        _ => StrategyParams::intel(),
+    };
+
+    let r = match strategy.as_str() {
+        "e" => simulate_emulation(&cpu, p, level, seed, insts),
+        s => {
+            let (strat, adaptive) = match s {
+                "fv" => (OperatingStrategy::FreqVolt, None),
+                "f" => (OperatingStrategy::Frequency, None),
+                "v" => (OperatingStrategy::Voltage, None),
+                "adaptive" => (
+                    OperatingStrategy::FreqVolt,
+                    Some(suit::core::AdaptiveConfig::for_cpu(&cpu.delays)),
+                ),
+                other => return Err(format!("unknown strategy '{other}'")),
+            };
+            let cfg = SimConfig {
+                strategy: strat,
+                params,
+                level,
+                cores,
+                seed,
+                max_insts: insts,
+                record_timeline: false,
+                adaptive,
+            };
+            simulate(&cpu, p, &cfg)
+        }
+    };
+
+    println!("{} on {} at {} ({} strategy, {} core(s))", p.name, cpu.name, level, strategy, cores);
+    println!("  performance : {:+.2} %", r.perf() * 100.0);
+    println!("  power       : {:+.2} %", r.power() * 100.0);
+    println!("  efficiency  : {:+.2} %", r.efficiency() * 100.0);
+    println!("  residency   : {:.1} % on the efficient curve", r.residency() * 100.0);
+    println!(
+        "  activity    : {} faultable instructions, {} #DO, {} timer fires, {} thrash hits",
+        r.events, r.exceptions, r.timer_fires, r.thrash_hits
+    );
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> CliResult {
+    match args.first().map(String::as_str) {
+        Some("record") => {
+            let name = opt(args, "--workload").ok_or("missing --workload")?;
+            let p = profile::by_name(&name).ok_or_else(|| format!("unknown workload '{name}'"))?;
+            let out = opt(args, "--out").ok_or("missing --out <file>")?;
+            let bursts: usize = opt(args, "--bursts")
+                .map_or(Ok(10_000), |v| v.parse().map_err(|e| format!("--bursts: {e}")))?;
+            let seed: u64 = opt(args, "--seed")
+                .map_or(Ok(0x5017), |v| v.parse().map_err(|e| format!("--seed: {e}")))?;
+            let meta = TraceMeta { name: p.name.into(), ipc: p.ipc, total_insts: p.total_insts };
+            let mut f = std::fs::File::create(&out).map_err(|e| format!("{out}: {e}"))?;
+            write_trace(&mut f, &meta, TraceGen::new(p, seed).take(bursts))
+                .map_err(|e| e.to_string())?;
+            println!("wrote {bursts} bursts of {} to {out}", p.name);
+            Ok(())
+        }
+        Some("info") => {
+            let path = args.get(1).ok_or("missing <file>")?;
+            let mut f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            let (meta, bursts) = read_trace(&mut f).map_err(|e| e.to_string())?;
+            let summary = suit::trace::event::TraceSummary::from_bursts(bursts.iter().copied());
+            println!("{path}: workload {} (ipc {:.1})", meta.name, meta.ipc);
+            println!("  bursts: {}", summary.bursts);
+            println!("  faultable instructions: {}", summary.events);
+            println!("  instructions covered: {}", summary.insts);
+            println!("  mean gap: {:.0} instructions", summary.insts_per_event());
+            println!("  largest burst gap: {}", summary.max_gap);
+            Ok(())
+        }
+        _ => Err("usage: trace <record|info> ...".into()),
+    }
+}
+
+fn cmd_mix(args: &[String]) -> CliResult {
+    use suit::sim::engine::simulate_mixed;
+    let name = args.first().ok_or_else(|| {
+        format!("usage: mix <{}> [--cpu a|b|c] [--insts N]", suit::trace::profile::MIX_NAMES.join("|"))
+    })?;
+    let workloads = suit::trace::profile::mix(name)
+        .ok_or_else(|| format!("unknown mix '{name}' (try {})", suit::trace::profile::MIX_NAMES.join(", ")))?;
+    // Mixes model consolidation on ONE shared DVFS domain — only the
+    // i9-9900K class has that topology (CPU C's per-core p-states would
+    // never couple the workloads), so default to CPU a.
+    let cpu = parse_cpu(Some(opt(args, "--cpu").unwrap_or_else(|| "a".into())))?;
+    if !matches!(cpu.domains, suit::hw::DomainLayout::SharedAll) {
+        eprintln!(
+            "note: {} has per-core DVFS domains; a shared-domain mix is a what-if here",
+            cpu.name
+        );
+    }
+    let insts = opt(args, "--insts")
+        .map(|v| v.parse::<u64>().map_err(|e| format!("--insts: {e}")))
+        .transpose()?
+        .unwrap_or(1_000_000_000);
+    let mut cfg = SimConfig::fv_intel(UndervoltLevel::Mv97);
+    cfg.max_insts = Some(insts);
+    if matches!(cpu.kind, suit::hw::CpuKind::AmdRyzen7700X) {
+        cfg.strategy = OperatingStrategy::Frequency;
+        cfg.params = StrategyParams::amd();
+    }
+    let m = simulate_mixed(&cpu, &workloads, &cfg);
+    println!(
+        "mix '{name}' on {} (one shared domain, {} strategy, -97 mV):",
+        cpu.name,
+        cfg.strategy
+    );
+    println!(
+        "  domain: residency {:.1}%  power {:+.2}%  efficiency {:+.2}%",
+        m.domain.residency() * 100.0,
+        m.domain.power() * 100.0,
+        m.domain.efficiency() * 100.0
+    );
+    for c in &m.per_core {
+        println!(
+            "  core {:<16} perf {:+.2}%  ({} faultable instructions)",
+            c.workload, c.perf() * 100.0, c.events
+        );
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> CliResult {
+    let name = args.first().ok_or("usage: analyze <workload> [bursts]")?;
+    let p = profile::by_name(name).ok_or_else(|| format!("unknown workload '{name}'"))?;
+    let bursts: usize = args.get(1).map_or(Ok(2_000), |v| v.parse().map_err(|e| format!("bursts: {e}")))?;
+    let report = suit::trace::analyze::TraceReport::from_bursts(
+        TraceGen::new(p, 0x5017).take(bursts),
+        suit::trace::analyze::AnalyzeParams::xeon(p.ipc),
+    );
+    println!("{} — Section 5.1 characterisation over {} bursts:", p.name, report.bursts);
+    println!("  faultable instructions : {}", report.events);
+    println!("  instructions covered   : {}", report.insts);
+    println!("  mean event gap         : {:.0} instructions", report.mean_event_gap);
+    println!("  deadline episodes      : {}", report.episodes);
+    println!(
+        "  predicted residency    : {:.1}% (profile target {:.1}%)",
+        report.predicted_residency * 100.0,
+        p.target_residency * 100.0
+    );
+    println!("  (the prediction models the deadline only; thrashing prevention can park");
+    println!("   borderline workloads lower — compare with `suit-cli simulate`)");
+    print!("  gap decades            :");
+    for d in 0..10 {
+        print!(" 1e{d}:{}", report.histogram.bucket(d));
+    }
+    println!();
+    Ok(())
+}
+
+fn cmd_security() -> CliResult {
+    println!("{}", suit::bench::tables::security_report(10, 3_000));
+    Ok(())
+}

@@ -1,0 +1,206 @@
+//! Trace analysis — the §5.1 workload characterisation, plus an analytic
+//! residency predictor.
+//!
+//! The paper's first evaluation step is understanding each workload's
+//! faultable-instruction process: how often, how bursty, how long the
+//! quiet stretches are. [`TraceReport`] computes those statistics from
+//! any burst stream (generated or loaded from disk), and — because SUIT's
+//! deadline mechanism is simple — *predicts* the efficient-curve
+//! residency a 𝑓𝑉 system would achieve, without running the simulator:
+//!
+//! ```text
+//! conservative time ≈ Σ over episodes (span + deadline + switch overhead)
+//! residency ≈ 1 − conservative / total
+//! ```
+//!
+//! where an *episode* is a maximal run of faultable instructions whose
+//! gaps stay under the deadline. The simulator's measured residency is
+//! validated against this prediction in the integration tests — the two
+//! views must agree for calibrated workloads.
+
+use suit_isa::SimDuration;
+
+use crate::event::Burst;
+use crate::stats::GapHistogram;
+
+/// Characterisation of one trace at a given deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// Total instructions covered (gaps + events).
+    pub insts: u64,
+    /// Faultable instructions.
+    pub events: u64,
+    /// Bursts as generated.
+    pub bursts: u64,
+    /// Deadline-merged episodes (bursts closer than the deadline fuse).
+    pub episodes: u64,
+    /// Mean instructions between faultable instructions.
+    pub mean_event_gap: f64,
+    /// Decade histogram of gaps.
+    pub histogram: GapHistogram,
+    /// Predicted fraction of time on the efficient curve under 𝑓𝑉.
+    pub predicted_residency: f64,
+}
+
+/// Parameters the predictor needs (the simulator's knobs in instruction
+/// units).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyzeParams {
+    /// Instructions retired per second on the conservative curve
+    /// (IPC × base frequency).
+    pub insts_per_sec: f64,
+    /// Deadline p_dl.
+    pub deadline: SimDuration,
+    /// Per-episode switch overhead (entry wait + exit, ≈ 60 µs on 𝒞).
+    pub episode_overhead: SimDuration,
+}
+
+impl AnalyzeParams {
+    /// Parameters for CPU 𝒞 at the Table 7 defaults.
+    pub fn xeon(ipc: f64) -> Self {
+        AnalyzeParams {
+            insts_per_sec: ipc * 4.5e9,
+            deadline: SimDuration::from_micros(30),
+            episode_overhead: SimDuration::from_micros(60),
+        }
+    }
+}
+
+impl TraceReport {
+    /// Analyses a burst stream.
+    pub fn from_bursts<I: IntoIterator<Item = Burst>>(bursts: I, params: AnalyzeParams) -> Self {
+        let deadline_insts =
+            params.deadline.as_secs_f64() * params.insts_per_sec;
+        let overhead_insts =
+            params.episode_overhead.as_secs_f64() * params.insts_per_sec;
+
+        let mut insts: u64 = 0;
+        let mut events: u64 = 0;
+        let mut burst_count: u64 = 0;
+        let mut episodes: u64 = 0;
+        let mut conservative_insts: f64 = 0.0;
+        let mut histogram = GapHistogram::default();
+        let mut open_episode = false;
+
+        for b in bursts {
+            burst_count += 1;
+            events += u64::from(b.events);
+            insts += b.total_insts();
+            histogram.record(b.gap_insts);
+            for _ in 1..b.events {
+                histogram.record(u64::from(b.within_gap_insts));
+            }
+
+            if open_episode && (b.gap_insts as f64) <= deadline_insts {
+                // The previous episode's deadline had not expired: this
+                // burst fuses into it; the gap itself runs conservative.
+                conservative_insts += b.gap_insts as f64 + b.span_insts() as f64;
+            } else {
+                if open_episode {
+                    // Close the previous episode with its deadline tail.
+                    conservative_insts += deadline_insts + overhead_insts;
+                }
+                episodes += 1;
+                conservative_insts += b.span_insts() as f64;
+                open_episode = true;
+            }
+        }
+        if open_episode {
+            conservative_insts += deadline_insts + overhead_insts;
+        }
+
+        let predicted_residency =
+            (1.0 - conservative_insts / (insts.max(1) as f64)).clamp(0.0, 1.0);
+        TraceReport {
+            insts,
+            events,
+            bursts: burst_count,
+            episodes,
+            mean_event_gap: insts as f64 / events.max(1) as f64,
+            histogram,
+            predicted_residency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TraceGen;
+    use crate::profile;
+    use suit_isa::Opcode;
+
+    fn params() -> AnalyzeParams {
+        AnalyzeParams::xeon(1.0)
+    }
+
+    #[test]
+    fn counts_and_gaps() {
+        let bursts = vec![
+            Burst::new(1_000_000, 3, 10, Opcode::Aesenc),
+            Burst::new(9_000_000, 1, 0, Opcode::Vor),
+        ];
+        let r = TraceReport::from_bursts(bursts, params());
+        assert_eq!(r.bursts, 2);
+        assert_eq!(r.events, 4);
+        assert_eq!(r.episodes, 2, "10M-instruction gap far exceeds the deadline");
+        assert!(r.mean_event_gap > 2_000_000.0);
+    }
+
+    #[test]
+    fn bursts_inside_the_deadline_fuse_into_one_episode() {
+        // Deadline at IPC 1 / 4.5 GHz = 135 000 instructions.
+        let bursts = vec![
+            Burst::new(10_000_000, 5, 100, Opcode::Vxor),
+            Burst::new(50_000, 5, 100, Opcode::Vxor), // inside the deadline
+            Burst::new(10_000_000, 5, 100, Opcode::Vxor),
+        ];
+        let r = TraceReport::from_bursts(bursts, params());
+        assert_eq!(r.bursts, 3);
+        assert_eq!(r.episodes, 2);
+    }
+
+    #[test]
+    fn quiet_traces_predict_high_residency() {
+        let p = profile::by_name("557.xz").unwrap();
+        let r = TraceReport::from_bursts(
+            TraceGen::new(p, 1).take(300),
+            AnalyzeParams::xeon(p.ipc),
+        );
+        assert!(
+            (r.predicted_residency - p.target_residency).abs() < 0.05,
+            "predicted {:.3} vs target {:.3}",
+            r.predicted_residency,
+            p.target_residency
+        );
+    }
+
+    #[test]
+    fn bursty_traces_predict_low_residency() {
+        let p = profile::by_name("520.omnetpp").unwrap();
+        let r = TraceReport::from_bursts(
+            TraceGen::new(p, 1).take(3_000),
+            AnalyzeParams::xeon(p.ipc),
+        );
+        assert!(r.predicted_residency < 0.25, "{:.3}", r.predicted_residency);
+    }
+
+    #[test]
+    fn prediction_matches_across_the_suite() {
+        // The analytic predictor and the profile calibration targets agree
+        // within a few points for non-thrashing workloads.
+        for name in ["502.gcc", "511.povray", "527.cam4", "523.xalancbmk"] {
+            let p = profile::by_name(name).unwrap();
+            let r = TraceReport::from_bursts(
+                TraceGen::new(p, 3).take(2_000),
+                AnalyzeParams::xeon(p.ipc),
+            );
+            assert!(
+                (r.predicted_residency - p.target_residency).abs() < 0.10,
+                "{name}: predicted {:.3} vs target {:.3}",
+                r.predicted_residency,
+                p.target_residency
+            );
+        }
+    }
+}

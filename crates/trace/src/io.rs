@@ -1,0 +1,388 @@
+//! Binary trace serialization — record once, replay exactly.
+//!
+//! The paper's pipeline records QEMU traces once and replays them through
+//! the simulator many times (every CPU × strategy × offset combination).
+//! This module gives synthetic traces the same property: a compact
+//! varint-encoded `.suittrc` format with the workload metadata needed to
+//! resimulate (IPC, virtual length), so expensive generation or external
+//! trace imports happen once.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic  "SUITTRC1"                      8 bytes
+//! name   varint len + UTF-8 bytes
+//! ipc    f64 bits                        8 bytes
+//! total  varint (virtual instructions)
+//! count  varint (number of bursts)
+//! bursts count × { gap varint, events varint, within varint, opcode u8 }
+//! ```
+
+use std::io::{self, Read, Write};
+
+use suit_isa::Opcode;
+
+use crate::event::Burst;
+
+const MAGIC: &[u8; 8] = b"SUITTRC1";
+
+/// Metadata carried alongside the bursts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMeta {
+    /// Workload name.
+    pub name: String,
+    /// Instructions per cycle for time conversion.
+    pub ipc: f64,
+    /// Virtual trace length in instructions.
+    pub total_insts: u64,
+}
+
+/// Serialization/deserialization failures.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with the `SUITTRC1` magic.
+    BadMagic,
+    /// A varint ran past 10 bytes or the stream ended mid-value.
+    Corrupt(&'static str),
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl core::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceIoError::BadMagic => write!(f, "not a SUIT trace (bad magic)"),
+            TraceIoError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    // Encode into a stack buffer first: one write_all per varint instead
+    // of one syscall-able write per byte.
+    let mut buf = [0u8; 10];
+    let mut n = 0;
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf[n] = byte;
+            n += 1;
+            return w.write_all(&buf[..n]);
+        }
+        buf[n] = byte | 0x80;
+        n += 1;
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R) -> Result<u64, TraceIoError> {
+    let mut v: u64 = 0;
+    for shift in (0..70).step_by(7) {
+        let mut b = [0u8; 1];
+        r.read_exact(&mut b).map_err(|_| TraceIoError::Corrupt("varint truncated"))?;
+        if shift == 63 && b[0] > 1 {
+            return Err(TraceIoError::Corrupt("varint overflow"));
+        }
+        v |= u64::from(b[0] & 0x7F) << shift;
+        if b[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(TraceIoError::Corrupt("varint too long"))
+}
+
+/// Writes a trace (metadata + bursts) to `w`.
+pub fn write_trace<W: Write, I>(w: &mut W, meta: &TraceMeta, bursts: I) -> Result<(), TraceIoError>
+where
+    I: IntoIterator<Item = Burst>,
+{
+    let bursts: Vec<Burst> = bursts.into_iter().collect();
+    w.write_all(MAGIC)?;
+    write_varint(w, meta.name.len() as u64)?;
+    w.write_all(meta.name.as_bytes())?;
+    w.write_all(&meta.ipc.to_bits().to_le_bytes())?;
+    write_varint(w, meta.total_insts)?;
+    write_varint(w, bursts.len() as u64)?;
+    for b in &bursts {
+        write_varint(w, b.gap_insts)?;
+        write_varint(w, u64::from(b.events))?;
+        write_varint(w, u64::from(b.within_gap_insts))?;
+        w.write_all(&[b.opcode.index() as u8])?;
+    }
+    Ok(())
+}
+
+/// Reads a trace written by [`write_trace`].
+pub fn read_trace<R: Read>(r: &mut R) -> Result<(TraceMeta, Vec<Burst>), TraceIoError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TraceIoError::BadMagic);
+    }
+    let name_len = read_varint(r)? as usize;
+    if name_len > 4096 {
+        return Err(TraceIoError::Corrupt("name too long"));
+    }
+    let mut name = vec![0u8; name_len];
+    r.read_exact(&mut name)?;
+    let name = String::from_utf8(name).map_err(|_| TraceIoError::Corrupt("name not UTF-8"))?;
+    let mut ipc_bits = [0u8; 8];
+    r.read_exact(&mut ipc_bits)?;
+    let ipc = f64::from_bits(u64::from_le_bytes(ipc_bits));
+    if !ipc.is_finite() || ipc <= 0.0 {
+        return Err(TraceIoError::Corrupt("non-positive IPC"));
+    }
+    let total_insts = read_varint(r)?;
+    let count = read_varint(r)? as usize;
+    let mut bursts = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let gap = read_varint(r)?;
+        let events = read_varint(r)?;
+        let within = read_varint(r)?;
+        let mut op = [0u8; 1];
+        r.read_exact(&mut op)?;
+        let opcode = *Opcode::ALL
+            .get(op[0] as usize)
+            .ok_or(TraceIoError::Corrupt("opcode index out of range"))?;
+        if events == 0 || events > u64::from(u32::MAX) || !opcode.is_faultable() {
+            return Err(TraceIoError::Corrupt("invalid burst"));
+        }
+        bursts.push(Burst::new(gap, events as u32, within as u32, opcode));
+    }
+    Ok((TraceMeta { name, ipc, total_insts }, bursts))
+}
+
+/// Imports an *event list* — the raw format a QEMU-plugin recording
+/// produces: one faultable instruction per line as
+/// `<instruction-index> <mnemonic>` — and clusters it into [`Burst`]s
+/// using `cluster_gap` (events closer than the gap join the current
+/// burst; within-burst spacing is averaged).
+///
+/// Example input:
+///
+/// ```text
+/// 425000000 AESENC
+/// 425000040 AESENC
+/// 425000080 VPCLMULQDQ
+/// 900000000 VOR
+/// ```
+pub fn import_events<R: std::io::BufRead>(
+    reader: R,
+    cluster_gap: u64,
+) -> Result<Vec<Burst>, TraceIoError> {
+    fn mnemonic_to_opcode(m: &str) -> Option<Opcode> {
+        let m = m.trim().to_ascii_uppercase();
+        Opcode::ALL
+            .into_iter()
+            .filter(|o| o.is_faultable())
+            .find(|o| {
+                let name = o.mnemonic().trim_end_matches('*');
+                m == name || (m.starts_with(name) && !name.is_empty())
+            })
+    }
+
+    let mut events: Vec<(u64, Opcode)> = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let idx: u64 = parts
+            .next()
+            .ok_or(TraceIoError::Corrupt("missing instruction index"))?
+            .parse()
+            .map_err(|_| TraceIoError::Corrupt("bad instruction index"))?;
+        let op = parts
+            .next()
+            .and_then(mnemonic_to_opcode)
+            .ok_or(TraceIoError::Corrupt("unknown mnemonic"))?;
+        events.push((idx, op));
+    }
+    if events.windows(2).any(|w| w[1].0 <= w[0].0) {
+        return Err(TraceIoError::Corrupt("indices must be strictly increasing"));
+    }
+
+    let mut bursts = Vec::new();
+    let mut i = 0;
+    let mut prev_end: u64 = 0;
+    while i < events.len() {
+        let start = events[i].0;
+        let opcode = events[i].1;
+        let mut j = i + 1;
+        while j < events.len() && events[j].0 - events[j - 1].0 <= cluster_gap {
+            j += 1;
+        }
+        let count = (j - i) as u32;
+        let span = events[j - 1].0 - start;
+        let within = if count > 1 { (span / u64::from(count - 1)).max(1) as u32 } else { 0 };
+        bursts.push(Burst::new(start - prev_end, count, within, opcode));
+        prev_end = events[j - 1].0 + 1;
+        i = j;
+    }
+    Ok(bursts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TraceGen;
+    use crate::profile;
+
+    fn sample_meta() -> TraceMeta {
+        TraceMeta { name: "502.gcc".into(), ipc: 1.2, total_insts: 1_000_000 }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let p = profile::by_name("502.gcc").unwrap();
+        let bursts: Vec<Burst> = TraceGen::new(p, 42).take(2_000).collect();
+        let meta = sample_meta();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &meta, bursts.clone()).unwrap();
+        let (meta2, bursts2) = read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(meta, meta2);
+        assert_eq!(bursts, bursts2);
+    }
+
+    #[test]
+    fn format_is_compact() {
+        let p = profile::by_name("502.gcc").unwrap();
+        let bursts: Vec<Burst> = TraceGen::new(p, 1).take(10_000).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_meta(), bursts).unwrap();
+        // Varints keep the per-burst cost well under the 21-byte fixed
+        // encoding.
+        assert!(buf.len() < 10_000 * 12, "{} bytes", buf.len());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_meta(), Vec::new()).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(read_trace(&mut buf.as_slice()), Err(TraceIoError::BadMagic)));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let p = profile::by_name("557.xz").unwrap();
+        let bursts: Vec<Burst> = TraceGen::new(p, 3).take(50).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_meta(), bursts).unwrap();
+        for cut in [4usize, 9, 20, buf.len() - 1] {
+            let r = read_trace(&mut buf[..cut].to_vec().as_slice());
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_opcode_and_ipc() {
+        let mut buf = Vec::new();
+        write_trace(
+            &mut buf,
+            &sample_meta(),
+            vec![Burst::new(10, 1, 0, Opcode::Aesenc)],
+        )
+        .unwrap();
+        // Corrupt the trailing opcode byte.
+        let last = buf.len() - 1;
+        buf[last] = 200;
+        assert!(matches!(
+            read_trace(&mut buf.as_slice()),
+            Err(TraceIoError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn import_clusters_events_into_bursts() {
+        let text = "\
+# a recorded AES burst followed by a lone VOR
+1000 AESENC
+1040 AESENC
+1080 VPCLMULQDQ
+900000 VOR
+";
+        let bursts = import_events(text.as_bytes(), 1_000).unwrap();
+        assert_eq!(bursts.len(), 2);
+        assert_eq!(bursts[0].gap_insts, 1000);
+        assert_eq!(bursts[0].events, 3);
+        assert_eq!(bursts[0].within_gap_insts, 40);
+        assert_eq!(bursts[0].opcode, Opcode::Aesenc);
+        assert_eq!(bursts[1].events, 1);
+        assert_eq!(bursts[1].opcode, Opcode::Vor);
+        assert_eq!(bursts[1].gap_insts, 900_000 - 1081);
+    }
+
+    #[test]
+    fn import_accepts_family_mnemonics() {
+        // Concrete family members (VPCMPEQD, VPMAXSD) map onto the Table 1
+        // families via their canonical prefixes.
+        let ok = import_events("10 VOR\n2000000 VPCMPEQD\n4000000 VPMAXSD\n".as_bytes(), 100)
+            .unwrap();
+        assert_eq!(ok.len(), 3);
+        assert_eq!(ok[1].opcode, Opcode::Vpcmp);
+        assert_eq!(ok[2].opcode, Opcode::Vpmax);
+    }
+
+    #[test]
+    fn import_rejects_garbage() {
+        assert!(matches!(
+            import_events("abc AESENC\n".as_bytes(), 10),
+            Err(TraceIoError::Corrupt(_))
+        ));
+        assert!(matches!(
+            import_events("10 FNORD\n".as_bytes(), 10),
+            Err(TraceIoError::Corrupt(_))
+        ));
+        assert!(matches!(
+            import_events("10 AESENC\n5 AESENC\n".as_bytes(), 10),
+            Err(TraceIoError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn imported_bursts_roundtrip_through_the_binary_format() {
+        let bursts =
+            import_events("100 AESENC\n120 AESENC\n500000 VXOR\n".as_bytes(), 1_000).unwrap();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_meta(), bursts.clone()).unwrap();
+        let (_, back) = read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, bursts);
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            assert_eq!(read_varint(&mut buf.as_slice()).unwrap(), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("suit_trace_test_{}.suittrc", std::process::id()));
+        let p = profile::by_name("Nginx").unwrap();
+        let bursts: Vec<Burst> = TraceGen::new(p, 9).take(100).collect();
+        {
+            let mut f = std::fs::File::create(&path).unwrap();
+            write_trace(&mut f, &sample_meta(), bursts.clone()).unwrap();
+        }
+        let mut f = std::fs::File::open(&path).unwrap();
+        let (_, back) = read_trace(&mut f).unwrap();
+        assert_eq!(back, bursts);
+        let _ = std::fs::remove_file(&path);
+    }
+}

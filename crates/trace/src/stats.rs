@@ -1,0 +1,162 @@
+//! Gap-size statistics and timeline extraction (Figs. 5 and 7).
+//!
+//! The paper visualises traces as *gap-size timelines*: for each faultable
+//! instruction, a point at (instruction index, log₁₀ of the gap since the
+//! previous faultable instruction). Horizontal runs are quiet stretches;
+//! vertical drops are bursts. [`gap_timeline`] reproduces that series and
+//! [`GapHistogram`] the log-bucketed distribution.
+
+use crate::event::Burst;
+
+/// One point of a Fig. 5/7 gap-size timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelinePoint {
+    /// Instruction index of the faultable instruction.
+    pub index: u64,
+    /// Gap (instructions) since the previous faultable instruction.
+    pub gap: u64,
+}
+
+impl TimelinePoint {
+    /// log₁₀ of the gap — the y-axis of Figs. 5 and 7 (zero gap plots as 0).
+    pub fn log10_gap(&self) -> f64 {
+        if self.gap == 0 {
+            0.0
+        } else {
+            (self.gap as f64).log10()
+        }
+    }
+}
+
+/// Expands bursts into the per-event gap timeline of Figs. 5 and 7,
+/// stopping after `max_points` points (the figures truncate, too).
+pub fn gap_timeline<I>(bursts: I, max_points: usize) -> Vec<TimelinePoint>
+where
+    I: IntoIterator<Item = Burst>,
+{
+    let mut out = Vec::new();
+    let mut pos: u64 = 0;
+    for b in bursts {
+        let mut gap = b.gap_insts;
+        pos += b.gap_insts;
+        for _ in 0..b.events {
+            out.push(TimelinePoint { index: pos, gap });
+            if out.len() >= max_points {
+                return out;
+            }
+            pos += u64::from(b.within_gap_insts) + 1;
+            gap = u64::from(b.within_gap_insts);
+        }
+    }
+    out
+}
+
+/// A histogram of gap sizes in decade buckets: bucket `i` counts gaps in
+/// `[10^i, 10^(i+1))`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GapHistogram {
+    buckets: [u64; 12],
+    total: u64,
+}
+
+impl GapHistogram {
+    /// Builds a histogram over all per-event gaps of a burst stream.
+    pub fn from_bursts<I: IntoIterator<Item = Burst>>(bursts: I) -> Self {
+        let mut h = GapHistogram::default();
+        for b in bursts {
+            h.record(b.gap_insts);
+            for _ in 1..b.events {
+                h.record(u64::from(b.within_gap_insts));
+            }
+        }
+        h
+    }
+
+    /// Records one gap.
+    pub fn record(&mut self, gap: u64) {
+        let bucket = if gap == 0 { 0 } else { (gap as f64).log10().floor() as usize };
+        self.buckets[bucket.min(self.buckets.len() - 1)] += 1;
+        self.total += 1;
+    }
+
+    /// Count in decade bucket `i` (gaps in `[10^i, 10^(i+1))`).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Total recorded gaps.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the distribution is bimodal in the burst sense: mass both
+    /// below 10³ (within-burst) and at or above 10^`quiet_decade`
+    /// (between bursts) — the visual signature of Figs. 5 and 7.
+    pub fn is_bursty(&self, quiet_decade: usize) -> bool {
+        let dense: u64 = self.buckets[..3].iter().sum();
+        let quiet: u64 = self.buckets[quiet_decade..].iter().sum();
+        dense > 0 && quiet > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TraceGen;
+    use crate::profile;
+    use suit_isa::Opcode;
+
+    #[test]
+    fn timeline_positions_and_gaps() {
+        let bursts = vec![
+            Burst::new(100, 3, 10, Opcode::Aesenc),
+            Burst::new(1000, 1, 0, Opcode::Vor),
+        ];
+        let t = gap_timeline(bursts, usize::MAX);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0], TimelinePoint { index: 100, gap: 100 });
+        assert_eq!(t[1], TimelinePoint { index: 111, gap: 10 });
+        assert_eq!(t[2], TimelinePoint { index: 122, gap: 10 });
+        // Next burst starts after the last event's slot plus its gap:
+        // the last event at 122 occupies its slot and a trailing
+        // within-gap stride (122 + 11 = 133), then the 1000-gap follows.
+        assert_eq!(t[3].gap, 1000);
+        assert_eq!(t[3].index, 133 + 1000);
+    }
+
+    #[test]
+    fn timeline_truncates() {
+        let bursts = vec![Burst::new(10, 1000, 1, Opcode::Vxor)];
+        assert_eq!(gap_timeline(bursts, 7).len(), 7);
+    }
+
+    #[test]
+    fn log10_gap() {
+        assert_eq!(TimelinePoint { index: 0, gap: 0 }.log10_gap(), 0.0);
+        assert!((TimelinePoint { index: 0, gap: 1000 }.log10_gap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = GapHistogram::default();
+        h.record(5); // decade 0
+        h.record(50); // decade 1
+        h.record(5_000_000); // decade 6
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(6), 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn vlc_trace_shows_fig7_bimodality() {
+        // Fig. 7: AES instructions during VLC streaming execute in bursts —
+        // dense within-burst gaps coexisting with ≥10⁵-instruction quiet
+        // stretches.
+        let p = profile::by_name("VLC").unwrap();
+        let h = GapHistogram::from_bursts(TraceGen::new(p, 1).take(200));
+        assert!(h.is_bursty(5), "expected bimodal gap distribution");
+        // Within-burst gaps dominate by count (tens of thousands per burst).
+        assert!(h.bucket(1) + h.bucket(2) > h.total() / 2);
+    }
+}

@@ -1,0 +1,81 @@
+//! A data-center scenario (§3.1): how much energy does SUIT save across a
+//! fleet, and how much aging guardband can be borrowed over a server's
+//! real deployment life?
+//!
+//! ```sh
+//! cargo run --release -p suit --example datacenter_fleet
+//! ```
+
+use suit::hw::guardband::{aging_guardband_mv, AgingModel};
+use suit::hw::{CpuModel, DvfsCurve, UndervoltLevel};
+use suit::sim::engine::{simulate_mixed, SimConfig};
+use suit::sim::experiment::{run_row, table6_rows};
+use suit::trace::profile;
+
+fn main() {
+    // --- Borrowable aging guardband over a 5-year deployment ------------
+    let aging = AgingModel::default();
+    let curve = DvfsCurve::i9_9900k();
+    println!("Aging guardband of the modelled CPU: {:.0} mV (§5.6: 137 mV)\n", aging_guardband_mv(&curve));
+    println!("{:>6} {:>10} {:>16} {:>22}", "year", "temp (C)", "unused fraction", "borrowable (80% reserve)");
+    for year in [0.0, 1.0, 3.0, 5.0] {
+        let unused = aging.unused_fraction(year, 60.0);
+        let borrow = aging.borrowable_mv(&curve, year, 60.0, 0.8);
+        println!("{year:>6} {:>10} {:>15.1}% {:>21.1} mV", 60, unused * 100.0, borrow);
+    }
+    println!(
+        "\nAWS-style 5-year deployments at controlled temperatures never consume\n\
+         the 10-year worst-case guardband, which funds the extra −27 mV of the\n\
+         paper's −97 mV offset.\n"
+    );
+
+    // --- Fleet-level energy accounting -----------------------------------
+    // A rack of Xeon 4208 servers running the SPEC-like mix with SUIT.
+    let spec = &table6_rows()[5]; // C∞ fV
+    let row = run_row(spec, UndervoltLevel::Mv97, Some(2_000_000_000));
+    let g = row.spec_gmean();
+
+    const SERVERS: f64 = 1_000.0;
+    const WATTS_PER_SERVER: f64 = 85.0; // Xeon 4208 TDP
+    const HOURS_PER_YEAR: f64 = 8_766.0;
+    let baseline_mwh = SERVERS * WATTS_PER_SERVER * HOURS_PER_YEAR / 1e6;
+    let saved_mwh = baseline_mwh * (-g.power);
+
+    println!("Fleet of {SERVERS:.0} {} servers:", CpuModel::xeon_4208().name);
+    println!("  package power change:  {:+.1} %", g.power * 100.0);
+    println!("  performance change:    {:+.1} %", g.perf * 100.0);
+    println!("  efficiency change:     {:+.1} %", g.eff * 100.0);
+    println!("  baseline energy:       {baseline_mwh:.0} MWh/year");
+    println!("  energy saved by SUIT:  {saved_mwh:.0} MWh/year");
+
+    // Multi-core consolidation caveat (§6.4): on a single shared DVFS
+    // domain the gain shrinks with utilised cores.
+    println!("\nShared-domain caveat (i9-9900K class, fV at -97 mV):");
+    for (label, idx) in [("1 core", 0usize), ("4 cores", 1)] {
+        let row = run_row(&table6_rows()[idx], UndervoltLevel::Mv97, Some(1_000_000_000));
+        println!(
+            "  {:>7}: efficiency {:+.1} % (residency {:.0} %)",
+            label,
+            row.spec_gmean().eff * 100.0,
+            row.spec_residency_mean() * 100.0
+        );
+    }
+    println!("\nPer-core DVFS domains (CPU C) keep the full gain — the paper's hardware\nrecommendation for SUIT.");
+
+    // --- Consolidated workload mixes on one shared domain -----------------
+    println!("\nConsolidation mixes on the i9-9900K's shared domain (fV, -97 mV):");
+    let cpu = CpuModel::i9_9900k();
+    let cfg = SimConfig::fv_intel(UndervoltLevel::Mv97).with_max_insts(1_000_000_000);
+    for name in profile::MIX_NAMES {
+        let workloads = profile::mix(name).expect("known mix");
+        let m = simulate_mixed(&cpu, &workloads, &cfg);
+        println!(
+            "  {:<10} residency {:>5.1}%  power {:+.1}%  eff {:+.1}%",
+            name,
+            m.domain.residency() * 100.0,
+            m.domain.power() * 100.0,
+            m.domain.efficiency() * 100.0
+        );
+    }
+    println!("\nMixes with a bursty member (webserver's Nginx/omnetpp) drag the shared\ndomain conservative; homogeneous quiet mixes keep most of the gain.");
+}

@@ -1,0 +1,47 @@
+//! Quickstart: simulate one SPEC workload on a SUIT CPU and print the
+//! power / performance / efficiency outcome.
+//!
+//! ```sh
+//! cargo run --release -p suit --example quickstart
+//! ```
+
+use suit::hw::{CpuModel, UndervoltLevel};
+use suit::sim::engine::{simulate, SimConfig};
+use suit::trace::profile;
+
+fn main() {
+    // CPU 𝒞 of the paper: Intel Xeon Silver 4208 with per-core p-states —
+    // the best fit for SUIT (fast per-core switching).
+    let cpu = CpuModel::xeon_4208();
+
+    println!("SUIT quickstart — {} with the fV operating strategy\n", cpu.name);
+    println!(
+        "{:<16} {:>7} {:>8} {:>8} {:>8} {:>10} {:>8}",
+        "workload", "offset", "perf", "power", "eff", "residency", "#DO"
+    );
+
+    for name in ["557.xz", "502.gcc", "520.omnetpp", "Nginx"] {
+        let workload = profile::by_name(name).expect("known workload");
+        for level in UndervoltLevel::ALL {
+            let cfg = SimConfig::fv_intel(level).with_max_insts(2_000_000_000);
+            let r = simulate(&cpu, workload, &cfg);
+            println!(
+                "{:<16} {:>7} {:>7.1}% {:>7.1}% {:>7.1}% {:>9.1}% {:>8}",
+                name,
+                format!("{level}"),
+                r.perf() * 100.0,
+                r.power() * 100.0,
+                r.efficiency() * 100.0,
+                r.residency() * 100.0,
+                r.exceptions,
+            );
+        }
+    }
+
+    println!(
+        "\nReading the table: quiet workloads (557.xz) live on the efficient curve and\n\
+         convert almost the whole undervolt into efficiency; bursty ones (520.omnetpp)\n\
+         park on the conservative curve via thrashing prevention and lose nothing;\n\
+         Nginx's AES bursts bounce between the curves and keep a smaller share."
+    );
+}

@@ -1,0 +1,55 @@
+//! The §6.9 security argument, executed: naive undervolting silently
+//! corrupts computation; SUIT at the same offsets never does.
+//!
+//! ```sh
+//! cargo run --release -p suit --example security_audit
+//! ```
+
+use suit::faults::vmin::ChipVminModel;
+use suit::faults::{audit_naive_undervolt, audit_suit_system, Campaign};
+use suit::isa::Opcode;
+
+fn main() {
+    // --- Fault characterisation (the Table 1 landscape) ------------------
+    let chip = ChipVminModel::sample(4, 12.0, 2024);
+    let report = Campaign::standard(chip.clone(), 1).run();
+    println!("Fault-injection campaign on a simulated 4-core chip:");
+    println!("  instruction ranking by fault count (paper Table 1 order: IMUL first):");
+    for (i, op) in report.ranking().iter().enumerate().take(5) {
+        println!("   {}. {:<12} {:>4} faulting combinations", i + 1, op.to_string(), report.faults(*op));
+    }
+    println!(
+        "  IMUL starts faulting at only {:.0} mV undervolt on this chip;\n\
+         VPADDQ survives to {:.0} mV — the instruction-voltage variation SUIT exploits.\n",
+        -report.first_fault_offset_mv(Opcode::Imul),
+        chip.margin_mv(0, Opcode::Vpaddq),
+    );
+
+    // --- The audit: naive vs. SUIT ---------------------------------------
+    println!("Audit: 20 chips x 5 000 crypto/SIMD instructions per offset");
+    println!("{:>10} | {:>24} | {:>28}", "offset", "naive undervolt", "SUIT (traps + hardened IMUL)");
+    for offset in [-70.0, -97.0, -130.0] {
+        let mut naive_errors = 0;
+        let mut suit_errors = 0;
+        let mut traps = 0;
+        for seed in 0..20 {
+            let chip = ChipVminModel::sample(2, 12.0, seed);
+            naive_errors += audit_naive_undervolt(&chip, 0, offset, seed, 5_000).silent_errors;
+            let s = audit_suit_system(&chip, 0, offset, seed, 5_000);
+            suit_errors += s.silent_errors;
+            traps += s.trapped;
+        }
+        println!(
+            "{:>7} mV | {:>15} errors | {:>9} errors, {:>6} #DO",
+            offset, naive_errors, suit_errors, traps
+        );
+        assert_eq!(suit_errors, 0, "SUIT must never fault silently");
+    }
+
+    println!(
+        "\nReduction (§6.9): SUIT only ever executes instructions on curves the\n\
+         vendor qualified for them — the same process that makes today's CPUs\n\
+         safe, applied once per curve. Naive undervolting has no such guarantee,\n\
+         which is exactly the Plundervolt/V0LTpwn attack surface."
+    );
+}

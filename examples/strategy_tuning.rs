@@ -1,0 +1,62 @@
+//! Operating-strategy tuning: sweep the §4.3 parameters on a thrash-prone
+//! workload and watch the deadline and thrashing-prevention knobs work.
+//!
+//! ```sh
+//! cargo run --release -p suit --example strategy_tuning
+//! ```
+
+use suit::core::strategy::StrategyParams;
+use suit::hw::{CpuModel, UndervoltLevel};
+use suit::isa::SimDuration;
+use suit::sim::engine::{simulate, SimConfig};
+use suit::trace::profile;
+
+fn main() {
+    let cpu = CpuModel::xeon_4208();
+    // 520.omnetpp: bursts arrive just over the deadline apart — the
+    // pattern that would thrash without prevention (§4.3).
+    let workload = profile::by_name("520.omnetpp").expect("profile");
+    let cap = 1_000_000_000;
+
+    println!("Deadline sweep on 520.omnetpp ({}):\n", cpu.name);
+    println!("{:>10} {:>8} {:>8} {:>10} {:>10}", "p_dl (us)", "perf", "eff", "#DO", "residency");
+    for dl in [5u64, 15, 30, 60, 120, 300] {
+        let mut cfg = SimConfig::fv_intel(UndervoltLevel::Mv97).with_max_insts(cap);
+        cfg.params = StrategyParams::intel().with_deadline(SimDuration::from_micros(dl));
+        let r = simulate(&cpu, workload, &cfg);
+        println!(
+            "{:>10} {:>7.2}% {:>7.2}% {:>10} {:>9.1}%",
+            dl,
+            r.perf() * 100.0,
+            r.efficiency() * 100.0,
+            r.exceptions,
+            r.residency() * 100.0
+        );
+    }
+
+    println!("\nThrashing prevention on/off at the Table 7 optimum (p_dl = 30 µs):\n");
+    println!("{:>16} {:>8} {:>8} {:>10} {:>12}", "guard", "perf", "eff", "#DO", "thrash hits");
+    for (label, params) in [
+        ("enabled", StrategyParams::intel()),
+        ("disabled", StrategyParams::intel().without_thrash_prevention()),
+    ] {
+        let mut cfg = SimConfig::fv_intel(UndervoltLevel::Mv97).with_max_insts(cap);
+        cfg.params = params;
+        let r = simulate(&cpu, workload, &cfg);
+        println!(
+            "{:>16} {:>7.2}% {:>7.2}% {:>10} {:>12}",
+            label,
+            r.perf() * 100.0,
+            r.efficiency() * 100.0,
+            r.exceptions,
+            r.thrash_hits
+        );
+    }
+
+    println!(
+        "\nWith the guard, {} detects the borderline cadence and multiplies the\n\
+         deadline by p_df = 14, parking the CPU on the conservative curve: far\n\
+         fewer exceptions, negligible performance impact (the paper's −0.13 %).",
+        workload.name
+    );
+}

@@ -1,0 +1,158 @@
+//! Property-based invariants over the hardware models, trace generators
+//! and the system simulator — the "can't-happen" class of bugs.
+
+use proptest::prelude::*;
+use suit::core::strategy::StrategyParams;
+use suit::hw::{CpuModel, DvfsCurve, UndervoltLevel};
+use suit::isa::SimDuration;
+use suit::sim::engine::{simulate, SimConfig};
+use suit::trace::{profile, Burst, TraceGen};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// DVFS curve interpolation is monotone and bounded for any query.
+    #[test]
+    fn dvfs_curve_is_monotone(f1 in 0.5f64..6.0, f2 in 0.5f64..6.0) {
+        let c = DvfsCurve::i9_9900k();
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        prop_assert!(c.voltage_at(lo) <= c.voltage_at(hi) + 1e-9);
+        let v = c.voltage_at(f1);
+        prop_assert!((700.0..=1300.0).contains(&v), "{v}");
+    }
+
+    /// `max_freq_at_voltage` inverts `voltage_at` on the curve's range.
+    #[test]
+    fn dvfs_inversion_roundtrips(f in 1.0f64..5.0) {
+        let c = DvfsCurve::i9_9900k();
+        let v = c.voltage_at(f);
+        let back = c.max_freq_at_voltage(v);
+        // On flat segments many frequencies share a voltage: the inverse
+        // must return one at least as fast that is still safe.
+        prop_assert!(back >= f - 1e-9, "{back} vs {f}");
+        prop_assert!(c.voltage_at(back) <= v + 1e-9);
+    }
+
+    /// The steady-state undervolt response is well behaved on the whole
+    /// modelled range, not just at the two paper points.
+    #[test]
+    fn undervolt_response_is_sane(offset in -97.0f64..0.0) {
+        for cpu in [CpuModel::i9_9900k(), CpuModel::ryzen_7700x(), CpuModel::i5_1035g1()] {
+            let r = cpu.steady.response(offset);
+            prop_assert!(r.power <= 1e-12, "{}: power {}", cpu.name, r.power);
+            prop_assert!(r.score >= -1e-12, "{}: score {}", cpu.name, r.score);
+            prop_assert!(r.power > -0.35, "{}: implausible power {}", cpu.name, r.power);
+            prop_assert!(r.score < 0.25, "{}: implausible score {}", cpu.name, r.score);
+        }
+    }
+
+    /// Trace generation: bursts are structurally valid and instruction
+    /// accounting never regresses.
+    #[test]
+    fn trace_bursts_are_well_formed(seed in any::<u64>(), idx in 0usize..25) {
+        let p = &profile::all()[idx];
+        let bursts: Vec<Burst> = TraceGen::new(p, seed).take(200).collect();
+        prop_assert!(!bursts.is_empty());
+        for b in &bursts {
+            prop_assert!(b.events >= 1);
+            prop_assert!(b.opcode.is_faultable());
+            prop_assert!(b.gap_insts > 0);
+        }
+    }
+
+    /// Engine invariants for arbitrary seeds, levels and workloads:
+    /// accounting conservation, metric ranges, baseline consistency.
+    #[test]
+    fn engine_invariants(seed in any::<u64>(), idx in 0usize..25, level_97 in any::<bool>()) {
+        let p = &profile::all()[idx];
+        let level = if level_97 { UndervoltLevel::Mv97 } else { UndervoltLevel::Mv70 };
+        let mut cfg = SimConfig::fv_intel(level).with_max_insts(150_000_000);
+        cfg.seed = seed;
+        let r = simulate(&CpuModel::xeon_4208(), p, &cfg);
+
+        // Time accounting conserves.
+        let parts = r.time_e + r.time_cf + r.time_cv + r.time_stall;
+        let diff = (parts.as_secs_f64() - r.duration.as_secs_f64()).abs();
+        prop_assert!(diff < 1e-6 * r.duration.as_secs_f64().max(1e-9));
+
+        // Metrics in physical ranges.
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&r.residency()));
+        prop_assert!(r.power() <= 0.0 + 1e-9, "undervolting cannot raise mean power: {}", r.power());
+        prop_assert!(r.power() > -0.25);
+        prop_assert!(r.perf() > -0.30 && r.perf() < 0.10, "perf {}", r.perf());
+        // Episode accounting: timers never outnumber exceptions.
+        prop_assert!(r.timer_fires <= r.exceptions);
+        prop_assert!(r.events >= r.exceptions);
+    }
+
+    /// Strategy-parameter robustness: any sane deadline keeps the engine
+    /// convergent and the metrics bounded (the paper's "workloads tolerate
+    /// a range rather than requiring individual parameters").
+    #[test]
+    fn any_sane_deadline_works(dl_us in 2u64..500, df in 2u32..40) {
+        let p = profile::by_name("502.gcc").unwrap();
+        let mut cfg = SimConfig::fv_intel(UndervoltLevel::Mv97).with_max_insts(150_000_000);
+        cfg.params = StrategyParams::intel()
+            .with_deadline(SimDuration::from_micros(dl_us))
+            .with_deadline_factor(f64::from(df));
+        let r = simulate(&CpuModel::xeon_4208(), p, &cfg);
+        prop_assert!(r.perf() > -0.25, "dl {dl_us} df {df}: perf {}", r.perf());
+        prop_assert!(r.efficiency() > -0.15, "eff {}", r.efficiency());
+    }
+}
+
+#[test]
+fn generator_is_deterministic_across_all_profiles() {
+    for p in profile::all() {
+        let a: Vec<Burst> = TraceGen::new(p, 7).take(100).collect();
+        let b: Vec<Burst> = TraceGen::new(p, 7).take(100).collect();
+        assert_eq!(a, b, "{}", p.name);
+    }
+}
+
+#[test]
+fn analytic_imul_penalty_matches_the_o3_simulator() {
+    // The trace simulator charges an analytic 4-cycle-IMUL penalty
+    // (sim::engine::imul_penalty); the out-of-order model *measures* the
+    // same quantity (Fig. 14 at 4 cycles). The two must agree on the
+    // extremes: tiny for average SPEC, ~1-2% for x264 — and within a few
+    // tenths of a point in absolute terms.
+    use suit::ooo::fig14;
+    use suit::sim::engine::imul_penalty;
+
+    let data = fig14::run(300_000);
+    let measured_geomean = data.geomean(0);
+    let analytic_geomean: f64 = profile::spec_suite()
+        .map(imul_penalty)
+        .map(|p| (1.0 + p).ln())
+        .sum::<f64>()
+        / 23.0;
+    let analytic_geomean = analytic_geomean.exp_m1();
+    assert!(
+        (measured_geomean - analytic_geomean).abs() < 0.004,
+        "geomean: O3 {measured_geomean:.4} vs analytic {analytic_geomean:.4}"
+    );
+
+    let x264_measured = data.x264().slowdowns[0];
+    let x264_analytic = imul_penalty(profile::by_name("525.x264").unwrap());
+    assert!(
+        (x264_measured - x264_analytic).abs() < 0.02,
+        "x264: O3 {x264_measured:.4} vs analytic {x264_analytic:.4}"
+    );
+    assert!(x264_analytic > 5.0 * analytic_geomean.max(1e-6));
+}
+
+#[test]
+fn all_workloads_simulate_on_all_cpus_and_levels() {
+    for cpu in CpuModel::evaluated() {
+        let cfg_base = match cpu.kind {
+            suit::hw::CpuKind::AmdRyzen7700X => SimConfig::f_amd(UndervoltLevel::Mv70),
+            _ => SimConfig::fv_intel(UndervoltLevel::Mv70),
+        };
+        for p in profile::all() {
+            let cfg = cfg_base.clone().with_max_insts(100_000_000);
+            let r = simulate(&cpu, p, &cfg);
+            assert!(r.duration.as_secs_f64() > 0.0, "{} on {}", p.name, cpu.name);
+        }
+    }
+}
