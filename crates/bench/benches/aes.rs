@@ -2,57 +2,57 @@
 //! AES the paper prescribes vs. the table-based reference — the ablation
 //! of DESIGN.md item 5 — plus the `#DO` emulation dispatcher itself.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use suit_bench::harness::bench_with_throughput;
 use suit_emu::aes::{bitsliced, reference, Aes128Key};
 use suit_emu::{emulate, EmuOperands};
 use suit_isa::{Opcode, Vec128};
 
-fn bench_aes(c: &mut Criterion) {
+fn bench_aes() {
     let key = Aes128Key::expand([0x42; 16]);
     let block = Vec128::from_u128(0x0123_4567_89ab_cdef_0011_2233_4455_6677);
     let rk = key.round_key(5);
 
-    let mut g = c.benchmark_group("aes_round");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("aesenc_reference_table", |b| {
-        b.iter(|| black_box(reference::aesenc(black_box(block), black_box(rk))))
+    println!("# aes_round");
+    bench_with_throughput("aesenc_reference_table", Some(1), || {
+        reference::aesenc(black_box(block), black_box(rk))
     });
-    g.bench_function("aesenc_bitsliced_single", |b| {
-        b.iter(|| black_box(bitsliced::aesenc(black_box(block), black_box(rk))))
+    bench_with_throughput("aesenc_bitsliced_single", Some(1), || {
+        bitsliced::aesenc(black_box(block), black_box(rk))
     });
-    g.finish();
 
-    let mut g = c.benchmark_group("aes_round_x4");
-    g.throughput(Throughput::Elements(4));
+    println!("# aes_round_x4");
     let blocks = [block; 4];
-    g.bench_function("aesenc_bitsliced_x4", |b| {
-        b.iter(|| black_box(bitsliced::aesenc4(black_box(blocks), black_box(rk))))
+    bench_with_throughput("aesenc_bitsliced_x4", Some(4), || {
+        bitsliced::aesenc4(black_box(blocks), black_box(rk))
     });
-    g.finish();
 
-    let mut g = c.benchmark_group("aes_block");
-    g.throughput(Throughput::Bytes(16));
-    g.bench_function("encrypt128_reference", |b| {
-        b.iter(|| black_box(reference::encrypt128(&key, black_box(block))))
+    println!("# aes_block (16 bytes each)");
+    bench_with_throughput("encrypt128_reference", Some(16), || {
+        reference::encrypt128(&key, black_box(block))
     });
-    g.bench_function("encrypt128_bitsliced", |b| {
-        b.iter(|| black_box(bitsliced::encrypt128(&key, black_box(block))))
+    bench_with_throughput("encrypt128_bitsliced", Some(16), || {
+        bitsliced::encrypt128(&key, black_box(block))
     });
-    g.finish();
 }
 
-fn bench_dispatcher(c: &mut Criterion) {
+fn bench_dispatcher() {
     let a = Vec128::from_u128(0xdead_beef);
     let b2 = Vec128::from_u128(0x1234_5678);
-    let mut g = c.benchmark_group("do_emulation_dispatch");
-    for op in [Opcode::Vor, Opcode::Vpclmulqdq, Opcode::Aesenc, Opcode::Imul] {
-        g.bench_function(format!("{op}"), |b| {
-            b.iter(|| emulate(black_box(op), EmuOperands::new(black_box(a), black_box(b2))))
+    println!("# do_emulation_dispatch");
+    for op in [
+        Opcode::Vor,
+        Opcode::Vpclmulqdq,
+        Opcode::Aesenc,
+        Opcode::Imul,
+    ] {
+        bench_with_throughput(&format!("{op}"), Some(1), || {
+            emulate(black_box(op), EmuOperands::new(black_box(a), black_box(b2)))
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_aes, bench_dispatcher);
-criterion_main!(benches);
+fn main() {
+    bench_aes();
+    bench_dispatcher();
+}

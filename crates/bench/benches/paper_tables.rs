@@ -1,71 +1,45 @@
-//! Criterion benches, one group per paper table/figure: each benchmark
+//! Wall-clock benches, one per paper table/figure: each benchmark
 //! regenerates the experiment (with a reduced instruction cap so a full
-//! `cargo bench` stays in minutes) and reports how long regeneration takes.
+//! `cargo bench` stays in minutes) and reports how long regeneration takes
+//! on the in-tree median-of-K harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use suit_bench::harness::bench;
 use suit_hw::UndervoltLevel;
 
 const CAP: Option<u64> = Some(200_000_000);
 
-fn bench_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper_tables");
-    g.sample_size(10);
-    g.bench_function("table1_fault_campaign", |b| {
-        b.iter(|| black_box(suit_bench::tables::table1()))
+fn bench_tables() {
+    println!("# paper_tables");
+    bench("table1_fault_campaign", suit_bench::tables::table1);
+    bench("table2_undervolt_response", suit_bench::tables::table2);
+    bench("table3_temperature_guardband", suit_bench::tables::table3);
+    bench("table4_no_simd", suit_bench::tables::table4);
+    bench("table5_system_config", suit_bench::tables::table5);
+    bench("table6_headline_97mv", || {
+        suit_bench::tables::table6(UndervoltLevel::Mv97, CAP)
     });
-    g.bench_function("table2_undervolt_response", |b| {
-        b.iter(|| black_box(suit_bench::tables::table2()))
+    bench("table7_parameter_sweep", || {
+        suit_bench::tables::table7(Some(50_000_000))
     });
-    g.bench_function("table3_temperature_guardband", |b| {
-        b.iter(|| black_box(suit_bench::tables::table3()))
-    });
-    g.bench_function("table4_no_simd", |b| {
-        b.iter(|| black_box(suit_bench::tables::table4()))
-    });
-    g.bench_function("table5_system_config", |b| {
-        b.iter(|| black_box(suit_bench::tables::table5()))
-    });
-    g.bench_function("table6_headline_97mv", |b| {
-        b.iter(|| black_box(suit_bench::tables::table6(UndervoltLevel::Mv97, CAP)))
-    });
-    g.bench_function("table7_parameter_sweep", |b| {
-        b.iter(|| black_box(suit_bench::tables::table7(Some(50_000_000))))
-    });
-    g.bench_function("table8_no_simd_wins", |b| {
-        b.iter(|| black_box(suit_bench::tables::table8(CAP)))
-    });
-    g.finish();
+    bench("table8_no_simd_wins", || suit_bench::tables::table8(CAP));
 }
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper_figures");
-    g.sample_size(10);
-    g.bench_function("fig5_burst_reaction", |b| {
-        b.iter(|| black_box(suit_bench::figs::fig5(CAP)))
-    });
-    g.bench_function("fig6_fv_sequence", |b| b.iter(|| black_box(suit_bench::figs::fig6())));
-    g.bench_function("fig7_gap_timeline", |b| b.iter(|| black_box(suit_bench::figs::fig7())));
-    g.bench_function("fig8_voltage_settle", |b| b.iter(|| black_box(suit_bench::figs::fig8())));
-    g.bench_function("fig9_freq_settle_intel", |b| {
-        b.iter(|| black_box(suit_bench::figs::fig9()))
-    });
-    g.bench_function("fig10_freq_settle_amd", |b| {
-        b.iter(|| black_box(suit_bench::figs::fig10()))
-    });
-    g.bench_function("fig11_pstate_change", |b| b.iter(|| black_box(suit_bench::figs::fig11())));
-    g.bench_function("fig12_undervolt_sweep", |b| {
-        b.iter(|| black_box(suit_bench::figs::fig12()))
-    });
-    g.bench_function("fig13_fv_pairs", |b| b.iter(|| black_box(suit_bench::figs::fig13())));
-    g.bench_function("fig14_imul_latency", |b| {
-        b.iter(|| black_box(suit_bench::figs::fig14(50_000)))
-    });
-    g.bench_function("fig16_per_benchmark", |b| {
-        b.iter(|| black_box(suit_bench::figs::fig16(CAP)))
-    });
-    g.finish();
+fn bench_figures() {
+    println!("# paper_figures");
+    bench("fig5_burst_reaction", || suit_bench::figs::fig5(CAP));
+    bench("fig6_fv_sequence", suit_bench::figs::fig6);
+    bench("fig7_gap_timeline", suit_bench::figs::fig7);
+    bench("fig8_voltage_settle", suit_bench::figs::fig8);
+    bench("fig9_freq_settle_intel", suit_bench::figs::fig9);
+    bench("fig10_freq_settle_amd", suit_bench::figs::fig10);
+    bench("fig11_pstate_change", suit_bench::figs::fig11);
+    bench("fig12_undervolt_sweep", suit_bench::figs::fig12);
+    bench("fig13_fv_pairs", suit_bench::figs::fig13);
+    bench("fig14_imul_latency", || suit_bench::figs::fig14(50_000));
+    bench("fig16_per_benchmark", || suit_bench::figs::fig16(CAP));
 }
 
-criterion_group!(benches, bench_tables, bench_figures);
-criterion_main!(benches);
+fn main() {
+    bench_tables();
+    bench_figures();
+}

@@ -1,8 +1,8 @@
 //! Simulator throughput benchmarks: the event-based system simulator, the
 //! trace generator, and the out-of-order core model.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use suit_bench::harness::bench_with_throughput;
 use suit_hw::{CpuModel, UndervoltLevel};
 use suit_ooo::config::O3Config;
 use suit_ooo::core::O3Core;
@@ -10,49 +10,40 @@ use suit_ooo::workload::{by_name, UopStream};
 use suit_sim::engine::{simulate, SimConfig};
 use suit_trace::{profile, TraceGen};
 
-fn bench_engine(c: &mut Criterion) {
+fn bench_engine() {
     let cpu = CpuModel::xeon_4208();
-    let mut g = c.benchmark_group("trace_engine");
-    g.sample_size(20);
+    println!("# trace_engine (500M simulated instructions per iteration)");
     for name in ["557.xz", "502.gcc", "520.omnetpp", "Nginx"] {
         let p = profile::by_name(name).unwrap();
         let cfg = SimConfig::fv_intel(UndervoltLevel::Mv97).with_max_insts(500_000_000);
-        g.throughput(Throughput::Elements(500_000_000));
-        g.bench_function(format!("fv_{name}"), |b| {
-            b.iter(|| black_box(simulate(&cpu, p, &cfg)))
+        bench_with_throughput(&format!("fv_{name}"), Some(500_000_000), || {
+            simulate(&cpu, p, &cfg)
         });
     }
-    g.finish();
 }
 
-fn bench_tracegen(c: &mut Criterion) {
+fn bench_tracegen() {
     let p = profile::by_name("502.gcc").unwrap();
-    let mut g = c.benchmark_group("trace_generation");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("gcc_10k_bursts", |b| {
-        b.iter(|| {
-            let gen = TraceGen::new(p, 1);
-            black_box(gen.take(10_000).map(|b| b.gap_insts).sum::<u64>())
-        })
+    println!("# trace_generation");
+    bench_with_throughput("gcc_10k_bursts", Some(10_000), || {
+        let gen = TraceGen::new(p, 1);
+        black_box(gen.take(10_000).map(|b| b.gap_insts).sum::<u64>())
     });
-    g.finish();
 }
 
-fn bench_ooo(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ooo_core");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(200_000));
+fn bench_ooo() {
+    println!("# ooo_core (200k uops per iteration)");
     for name in ["525.x264", "505.mcf"] {
         let p = by_name(name).unwrap();
-        g.bench_function(format!("o3_{name}_200k_uops"), |b| {
-            b.iter(|| {
-                let mut core = O3Core::new(O3Config::default());
-                black_box(core.run(UopStream::new(p.clone(), 1), 200_000))
-            })
+        bench_with_throughput(&format!("o3_{name}_200k_uops"), Some(200_000), || {
+            let mut core = O3Core::new(O3Config::default());
+            black_box(core.run(UopStream::new(p.clone(), 1), 200_000))
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_engine, bench_tracegen, bench_ooo);
-criterion_main!(benches);
+fn main() {
+    bench_engine();
+    bench_tracegen();
+    bench_ooo();
+}

@@ -16,7 +16,14 @@ pub fn thrash_prevention(cap: Option<u64>) -> TextTable {
     let cpu = CpuModel::xeon_4208();
     let mut t = TextTable::new(
         "Ablation — thrashing prevention (CPU C, fV, -97 mV)",
-        &["Workload", "Perf (on)", "Eff (on)", "Perf (off)", "Eff (off)", "Switches on/off"],
+        &[
+            "Workload",
+            "Perf (on)",
+            "Eff (on)",
+            "Perf (off)",
+            "Eff (off)",
+            "Switches on/off",
+        ],
     );
     for name in ["520.omnetpp", "521.wrf", "502.gcc"] {
         let p = profile::by_name(name).expect("profile");
@@ -145,7 +152,12 @@ pub fn noisy_neighbor(cap: Option<u64>) -> TextTable {
     let xz = profile::by_name("557.xz").expect("profile");
     let mut t = TextTable::new(
         "Ablation — noisy neighbours on the i9-9900K's shared DVFS domain (fV, -97 mV)",
-        &["Configuration", "Domain residency", "Domain power", "557.xz perf"],
+        &[
+            "Configuration",
+            "Domain residency",
+            "Domain power",
+            "557.xz perf",
+        ],
     );
     let mut cfg = SimConfig::fv_intel(UndervoltLevel::Mv97);
     cfg.max_insts = cap.map(|c| c.min(1_500_000_000));
@@ -196,22 +208,33 @@ mod tests {
             row[i].trim_end_matches('%').parse::<f64>().unwrap()
         };
         for chunk in t.rows.chunks(4) {
-            let best_perf = chunk.iter().map(|r| field(r, 2)).fold(f64::NEG_INFINITY, f64::max);
+            let best_perf = chunk
+                .iter()
+                .map(|r| field(r, 2))
+                .fold(f64::NEG_INFINITY, f64::max);
             let fv = chunk.iter().find(|r| r[1] == "fV").unwrap();
             // fV never loses performance (the pure-frequency strategy
             // saves more power but computes slower on C_f)...
-            assert!(field(fv, 2) >= best_perf - 0.5, "{}: fV perf {} vs best {best_perf}", chunk[0][0], field(fv, 2));
+            assert!(
+                field(fv, 2) >= best_perf - 0.5,
+                "{}: fV perf {} vs best {best_perf}",
+                chunk[0][0],
+                field(fv, 2)
+            );
             // ... while still improving efficiency on every workload.
-            assert!(field(fv, 4) > 0.0, "{}: fV eff {}", chunk[0][0], field(fv, 4));
+            assert!(
+                field(fv, 4) > 0.0,
+                "{}: fV eff {}",
+                chunk[0][0],
+                field(fv, 4)
+            );
         }
     }
 
     #[test]
     fn noisy_neighbors_degrade_shared_domains() {
         let t = noisy_neighbor(CAP);
-        let res = |i: usize| -> f64 {
-            t.rows[i][1].trim_end_matches('%').parse::<f64>().unwrap()
-        };
+        let res = |i: usize| -> f64 { t.rows[i][1].trim_end_matches('%').parse::<f64>().unwrap() };
         assert!(res(0) > 80.0, "solo xz residency {}", res(0));
         assert!(res(3) < 30.0, "omnetpp neighbour residency {}", res(3));
         // Monotone-ish: noisier neighbours, lower residency.
@@ -221,13 +244,15 @@ mod tests {
     #[test]
     fn trapping_imul_erases_the_gain() {
         let t = imul_hardening(CAP);
-        let res = |i: usize| -> f64 {
-            t.rows[i][1].trim_end_matches('%').parse::<f64>().unwrap()
-        };
+        let res = |i: usize| -> f64 { t.rows[i][1].trim_end_matches('%').parse::<f64>().unwrap() };
         assert!(res(0) > 60.0, "hardened residency {}", res(0));
         assert!(res(1) < 10.0, "trapped residency {}", res(1));
         let eff = |i: usize| -> f64 {
-            t.rows[i][3].trim_start_matches('+').trim_end_matches('%').parse::<f64>().unwrap()
+            t.rows[i][3]
+                .trim_start_matches('+')
+                .trim_end_matches('%')
+                .parse::<f64>()
+                .unwrap()
         };
         assert!(eff(0) > eff(1) + 3.0, "{} vs {}", eff(0), eff(1));
     }

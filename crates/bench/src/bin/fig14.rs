@@ -1,5 +1,9 @@
 //! Regenerates the paper's Fig. 14 (IMUL latency sweep).
 fn main() {
-    let uops = if std::env::args().any(|a| a == "--full") { 2_000_000 } else { 400_000 };
+    let uops = if std::env::args().any(|a| a == "--full") {
+        2_000_000
+    } else {
+        400_000
+    };
     println!("{}", suit_bench::figs::fig14(uops));
 }

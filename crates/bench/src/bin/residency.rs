@@ -1,4 +1,7 @@
 //! Prints the Section 6.4 efficient-curve residency report.
 fn main() {
-    println!("{}", suit_bench::tables::residency(suit_bench::cap_from_args()));
+    println!(
+        "{}",
+        suit_bench::tables::residency(suit_bench::cap_from_args())
+    );
 }

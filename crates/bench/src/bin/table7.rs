@@ -1,4 +1,7 @@
 //! Regenerates the paper's Table 7 (operating-strategy parameters).
 fn main() {
-    println!("{}", suit_bench::tables::table7(suit_bench::cap_from_args()));
+    println!(
+        "{}",
+        suit_bench::tables::table7(suit_bench::cap_from_args())
+    );
 }

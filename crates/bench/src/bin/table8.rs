@@ -1,4 +1,7 @@
 //! Regenerates the paper's Table 8 (no-SIMD vs. SUIT wins).
 fn main() {
-    println!("{}", suit_bench::tables::table8(suit_bench::cap_from_args()));
+    println!(
+        "{}",
+        suit_bench::tables::table8(suit_bench::cap_from_args())
+    );
 }

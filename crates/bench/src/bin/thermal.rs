@@ -9,10 +9,21 @@ fn main() {
     let p = profile::by_name("502.gcc").expect("profile");
     let cfg = ThermalLoopConfig::default();
     // Fan schedule: starve at t = 30 s, restore at t = 80 s.
-    let r = thermal_loop(&cpu, p, &ThermalLoopConfig { slices: 240, ..cfg }, &[(60, 300.0), (160, 1800.0)]);
+    let r = thermal_loop(
+        &cpu,
+        p,
+        &ThermalLoopConfig { slices: 240, ..cfg },
+        &[(60, 300.0), (160, 1800.0)],
+    );
 
-    println!("Closed thermal loop: 502.gcc on {}, fan 1800 -> 300 RPM at 30 s -> 1800 RPM at 80 s", cpu.name);
-    println!("{:>8} {:>9} {:>10} {:>9} {:>7}", "t (s)", "temp (C)", "level", "power W", "eff");
+    println!(
+        "Closed thermal loop: 502.gcc on {}, fan 1800 -> 300 RPM at 30 s -> 1800 RPM at 80 s",
+        cpu.name
+    );
+    println!(
+        "{:>8} {:>9} {:>10} {:>9} {:>7}",
+        "t (s)", "temp (C)", "level", "power W", "eff"
+    );
     for rec in r.records.iter().step_by(10) {
         println!(
             "{:>8.1} {:>9.1} {:>10} {:>9.1} {:>6.1}%",

@@ -10,8 +10,7 @@ use suit_sim::experiment::{run_row, table6_rows};
 use suit_sim::timeline::fv_series;
 use suit_trace::{profile, TraceGen};
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use suit_rng::SuitRng;
 
 use crate::render::{num, pct, pct2, TextTable};
 
@@ -74,7 +73,12 @@ pub fn fig7() -> TextTable {
     let p = profile::by_name("VLC").expect("profile");
     let mut t = TextTable::new(
         "Fig. 7 — VLC AES instruction gap-size timeline (per burst)",
-        &["burst start (insts)", "leading gap (log10)", "events", "within gap (log10)"],
+        &[
+            "burst start (insts)",
+            "leading gap (log10)",
+            "events",
+            "within gap (log10)",
+        ],
     );
     let mut pos: u64 = 0;
     for b in TraceGen::new(p, 0x5017).take(40) {
@@ -104,31 +108,43 @@ fn settle_table(title: &str, samples: &[suit_hw::delays::SettleSample], unit: &s
 
 /// Fig. 8: i9-9900K voltage settle after resetting the offset (≈350 µs).
 pub fn fig8() -> TextTable {
-    let mut rng = StdRng::seed_from_u64(8);
+    let mut rng = SuitRng::seed_from_u64(8);
     let d = TransitionDelays::i9_9900k();
     let samples = voltage_settle_curve(&mut rng, &d, 800.0, 900.0, 25.0, 600.0);
-    settle_table("Fig. 8 — i9-9900K core voltage settle (offset reset at t=0)", &samples, "mV")
+    settle_table(
+        "Fig. 8 — i9-9900K core voltage settle (offset reset at t=0)",
+        &samples,
+        "mV",
+    )
 }
 
 /// Fig. 9: i9-9900K frequency change (≈22 µs) with the all-core stall gap.
 pub fn fig9() -> TextTable {
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = SuitRng::seed_from_u64(9);
     let d = TransitionDelays::i9_9900k();
     let samples = frequency_settle_curve(&mut rng, &d, 3.0, 2.6, 2.0, 40.0);
-    settle_table("Fig. 9 — i9-9900K frequency change (stall = no samples)", &samples, "GHz")
+    settle_table(
+        "Fig. 9 — i9-9900K frequency change (stall = no samples)",
+        &samples,
+        "GHz",
+    )
 }
 
 /// Fig. 10: 7700X frequency change (≈668 µs), no stall.
 pub fn fig10() -> TextTable {
-    let mut rng = StdRng::seed_from_u64(10);
+    let mut rng = SuitRng::seed_from_u64(10);
     let d = TransitionDelays::ryzen_7700x();
     let samples = frequency_settle_curve(&mut rng, &d, 3.0, 1.5, 50.0, 900.0);
-    settle_table("Fig. 10 — Ryzen 7 7700X frequency change (no stall)", &samples, "GHz")
+    settle_table(
+        "Fig. 10 — Ryzen 7 7700X frequency change (no stall)",
+        &samples,
+        "GHz",
+    )
 }
 
 /// Fig. 11: Xeon 4208 p-state change — voltage first, then frequency.
 pub fn fig11() -> TextTable {
-    let mut rng = StdRng::seed_from_u64(11);
+    let mut rng = SuitRng::seed_from_u64(11);
     let d = TransitionDelays::xeon_4208();
     let volt = voltage_settle_curve(&mut rng, &d, 800.0, 840.0, 25.0, 500.0);
     let freq = frequency_settle_curve(&mut rng, &d, 2.6, 3.0, 2.0, 60.0);
@@ -178,7 +194,12 @@ pub fn fig13() -> TextTable {
     let imul = curve.modified_imul();
     let mut t = TextTable::new(
         "Fig. 13 — i9-9900K stable f/V pairs and safe voltage for 4-cycle IMUL",
-        &["freq (GHz)", "V stock (mV)", "V modified IMUL (mV)", "delta (mV)"],
+        &[
+            "freq (GHz)",
+            "V stock (mV)",
+            "V modified IMUL (mV)",
+            "delta (mV)",
+        ],
     );
     for p in curve.points() {
         let v_imul = imul.voltage_at(p.freq_ghz);
@@ -208,7 +229,9 @@ pub fn fig14(uops: u64) -> TextTable {
             pct2(x264.slowdowns[i]),
         ]);
     }
-    t.note("paper: geomean +0.03% and x264 +1.60% at 4 cycles; near-linear growth at large latencies");
+    t.note(
+        "paper: geomean +0.03% and x264 +1.60% at 4 cycles; near-linear growth at large latencies",
+    );
     t
 }
 
@@ -219,7 +242,13 @@ pub fn fig16(cap: Option<u64>) -> TextTable {
     let r97 = run_row(spec, UndervoltLevel::Mv97, cap);
     let mut t = TextTable::new(
         "Fig. 16 — Per-application impact on CPU C (fV strategy)",
-        &["Workload", "Perf -70mV", "Eff -70mV", "Perf -97mV", "Eff -97mV"],
+        &[
+            "Workload",
+            "Perf -70mV",
+            "Eff -70mV",
+            "Perf -97mV",
+            "Eff -97mV",
+        ],
     );
     for (a, b) in r70.per_workload.iter().zip(&r97.per_workload) {
         assert_eq!(a.workload, b.workload);
@@ -261,7 +290,10 @@ mod tests {
         let leading: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
         let within: Vec<f64> = t.rows.iter().map(|r| r[3].parse().unwrap()).collect();
         assert!(within.iter().all(|&l| l < 3.0), "dense within-burst gaps");
-        assert!(leading.iter().any(|&l| l > 5.0), "quiet stretches: {leading:?}");
+        assert!(
+            leading.iter().any(|&l| l > 5.0),
+            "quiet stretches: {leading:?}"
+        );
     }
 
     #[test]

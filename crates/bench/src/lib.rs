@@ -18,6 +18,7 @@
 
 pub mod ablation;
 pub mod figs;
+pub mod harness;
 pub mod render;
 pub mod tables;
 

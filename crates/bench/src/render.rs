@@ -59,7 +59,11 @@ impl fmt::Display for TextTable {
         let w = self.widths();
         writeln!(f, "{}", self.title)?;
         let line_len: usize = w.iter().sum::<usize>() + 3 * w.len().saturating_sub(1);
-        writeln!(f, "{}", "=".repeat(self.title.chars().count().max(line_len)))?;
+        writeln!(
+            f,
+            "{}",
+            "=".repeat(self.title.chars().count().max(line_len))
+        )?;
         let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
             let mut first = true;
             for (cell, width) in cells.iter().zip(&w) {

@@ -49,7 +49,15 @@ pub fn table1() -> TextTable {
 pub fn table2() -> TextTable {
     let mut t = TextTable::new(
         "Table 2 — Undervolting response (model vs. paper)",
-        &["CPU", "V_off", "Score", "Power", "Freq", "Eff.", "Eff. (paper)"],
+        &[
+            "CPU",
+            "V_off",
+            "Score",
+            "Power",
+            "Freq",
+            "Eff.",
+            "Eff. (paper)",
+        ],
     );
     let models = [
         ("i5-1035G1", SteadyStateModel::i5_1035g1()),
@@ -81,7 +89,13 @@ pub fn table2() -> TextTable {
 pub fn table3() -> TextTable {
     let mut t = TextTable::new(
         "Table 3 — Temperature vs. maximum undervolting offset",
-        &["f_CLK", "Fan RPM", "t_core", "V_off (model)", "V_off (paper)"],
+        &[
+            "f_CLK",
+            "Fan RPM",
+            "t_core",
+            "V_off (model)",
+            "V_off (paper)",
+        ],
     );
     for (rpm, paper) in [(1800.0, -90.0), (300.0, -55.0)] {
         let temp = core_temp_at_fan_rpm(rpm);
@@ -89,7 +103,7 @@ pub fn table3() -> TextTable {
         t.row(vec![
             "4 GHz".into(),
             format!("{rpm:.0}"),
-            format!("{temp:.0} C", ),
+            format!("{temp:.0} C",),
             format!("{voff:.0} mV"),
             format!("{paper:.0} mV"),
         ]);
@@ -104,18 +118,34 @@ pub fn table4() -> TextTable {
         &["Benchmark", "i9-9900K", "7700X"],
     );
     // Suite means first, as in the paper.
-    let fp: Vec<&profile::WorkloadProfile> =
-        profile::all().iter().filter(|p| p.suite == profile::Suite::SpecFp).collect();
-    let int: Vec<&profile::WorkloadProfile> =
-        profile::all().iter().filter(|p| p.suite == profile::Suite::SpecInt).collect();
+    let fp: Vec<&profile::WorkloadProfile> = profile::all()
+        .iter()
+        .filter(|p| p.suite == profile::Suite::SpecFp)
+        .collect();
+    let int: Vec<&profile::WorkloadProfile> = profile::all()
+        .iter()
+        .filter(|p| p.suite == profile::Suite::SpecInt)
+        .collect();
     let mean = |v: &[&profile::WorkloadProfile], intel: bool| {
         v.iter().map(|p| p.no_simd_overhead(intel)).sum::<f64>() / v.len() as f64
     };
-    t.row(vec!["fprate".into(), pct(mean(&fp, true)), pct(mean(&fp, false))]);
-    t.row(vec!["intrate".into(), pct(mean(&int, true)), pct(mean(&int, false))]);
+    t.row(vec![
+        "fprate".into(),
+        pct(mean(&fp, true)),
+        pct(mean(&fp, false)),
+    ]);
+    t.row(vec![
+        "intrate".into(),
+        pct(mean(&int, true)),
+        pct(mean(&int, false)),
+    ]);
     for row in measured::TABLE4_NO_SIMD.iter().skip(2) {
         let p = profile::by_name(row.0).expect("profile exists");
-        t.row(vec![row.0.to_string(), pct(p.no_simd_intel), pct(p.no_simd_amd)]);
+        t.row(vec![
+            row.0.to_string(),
+            pct(p.no_simd_intel),
+            pct(p.no_simd_amd),
+        ]);
     }
     t.note("per-benchmark anchors are Table 4's measured values; unlisted benchmarks carry small interpolated overheads");
     t
@@ -164,7 +194,16 @@ fn deltas_row(label: &str, row: &RowResult) -> Vec<Vec<String>> {
 pub fn table6(level: UndervoltLevel, cap: Option<u64>) -> TextTable {
     let mut t = TextTable::new(
         format!("Table 6 — SUIT system results at {level}"),
-        &["Config", "Metric", "SPECgmean", "SPECmedian", "525.x264", "SPECnoSIMD", "Nginx", "VLC"],
+        &[
+            "Config",
+            "Metric",
+            "SPECgmean",
+            "SPECmedian",
+            "525.x264",
+            "SPECnoSIMD",
+            "Nginx",
+            "VLC",
+        ],
     );
     for spec in table6_rows() {
         let row = run_row(&spec, level, cap);
@@ -197,12 +236,15 @@ pub fn table7(cap: Option<u64>) -> TextTable {
     );
     let mut results = Vec::new();
     for dl_us in [10u64, 20, 30, 40, 60, 120] {
-        let params = StrategyParams::intel()
-            .with_deadline(suit_isa::SimDuration::from_micros(dl_us));
+        let params =
+            StrategyParams::intel().with_deadline(suit_isa::SimDuration::from_micros(dl_us));
         let row = run_row_with_params(&spec, UndervoltLevel::Mv97, params, cap);
         results.push((dl_us, row.spec_gmean().eff));
     }
-    let best = results.iter().map(|r| r.1).fold(f64::NEG_INFINITY, f64::max);
+    let best = results
+        .iter()
+        .map(|r| r.1)
+        .fold(f64::NEG_INFINITY, f64::max);
     for (dl, eff) in results {
         t.row(vec![dl.to_string(), pct(eff), pct(eff - best)]);
     }
@@ -218,7 +260,14 @@ pub fn table8(cap: Option<u64>) -> TextTable {
         "Table 8 — No-SIMD vs. SUIT wins over the 23 SPEC benchmarks (-97 mV)",
         &["Config", "No SIMD wins", "SUIT wins", "paper (No SIMD)"],
     );
-    let paper = [("A1 fV", 15), ("A4 fV", 21), ("Ainf e", 23), ("Binf f", 21), ("Binf e", 23), ("Cinf fV", 16)];
+    let paper = [
+        ("A1 fV", 15),
+        ("A4 fV", 21),
+        ("Ainf e", 23),
+        ("Binf f", 21),
+        ("Binf e", 23),
+        ("Cinf fV", 16),
+    ];
     for (spec, (_, paper_wins)) in table6_rows().iter().zip(paper) {
         let row = run_row(spec, UndervoltLevel::Mv97, cap);
         let (ns, suit) = table8_counts(&row);
@@ -266,7 +315,14 @@ pub fn delays() -> TextTable {
     use suit_hw::TransitionDelays;
     let mut t = TextTable::new(
         "Measured transition delays (Section 5.2/5.3 constants)",
-        &["CPU", "freq change", "freq stall", "volt change", "#DO entry", "emu call"],
+        &[
+            "CPU",
+            "freq change",
+            "freq stall",
+            "volt change",
+            "#DO entry",
+            "emu call",
+        ],
     );
     for (name, d) in [
         ("i9-9900K (A)", TransitionDelays::i9_9900k()),
@@ -292,10 +348,13 @@ pub fn security_report(chips: u64, instructions: usize) -> TextTable {
     use suit_faults::vmin::ChipVminModel;
     use suit_faults::{audit_naive_undervolt, audit_suit_system};
     let mut t = TextTable::new(
-        format!(
-            "Security audit (Section 6.9): {chips} chips x {instructions} instructions"
-        ),
-        &["offset", "naive silent errors", "SUIT silent errors", "SUIT #DO traps"],
+        format!("Security audit (Section 6.9): {chips} chips x {instructions} instructions"),
+        &[
+            "offset",
+            "naive silent errors",
+            "SUIT silent errors",
+            "SUIT #DO traps",
+        ],
     );
     for offset in [-70.0, -97.0, -130.0] {
         let mut naive = 0u64;
@@ -347,7 +406,10 @@ mod tests {
         let parse = |s: &str| s.trim_end_matches('%').parse::<f64>().unwrap();
         let model = parse(&i9_97[5]);
         let paper = parse(&i9_97[6]);
-        assert!((model - paper).abs() < 1.5, "model {model} vs paper {paper}");
+        assert!(
+            (model - paper).abs() < 1.5,
+            "model {model} vs paper {paper}"
+        );
     }
 
     #[test]

@@ -113,8 +113,14 @@ impl AdaptiveChooser {
     /// Panics on degenerate configuration (hysteresis < 1, alpha outside
     /// (0, 1], zero probe interval).
     pub fn new(cfg: AdaptiveConfig) -> Self {
-        assert!(cfg.hysteresis >= 1.0, "hysteresis must not invert the comparison");
-        assert!(cfg.ewma_alpha > 0.0 && cfg.ewma_alpha <= 1.0, "alpha in (0, 1]");
+        assert!(
+            cfg.hysteresis >= 1.0,
+            "hysteresis must not invert the comparison"
+        );
+        assert!(
+            cfg.ewma_alpha > 0.0 && cfg.ewma_alpha <= 1.0,
+            "alpha in (0, 1]"
+        );
         assert!(cfg.probe_interval >= 1, "probe interval must be positive");
         AdaptiveChooser {
             cfg,
@@ -205,8 +211,7 @@ impl AdaptiveChooser {
                 self.bursts_since_probe = 0;
             }
             self.burst_events = 0;
-            self.burst_observed =
-                self.mode == OperatingStrategy::Emulation || self.probing;
+            self.burst_observed = self.mode == OperatingStrategy::Emulation || self.probing;
         }
 
         self.burst_events += 1;
@@ -214,15 +219,12 @@ impl AdaptiveChooser {
         let effective = if self.probing || self.mode == OperatingStrategy::Emulation {
             // Mid-burst escape: if this burst alone already out-costs an
             // episode, stop emulating it right now.
-            if self.emu_cost(self.burst_events as f64)
-                > self.episode_cost() * self.cfg.hysteresis
-            {
+            if self.emu_cost(self.burst_events as f64) > self.episode_cost() * self.cfg.hysteresis {
                 self.set_mode(OperatingStrategy::FreqVolt);
                 self.probing = false;
                 self.burst_observed = false;
                 // The escape itself is strong evidence of large bursts.
-                self.est_events_per_burst =
-                    self.est_events_per_burst.max(self.burst_events as f64);
+                self.est_events_per_burst = self.est_events_per_burst.max(self.burst_events as f64);
                 OperatingStrategy::FreqVolt
             } else {
                 OperatingStrategy::Emulation
@@ -304,7 +306,11 @@ mod tests {
                 break;
             }
         }
-        assert!(back, "must fall back to emulation; est {}", c.events_per_burst());
+        assert!(
+            back,
+            "must fall back to emulation; est {}",
+            c.events_per_burst()
+        );
     }
 
     #[test]
@@ -336,7 +342,10 @@ mod tests {
                 c.on_exception(SimTime::ZERO + SimDuration::from_nanos(t_ns));
             }
         }
-        assert!(emulated_bursts >= 2, "probes must sample ({emulated_bursts})");
+        assert!(
+            emulated_bursts >= 2,
+            "probes must sample ({emulated_bursts})"
+        );
         assert!(fv_bursts > emulated_bursts, "steady mode must dominate");
     }
 

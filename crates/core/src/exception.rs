@@ -37,14 +37,21 @@ impl DisabledOpcode {
     /// Panics if `opcode` is not faultable: hardware only checks disabled
     /// opcodes, which are always drawn from the faultable set.
     pub fn new(opcode: Opcode, core: usize, at: SimTime) -> Self {
-        assert!(opcode.is_faultable(), "#DO can only be raised for faultable opcodes");
+        assert!(
+            opcode.is_faultable(),
+            "#DO can only be raised for faultable opcodes"
+        );
         DisabledOpcode { opcode, core, at }
     }
 }
 
 impl core::fmt::Display for DisabledOpcode {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "#DO(vector {DO_VECTOR}): {} on core {} at {}", self.opcode, self.core, self.at)
+        write!(
+            f,
+            "#DO(vector {DO_VECTOR}): {} on core {} at {}",
+            self.opcode, self.core, self.at
+        )
     }
 }
 

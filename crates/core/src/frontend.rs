@@ -38,7 +38,11 @@ pub struct MachineState {
 
 impl Default for MachineState {
     fn default() -> Self {
-        MachineState { xmm: [Vec128::ZERO; 16], gpr: [0; 16], rip: 0 }
+        MachineState {
+            xmm: [Vec128::ZERO; 16],
+            gpr: [0; 16],
+            rip: 0,
+        }
     }
 }
 
@@ -181,7 +185,10 @@ impl SuitFrontend {
         if self.msrs.is_disabled(d.opcode) {
             // The Fig. 3 check: disabled opcodes never reach the backend.
             self.traps += 1;
-            return Ok(StepOutcome::DisabledOpcode { opcode: d.opcode, rip: self.state.rip });
+            return Ok(StepOutcome::DisabledOpcode {
+                opcode: d.opcode,
+                rip: self.state.rip,
+            });
         }
 
         self.execute(&d)?;
@@ -272,7 +279,10 @@ mod tests {
         let out = f.step(&program()).unwrap();
         assert_eq!(
             out,
-            StepOutcome::DisabledOpcode { opcode: Opcode::Aesenc, rip: 0 }
+            StepOutcome::DisabledOpcode {
+                opcode: Opcode::Aesenc,
+                rip: 0
+            }
         );
         assert_eq!(f.state, before, "a trapped instruction has no effect");
         assert_eq!(f.traps, 1);

@@ -56,7 +56,11 @@ impl OffsetGovernor {
     /// Creates a governor with the package initially at ambient and the
     /// given fan speed.
     pub fn new(cfg: GovernorConfig, fan_rpm: f64) -> Self {
-        OffsetGovernor { cfg, aging: AgingModel::default(), thermal: ThermalModel::new(fan_rpm) }
+        OffsetGovernor {
+            cfg,
+            aging: AgingModel::default(),
+            thermal: ThermalModel::new(fan_rpm),
+        }
     }
 
     /// Current junction temperature, °C.
@@ -157,7 +161,10 @@ mod tests {
     fn older_machines_get_shallower_budgets() {
         let fresh = OffsetGovernor::new(GovernorConfig::default(), 1800.0);
         let aged = OffsetGovernor::new(
-            GovernorConfig { deployment_years: 8.0, ..GovernorConfig::default() },
+            GovernorConfig {
+                deployment_years: 8.0,
+                ..GovernorConfig::default()
+            },
             1800.0,
         );
         assert!(

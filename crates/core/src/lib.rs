@@ -45,9 +45,9 @@ pub mod strategy;
 pub mod thrash;
 
 pub use adaptive::{AdaptiveChooser, AdaptiveConfig};
+pub use exception::{DisabledOpcode, DO_VECTOR};
 pub use frontend::{MachineState, StepOutcome, SuitFrontend};
 pub use governor::{GovernorConfig, OffsetGovernor};
-pub use exception::{DisabledOpcode, DO_VECTOR};
 pub use msr::{CurveSelect, DisableOpcodeMsr, DvfsCurveMsr, MsrError, SuitMsrs};
 pub use os::{CpuControl, CurveTarget, HandlerAction, OsStats, SuitOs};
 pub use strategy::{OperatingStrategy, StrategyParams};

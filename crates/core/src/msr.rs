@@ -138,11 +138,7 @@ impl SuitMsrs {
     /// the efficient curve is selected.
     pub fn write_disable(&mut self, set: FaultableSet) -> Result<(), MsrError> {
         if self.curve.selected == CurveSelect::Efficient {
-            if let Some(op) = self
-                .faultable
-                .iter()
-                .find(|op| !set.contains(*op))
-            {
+            if let Some(op) = self.faultable.iter().find(|op| !set.contains(*op)) {
                 return Err(MsrError::EnableWhileEfficient { opcode: op });
             }
         }

@@ -223,12 +223,17 @@ mod tests {
             self.calls.push(format!("disable:{d}"));
         }
         fn set_timer_interrupt(&mut self, d: SimDuration) {
-            self.calls.push(format!("timer:{}us", d.as_micros_f64().round()));
+            self.calls
+                .push(format!("timer:{}us", d.as_micros_f64().round()));
         }
     }
 
     fn exception(at_us: u64) -> DisabledOpcode {
-        DisabledOpcode::new(Opcode::Aesenc, 0, SimTime::ZERO + SimDuration::from_micros(at_us))
+        DisabledOpcode::new(
+            Opcode::Aesenc,
+            0,
+            SimTime::ZERO + SimDuration::from_micros(at_us),
+        )
     }
 
     #[test]
@@ -288,7 +293,11 @@ mod tests {
             cpu.now = SimTime::ZERO + SimDuration::from_micros(t);
             os.on_disabled_opcode(&mut cpu, &exception(t));
         }
-        assert_eq!(os.current_deadline(), SimDuration::from_micros(420), "30 µs · 14");
+        assert_eq!(
+            os.current_deadline(),
+            SimDuration::from_micros(420),
+            "30 µs · 14"
+        );
         assert_eq!(os.stats().thrash_hits, 1);
         let last = cpu.calls.last().unwrap();
         assert_eq!(last, "timer:420us");

@@ -34,7 +34,12 @@ impl ThrashGuard {
     pub fn new(window: SimDuration, threshold: u32) -> Self {
         assert!(threshold > 0, "p_ec must be at least 1");
         assert!(!window.is_zero(), "p_ts must be positive");
-        ThrashGuard { window, threshold, events: VecDeque::new(), activations: 0 }
+        ThrashGuard {
+            window,
+            threshold,
+            events: VecDeque::new(),
+            activations: 0,
+        }
     }
 
     /// Records a `#DO` exception at `now` and reports whether thrashing is

@@ -82,11 +82,7 @@ impl BsState {
         // (indices mod 8), with c = 0x63.
         let mut out = [0u64; 8];
         for (j, o) in out.iter_mut().enumerate() {
-            *o = inv[j]
-                ^ inv[(j + 7) % 8]
-                ^ inv[(j + 6) % 8]
-                ^ inv[(j + 5) % 8]
-                ^ inv[(j + 4) % 8];
+            *o = inv[j] ^ inv[(j + 7) % 8] ^ inv[(j + 6) % 8] ^ inv[(j + 5) % 8] ^ inv[(j + 4) % 8];
             if (0x63 >> j) & 1 == 1 {
                 *o ^= u64::MAX;
             }
@@ -326,8 +322,8 @@ mod tests {
         assert_eq!(
             encrypt128(&key, pt).to_bytes(),
             [
-                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
-                0xb4, 0xc5, 0x5a
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+                0xc5, 0x5a
             ]
         );
     }

@@ -221,8 +221,8 @@ mod tests {
         assert_eq!(
             tag.to_bytes(),
             [
-                0x58, 0xe2, 0xfc, 0xce, 0xfa, 0x7e, 0x30, 0x61, 0x36, 0x7f, 0x1d, 0x57, 0xa4,
-                0xe7, 0x45, 0x5a
+                0x58, 0xe2, 0xfc, 0xce, 0xfa, 0x7e, 0x30, 0x61, 0x36, 0x7f, 0x1d, 0x57, 0xa4, 0xe7,
+                0x45, 0x5a
             ]
         );
     }
@@ -234,15 +234,15 @@ mod tests {
         assert_eq!(
             ct,
             vec![
-                0x03, 0x88, 0xda, 0xce, 0x60, 0xb6, 0xa3, 0x92, 0xf3, 0x28, 0xc2, 0xb9, 0x71,
-                0xb2, 0xfe, 0x78
+                0x03, 0x88, 0xda, 0xce, 0x60, 0xb6, 0xa3, 0x92, 0xf3, 0x28, 0xc2, 0xb9, 0x71, 0xb2,
+                0xfe, 0x78
             ]
         );
         assert_eq!(
             tag.to_bytes(),
             [
-                0xab, 0x6e, 0x47, 0xd4, 0x2c, 0xec, 0x13, 0xbd, 0xf5, 0x3a, 0x67, 0xb2, 0x12,
-                0x57, 0xbd, 0xdf
+                0xab, 0x6e, 0x47, 0xd4, 0x2c, 0xec, 0x13, 0xbd, 0xf5, 0x3a, 0x67, 0xb2, 0x12, 0x57,
+                0xbd, 0xdf
             ]
         );
     }

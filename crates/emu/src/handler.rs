@@ -63,7 +63,10 @@ impl core::fmt::Display for EmuError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             EmuError::NotFaultable(op) => {
-                write!(f, "opcode {op} is not in the faultable set; nothing to emulate")
+                write!(
+                    f,
+                    "opcode {op} is not in the faultable set; nothing to emulate"
+                )
             }
         }
     }

@@ -164,7 +164,10 @@ mod tests {
         let mut bb = [0u8; 16];
         ab[0] = 0xFF; // 255 unsigned, -1 signed
         bb[0] = 0x01;
-        assert_eq!(vpmaxub(Vec128::from_bytes(ab), Vec128::from_bytes(bb)).to_bytes()[0], 0xFF);
+        assert_eq!(
+            vpmaxub(Vec128::from_bytes(ab), Vec128::from_bytes(bb)).to_bytes()[0],
+            0xFF
+        );
     }
 
     #[test]

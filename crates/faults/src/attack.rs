@@ -20,10 +20,9 @@
 //! identical at any size and the point is the fault plumbing, not
 //! cryptographic strength.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use suit_emu::EmuOperands;
 use suit_isa::{Opcode, Vec128};
+use suit_rng::{Rng, SuitRng};
 
 use crate::inject::execute_with_faults;
 use crate::vmin::ChipVminModel;
@@ -123,7 +122,7 @@ fn gcd(mut a: u64, mut b: u64) -> u64 {
 impl RsaKey {
     /// Generates a toy key with ~32-bit primes from a seed.
     pub fn generate(seed: u64) -> RsaKey {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SuitRng::seed_from_u64(seed);
         let mut prime = || loop {
             let candidate: u32 = rng.gen_range(1 << 30..u32::MAX) | 1;
             if is_prime(u64::from(candidate)) {
@@ -146,7 +145,9 @@ impl RsaKey {
             let d = x.rem_euclid(phi as i128) as u128;
             let dp = (d % u128::from(p - 1)) as u64;
             let dq = (d % u128::from(q - 1)) as u64;
-            let Some(qinv) = modinv(u64::from(q), u64::from(p)) else { continue };
+            let Some(qinv) = modinv(u64::from(q), u64::from(p)) else {
+                continue;
+            };
             return RsaKey {
                 n: u64::from(p) * u64::from(q),
                 e,
@@ -184,10 +185,14 @@ pub enum SignerEnv<'a> {
 }
 
 /// One 64×64 multiply executed through the environment (possibly faulted).
-fn mul_via_env(env: &SignerEnv<'_>, rng: &mut StdRng, a: u64, b: u64) -> u128 {
+fn mul_via_env(env: &SignerEnv<'_>, rng: &mut SuitRng, a: u64, b: u64) -> u128 {
     match env {
         SignerEnv::Reliable => a as u128 * b as u128,
-        SignerEnv::NaiveUndervolt { chip, core, offset_mv } => {
+        SignerEnv::NaiveUndervolt {
+            chip,
+            core,
+            offset_mv,
+        } => {
             let ops = EmuOperands::new(Vec128::from_u64x2([a, 0]), Vec128::from_u64x2([b, 0]));
             let (v, _faulted) =
                 execute_with_faults(chip, *core, Opcode::Imul, ops, *offset_mv, rng);
@@ -196,11 +201,11 @@ fn mul_via_env(env: &SignerEnv<'_>, rng: &mut StdRng, a: u64, b: u64) -> u128 {
     }
 }
 
-fn mulmod_env(env: &SignerEnv<'_>, rng: &mut StdRng, a: u64, b: u64, m: u64) -> u64 {
+fn mulmod_env(env: &SignerEnv<'_>, rng: &mut SuitRng, a: u64, b: u64, m: u64) -> u64 {
     (mul_via_env(env, rng, a, b) % m as u128) as u64
 }
 
-fn modexp_env(env: &SignerEnv<'_>, rng: &mut StdRng, mut base: u64, mut exp: u64, m: u64) -> u64 {
+fn modexp_env(env: &SignerEnv<'_>, rng: &mut SuitRng, mut base: u64, mut exp: u64, m: u64) -> u64 {
     let mut acc: u64 = 1 % m;
     base %= m;
     while exp > 0 {
@@ -215,7 +220,7 @@ fn modexp_env(env: &SignerEnv<'_>, rng: &mut StdRng, mut base: u64, mut exp: u64
 
 /// CRT signing with the environment's multiplier: the Plundervolt victim.
 pub fn sign_crt(key: &RsaKey, m: u64, env: &SignerEnv<'_>, seed: u64) -> u64 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SuitRng::seed_from_u64(seed);
     let p = u64::from(key.p);
     let q = u64::from(key.q);
     let sp = modexp_env(env, &mut rng, m % p, key.dp, p);
@@ -243,7 +248,11 @@ pub fn sign_crt(key: &RsaKey, m: u64, env: &SignerEnv<'_>, seed: u64) -> u64 {
 /// ```
 pub fn recover_factor(key_public_n: u64, e: u64, m: u64, faulty_sig: u64) -> Option<u64> {
     let se = modexp(faulty_sig, e, key_public_n);
-    let diff = if se >= m % key_public_n { se - m % key_public_n } else { key_public_n - (m % key_public_n - se) };
+    let diff = if se >= m % key_public_n {
+        se - m % key_public_n
+    } else {
+        key_public_n - (m % key_public_n - se)
+    };
     if diff == 0 {
         return None; // signature was correct
     }
@@ -254,12 +263,7 @@ pub fn recover_factor(key_public_n: u64, e: u64, m: u64, faulty_sig: u64) -> Opt
 /// Runs the full attack campaign: request signatures from the victim until
 /// a faulty one leaks a factor, up to `attempts`. Returns the recovered
 /// factor and the number of signatures it took.
-pub fn attack(
-    key: &RsaKey,
-    env: &SignerEnv<'_>,
-    attempts: u32,
-    seed: u64,
-) -> Option<(u64, u32)> {
+pub fn attack(key: &RsaKey, env: &SignerEnv<'_>, attempts: u32, seed: u64) -> Option<(u64, u32)> {
     for i in 0..attempts {
         let m = 0x1234_5678 ^ (u64::from(i) * 0x9e37);
         let s = sign_crt(key, m, env, seed.wrapping_add(u64::from(i)));
@@ -311,7 +315,11 @@ mod tests {
         let key = RsaKey::generate(3);
         let chip = ChipVminModel::sample(1, 0.0, 3);
         let offset = -(chip.margin_mv(0, Opcode::Imul) + 4.0); // onset region
-        let env = SignerEnv::NaiveUndervolt { chip: &chip, core: 0, offset_mv: offset };
+        let env = SignerEnv::NaiveUndervolt {
+            chip: &chip,
+            core: 0,
+            offset_mv: offset,
+        };
         let (factor, tries) = attack(&key, &env, 400, 7).expect("key must leak");
         assert_eq!(key.n % factor, 0);
         assert!(factor == u64::from(key.p) || factor == u64::from(key.q));
@@ -329,7 +337,10 @@ mod tests {
         let effective = -97.0 + HARDENED_IMUL_EXTRA_MARGIN_MV;
         assert!(effective > 0.0, "offset fully absorbed");
         let env = SignerEnv::Reliable;
-        assert!(attack(&key, &env, 200, 9).is_none(), "no faulty signature may appear");
+        assert!(
+            attack(&key, &env, 200, 9).is_none(),
+            "no faulty signature may appear"
+        );
         // And every signature verifies.
         for m in 0..20u64 {
             let s = sign_crt(&key, m + 2, &env, m);
@@ -344,7 +355,11 @@ mod tests {
         // attack only exists because naive undervolting *removes* it.
         let key = RsaKey::generate(5);
         let chip = ChipVminModel::sample(1, 0.0, 5);
-        let env = SignerEnv::NaiveUndervolt { chip: &chip, core: 0, offset_mv: -40.0 };
+        let env = SignerEnv::NaiveUndervolt {
+            chip: &chip,
+            core: 0,
+            offset_mv: -40.0,
+        };
         assert!(attack(&key, &env, 100, 11).is_none());
     }
 }

@@ -8,10 +8,9 @@
 //! [`ChipVminModel`], including the actual wrong-value generation (bit
 //! flips in the architectural result) used by the security audit.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use suit_emu::{emulate, EmuOperands};
 use suit_isa::{FaultableSet, Opcode, Vec128, TABLE1};
+use suit_rng::{Rng, SuitRng};
 
 use crate::vmin::ChipVminModel;
 
@@ -44,34 +43,78 @@ impl Campaign {
         }
     }
 
-    /// Runs the campaign and tallies faults per opcode.
+    /// Runs the campaign and tallies faults per opcode, sharded across all
+    /// available cores. The tally is identical for every thread count.
     pub fn run(&self) -> CampaignReport {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut faults = vec![0u32; Opcode::COUNT];
-        let mut first_fault_offset = vec![f64::NEG_INFINITY; Opcode::COUNT];
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.run_with_threads(threads)
+    }
 
-        for core in 0..self.chip.core_count() {
-            for _freq in &self.freqs_ghz {
-                for &offset in &self.offsets_mv {
-                    for row in TABLE1 {
-                        let op = row.opcode;
-                        let p = self.chip.fault_probability(core, op, offset);
-                        if p <= 0.0 {
-                            continue;
+    /// [`Self::run`] with an explicit worker count. One shard per
+    /// (core, frequency) sweep; shard `s` draws from `fork(s)` of the
+    /// campaign seed, so the merged report is a pure function of the
+    /// configuration no matter how shards land on workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn run_with_threads(&self, threads: usize) -> CampaignReport {
+        assert!(threads >= 1, "need at least one worker");
+        let shards = self.chip.core_count() * self.freqs_ghz.len();
+        let root = SuitRng::seed_from_u64(self.seed);
+        let mut partials: Vec<CampaignReport> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let chunk = shards.div_ceil(threads).max(1);
+            let handles: Vec<_> = (0..shards)
+                .collect::<Vec<_>>()
+                .chunks(chunk)
+                .map(|ch| {
+                    let ch = ch.to_vec();
+                    let root = root.clone();
+                    scope.spawn(move || {
+                        let mut acc = CampaignReport::empty();
+                        for s in ch {
+                            let core = s / self.freqs_ghz.len();
+                            let mut rng = root.fork(s as u64);
+                            acc.merge(&self.run_shard(core, &mut rng));
                         }
-                        // Probability that at least one of `executions`
-                        // runs faults.
-                        let p_any = 1.0 - (1.0 - p).powi(self.executions as i32);
-                        if rng.gen::<f64>() < p_any {
-                            faults[op.index()] += 1;
-                            let e = &mut first_fault_offset[op.index()];
-                            *e = e.max(offset);
-                        }
-                    }
+                        acc
+                    })
+                })
+                .collect();
+            for h in handles {
+                partials.push(h.join().expect("campaign worker panicked"));
+            }
+        });
+        let mut report = CampaignReport::empty();
+        for p in &partials {
+            report.merge(p);
+        }
+        report
+    }
+
+    /// One shard: the offset × instruction sweep of a single
+    /// (core, frequency) combination.
+    fn run_shard(&self, core: usize, rng: &mut SuitRng) -> CampaignReport {
+        let mut report = CampaignReport::empty();
+        for &offset in &self.offsets_mv {
+            for row in TABLE1 {
+                let op = row.opcode;
+                let p = self.chip.fault_probability(core, op, offset);
+                if p <= 0.0 {
+                    continue;
+                }
+                // Probability that at least one of `executions` runs
+                // faults.
+                let p_any = 1.0 - (1.0 - p).powi(self.executions as i32);
+                if rng.f64() < p_any {
+                    report.faults[op.index()] += 1;
+                    let e = &mut report.first_fault_offset[op.index()];
+                    *e = e.max(offset);
                 }
             }
         }
-        CampaignReport { faults, first_fault_offset }
+        report
     }
 }
 
@@ -83,6 +126,24 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
+    fn empty() -> Self {
+        CampaignReport {
+            faults: vec![0; Opcode::COUNT],
+            first_fault_offset: vec![f64::NEG_INFINITY; Opcode::COUNT],
+        }
+    }
+
+    /// Folds another (disjoint-shard) report into this one. Counts add;
+    /// first-fault offsets take the shallowest. Commutative and
+    /// associative, so merge order cannot affect the result.
+    fn merge(&mut self, other: &CampaignReport) {
+        for i in 0..Opcode::COUNT {
+            self.faults[i] += other.faults[i];
+            self.first_fault_offset[i] =
+                self.first_fault_offset[i].max(other.first_fault_offset[i]);
+        }
+    }
+
     /// Fault count for an opcode (the Table 1 number-of-faults row).
     pub fn faults(&self, op: Opcode) -> u32 {
         self.faults[op.index()]
@@ -113,19 +174,19 @@ pub fn execute_with_faults(
     op: Opcode,
     operands: EmuOperands,
     offset_mv: f64,
-    rng: &mut StdRng,
+    rng: &mut SuitRng,
 ) -> (Vec128, bool) {
     let correct = emulate(op, operands)
         .expect("faultable opcodes are emulatable")
         .value;
     let p = chip.fault_probability(core, op, offset_mv);
-    if p > 0.0 && rng.gen::<f64>() < p {
+    if p > 0.0 && rng.f64() < p {
         // Undervolting faults flip a small number of data bits (§2.1:
         // late-arriving data on the critical path).
-        let flips = rng.gen_range(1..=3);
+        let flips = rng.gen_range(1u32..=3);
         let mut mask = 0u128;
         for _ in 0..flips {
-            mask |= 1u128 << rng.gen_range(0..128);
+            mask |= 1u128 << rng.gen_range(0u32..128);
         }
         (Vec128::from_u128(correct.as_u128() ^ mask), true)
     } else {
@@ -188,6 +249,15 @@ mod tests {
     }
 
     #[test]
+    fn campaign_is_thread_count_invariant() {
+        let serial = Campaign::standard(chip(), 9).run_with_threads(1);
+        for threads in [2, 4, 8] {
+            let parallel = Campaign::standard(chip(), 9).run_with_threads(threads);
+            assert_eq!(serial, parallel, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
     fn no_faults_at_conservative_voltage() {
         let c = chip();
         let mut campaign = Campaign::standard(c, 1);
@@ -201,11 +271,10 @@ mod tests {
     #[test]
     fn injected_faults_corrupt_results() {
         let c = ChipVminModel::sample(1, 0.0, 5);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SuitRng::seed_from_u64(3);
         let ops = EmuOperands::new(Vec128::from_u128(7), Vec128::from_u128(9));
         // Deep below IMUL's margin: always faults.
-        let (bad, faulted) =
-            execute_with_faults(&c, 0, Opcode::Imul, ops, -150.0, &mut rng);
+        let (bad, faulted) = execute_with_faults(&c, 0, Opcode::Imul, ops, -150.0, &mut rng);
         assert!(faulted);
         assert_ne!(bad.as_u128(), 63, "result must be corrupted");
         // At stock voltage: never faults, result exact.

@@ -35,5 +35,5 @@ pub mod vmin;
 
 pub use attack::{attack, sign_crt, RsaKey, SignerEnv};
 pub use inject::{Campaign, CampaignReport};
-pub use security::{audit_suit_system, audit_naive_undervolt, AuditOutcome};
+pub use security::{audit_naive_undervolt, audit_suit_system, AuditOutcome};
 pub use vmin::{ChipVminModel, VminSample};

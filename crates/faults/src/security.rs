@@ -16,11 +16,10 @@
 //! every seed, offset and sequence; the naive audit must not (that is the
 //! vulnerability Plundervolt exploits).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use suit_core::{CurveSelect, SuitMsrs};
 use suit_emu::EmuOperands;
 use suit_isa::{Opcode, Vec128};
+use suit_rng::{Rng, SuitRng};
 
 use crate::inject::execute_with_faults;
 use crate::vmin::ChipVminModel;
@@ -53,15 +52,15 @@ pub const HARDENED_IMUL_EXTRA_MARGIN_MV: f64 = 220.0;
 /// Generates a pseudo-random instruction sequence drawn from the full
 /// opcode set (faultable and not).
 fn sequence(seed: u64, len: usize) -> Vec<(Opcode, EmuOperands)> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SuitRng::seed_from_u64(seed);
     (0..len)
         .map(|_| {
             let idx = rng.gen_range(0..suit_isa::TABLE1.len());
             let op = suit_isa::TABLE1[idx].opcode;
             let operands = EmuOperands::with_imm(
-                Vec128::from_u128(rng.gen()),
-                Vec128::from_u128(rng.gen()),
-                rng.gen(),
+                Vec128::from_u128(rng.u128()),
+                Vec128::from_u128(rng.u128()),
+                rng.u8(),
             );
             (op, operands)
         })
@@ -79,8 +78,12 @@ pub fn audit_naive_undervolt(
     seed: u64,
     len: usize,
 ) -> AuditOutcome {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
-    let mut out = AuditOutcome { executed: 0, trapped: 0, silent_errors: 0 };
+    let mut rng = SuitRng::seed_from_u64(seed ^ 0xDEAD);
+    let mut out = AuditOutcome {
+        executed: 0,
+        trapped: 0,
+        silent_errors: 0,
+    };
     for (op, operands) in sequence(seed, len) {
         let (_, faulted) = execute_with_faults(chip, core, op, operands, offset_mv, &mut rng);
         out.executed += 1;
@@ -107,20 +110,25 @@ pub fn audit_suit_system(
     seed: u64,
     len: usize,
 ) -> AuditOutcome {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    let mut rng = SuitRng::seed_from_u64(seed ^ 0xBEEF);
     let mut msrs = SuitMsrs::suit_cpu();
     msrs.disable_faultable();
     msrs.write_curve(CurveSelect::Efficient)
         .expect("faultable set is disabled");
 
-    let mut out = AuditOutcome { executed: 0, trapped: 0, silent_errors: 0 };
+    let mut out = AuditOutcome {
+        executed: 0,
+        trapped: 0,
+        silent_errors: 0,
+    };
     for (op, operands) in sequence(seed, len) {
         assert!(msrs.invariant_holds(), "MSR invariant violated");
         let (effective_offset, trapped) = if msrs.curve() == CurveSelect::Efficient {
             if msrs.is_disabled(op) {
                 // #DO: the OS switches to the conservative curve (Listing 1)
                 // and the instruction re-executes there at offset 0.
-                msrs.write_curve(CurveSelect::Conservative).expect("always legal");
+                msrs.write_curve(CurveSelect::Conservative)
+                    .expect("always legal");
                 msrs.enable_all().expect("legal on conservative");
                 (0.0, true)
             } else if op == Opcode::Imul {
@@ -147,9 +155,10 @@ pub fn audit_suit_system(
 
         // Deadline expiry: occasionally return to the efficient curve (the
         // timer path of §4.1) — the audit must hold across transitions.
-        if msrs.curve() == CurveSelect::Conservative && rng.gen::<f64>() < 0.2 {
+        if msrs.curve() == CurveSelect::Conservative && rng.f64() < 0.2 {
             msrs.disable_faultable();
-            msrs.write_curve(CurveSelect::Efficient).expect("set disabled");
+            msrs.write_curve(CurveSelect::Efficient)
+                .expect("set disabled");
         }
     }
     out

@@ -10,9 +10,8 @@
 //! offset combinations), `VPADDQ` the largest of the faultable set, and
 //! non-faultable instructions sit near the −250 mV horizon.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use suit_isa::Opcode;
+use suit_rng::SuitRng;
 use suit_trace::gen::standard_normal;
 
 /// Mean undervolt margin (mV below the conservative-curve voltage) at
@@ -65,7 +64,7 @@ impl ChipVminModel {
     pub fn sample(cores: usize, sigma_mv: f64, seed: u64) -> Self {
         assert!(cores >= 1);
         assert!(sigma_mv >= 0.0);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SuitRng::seed_from_u64(seed);
         // Chip-wide shift (die-to-die variation).
         let chip_shift: f64 = standard_normal(&mut rng) * sigma_mv * 0.7;
         let cores = (0..cores)
@@ -207,10 +206,7 @@ mod tests {
         let all = chip.safe_offset_mv(0, Opcode::ALL);
         assert!((all - (-95.0)).abs() < 1e-9);
         // Disabling the faultable set leaves the −250 mV horizon.
-        let none = chip.safe_offset_mv(
-            0,
-            Opcode::ALL.into_iter().filter(|o| !o.is_faultable()),
-        );
+        let none = chip.safe_offset_mv(0, Opcode::ALL.into_iter().filter(|o| !o.is_faultable()));
         assert!((none - (-245.0)).abs() < 1e-9);
         // SUIT's set (faultables disabled, hardened IMUL executes but with
         // relaxed path — not modelled here) checked at the trap level.

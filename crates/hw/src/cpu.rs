@@ -162,14 +162,20 @@ impl CpuModel {
     /// Operating point `C_V`: conservative curve by definition of the
     /// normalisation.
     pub fn point_cv(&self) -> OperatingPoint {
-        OperatingPoint { perf: 1.0, power: 1.0 }
+        OperatingPoint {
+            perf: 1.0,
+            power: 1.0,
+        }
     }
 
     /// Operating point `E`: the efficient curve at `level`. Performance and
     /// power come from the steady-state undervolt response (Table 2).
     pub fn point_e(&self, level: UndervoltLevel) -> OperatingPoint {
         let r = self.steady.response(level.offset_mv());
-        OperatingPoint { perf: 1.0 + r.score, power: 1.0 + r.power }
+        OperatingPoint {
+            perf: 1.0 + r.score,
+            power: 1.0 + r.power,
+        }
     }
 
     /// Operating point `C_f`: conservative *by frequency* — the voltage

@@ -11,8 +11,8 @@
 //! * whether the core stalls during the change (Intel frequency changes
 //!   stall every core in the domain; AMD's do not).
 
-use rand::Rng;
 use suit_isa::SimDuration;
+use suit_rng::Rng;
 
 use crate::measured;
 
@@ -107,8 +107,8 @@ impl TransitionDelays {
     }
 
     /// Samples a frequency-change delay with Gaussian-ish jitter (sum of
-    /// three uniforms — the Irwin–Hall approximation keeps us in pure
-    /// `rand` without a normal-distribution dependency). Clamped at 20 %
+    /// three uniforms — the Irwin–Hall approximation avoids a
+    /// normal-distribution dependency). Clamped at 20 %
     /// of the mean so pathological draws cannot go non-physical.
     pub fn sample_freq_change<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
         sample_jittered(rng, self.freq_change_us, self.freq_change_sigma_us)
@@ -169,7 +169,10 @@ pub fn voltage_settle_curve<R: Rng + ?Sized>(
             from_mv + x * (to_mv - from_mv)
         };
         // Polling MSR_IA32_PERF_STATUS quantises to ~1 mV steps.
-        out.push(SettleSample { t_us: t, observed: Some(v.round()) });
+        out.push(SettleSample {
+            t_us: t,
+            observed: Some(v.round()),
+        });
         t += sample_period_us;
     }
     out
@@ -222,8 +225,7 @@ pub fn frequency_settle_curve<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use suit_rng::SuitRng;
 
     #[test]
     fn cpu_constants_match_measurements() {
@@ -241,7 +243,7 @@ mod tests {
     #[test]
     fn sampled_delays_center_on_mean() {
         let d = TransitionDelays::xeon_4208();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SuitRng::seed_from_u64(7);
         let n = 2000;
         let mean: f64 = (0..n)
             .map(|_| d.sample_volt_change(&mut rng).as_micros_f64())
@@ -253,7 +255,7 @@ mod tests {
     #[test]
     fn sampled_delays_never_collapse_to_zero() {
         let d = TransitionDelays::ryzen_7700x(); // σ = 292 is large
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SuitRng::seed_from_u64(3);
         for _ in 0..5000 {
             let s = d.sample_freq_change(&mut rng).as_micros_f64();
             assert!(s >= 668.0 * 0.2 - 1e-9, "{s}");
@@ -263,7 +265,7 @@ mod tests {
     #[test]
     fn voltage_curve_starts_low_and_settles_high() {
         let d = TransitionDelays::i9_9900k();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SuitRng::seed_from_u64(1);
         let curve = voltage_settle_curve(&mut rng, &d, 800.0, 900.0, 5.0, 600.0);
         assert_eq!(curve.first().unwrap().observed, Some(800.0));
         assert_eq!(curve.last().unwrap().observed, Some(900.0));
@@ -284,13 +286,17 @@ mod tests {
     #[test]
     fn intel_frequency_curve_has_stall_gap_and_late_sample() {
         let d = TransitionDelays::i9_9900k();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SuitRng::seed_from_u64(2);
         let curve = frequency_settle_curve(&mut rng, &d, 3.0, 2.6, 0.5, 40.0);
         let stalled = curve.iter().filter(|s| s.observed.is_none()).count();
         assert!(stalled > 0, "expected a stall gap");
         // The first observation after the gap still shows the old frequency.
         let gap_end = curve.iter().position(|s| s.observed.is_none()).unwrap()
-            + curve.iter().skip_while(|s| s.observed.is_some()).take_while(|s| s.observed.is_none()).count();
+            + curve
+                .iter()
+                .skip_while(|s| s.observed.is_some())
+                .take_while(|s| s.observed.is_none())
+                .count();
         assert_eq!(curve[gap_end].observed, Some(3.0));
         assert_eq!(curve.last().unwrap().observed, Some(2.6));
     }
@@ -298,7 +304,7 @@ mod tests {
     #[test]
     fn amd_frequency_curve_never_stalls() {
         let d = TransitionDelays::ryzen_7700x();
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = SuitRng::seed_from_u64(4);
         let curve = frequency_settle_curve(&mut rng, &d, 3.0, 1.5, 10.0, 900.0);
         assert!(curve.iter().all(|s| s.observed.is_some()));
         assert_eq!(curve.last().unwrap().observed, Some(1.5));

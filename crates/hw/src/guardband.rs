@@ -59,8 +59,7 @@ impl AgingModel {
         assert!(years >= 0.0, "years must be non-negative");
         let time_factor = (years / Self::DESIGN_LIFETIME_YEARS).powf(0.25);
         let temp_factor = 2.0f64.powf((temp_c - self.design_temp_c) / 25.0).min(1.0);
-        (self.worst_case_degradation * time_factor * temp_factor)
-            .min(self.worst_case_degradation)
+        (self.worst_case_degradation * time_factor * temp_factor).min(self.worst_case_degradation)
     }
 
     /// The fraction of the aging guardband still unused after `years` at
@@ -88,8 +87,8 @@ impl AgingModel {
 /// as a function of core temperature, linear through the two measured
 /// points (50 °C → −90 mV, 88 °C → −55 mV).
 pub fn max_undervolt_at_temp_mv(temp_c: f64) -> f64 {
-    let slope = (measured::MAX_UNDERVOLT_AT_88C_MV - measured::MAX_UNDERVOLT_AT_50C_MV)
-        / (88.0 - 50.0);
+    let slope =
+        (measured::MAX_UNDERVOLT_AT_88C_MV - measured::MAX_UNDERVOLT_AT_50C_MV) / (88.0 - 50.0);
     measured::MAX_UNDERVOLT_AT_50C_MV + slope * (temp_c - 50.0)
 }
 

@@ -94,12 +94,54 @@ pub struct Table2Row {
 
 /// The paper's Table 2 (average SPEC CPU2017 response to undervolting).
 pub const TABLE2: [Table2Row; 6] = [
-    Table2Row { cpu: "i5-1035G1", offset_mv: -70.0, score: 0.060, power: -0.001, freq: 0.085, efficiency: 0.061 },
-    Table2Row { cpu: "i5-1035G1", offset_mv: -97.0, score: 0.079, power: -0.005, freq: 0.120, efficiency: 0.084 },
-    Table2Row { cpu: "i9-9900K", offset_mv: -70.0, score: 0.022, power: -0.072, freq: 0.026, efficiency: 0.100 },
-    Table2Row { cpu: "i9-9900K", offset_mv: -97.0, score: 0.038, power: -0.160, freq: 0.033, efficiency: 0.230 },
-    Table2Row { cpu: "7700X", offset_mv: -70.0, score: 0.014, power: -0.098, freq: 0.018, efficiency: 0.120 },
-    Table2Row { cpu: "7700X", offset_mv: -97.0, score: 0.019, power: -0.150, freq: 0.018, efficiency: 0.200 },
+    Table2Row {
+        cpu: "i5-1035G1",
+        offset_mv: -70.0,
+        score: 0.060,
+        power: -0.001,
+        freq: 0.085,
+        efficiency: 0.061,
+    },
+    Table2Row {
+        cpu: "i5-1035G1",
+        offset_mv: -97.0,
+        score: 0.079,
+        power: -0.005,
+        freq: 0.120,
+        efficiency: 0.084,
+    },
+    Table2Row {
+        cpu: "i9-9900K",
+        offset_mv: -70.0,
+        score: 0.022,
+        power: -0.072,
+        freq: 0.026,
+        efficiency: 0.100,
+    },
+    Table2Row {
+        cpu: "i9-9900K",
+        offset_mv: -97.0,
+        score: 0.038,
+        power: -0.160,
+        freq: 0.033,
+        efficiency: 0.230,
+    },
+    Table2Row {
+        cpu: "7700X",
+        offset_mv: -70.0,
+        score: 0.014,
+        power: -0.098,
+        freq: 0.018,
+        efficiency: 0.120,
+    },
+    Table2Row {
+        cpu: "7700X",
+        offset_mv: -97.0,
+        score: 0.019,
+        power: -0.150,
+        freq: 0.018,
+        efficiency: 0.200,
+    },
 ];
 
 /// Mean SPEC CPU2017 package power of the i9-9900K at stock voltage, W

@@ -156,7 +156,12 @@ impl RaplCounter {
     /// A counter with an explicit ESU exponent.
     pub fn with_esu(esu: u32) -> Self {
         assert!((10..=20).contains(&esu), "implausible RAPL unit");
-        RaplCounter { esu, raw: 0, last_update: SimTime::ZERO, residual_j: 0.0 }
+        RaplCounter {
+            esu,
+            raw: 0,
+            last_update: SimTime::ZERO,
+            residual_j: 0.0,
+        }
     }
 
     /// Joules per counter unit.

@@ -37,7 +37,10 @@ impl DvfsCurve {
     /// strictly increasing, or if voltages ever decrease with frequency
     /// (a physically impossible curve).
     pub fn new(points: Vec<PState>) -> Self {
-        assert!(points.len() >= 2, "a DVFS curve needs at least two p-states");
+        assert!(
+            points.len() >= 2,
+            "a DVFS curve needs at least two p-states"
+        );
         for w in points.windows(2) {
             assert!(
                 w[1].freq_ghz > w[0].freq_ghz,
@@ -58,15 +61,42 @@ impl DvfsCurve {
         // The linear segment anchored per §5.6; the low-frequency points
         // follow the flattening visible in Fig. 13.
         DvfsCurve::new(vec![
-            PState { freq_ghz: 1.0, voltage_mv: 800.0 },
-            PState { freq_ghz: 1.5, voltage_mv: 805.0 },
-            PState { freq_ghz: 2.0, voltage_mv: 830.0 },
-            PState { freq_ghz: 2.5, voltage_mv: 860.0 },
-            PState { freq_ghz: 3.0, voltage_mv: 900.0 },
-            PState { freq_ghz: 3.5, voltage_mv: 944.0 },
-            PState { freq_ghz: 4.0, voltage_mv: measured::I9_VOLT_AT_4GHZ_MV },
-            PState { freq_ghz: 4.5, voltage_mv: 1082.0 },
-            PState { freq_ghz: 5.0, voltage_mv: measured::I9_VOLT_AT_5GHZ_MV },
+            PState {
+                freq_ghz: 1.0,
+                voltage_mv: 800.0,
+            },
+            PState {
+                freq_ghz: 1.5,
+                voltage_mv: 805.0,
+            },
+            PState {
+                freq_ghz: 2.0,
+                voltage_mv: 830.0,
+            },
+            PState {
+                freq_ghz: 2.5,
+                voltage_mv: 860.0,
+            },
+            PState {
+                freq_ghz: 3.0,
+                voltage_mv: 900.0,
+            },
+            PState {
+                freq_ghz: 3.5,
+                voltage_mv: 944.0,
+            },
+            PState {
+                freq_ghz: 4.0,
+                voltage_mv: measured::I9_VOLT_AT_4GHZ_MV,
+            },
+            PState {
+                freq_ghz: 4.5,
+                voltage_mv: 1082.0,
+            },
+            PState {
+                freq_ghz: 5.0,
+                voltage_mv: measured::I9_VOLT_AT_5GHZ_MV,
+            },
         ])
     }
 
@@ -137,7 +167,10 @@ impl DvfsCurve {
             points: self
                 .points
                 .iter()
-                .map(|p| PState { freq_ghz: p.freq_ghz, voltage_mv: p.voltage_mv + offset_mv })
+                .map(|p| PState {
+                    freq_ghz: p.freq_ghz,
+                    voltage_mv: p.voltage_mv + offset_mv,
+                })
                 .collect(),
         }
     }
@@ -182,7 +215,10 @@ mod tests {
         assert_eq!(c.voltage_at(5.0), measured::I9_VOLT_AT_5GHZ_MV);
         // §5.6: gradient between 4 and 5 GHz is 183 mV/GHz.
         let g = c.gradient_mv_per_ghz(4.0, 5.0);
-        assert!((g - measured::I9_CURVE_GRADIENT_MV_PER_GHZ).abs() < 1.0, "{g}");
+        assert!(
+            (g - measured::I9_CURVE_GRADIENT_MV_PER_GHZ).abs() < 1.0,
+            "{g}"
+        );
     }
 
     #[test]
@@ -249,14 +285,23 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn rejects_unsorted_points() {
         let _ = DvfsCurve::new(vec![
-            PState { freq_ghz: 2.0, voltage_mv: 900.0 },
-            PState { freq_ghz: 1.0, voltage_mv: 800.0 },
+            PState {
+                freq_ghz: 2.0,
+                voltage_mv: 900.0,
+            },
+            PState {
+                freq_ghz: 1.0,
+                voltage_mv: 800.0,
+            },
         ]);
     }
 
     #[test]
     #[should_panic(expected = "at least two")]
     fn rejects_single_point() {
-        let _ = DvfsCurve::new(vec![PState { freq_ghz: 2.0, voltage_mv: 900.0 }]);
+        let _ = DvfsCurve::new(vec![PState {
+            freq_ghz: 2.0,
+            voltage_mv: 900.0,
+        }]);
     }
 }

@@ -40,7 +40,11 @@ impl ThermalModel {
     /// Creates a model at thermal equilibrium with the ambient.
     pub fn new(fan_rpm: f64) -> Self {
         assert!(fan_rpm > 0.0);
-        ThermalModel { c_th: 120.0, temp_c: AMBIENT_C, fan_rpm }
+        ThermalModel {
+            c_th: 120.0,
+            temp_c: AMBIENT_C,
+            fan_rpm,
+        }
     }
 
     /// Thermal resistance heatsink→ambient at a fan speed, K/W.
@@ -103,8 +107,16 @@ mod tests {
     fn steady_states_reproduce_table3() {
         let hot = ThermalModel::new(300.0);
         let cool = ThermalModel::new(1800.0);
-        assert!((hot.steady_state_c(93.0) - 88.0).abs() < 0.5, "{}", hot.steady_state_c(93.0));
-        assert!((cool.steady_state_c(93.0) - 50.0).abs() < 0.5, "{}", cool.steady_state_c(93.0));
+        assert!(
+            (hot.steady_state_c(93.0) - 88.0).abs() < 0.5,
+            "{}",
+            hot.steady_state_c(93.0)
+        );
+        assert!(
+            (cool.steady_state_c(93.0) - 50.0).abs() < 0.5,
+            "{}",
+            cool.steady_state_c(93.0)
+        );
     }
 
     #[test]

@@ -139,11 +139,26 @@ impl SteadyStateModel {
     /// headroom converted to frequency (Table 2: +1.8 % freq, −15 % power).
     pub fn ryzen_7700x() -> Self {
         let curve = DvfsCurve::new(vec![
-            PState { freq_ghz: 3.0, voltage_mv: 850.0 },
-            PState { freq_ghz: 4.0, voltage_mv: 1000.0 },
-            PState { freq_ghz: 4.5, voltage_mv: 1100.0 },
-            PState { freq_ghz: 5.0, voltage_mv: 1220.0 },
-            PState { freq_ghz: 5.4, voltage_mv: 1330.0 },
+            PState {
+                freq_ghz: 3.0,
+                voltage_mv: 850.0,
+            },
+            PState {
+                freq_ghz: 4.0,
+                voltage_mv: 1000.0,
+            },
+            PState {
+                freq_ghz: 4.5,
+                voltage_mv: 1100.0,
+            },
+            PState {
+                freq_ghz: 5.0,
+                voltage_mv: 1220.0,
+            },
+            PState {
+                freq_ghz: 5.4,
+                voltage_mv: 1330.0,
+            },
         ]);
         Self::from_table2(
             "7700X",
@@ -159,11 +174,26 @@ impl SteadyStateModel {
     /// +12 % freq, −0.5 % power at −97 mV).
     pub fn i5_1035g1() -> Self {
         let curve = DvfsCurve::new(vec![
-            PState { freq_ghz: 1.0, voltage_mv: 650.0 },
-            PState { freq_ghz: 1.8, voltage_mv: 720.0 },
-            PState { freq_ghz: 2.6, voltage_mv: 820.0 },
-            PState { freq_ghz: 3.2, voltage_mv: 940.0 },
-            PState { freq_ghz: 3.6, voltage_mv: 1050.0 },
+            PState {
+                freq_ghz: 1.0,
+                voltage_mv: 650.0,
+            },
+            PState {
+                freq_ghz: 1.8,
+                voltage_mv: 720.0,
+            },
+            PState {
+                freq_ghz: 2.6,
+                voltage_mv: 820.0,
+            },
+            PState {
+                freq_ghz: 3.2,
+                voltage_mv: 940.0,
+            },
+            PState {
+                freq_ghz: 3.6,
+                voltage_mv: 1050.0,
+            },
         ]);
         Self::from_table2(
             "i5-1035G1",

@@ -112,7 +112,10 @@ fn parse_modrm(c: &mut Cursor<'_>, rex_r: bool, rex_b: bool) -> Result<ModRm, De
     let rm = modrm & 7;
 
     if modb == 3 {
-        return Ok(ModRm { reg, rm_reg: Some(rm | if rex_b { 8 } else { 0 }) });
+        return Ok(ModRm {
+            reg,
+            rm_reg: Some(rm | if rex_b { 8 } else { 0 }),
+        });
     }
 
     // Memory operand: consume SIB/displacement, report no rm register.
@@ -193,7 +196,13 @@ pub fn decode(bytes: &[u8]) -> Result<Decoded, DecodeError> {
         } else {
             let p1 = c.next()?;
             let p2 = c.next()?;
-            (p1 & 0x1F, p1 & 0x80 == 0, p1 & 0x20 == 0, (!p2 >> 3) & 0xF, p2 & 0x3)
+            (
+                p1 & 0x1F,
+                p1 & 0x80 == 0,
+                p1 & 0x20 == 0,
+                (!p2 >> 3) & 0xF,
+                p2 & 0x3,
+            )
         };
         let op = c.next()?;
         // Every faultable VEX encoding uses the 66 operand-size class

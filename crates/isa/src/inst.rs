@@ -56,31 +56,65 @@ impl Inst {
             dst < ARCH_REGS && src1 < ARCH_REGS && src2 < ARCH_REGS,
             "register name out of range"
         );
-        Inst { opcode, dst: Some(dst), src1: Some(src1), src2: Some(src2) }
+        Inst {
+            opcode,
+            dst: Some(dst),
+            src1: Some(src1),
+            src2: Some(src2),
+        }
     }
 
     /// Creates a unary instruction `dst = op(src1)`.
     pub fn unary(opcode: Opcode, dst: u8, src1: u8) -> Self {
-        assert!(dst < ARCH_REGS && src1 < ARCH_REGS, "register name out of range");
-        Inst { opcode, dst: Some(dst), src1: Some(src1), src2: None }
+        assert!(
+            dst < ARCH_REGS && src1 < ARCH_REGS,
+            "register name out of range"
+        );
+        Inst {
+            opcode,
+            dst: Some(dst),
+            src1: Some(src1),
+            src2: None,
+        }
     }
 
     /// Creates a load `dst = [src1]`.
     pub fn load(dst: u8, addr: u8) -> Self {
-        assert!(dst < ARCH_REGS && addr < ARCH_REGS, "register name out of range");
-        Inst { opcode: Opcode::Load, dst: Some(dst), src1: Some(addr), src2: None }
+        assert!(
+            dst < ARCH_REGS && addr < ARCH_REGS,
+            "register name out of range"
+        );
+        Inst {
+            opcode: Opcode::Load,
+            dst: Some(dst),
+            src1: Some(addr),
+            src2: None,
+        }
     }
 
     /// Creates a store `[addr] = data`.
     pub fn store(addr: u8, data: u8) -> Self {
-        assert!(addr < ARCH_REGS && data < ARCH_REGS, "register name out of range");
-        Inst { opcode: Opcode::Store, dst: None, src1: Some(addr), src2: Some(data) }
+        assert!(
+            addr < ARCH_REGS && data < ARCH_REGS,
+            "register name out of range"
+        );
+        Inst {
+            opcode: Opcode::Store,
+            dst: None,
+            src1: Some(addr),
+            src2: Some(data),
+        }
     }
 
     /// Creates a conditional branch reading `src1`.
     pub fn branch(cond: u8) -> Self {
         assert!(cond < ARCH_REGS, "register name out of range");
-        Inst { opcode: Opcode::Branch, dst: None, src1: Some(cond), src2: None }
+        Inst {
+            opcode: Opcode::Branch,
+            dst: None,
+            src1: Some(cond),
+            src2: None,
+        }
     }
 
     /// The functional-unit routing kind for this instruction.

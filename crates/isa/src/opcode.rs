@@ -203,18 +203,54 @@ pub struct Table1Row {
 /// The paper's Table 1, in order: undervolting-induced instruction faults
 /// observed by Kogler et al., most frequently faulting first.
 pub const TABLE1: [Table1Row; 12] = [
-    Table1Row { opcode: Opcode::Imul, faults: 79 },
-    Table1Row { opcode: Opcode::Vor, faults: 47 },
-    Table1Row { opcode: Opcode::Aesenc, faults: 40 },
-    Table1Row { opcode: Opcode::Vxor, faults: 40 },
-    Table1Row { opcode: Opcode::Vandn, faults: 30 },
-    Table1Row { opcode: Opcode::Vand, faults: 28 },
-    Table1Row { opcode: Opcode::Vsqrtpd, faults: 24 },
-    Table1Row { opcode: Opcode::Vpclmulqdq, faults: 16 },
-    Table1Row { opcode: Opcode::Vpsrad, faults: 9 },
-    Table1Row { opcode: Opcode::Vpcmp, faults: 5 },
-    Table1Row { opcode: Opcode::Vpmax, faults: 3 },
-    Table1Row { opcode: Opcode::Vpaddq, faults: 1 },
+    Table1Row {
+        opcode: Opcode::Imul,
+        faults: 79,
+    },
+    Table1Row {
+        opcode: Opcode::Vor,
+        faults: 47,
+    },
+    Table1Row {
+        opcode: Opcode::Aesenc,
+        faults: 40,
+    },
+    Table1Row {
+        opcode: Opcode::Vxor,
+        faults: 40,
+    },
+    Table1Row {
+        opcode: Opcode::Vandn,
+        faults: 30,
+    },
+    Table1Row {
+        opcode: Opcode::Vand,
+        faults: 28,
+    },
+    Table1Row {
+        opcode: Opcode::Vsqrtpd,
+        faults: 24,
+    },
+    Table1Row {
+        opcode: Opcode::Vpclmulqdq,
+        faults: 16,
+    },
+    Table1Row {
+        opcode: Opcode::Vpsrad,
+        faults: 9,
+    },
+    Table1Row {
+        opcode: Opcode::Vpcmp,
+        faults: 5,
+    },
+    Table1Row {
+        opcode: Opcode::Vpmax,
+        faults: 3,
+    },
+    Table1Row {
+        opcode: Opcode::Vpaddq,
+        faults: 1,
+    },
 ];
 
 /// A set of opcodes, used to describe which instructions the OS disables on
@@ -263,13 +299,17 @@ impl FaultableSet {
     /// Returns a copy of the set with `op` inserted.
     #[inline]
     pub const fn with(self, op: Opcode) -> Self {
-        Self { bits: self.bits | (1 << op.index()) }
+        Self {
+            bits: self.bits | (1 << op.index()),
+        }
     }
 
     /// Returns a copy of the set with `op` removed.
     #[inline]
     pub const fn without(self, op: Opcode) -> Self {
-        Self { bits: self.bits & !(1 << op.index()) }
+        Self {
+            bits: self.bits & !(1 << op.index()),
+        }
     }
 
     /// Inserts `op` into the set. Returns `true` if it was newly inserted.
@@ -307,13 +347,17 @@ impl FaultableSet {
     /// Union of two sets.
     #[inline]
     pub const fn union(self, other: Self) -> Self {
-        Self { bits: self.bits | other.bits }
+        Self {
+            bits: self.bits | other.bits,
+        }
     }
 
     /// Intersection of two sets.
     #[inline]
     pub const fn intersection(self, other: Self) -> Self {
-        Self { bits: self.bits & other.bits }
+        Self {
+            bits: self.bits & other.bits,
+        }
     }
 
     /// Iterates over the opcodes in the set, in Table 1 / declaration order.

@@ -327,8 +327,7 @@ mod tests {
 
     #[test]
     fn sum_and_scaling() {
-        let total: SimDuration =
-            (1..=4).map(SimDuration::from_micros).sum();
+        let total: SimDuration = (1..=4).map(SimDuration::from_micros).sum();
         assert_eq!(total, SimDuration::from_micros(10));
         assert_eq!(total * 2, SimDuration::from_micros(20));
         assert_eq!(total / 5, SimDuration::from_micros(2));

@@ -58,8 +58,7 @@ impl Gshare {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use suit_rng::{Rng, SuitRng};
 
     #[test]
     fn learns_an_always_taken_branch() {
@@ -92,9 +91,9 @@ mod tests {
     #[test]
     fn random_branches_mispredict_half_the_time() {
         let mut p = Gshare::new(12);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SuitRng::seed_from_u64(1);
         for _ in 0..20_000 {
-            p.predict_and_train(rng.gen::<u64>() & 0xfffc, rng.gen());
+            p.predict_and_train(rng.u64() & 0xfffc, rng.bool());
         }
         let r = p.mispredict_ratio();
         assert!((0.40..0.60).contains(&r), "ratio {r:.3}");

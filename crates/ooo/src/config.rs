@@ -23,8 +23,15 @@ pub enum Port {
 
 impl Port {
     /// All ports, for iteration.
-    pub const ALL: [Port; 7] =
-        [Port::Alu0, Port::Alu1, Port::Mul, Port::Vec, Port::Load, Port::Store, Port::Branch];
+    pub const ALL: [Port; 7] = [
+        Port::Alu0,
+        Port::Alu1,
+        Port::Mul,
+        Port::Vec,
+        Port::Load,
+        Port::Store,
+        Port::Branch,
+    ];
 
     /// Dense index.
     pub fn index(self) -> usize {
@@ -103,7 +110,10 @@ impl O3Config {
     /// The Table 5 system with a given IMUL latency.
     pub fn with_imul_latency(imul_latency: u32) -> Self {
         assert!(imul_latency >= 1, "latency must be at least one cycle");
-        O3Config { imul_latency, ..O3Config::default() }
+        O3Config {
+            imul_latency,
+            ..O3Config::default()
+        }
     }
 
     /// Execution latency for an opcode.
@@ -169,7 +179,10 @@ impl O3Config {
                 ),
             ),
             ("gem5 Mode".into(), "Full System".into()),
-            ("OS".into(), "Ubuntu 20.04.1 with Linux kernel v5.19.0".into()),
+            (
+                "OS".into(),
+                "Ubuntu 20.04.1 with Linux kernel v5.19.0".into(),
+            ),
         ]
     }
 }

@@ -83,7 +83,12 @@ impl O3Core {
     pub fn new(cfg: O3Config) -> Self {
         let hier = Hierarchy::new(&cfg);
         let prefetcher = cfg.prefetcher.then(StridePrefetcher::default);
-        O3Core { cfg, hier, bpred: Gshare::new(14), prefetcher }
+        O3Core {
+            cfg,
+            hier,
+            bpred: Gshare::new(14),
+            prefetcher,
+        }
     }
 
     /// The configuration.
@@ -150,8 +155,7 @@ impl O3Core {
             let issue = ready.max(port_free[port.index()]);
             wait_dep_cycles += ready.saturating_sub(d);
             wait_port_cycles += issue.saturating_sub(ready);
-            port_free[port.index()] =
-                issue + u64::from(cfg.initiation_interval(uop.inst.opcode));
+            port_free[port.index()] = issue + u64::from(cfg.initiation_interval(uop.inst.opcode));
 
             // --- Execute ---
             let latency = match uop.inst.kind() {
@@ -182,8 +186,7 @@ impl O3Core {
                 let taken = uop.taken.unwrap_or(false);
                 if !self.bpred.predict_and_train(uop.pc, taken) {
                     mispredicts += 1;
-                    fetch_ready =
-                        fetch_ready.max(complete + u64::from(cfg.mispredict_penalty));
+                    fetch_ready = fetch_ready.max(complete + u64::from(cfg.mispredict_penalty));
                 }
             }
 
@@ -217,16 +220,19 @@ mod tests {
 
     /// Handy builder for raw µop sequences.
     fn compute(op: Opcode, dst: u8, s1: u8, s2: u8) -> Uop {
-        Uop { inst: Inst::new(op, dst, s1, s2), addr: None, taken: None, pc: 0x1000 }
+        Uop {
+            inst: Inst::new(op, dst, s1, s2),
+            addr: None,
+            taken: None,
+            pc: 0x1000,
+        }
     }
 
     #[test]
     fn independent_alu_ops_reach_dual_issue() {
         // 2 ALU ports limit independent ALU throughput to 2/cycle.
         let mut core = O3Core::new(O3Config::default());
-        let uops = (0..20_000u64).map(|i| {
-            compute(Opcode::Alu, (i % 32) as u8, 40, 50)
-        });
+        let uops = (0..20_000u64).map(|i| compute(Opcode::Alu, (i % 32) as u8, 40, 50));
         let stats = core.run(uops, 20_000);
         let ipc = stats.ipc();
         assert!((1.8..=2.05).contains(&ipc), "ipc {ipc:.2}");
@@ -272,9 +278,7 @@ mod tests {
         // throughput of independent multiplies (1/cycle on the MUL port).
         let run = |lat| {
             let mut core = O3Core::new(O3Config::with_imul_latency(lat));
-            let uops = (0..20_000u64).map(|i| {
-                compute(Opcode::Imul, (i % 32) as u8, 40, 50)
-            });
+            let uops = (0..20_000u64).map(|i| compute(Opcode::Imul, (i % 32) as u8, 40, 50));
             core.run(uops, 20_000).ipc()
         };
         let base = run(3);
@@ -282,7 +286,10 @@ mod tests {
         let wild = run(30);
         assert!((base - 1.0).abs() < 0.02, "base ipc {base:.3}");
         assert!((hardened - base).abs() < 0.02);
-        assert!((wild - base).abs() < 0.05, "30-cycle pipelined ipc {wild:.3}");
+        assert!(
+            (wild - base).abs() < 0.05,
+            "30-cycle pipelined ipc {wild:.3}"
+        );
     }
 
     #[test]
@@ -290,7 +297,10 @@ mod tests {
         // All-DRAM-miss loads: ROB-many can overlap; IPC ≈ rob / dram.
         // (Prefetching off: the constant-stride test pattern would
         // otherwise be covered and measure the prefetcher instead.)
-        let cfg = O3Config { prefetcher: false, ..O3Config::default() };
+        let cfg = O3Config {
+            prefetcher: false,
+            ..O3Config::default()
+        };
         let mut core = O3Core::new(cfg.clone());
         // Strided far beyond any cache: every load misses to DRAM.
         let uops = (0..40_000u64).map(|i| Uop {
@@ -351,8 +361,7 @@ mod tests {
         // Independent single-port multiplies: structural wait dominates
         // (4-wide dispatch into a 1/cycle MUL port).
         let mut core = O3Core::new(O3Config::default());
-        let uops =
-            (0..10_000u64).map(|i| compute(Opcode::Imul, (i % 32) as u8, 40, 50));
+        let uops = (0..10_000u64).map(|i| compute(Opcode::Imul, (i % 32) as u8, 40, 50));
         let s = core.run(uops, 10_000);
         assert!(s.port_wait_per_inst() > s.dep_wait_per_inst());
     }

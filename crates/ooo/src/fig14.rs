@@ -66,7 +66,11 @@ pub fn run(n: u64) -> Fig14 {
                 .iter()
                 .map(|&lat| run_one(p, lat, n) / base - 1.0)
                 .collect();
-            Fig14Row { name: p.name, base_ipc, slowdowns }
+            Fig14Row {
+                name: p.name,
+                base_ipc,
+                slowdowns,
+            }
         })
         .collect();
     Fig14 { rows }
@@ -106,7 +110,11 @@ mod tests {
             .iter()
             .map(|r| r.slowdowns[0])
             .fold(f64::NEG_INFINITY, f64::max);
-        assert!(x.slowdowns[0] >= worst * 0.8, "{} vs {worst}", x.slowdowns[0]);
+        assert!(
+            x.slowdowns[0] >= worst * 0.8,
+            "{} vs {worst}",
+            x.slowdowns[0]
+        );
     }
 
     #[test]
@@ -134,6 +142,9 @@ mod tests {
         // (linear regime), unlike the hidden 3 → 4 increment.
         let per_cycle_low = x.slowdowns[0]; // 1 extra cycle
         let per_cycle_high = (at30 - x.slowdowns[3]) / 15.0;
-        assert!(per_cycle_high > per_cycle_low, "latency hiding must saturate");
+        assert!(
+            per_cycle_high > per_cycle_low,
+            "latency hiding must saturate"
+        );
     }
 }

@@ -48,7 +48,12 @@ impl StridePrefetcher {
         let e = &mut self.table[idx];
         let tag = pc >> 2;
         if e.tag != tag {
-            *e = RptEntry { tag, last_addr: addr, stride: 0, confidence: 0 };
+            *e = RptEntry {
+                tag,
+                last_addr: addr,
+                stride: 0,
+                confidence: 0,
+            };
             return;
         }
         let stride = addr as i64 - e.last_addr as i64;
@@ -145,7 +150,9 @@ mod tests {
         // Pseudo-random addresses: strides never repeat.
         let mut addr = 0x12345u64;
         for _ in 0..1_000 {
-            addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            addr = addr
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             pf.observe(&mut h, pc, addr & 0xFFFFFF);
         }
         assert_eq!(pf.issued(), 0, "no confirmed stride, no prefetch");

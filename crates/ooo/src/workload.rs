@@ -15,9 +15,8 @@
 //!   misses, which dominate the baseline CPI),
 //! * **branch predictability** (drives pipeline flushes).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use suit_isa::{Inst, Opcode};
+use suit_rng::{Rng, SuitRng};
 
 /// Number of rotating architectural registers used by the generator.
 /// Registers above the ring are reserved; 63 is the IMUL accumulator.
@@ -131,8 +130,8 @@ pub fn spec_profiles() -> Vec<UopProfile> {
         UopProfile::int("500.perlbench", 9.0, 128, 0.05),
         UopProfile::int("502.gcc", 8.0, 4096, 0.08),
         UopProfile {
-            hot_frac: 0.45, // pointer chasing: poor locality
-            ..UopProfile::int("505.mcf", 6.0, 1 << 16, 0.12) // 64 MB
+            hot_frac: 0.45,                                   // pointer chasing: poor locality
+            ..UopProfile::int("505.mcf", 6.0, 1 << 16, 0.12)  // 64 MB
         },
         UopProfile {
             hot_frac: 0.60,
@@ -188,7 +187,7 @@ pub fn by_name(name: &str) -> Option<UopProfile> {
 #[derive(Debug, Clone)]
 pub struct UopStream {
     p: UopProfile,
-    rng: StdRng,
+    rng: SuitRng,
     i: u64,
     last_imul_dst: Option<u8>,
     imul_run_left: u32,
@@ -208,14 +207,13 @@ impl UopStream {
     /// Creates a seeded stream.
     pub fn new(profile: UopProfile, seed: u64) -> Self {
         let until_kernel = if profile.imul_phase_frac > 0.0 {
-            (KERNEL_LEN as f64 * (1.0 - profile.imul_phase_frac) / profile.imul_phase_frac)
-                as u64
+            (KERNEL_LEN as f64 * (1.0 - profile.imul_phase_frac) / profile.imul_phase_frac) as u64
         } else {
             u64::MAX
         };
         UopStream {
             p: profile,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SuitRng::seed_from_u64(seed),
             i: 0,
             last_imul_dst: None,
             imul_run_left: 0,
@@ -237,8 +235,7 @@ impl UopStream {
         } else if self.until_kernel != u64::MAX {
             if self.until_kernel == 0 {
                 self.kernel_left = KERNEL_LEN - 1;
-                self.until_kernel = (KERNEL_LEN as f64
-                    * (1.0 - self.p.imul_phase_frac)
+                self.until_kernel = (KERNEL_LEN as f64 * (1.0 - self.p.imul_phase_frac)
                     / self.p.imul_phase_frac) as u64;
             } else {
                 self.until_kernel -= 1;
@@ -266,7 +263,7 @@ impl UopStream {
     /// Mix inside a multiply kernel: compute-dense, cache-resident,
     /// predictable — the multiply chain is the only long dependency.
     fn sample_kernel_opcode(&mut self) -> Opcode {
-        let x: f64 = self.rng.gen();
+        let x: f64 = self.rng.f64();
         if x < self.p.imul_phase_density {
             Opcode::Imul
         } else if x < self.p.imul_phase_density + 0.10 {
@@ -287,12 +284,11 @@ impl UopStream {
             self.imul_run_left -= 1;
             return Opcode::Imul;
         }
-        let x: f64 = self.rng.gen();
+        let x: f64 = self.rng.f64();
         let p = &self.p;
         // Run starts are rarer by the run length so the *overall* IMUL
         // density still matches `imul_frac` (kernel IMULs count toward it).
-        let background =
-            (p.imul_frac - p.imul_phase_frac * p.imul_phase_density).max(0.0);
+        let background = (p.imul_frac - p.imul_phase_frac * p.imul_phase_density).max(0.0);
         let mut acc = background / p.imul_run_mean.max(1.0);
         if x < acc {
             if p.imul_run_mean > 1.0 {
@@ -327,14 +323,18 @@ impl UopStream {
     fn src_at_distance(&mut self) -> u8 {
         // Kernels unroll heavily: dependencies are farther apart than in
         // regular code.
-        let mean = if self.in_kernel() { 16.0 } else { self.p.dep_distance_mean };
+        let mean = if self.in_kernel() {
+            16.0
+        } else {
+            self.p.dep_distance_mean
+        };
         let d = self.geometric(mean).min(REG_RING - 1);
         ((self.i + REG_RING - d) % REG_RING) as u8
     }
 
     fn never_written(&mut self) -> u8 {
         // Registers 56..62 are never destinations: always-ready operands.
-        56 + (self.rng.gen::<u8>() % 7)
+        56 + (self.rng.u8() % 7)
     }
 
     fn address(&mut self) -> u64 {
@@ -343,10 +343,10 @@ impl UopStream {
             self.kernel_addr = (self.kernel_addr + 64) % (16 * 1024);
             return self.kernel_addr;
         }
-        if self.rng.gen::<f64>() < self.p.stream_frac {
+        if self.rng.f64() < self.p.stream_frac {
             self.stream_addr = self.stream_addr.wrapping_add(64) % self.p.working_set.max(64);
             self.stream_addr
-        } else if self.rng.gen::<f64>() < self.p.hot_frac {
+        } else if self.rng.f64() < self.p.hot_frac {
             // Hot, L1-resident 16 kB region.
             self.rng.gen_range(0..16 * 1024u64) & !7
         } else {
@@ -362,10 +362,17 @@ impl Iterator for UopStream {
         let op = self.sample_opcode();
         // Chained multiplies read *and* write the loop-carried accumulator,
         // so the dependency survives ring recycling — the x264 pattern.
-        let chained_imul =
-            op == Opcode::Imul && self.rng.gen::<f64>() < self.p.imul_chain_frac;
-        let dst = if chained_imul { IMUL_ACC } else { (self.i % REG_RING) as u8 };
-        let src1 = if chained_imul { IMUL_ACC } else { self.src_at_distance() };
+        let chained_imul = op == Opcode::Imul && self.rng.f64() < self.p.imul_chain_frac;
+        let dst = if chained_imul {
+            IMUL_ACC
+        } else {
+            (self.i % REG_RING) as u8
+        };
+        let src1 = if chained_imul {
+            IMUL_ACC
+        } else {
+            self.src_at_distance()
+        };
         let _ = self.never_written(); // keep RNG stream shape stable
         let src2 = self.src_at_distance();
 
@@ -373,10 +380,9 @@ impl Iterator for UopStream {
             Opcode::Load => (Inst::load(dst, src1), Some(self.address()), None),
             Opcode::Store => (Inst::store(src1, src2), Some(self.address()), None),
             Opcode::Branch => {
-                let random = !self.in_kernel()
-                    && self.rng.gen::<f64>() < self.p.branch_random_frac;
+                let random = !self.in_kernel() && self.rng.f64() < self.p.branch_random_frac;
                 let taken = if random {
-                    self.rng.gen()
+                    self.rng.bool()
                 } else {
                     // Predictable loop back-edge behaviour.
                     self.i % 16 != 0
@@ -392,7 +398,12 @@ impl Iterator for UopStream {
         self.step_phase();
         self.pc = self.pc.wrapping_add(4) & 0xff_ffff;
         self.i += 1;
-        Some(Uop { inst, addr, taken, pc: self.pc })
+        Some(Uop {
+            inst,
+            addr,
+            taken,
+            pc: self.pc,
+        })
     }
 }
 
@@ -429,8 +440,14 @@ mod tests {
         let p = by_name("525.x264").unwrap();
         let n = 400_000;
         let uops: Vec<Uop> = UopStream::new(p, 3).take(n).collect();
-        let imuls = uops.iter().filter(|u| u.inst.opcode == Opcode::Imul).count();
-        let loads = uops.iter().filter(|u| u.inst.opcode == Opcode::Load).count();
+        let imuls = uops
+            .iter()
+            .filter(|u| u.inst.opcode == Opcode::Imul)
+            .count();
+        let loads = uops
+            .iter()
+            .filter(|u| u.inst.opcode == Opcode::Load)
+            .count();
         let f_imul = imuls as f64 / n as f64;
         let f_load = loads as f64 / n as f64;
         assert!((f_imul - 0.0099).abs() < 0.002, "imul {f_imul:.4}");
@@ -464,7 +481,10 @@ mod tests {
             .filter(|u| u.inst.opcode == Opcode::Imul)
             .collect();
         assert!(!imuls.is_empty());
-        let chained = imuls.iter().filter(|u| u.inst.dst == Some(IMUL_ACC)).count();
+        let chained = imuls
+            .iter()
+            .filter(|u| u.inst.dst == Some(IMUL_ACC))
+            .count();
         assert!(
             chained as f64 / imuls.len() as f64 > 0.95,
             "{chained}/{} chained",

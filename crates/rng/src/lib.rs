@@ -1,0 +1,380 @@
+//! Hermetic deterministic randomness for the SUIT workspace.
+//!
+//! Every statistical result in this repository — the Table 1 fault
+//! campaign, the Monte-Carlo error bars, the synthetic trace and µop
+//! generators, the process-variation chip models — must be exactly
+//! reproducible from a single `u64` seed, with **zero external crates**
+//! so the workspace builds offline. This crate provides that substrate:
+//!
+//! * [`SplitMix64`] — the seed expander (Steele, Lea & Flood 2014). One
+//!   `u64` in, a well-mixed stream out; used to fill generator state and
+//!   to derive child-stream seeds.
+//! * [`SuitRng`] — xoshiro256++ (Blackman & Vigna 2019), the workhorse
+//!   generator: 256-bit state, 1.17 ns/word, passes BigCrush.
+//! * [`Rng`] — a `rand`-like extension trait (`u64`, [`Rng::gen_range`],
+//!   [`Rng::f64`], [`Rng::shuffle`]) implemented for everything with a
+//!   [`RngCore::next_u64`].
+//! * **Stream splitting** — [`SuitRng::fork`] derives the RNG for a
+//!   logical sub-stream (one Monte-Carlo run, one campaign shard) as a
+//!   pure function of the *root seed* and the stream id. Forked streams
+//!   do not depend on how many values the parent has drawn, which is
+//!   what makes the parallel campaign runners bit-identical regardless
+//!   of thread count or scheduling.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Golden-ratio increment used by SplitMix64.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The SplitMix64 seed expander: a tiny, statistically solid generator
+/// whose only job here is turning one `u64` into arbitrarily many
+/// well-mixed words (generator state, child seeds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates an expander over `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next mixed word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next_u64(self)
+    }
+}
+
+/// The workspace generator: xoshiro256++ seeded via SplitMix64, carrying
+/// its root seed so sub-streams can be [forked](SuitRng::fork) at any
+/// point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuitRng {
+    s: [u64; 4],
+    /// The seed this generator (or fork chain) was rooted at — forking is
+    /// a pure function of this value and the stream id, never of how many
+    /// values have been drawn.
+    root: u64,
+}
+
+#[inline]
+fn rotl(x: u64, k: u32) -> u64 {
+    x.rotate_left(k)
+}
+
+impl SuitRng {
+    /// Creates a generator from a single `u64` seed (the state is filled
+    /// by SplitMix64, as the xoshiro authors prescribe — an all-zero
+    /// state is unreachable).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        SuitRng {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+            root: seed,
+        }
+    }
+
+    /// The root seed this generator was derived from.
+    pub fn root_seed(&self) -> u64 {
+        self.root
+    }
+
+    /// Derives the generator for logical sub-stream `stream_id`.
+    ///
+    /// The child depends only on `(root seed, stream_id)` — *not* on the
+    /// parent's draw position — so `rng.fork(i)` is stable no matter when
+    /// or on which thread it is called. Distinct stream ids give
+    /// decorrelated streams; the same id always gives the same stream.
+    pub fn fork(&self, stream_id: u64) -> SuitRng {
+        // Two SplitMix64 rounds over (root, stream): the first decouples
+        // the child space from the raw seed, the second folds the stream
+        // id in through an odd-multiplier hash.
+        let mut sm = SplitMix64::new(self.root);
+        let base = sm.next_u64();
+        let mut sm2 = SplitMix64::new(base ^ stream_id.wrapping_mul(0xA076_1D64_78BD_642F));
+        SuitRng::seed_from_u64(sm2.next_u64())
+    }
+}
+
+impl RngCore for SuitRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = rotl(s[0].wrapping_add(s[3]), 23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        result
+    }
+}
+
+/// The raw word source every generator implements.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Range types [`Rng::gen_range`] accepts. Implemented for half-open and
+/// inclusive ranges of the unsigned integers and half-open `f64` ranges —
+/// exactly the shapes the workspace samples.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased uniform draw in `[0, n)` by rejection (Lemire-style
+/// threshold: only the first `2^64 mod n` words are rejected).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    let threshold = n.wrapping_neg() % n;
+    loop {
+        let r = rng.next_u64();
+        if r >= threshold {
+            return r % n;
+        }
+    }
+}
+
+macro_rules! impl_uint_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_uint_ranges!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + f64_unit(rng) * (self.end - self.start)
+    }
+}
+
+/// Uniform `f64` in `[0, 1)` from the top 53 bits.
+fn f64_unit<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The convenience layer: every [`RngCore`] gets the sampling surface the
+/// workspace uses, mirroring the parts of `rand::Rng` it replaced.
+pub trait Rng: RngCore {
+    /// Uniform `u64`.
+    fn u64(&mut self) -> u64 {
+        self.next_u64()
+    }
+
+    /// Uniform `u32`.
+    fn u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `u8`.
+    fn u8(&mut self) -> u8 {
+        (self.next_u64() >> 56) as u8
+    }
+
+    /// Uniform `u128`.
+    fn u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+
+    /// Fair coin flip (high bit).
+    fn bool(&mut self) -> bool {
+        self.next_u64() >> 63 == 1
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53-bit resolution).
+    fn f64(&mut self) -> f64 {
+        f64_unit(self)
+    }
+
+    /// Uniform draw from `range` (half-open or inclusive; unsigned
+    /// integers and `f64`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = uniform_below(self, i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First outputs for seed 0 (Steele et al. reference sequence).
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(sm.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // xoshiro256++ with state {1, 2, 3, 4} (Vigna's test vector).
+        let mut rng = SuitRng {
+            s: [1, 2, 3, 4],
+            root: 0,
+        };
+        let expected: [u64; 6] = [
+            41_943_041,
+            58_720_359,
+            3_588_806_011_781_223,
+            3_591_011_842_654_386,
+            9_228_616_714_210_784_205,
+            9_973_669_472_204_895_162,
+        ];
+        for e in expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let mut a = SuitRng::seed_from_u64(42);
+        let mut b = SuitRng::seed_from_u64(42);
+        let mut c = SuitRng::seed_from_u64(43);
+        let (xa, xb, xc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn forks_are_position_independent() {
+        let fresh = SuitRng::seed_from_u64(7);
+        let mut drained = SuitRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            drained.next_u64();
+        }
+        // Same (root, stream) → same child, no matter the parent's state.
+        assert_eq!(fresh.fork(3), drained.fork(3));
+        // A fork's forks are rooted at the *child* seed.
+        assert_eq!(fresh.fork(3).fork(5), drained.fork(3).fork(5));
+    }
+
+    #[test]
+    fn forks_are_decorrelated() {
+        let root = SuitRng::seed_from_u64(1);
+        let mut a = root.fork(0);
+        let mut b = root.fork(1);
+        assert_ne!(a, b);
+        let overlap = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(overlap, 0);
+        // And forking does not replay the parent's own stream.
+        let mut parent = SuitRng::seed_from_u64(1);
+        let mut child = SuitRng::seed_from_u64(1).fork(0);
+        assert_ne!(parent.next_u64(), child.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SuitRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(1u32..=3);
+            assert!((1..=3).contains(&y));
+            let f = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let u = rng.gen_range(f64::EPSILON..1.0);
+            assert!(u > 0.0 && u < 1.0);
+            let z = rng.gen_range(0usize..7);
+            assert!(z < 7);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_support() {
+        let mut rng = SuitRng::seed_from_u64(11);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn f64_is_roughly_uniform() {
+        let mut rng = SuitRng::seed_from_u64(9);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = SuitRng::seed_from_u64(13);
+        let heads = (0..10_000).filter(|_| rng.bool()).count();
+        assert!((4_500..5_500).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SuitRng::seed_from_u64(17);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "shuffle should move something");
+    }
+
+    #[test]
+    fn works_through_dyn_and_generic_indirection() {
+        fn generic<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen_range(0.0..1.0)
+        }
+        let mut rng = SuitRng::seed_from_u64(3);
+        let x = generic(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SuitRng::seed_from_u64(1);
+        let _ = rng.gen_range(5u64..5);
+    }
+}

@@ -1,12 +1,15 @@
 fn main() {
-    use suit_sim::experiment::*;
     use suit_hw::UndervoltLevel;
+    use suit_sim::experiment::*;
     for spec in table6_rows() {
         for level in [UndervoltLevel::Mv70, UndervoltLevel::Mv97] {
             let row = run_row(&spec, level, Some(4_000_000_000));
-            let g = row.spec_gmean(); let m = row.spec_median();
-            let x = row.x264(); let ns = row.spec_no_simd();
-            let n = row.nginx(); let v = row.vlc();
+            let g = row.spec_gmean();
+            let m = row.spec_median();
+            let x = row.x264();
+            let ns = row.spec_no_simd();
+            let n = row.nginx();
+            let v = row.vlc();
             println!("{:8} {:?}: gmean P{:+.1}% p{:+.1}% E{:+.1}% | med E{:+.1}% | x264 E{:+.1}% | noSIMD p{:+.1}% E{:+.1}% | nginx p{:+.1}% E{:+.1}% | vlc p{:+.1}% E{:+.1}% | res {:.2}",
                 spec.label, level,
                 g.power*100.0, g.perf*100.0, g.eff*100.0, m.eff*100.0, x.eff*100.0,

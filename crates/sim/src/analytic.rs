@@ -20,8 +20,8 @@ use suit_isa::SimDuration;
 use suit_trace::{TraceGen, WorkloadProfile};
 
 use crate::engine::{imul_penalty, point_table};
-use suit_core::OperatingStrategy;
 use crate::result::RunResult;
+use suit_core::OperatingStrategy;
 
 fn is_intel(cpu: &CpuModel) -> bool {
     !matches!(cpu.kind, CpuKind::AmdRyzen7700X)
@@ -74,7 +74,9 @@ pub fn simulate_emulation(
     seed: u64,
     max_insts: Option<u64>,
 ) -> RunResult {
-    let cap = max_insts.unwrap_or(profile.total_insts).min(profile.total_insts);
+    let cap = max_insts
+        .unwrap_or(profile.total_insts)
+        .min(profile.total_insts);
 
     // Count the disabled instructions the trace executes.
     let mut events: u64 = 0;
@@ -99,7 +101,9 @@ pub fn simulate_no_simd(
     level: UndervoltLevel,
     max_insts: Option<u64>,
 ) -> RunResult {
-    let cap = max_insts.unwrap_or(profile.total_insts).min(profile.total_insts);
+    let cap = max_insts
+        .unwrap_or(profile.total_insts)
+        .min(profile.total_insts);
     analytic_run(cpu, profile, level, cap, 0)
 }
 

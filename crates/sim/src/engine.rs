@@ -22,12 +22,12 @@
 //! drives it.
 
 use suit_core::adaptive::AdaptiveConfig;
+use suit_core::deadline::DeadlineTimer;
+use suit_core::strategy::StrategyParams;
 use suit_core::{
     CpuControl, CurveSelect, CurveTarget, DisabledOpcode, HandlerAction, OperatingStrategy,
     SuitMsrs, SuitOs,
 };
-use suit_core::deadline::DeadlineTimer;
-use suit_core::strategy::StrategyParams;
 use suit_hw::{CpuModel, OperatingPoint, TransitionDelays, UndervoltLevel};
 use suit_isa::{SimDuration, SimTime};
 use suit_trace::{TraceGen, WorkloadProfile};
@@ -116,7 +116,11 @@ impl SimConfig {
 /// it, sparse code ~30 %. Evaluates to ≈1.5 % for x264 and ≈0.03 % on
 /// SPEC average — the paper's measured 1.60 % / 0.03 %.
 pub fn imul_penalty(profile: &WorkloadProfile) -> f64 {
-    let exposure = if profile.imul_fraction > 0.005 { 0.7 } else { 0.3 };
+    let exposure = if profile.imul_fraction > 0.005 {
+        0.7
+    } else {
+        0.3
+    };
     profile.imul_fraction * profile.ipc * exposure
 }
 
@@ -161,7 +165,6 @@ impl PointTable {
         self.e
     }
 }
-
 
 /// Hardware-side state: everything the OS policy manipulates through
 /// [`CpuControl`], plus the accounting.
@@ -223,7 +226,10 @@ impl Hw {
         self.write_curve_for(p);
         self.point = p;
         if let Some(tl) = &mut self.timeline {
-            tl.push(PointChange { at: self.now, point: p });
+            tl.push(PointChange {
+                at: self.now,
+                point: p,
+            });
         }
     }
 
@@ -625,11 +631,7 @@ fn run(
                     // executing.
                     let rate_i = cores[i].base_rate * hw.perf();
                     cores[i].stall_local(hw.delays.exception(), rate_i);
-                    let ex = DisabledOpcode::new(
-                        cores[i].peek_opcode(),
-                        i,
-                        hw.now,
-                    );
+                    let ex = DisabledOpcode::new(cores[i].peek_opcode(), i, hw.now);
                     match os.on_disabled_opcode(&mut hw, &ex) {
                         HandlerAction::SwitchedToConservative => {}
                         HandlerAction::Emulated => {
@@ -660,10 +662,7 @@ fn run(
         .iter()
         .map(|c| CoreOutcome {
             workload: c.gen.profile().name.to_string(),
-            finish: c
-                .finish_time
-                .unwrap_or(hw.now)
-                .since(SimTime::ZERO),
+            finish: c.finish_time.unwrap_or(hw.now).since(SimTime::ZERO),
             baseline: c.baseline,
             events: c.events,
         })
@@ -751,9 +750,7 @@ pub(crate) fn point_table(
         // cores share one voltage rail (ℬ), the rail stays sized for the
         // other cores and the package reduction is diluted. CPUs with
         // per-core voltage domains (𝒞) keep the full physical reduction.
-        OperatingStrategy::Frequency
-            if cpu.domains == suit_hw::DomainLayout::PerCoreFreq =>
-        {
+        OperatingStrategy::Frequency if cpu.domains == suit_hw::DomainLayout::PerCoreFreq => {
             cf.power = 1.0 + 0.55 * (cf.power - 1.0);
         }
         _ => {}
@@ -806,7 +803,11 @@ mod tests {
         let p = profile::by_name("502.gcc").unwrap();
         let r = simulate(&cpu, p, &xeon_cfg());
         // §6.4: 76.6 % residency, −2.89 % performance, +9.67 % efficiency.
-        assert!((r.residency() - 0.766).abs() < 0.06, "residency {:.3}", r.residency());
+        assert!(
+            (r.residency() - 0.766).abs() < 0.06,
+            "residency {:.3}",
+            r.residency()
+        );
         assert!((-0.06..0.0).contains(&r.perf()), "perf {:.3}", r.perf());
         assert!(r.efficiency() > 0.04, "eff {:.3}", r.efficiency());
     }
@@ -901,7 +902,10 @@ mod tests {
             ad.perf(),
             fv.perf()
         );
-        assert!(ad.perf() > -0.10, "adaptive must avoid the -98% emulation cliff");
+        assert!(
+            ad.perf() > -0.10,
+            "adaptive must avoid the -98% emulation cliff"
+        );
 
         let xz = profile::by_name("557.xz").unwrap();
         let ad_xz = simulate(
@@ -933,7 +937,12 @@ mod tests {
         assert!(r.residency() > 0.999, "never leaves the efficient curve");
         // And it beats plain fV on the same workload.
         let fv = simulate(&cpu, &p, &xeon_cfg().with_max_insts(2_000_000_000));
-        assert!(r.perf() > fv.perf(), "{:+.4} vs {:+.4}", r.perf(), fv.perf());
+        assert!(
+            r.perf() > fv.perf(),
+            "{:+.4} vs {:+.4}",
+            r.perf(),
+            fv.perf()
+        );
     }
 
     #[test]

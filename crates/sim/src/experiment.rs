@@ -6,8 +6,8 @@
 //! SPEC median, 525.x264, SPECnoSIMD, Nginx, VLC, each as power /
 //! performance / efficiency deltas.
 
-use suit_core::OperatingStrategy;
 use suit_core::strategy::StrategyParams;
+use suit_core::OperatingStrategy;
 use suit_hw::{CpuModel, UndervoltLevel};
 use suit_trace::{profile, WorkloadProfile};
 
@@ -31,12 +31,42 @@ pub struct RowSpec {
 /// All six configuration rows of Table 6.
 pub fn table6_rows() -> Vec<RowSpec> {
     vec![
-        RowSpec { label: "A1 fV", cpu: CpuModel::i9_9900k(), cores: 1, strategy: OperatingStrategy::FreqVolt },
-        RowSpec { label: "A4 fV", cpu: CpuModel::i9_9900k(), cores: 4, strategy: OperatingStrategy::FreqVolt },
-        RowSpec { label: "Ainf e", cpu: CpuModel::i9_9900k(), cores: 1, strategy: OperatingStrategy::Emulation },
-        RowSpec { label: "Binf f", cpu: CpuModel::ryzen_7700x(), cores: 1, strategy: OperatingStrategy::Frequency },
-        RowSpec { label: "Binf e", cpu: CpuModel::ryzen_7700x(), cores: 1, strategy: OperatingStrategy::Emulation },
-        RowSpec { label: "Cinf fV", cpu: CpuModel::xeon_4208(), cores: 1, strategy: OperatingStrategy::FreqVolt },
+        RowSpec {
+            label: "A1 fV",
+            cpu: CpuModel::i9_9900k(),
+            cores: 1,
+            strategy: OperatingStrategy::FreqVolt,
+        },
+        RowSpec {
+            label: "A4 fV",
+            cpu: CpuModel::i9_9900k(),
+            cores: 4,
+            strategy: OperatingStrategy::FreqVolt,
+        },
+        RowSpec {
+            label: "Ainf e",
+            cpu: CpuModel::i9_9900k(),
+            cores: 1,
+            strategy: OperatingStrategy::Emulation,
+        },
+        RowSpec {
+            label: "Binf f",
+            cpu: CpuModel::ryzen_7700x(),
+            cores: 1,
+            strategy: OperatingStrategy::Frequency,
+        },
+        RowSpec {
+            label: "Binf e",
+            cpu: CpuModel::ryzen_7700x(),
+            cores: 1,
+            strategy: OperatingStrategy::Emulation,
+        },
+        RowSpec {
+            label: "Cinf fV",
+            cpu: CpuModel::xeon_4208(),
+            cores: 1,
+            strategy: OperatingStrategy::FreqVolt,
+        },
     ]
 }
 
@@ -75,7 +105,11 @@ pub struct Deltas {
 
 impl Deltas {
     fn of(r: &RunResult) -> Deltas {
-        Deltas { power: r.power(), perf: r.perf(), eff: r.efficiency() }
+        Deltas {
+            power: r.power(),
+            perf: r.perf(),
+            eff: r.efficiency(),
+        }
     }
 }
 
@@ -165,7 +199,12 @@ pub fn run_row_with_params(
     let no_simd = profile::spec_suite()
         .map(|p| simulate_no_simd(&spec.cpu, p, level, max_insts))
         .collect();
-    RowResult { label: spec.label, level, per_workload, no_simd }
+    RowResult {
+        label: spec.label,
+        level,
+        per_workload,
+        no_simd,
+    }
 }
 
 fn run_workload(
@@ -176,9 +215,7 @@ fn run_workload(
     max_insts: Option<u64>,
 ) -> RunResult {
     match spec.strategy {
-        OperatingStrategy::Emulation => {
-            simulate_emulation(&spec.cpu, p, level, 0x5017, max_insts)
-        }
+        OperatingStrategy::Emulation => simulate_emulation(&spec.cpu, p, level, 0x5017, max_insts),
         strategy => {
             let cfg = SimConfig {
                 strategy,
@@ -254,7 +291,12 @@ mod tests {
         let g = row.spec_gmean();
         let m = row.spec_median();
         assert!(g.perf < -0.25, "gmean perf {:.3}", g.perf);
-        assert!(m.perf > g.perf + 0.10, "median {:.3} vs gmean {:.3}", m.perf, g.perf);
+        assert!(
+            m.perf > g.perf + 0.10,
+            "median {:.3} vs gmean {:.3}",
+            m.perf,
+            g.perf
+        );
         assert!(row.nginx().perf < -0.90, "nginx {:.3}", row.nginx().perf);
     }
 

@@ -6,10 +6,15 @@
 //! from the burst process. This module re-runs a configuration with
 //! per-run sampled [`suit_hw::TransitionDelays`] and trace seeds and reports the
 //! resulting distributions — the error bars the single numbers live in.
+//!
+//! Runs are independent, so the campaign shards across scoped worker
+//! threads. Every run's randomness is a [`SuitRng::fork`] of the
+//! top-level seed keyed by the run index — a pure function of
+//! `(cfg.seed, run)` — so the resulting distributions are **bit-identical
+//! for every thread count** while wall-clock drops by ~N× on N cores.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use suit_hw::CpuModel;
+use suit_rng::{Rng, SuitRng};
 use suit_trace::WorkloadProfile;
 
 use crate::engine::{simulate, SimConfig};
@@ -81,8 +86,33 @@ pub struct McSummary {
     pub residency: Distribution,
 }
 
+/// One run's metric vector: perf, power, efficiency, residency.
+type RunMetrics = [f64; 4];
+
+/// Executes Monte-Carlo run `i`: samples realised transition delays and a
+/// trace seed from the fork of the top-level seed keyed by `i`, then
+/// simulates. Pure in `(cpu, profile, cfg, i)`.
+fn one_run(cpu: &CpuModel, profile: &WorkloadProfile, cfg: &SimConfig, i: usize) -> RunMetrics {
+    let mut rng = SuitRng::seed_from_u64(cfg.seed).fork(i as u64);
+    let mut cpu_i = cpu.clone();
+    // Sample this run's realised transition delays around the measured
+    // means (Figs. 8–11 spreads).
+    cpu_i.delays.freq_change_us = cpu.delays.sample_freq_change(&mut rng).as_micros_f64();
+    cpu_i.delays.volt_change_us = cpu.delays.sample_volt_change(&mut rng).as_micros_f64();
+    // The stall tracks the realised change on stalling parts.
+    if cpu.delays.freq_stall_us > 0.0 {
+        cpu_i.delays.freq_stall_us = cpu_i.delays.freq_change_us.min(cpu.delays.freq_stall_us);
+    }
+
+    let mut cfg_i = cfg.clone();
+    cfg_i.seed = rng.u64();
+    let r = simulate(&cpu_i, profile, &cfg_i);
+    [r.perf(), r.power(), r.efficiency(), r.residency()]
+}
+
 /// Runs `runs` simulations of (`cpu`, `profile`, `cfg`), each with freshly
-/// sampled transition delays and a distinct trace seed.
+/// sampled transition delays and a distinct trace seed, sharded across all
+/// available cores. Results are identical for every thread count.
 ///
 /// # Panics
 ///
@@ -93,41 +123,45 @@ pub fn monte_carlo(
     cfg: &SimConfig,
     runs: usize,
 ) -> McSummary {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    monte_carlo_with_threads(cpu, profile, cfg, runs, threads)
+}
+
+/// [`monte_carlo`] with an explicit worker count. `threads = 1` recovers
+/// the serial campaign; any other count produces byte-identical
+/// distributions because run `i`'s randomness is `fork(i)` of the
+/// top-level seed regardless of which worker executes it.
+///
+/// # Panics
+///
+/// Panics if `runs` or `threads` is zero.
+pub fn monte_carlo_with_threads(
+    cpu: &CpuModel,
+    profile: &WorkloadProfile,
+    cfg: &SimConfig,
+    runs: usize,
+    threads: usize,
+) -> McSummary {
     assert!(runs >= 1, "need at least one run");
-    let mut perf = Vec::with_capacity(runs);
-    let mut power = Vec::with_capacity(runs);
-    let mut eff = Vec::with_capacity(runs);
-    let mut residency = Vec::with_capacity(runs);
-
-    for i in 0..runs {
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)));
-        let mut cpu_i = cpu.clone();
-        // Sample this run's realised transition delays around the measured
-        // means (Figs. 8–11 spreads).
-        cpu_i.delays.freq_change_us =
-            cpu.delays.sample_freq_change(&mut rng).as_micros_f64();
-        cpu_i.delays.volt_change_us =
-            cpu.delays.sample_volt_change(&mut rng).as_micros_f64();
-        // The stall tracks the realised change on stalling parts.
-        if cpu.delays.freq_stall_us > 0.0 {
-            cpu_i.delays.freq_stall_us =
-                cpu_i.delays.freq_change_us.min(cpu.delays.freq_stall_us);
+    assert!(threads >= 1, "need at least one worker");
+    let mut metrics: Vec<RunMetrics> = vec![[0.0; 4]; runs];
+    let chunk = runs.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (ci, slots) in metrics.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    *slot = one_run(cpu, profile, cfg, ci * chunk + j);
+                }
+            });
         }
+    });
 
-        let mut cfg_i = cfg.clone();
-        cfg_i.seed = cfg.seed.wrapping_add(i as u64 * 7919);
-        let r = simulate(&cpu_i, profile, &cfg_i);
-        perf.push(r.perf());
-        power.push(r.power());
-        eff.push(r.efficiency());
-        residency.push(r.residency());
-    }
-
+    let column = |k: usize| metrics.iter().map(|m| m[k]).collect();
     McSummary {
-        perf: Distribution::from(perf),
-        power: Distribution::from(power),
-        eff: Distribution::from(eff),
-        residency: Distribution::from(residency),
+        perf: Distribution::from(column(0)),
+        power: Distribution::from(column(1)),
+        eff: Distribution::from(column(2)),
+        residency: Distribution::from(column(3)),
     }
 }
 
@@ -164,7 +198,11 @@ mod tests {
         let det = simulate(&cpu, p, &cfg);
         let mc = monte_carlo(&cpu, p, &cfg, 12);
         // The deterministic mean-delay run sits inside the MC envelope.
-        assert!(det.efficiency() >= mc.eff.min() - 0.01, "{}", det.efficiency());
+        assert!(
+            det.efficiency() >= mc.eff.min() - 0.01,
+            "{}",
+            det.efficiency()
+        );
         assert!(det.efficiency() <= mc.eff.max() + 0.01);
         // Seeds & sampled delays must actually produce spread.
         assert!(mc.eff.std() > 0.0);
@@ -180,6 +218,25 @@ mod tests {
         let a = monte_carlo(&cpu, p, &cfg, 5);
         let b = monte_carlo(&cpu, p, &cfg, 5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_distributions() {
+        let (cpu, p, cfg) = setup();
+        let serial = monte_carlo_with_threads(&cpu, p, &cfg, 9, 1);
+        for threads in [2, 4, 8] {
+            let parallel = monte_carlo_with_threads(&cpu, p, &cfg, 9, threads);
+            assert_eq!(serial, parallel, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_campaigns() {
+        let (cpu, p, mut cfg) = setup();
+        let a = monte_carlo(&cpu, p, &cfg, 4);
+        cfg.seed ^= 0xABCD;
+        let b = monte_carlo(&cpu, p, &cfg, 4);
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -189,7 +189,11 @@ mod tests {
 
     #[test]
     fn aggregate_median_and_gmean() {
-        let rs = vec![result(0.10, -0.1, 1.0), result(-0.50, -0.1, 0.0), result(0.0, -0.1, 0.5)];
+        let rs = vec![
+            result(0.10, -0.1, 1.0),
+            result(-0.50, -0.1, 0.0),
+            result(0.0, -0.1, 0.5),
+        ];
         let a = Aggregate::over(&rs);
         assert!((a.perf_median - 0.0).abs() < 1e-12);
         // gmean = (1.1 · 0.5 · 1.0)^(1/3) − 1.

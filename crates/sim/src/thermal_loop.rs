@@ -89,8 +89,7 @@ impl ThermalLoopResult {
     /// Mean efficiency delta over the whole run (thermally-aware SUIT's
     /// real-world gain).
     pub fn mean_efficiency(&self) -> f64 {
-        self.records.iter().map(|r| r.efficiency).sum::<f64>()
-            / self.records.len().max(1) as f64
+        self.records.iter().map(|r| r.efficiency).sum::<f64>() / self.records.len().max(1) as f64
     }
 
     /// The last recorded temperature.
@@ -136,7 +135,10 @@ pub fn thermal_loop(
         .with_max_insts(slice_insts.max(50_000_000));
         simulate(cpu, profile, &sim_cfg)
     };
-    let per_level = [run_level(UndervoltLevel::Mv70), run_level(UndervoltLevel::Mv97)];
+    let per_level = [
+        run_level(UndervoltLevel::Mv70),
+        run_level(UndervoltLevel::Mv97),
+    ];
 
     let mut records = Vec::with_capacity(cfg.slices);
     for i in 0..cfg.slices {
@@ -145,12 +147,8 @@ pub fn thermal_loop(
         }
         let level = governor.level();
         let (rel_power, eff) = match level {
-            Some(UndervoltLevel::Mv70) => {
-                (1.0 + per_level[0].power(), per_level[0].efficiency())
-            }
-            Some(UndervoltLevel::Mv97) => {
-                (1.0 + per_level[1].power(), per_level[1].efficiency())
-            }
+            Some(UndervoltLevel::Mv70) => (1.0 + per_level[0].power(), per_level[0].efficiency()),
+            Some(UndervoltLevel::Mv97) => (1.0 + per_level[1].power(), per_level[1].efficiency()),
             None => (1.0, 0.0),
         };
         let watts = base_watts * rel_power;
@@ -225,7 +223,11 @@ mod tests {
         assert!(end.temp_c < 65.0, "{:.1}", end.temp_c);
         assert!(end.level.is_some(), "cooling must restore a level");
         // The trace actually transitioned both ways.
-        assert!((0.2..0.9).contains(&r.enabled_fraction()), "{:.2}", r.enabled_fraction());
+        assert!(
+            (0.2..0.9).contains(&r.enabled_fraction()),
+            "{:.2}",
+            r.enabled_fraction()
+        );
     }
 
     #[test]

@@ -46,11 +46,7 @@ pub fn point_fv(cpu: &CpuModel, level: UndervoltLevel, point: Point) -> (f64, f6
 }
 
 /// Converts recorded point changes into a Fig. 6 series.
-pub fn fv_series(
-    cpu: &CpuModel,
-    level: UndervoltLevel,
-    changes: &[PointChange],
-) -> Vec<FvSample> {
+pub fn fv_series(cpu: &CpuModel, level: UndervoltLevel, changes: &[PointChange]) -> Vec<FvSample> {
     changes
         .iter()
         .map(|c| {
@@ -102,7 +98,7 @@ fn idx(p: Point) -> usize {
 mod tests {
     use super::*;
     use crate::engine::{simulate_with_timeline, SimConfig};
-    
+
     use suit_trace::profile;
 
     #[test]

@@ -11,8 +11,8 @@
 
 use std::process::ExitCode;
 
-use suit::core::OperatingStrategy;
 use suit::core::strategy::StrategyParams;
+use suit::core::OperatingStrategy;
 use suit::hw::{CpuModel, UndervoltLevel};
 use suit::sim::analytic::simulate_emulation;
 use suit::sim::engine::{simulate, SimConfig};
@@ -65,7 +65,9 @@ fn main() -> ExitCode {
 type CliResult = Result<(), String>;
 
 fn opt(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn cmd_list() -> CliResult {
@@ -106,14 +108,17 @@ fn cmd_simulate(args: &[String]) -> CliResult {
     let p = profile::by_name(&name).ok_or_else(|| format!("unknown workload '{name}'"))?;
     let cpu = parse_cpu(opt(args, "--cpu"))?;
     let level = parse_level(opt(args, "--offset"))?;
-    let cores: usize = opt(args, "--cores").map_or(Ok(1), |v| v.parse().map_err(|e| format!("--cores: {e}")))?;
-    let insts: Option<u64> =
-        opt(args, "--insts").map(|v| v.parse().map_err(|e| format!("--insts: {e}"))).transpose()?;
+    let cores: usize =
+        opt(args, "--cores").map_or(Ok(1), |v| v.parse().map_err(|e| format!("--cores: {e}")))?;
+    let insts: Option<u64> = opt(args, "--insts")
+        .map(|v| v.parse().map_err(|e| format!("--insts: {e}")))
+        .transpose()?;
     if insts == Some(0) {
         return Err("--insts must be at least 1".into());
     }
-    let seed: u64 =
-        opt(args, "--seed").map_or(Ok(0x5017), |v| v.parse().map_err(|e| format!("--seed: {e}")))?;
+    let seed: u64 = opt(args, "--seed").map_or(Ok(0x5017), |v| {
+        v.parse().map_err(|e| format!("--seed: {e}"))
+    })?;
     let strategy = opt(args, "--strategy").unwrap_or_else(|| "fv".into());
 
     let params = match cpu.kind {
@@ -148,11 +153,17 @@ fn cmd_simulate(args: &[String]) -> CliResult {
         }
     };
 
-    println!("{} on {} at {} ({} strategy, {} core(s))", p.name, cpu.name, level, strategy, cores);
+    println!(
+        "{} on {} at {} ({} strategy, {} core(s))",
+        p.name, cpu.name, level, strategy, cores
+    );
     println!("  performance : {:+.2} %", r.perf() * 100.0);
     println!("  power       : {:+.2} %", r.power() * 100.0);
     println!("  efficiency  : {:+.2} %", r.efficiency() * 100.0);
-    println!("  residency   : {:.1} % on the efficient curve", r.residency() * 100.0);
+    println!(
+        "  residency   : {:.1} % on the efficient curve",
+        r.residency() * 100.0
+    );
     println!(
         "  activity    : {} faultable instructions, {} #DO, {} timer fires, {} thrash hits",
         r.events, r.exceptions, r.timer_fires, r.thrash_hits
@@ -166,11 +177,17 @@ fn cmd_trace(args: &[String]) -> CliResult {
             let name = opt(args, "--workload").ok_or("missing --workload")?;
             let p = profile::by_name(&name).ok_or_else(|| format!("unknown workload '{name}'"))?;
             let out = opt(args, "--out").ok_or("missing --out <file>")?;
-            let bursts: usize = opt(args, "--bursts")
-                .map_or(Ok(10_000), |v| v.parse().map_err(|e| format!("--bursts: {e}")))?;
-            let seed: u64 = opt(args, "--seed")
-                .map_or(Ok(0x5017), |v| v.parse().map_err(|e| format!("--seed: {e}")))?;
-            let meta = TraceMeta { name: p.name.into(), ipc: p.ipc, total_insts: p.total_insts };
+            let bursts: usize = opt(args, "--bursts").map_or(Ok(10_000), |v| {
+                v.parse().map_err(|e| format!("--bursts: {e}"))
+            })?;
+            let seed: u64 = opt(args, "--seed").map_or(Ok(0x5017), |v| {
+                v.parse().map_err(|e| format!("--seed: {e}"))
+            })?;
+            let meta = TraceMeta {
+                name: p.name.into(),
+                ipc: p.ipc,
+                total_insts: p.total_insts,
+            };
             let mut f = std::fs::File::create(&out).map_err(|e| format!("{out}: {e}"))?;
             write_trace(&mut f, &meta, TraceGen::new(p, seed).take(bursts))
                 .map_err(|e| e.to_string())?;
@@ -197,10 +214,17 @@ fn cmd_trace(args: &[String]) -> CliResult {
 fn cmd_mix(args: &[String]) -> CliResult {
     use suit::sim::engine::simulate_mixed;
     let name = args.first().ok_or_else(|| {
-        format!("usage: mix <{}> [--cpu a|b|c] [--insts N]", suit::trace::profile::MIX_NAMES.join("|"))
+        format!(
+            "usage: mix <{}> [--cpu a|b|c] [--insts N]",
+            suit::trace::profile::MIX_NAMES.join("|")
+        )
     })?;
-    let workloads = suit::trace::profile::mix(name)
-        .ok_or_else(|| format!("unknown mix '{name}' (try {})", suit::trace::profile::MIX_NAMES.join(", ")))?;
+    let workloads = suit::trace::profile::mix(name).ok_or_else(|| {
+        format!(
+            "unknown mix '{name}' (try {})",
+            suit::trace::profile::MIX_NAMES.join(", ")
+        )
+    })?;
     // Mixes model consolidation on ONE shared DVFS domain — only the
     // i9-9900K class has that topology (CPU C's per-core p-states would
     // never couple the workloads), so default to CPU a.
@@ -224,8 +248,7 @@ fn cmd_mix(args: &[String]) -> CliResult {
     let m = simulate_mixed(&cpu, &workloads, &cfg);
     println!(
         "mix '{name}' on {} (one shared domain, {} strategy, -97 mV):",
-        cpu.name,
-        cfg.strategy
+        cpu.name, cfg.strategy
     );
     println!(
         "  domain: residency {:.1}%  power {:+.2}%  efficiency {:+.2}%",
@@ -236,7 +259,9 @@ fn cmd_mix(args: &[String]) -> CliResult {
     for c in &m.per_core {
         println!(
             "  core {:<16} perf {:+.2}%  ({} faultable instructions)",
-            c.workload, c.perf() * 100.0, c.events
+            c.workload,
+            c.perf() * 100.0,
+            c.events
         );
     }
     Ok(())
@@ -245,15 +270,23 @@ fn cmd_mix(args: &[String]) -> CliResult {
 fn cmd_analyze(args: &[String]) -> CliResult {
     let name = args.first().ok_or("usage: analyze <workload> [bursts]")?;
     let p = profile::by_name(name).ok_or_else(|| format!("unknown workload '{name}'"))?;
-    let bursts: usize = args.get(1).map_or(Ok(2_000), |v| v.parse().map_err(|e| format!("bursts: {e}")))?;
+    let bursts: usize = args
+        .get(1)
+        .map_or(Ok(2_000), |v| v.parse().map_err(|e| format!("bursts: {e}")))?;
     let report = suit::trace::analyze::TraceReport::from_bursts(
         TraceGen::new(p, 0x5017).take(bursts),
         suit::trace::analyze::AnalyzeParams::xeon(p.ipc),
     );
-    println!("{} — Section 5.1 characterisation over {} bursts:", p.name, report.bursts);
+    println!(
+        "{} — Section 5.1 characterisation over {} bursts:",
+        p.name, report.bursts
+    );
     println!("  faultable instructions : {}", report.events);
     println!("  instructions covered   : {}", report.insts);
-    println!("  mean event gap         : {:.0} instructions", report.mean_event_gap);
+    println!(
+        "  mean event gap         : {:.0} instructions",
+        report.mean_event_gap
+    );
     println!("  deadline episodes      : {}", report.episodes);
     println!(
         "  predicted residency    : {:.1}% (profile target {:.1}%)",

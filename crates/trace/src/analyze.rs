@@ -69,10 +69,8 @@ impl AnalyzeParams {
 impl TraceReport {
     /// Analyses a burst stream.
     pub fn from_bursts<I: IntoIterator<Item = Burst>>(bursts: I, params: AnalyzeParams) -> Self {
-        let deadline_insts =
-            params.deadline.as_secs_f64() * params.insts_per_sec;
-        let overhead_insts =
-            params.episode_overhead.as_secs_f64() * params.insts_per_sec;
+        let deadline_insts = params.deadline.as_secs_f64() * params.insts_per_sec;
+        let overhead_insts = params.episode_overhead.as_secs_f64() * params.insts_per_sec;
 
         let mut insts: u64 = 0;
         let mut events: u64 = 0;
@@ -143,7 +141,10 @@ mod tests {
         let r = TraceReport::from_bursts(bursts, params());
         assert_eq!(r.bursts, 2);
         assert_eq!(r.events, 4);
-        assert_eq!(r.episodes, 2, "10M-instruction gap far exceeds the deadline");
+        assert_eq!(
+            r.episodes, 2,
+            "10M-instruction gap far exceeds the deadline"
+        );
         assert!(r.mean_event_gap > 2_000_000.0);
     }
 
@@ -163,10 +164,7 @@ mod tests {
     #[test]
     fn quiet_traces_predict_high_residency() {
         let p = profile::by_name("557.xz").unwrap();
-        let r = TraceReport::from_bursts(
-            TraceGen::new(p, 1).take(300),
-            AnalyzeParams::xeon(p.ipc),
-        );
+        let r = TraceReport::from_bursts(TraceGen::new(p, 1).take(300), AnalyzeParams::xeon(p.ipc));
         assert!(
             (r.predicted_residency - p.target_residency).abs() < 0.05,
             "predicted {:.3} vs target {:.3}",
@@ -178,10 +176,8 @@ mod tests {
     #[test]
     fn bursty_traces_predict_low_residency() {
         let p = profile::by_name("520.omnetpp").unwrap();
-        let r = TraceReport::from_bursts(
-            TraceGen::new(p, 1).take(3_000),
-            AnalyzeParams::xeon(p.ipc),
-        );
+        let r =
+            TraceReport::from_bursts(TraceGen::new(p, 1).take(3_000), AnalyzeParams::xeon(p.ipc));
         assert!(r.predicted_residency < 0.25, "{:.3}", r.predicted_residency);
     }
 

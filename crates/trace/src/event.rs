@@ -34,7 +34,12 @@ impl Burst {
     pub fn new(gap_insts: u64, events: u32, within_gap_insts: u32, opcode: Opcode) -> Self {
         assert!(events >= 1, "a burst contains at least one event");
         assert!(opcode.is_faultable(), "burst opcode must be faultable");
-        Burst { gap_insts, events, within_gap_insts, opcode }
+        Burst {
+            gap_insts,
+            events,
+            within_gap_insts,
+            opcode,
+        }
     }
 
     /// Instructions spanned from the first to the last faultable
@@ -46,7 +51,9 @@ impl Burst {
     /// Total instructions consumed by the burst including its leading gap:
     /// gap + events + internal gaps.
     pub fn total_insts(&self) -> u64 {
-        self.gap_insts + u64::from(self.events) + u64::from(self.events - 1) * u64::from(self.within_gap_insts)
+        self.gap_insts
+            + u64::from(self.events)
+            + u64::from(self.events - 1) * u64::from(self.within_gap_insts)
     }
 
     /// Instruction offsets (relative to the burst's first event) of every
@@ -75,7 +82,10 @@ pub struct TraceSummary {
 impl TraceSummary {
     /// Accumulates statistics over bursts.
     pub fn from_bursts<I: IntoIterator<Item = Burst>>(iter: I) -> Self {
-        let mut s = TraceSummary { min_gap: u64::MAX, ..Default::default() };
+        let mut s = TraceSummary {
+            min_gap: u64::MAX,
+            ..Default::default()
+        };
         for b in iter {
             s.bursts += 1;
             s.events += u64::from(b.events);

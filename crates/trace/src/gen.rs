@@ -8,8 +8,7 @@
 //! produces the identical trace — the property the simulator's regression
 //! tests rely on.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use suit_rng::{Rng, SuitRng};
 
 use crate::event::Burst;
 use crate::profile::WorkloadProfile;
@@ -27,7 +26,7 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 #[derive(Debug, Clone)]
 pub struct TraceGen<'p> {
     profile: &'p WorkloadProfile,
-    rng: StdRng,
+    rng: SuitRng,
     /// Instructions emitted so far (including gaps).
     pos_insts: u64,
     /// Cumulative opcode weights for sampling.
@@ -49,7 +48,7 @@ impl<'p> TraceGen<'p> {
             .collect();
         TraceGen {
             profile,
-            rng: StdRng::seed_from_u64(seed ^ hash_name(profile.name)),
+            rng: SuitRng::seed_from_u64(seed ^ hash_name(profile.name)),
             pos_insts: 0,
             weight_total: acc,
             opcode_cdf,
@@ -156,7 +155,10 @@ mod tests {
         let xz = profile::by_name("557.xz").unwrap();
         let gcc = profile::by_name("502.gcc").unwrap();
         let a: Vec<u64> = TraceGen::new(xz, 7).take(50).map(|b| b.gap_insts).collect();
-        let b: Vec<u64> = TraceGen::new(gcc, 7).take(50).map(|b| b.gap_insts).collect();
+        let b: Vec<u64> = TraceGen::new(gcc, 7)
+            .take(50)
+            .map(|b| b.gap_insts)
+            .collect();
         assert_ne!(a, b);
     }
 
@@ -194,8 +196,14 @@ mod tests {
     fn crypto_profiles_emit_aes() {
         let p = profile::by_name("Nginx").unwrap();
         let bursts: Vec<Burst> = TraceGen::new(p, 11).take(200).collect();
-        let aes = bursts.iter().filter(|b| b.opcode == suit_isa::Opcode::Aesenc).count();
-        assert!(aes > bursts.len() / 2, "AES should dominate Nginx ({aes}/200)");
+        let aes = bursts
+            .iter()
+            .filter(|b| b.opcode == suit_isa::Opcode::Aesenc)
+            .count();
+        assert!(
+            aes > bursts.len() / 2,
+            "AES should dominate Nginx ({aes}/200)"
+        );
         // Dense bursts: tens of thousands of events (62 500 AESENC per
         // 100 kB request).
         let mean_events: f64 =
@@ -207,7 +215,10 @@ mod tests {
     fn gaps_are_heavy_tailed() {
         // Lognormal σ = 0.6 ⇒ p95/p50 ≈ e^(1.65·0.6) ≈ 2.7; check spread.
         let p = profile::by_name("526.blender").unwrap();
-        let mut gaps: Vec<u64> = TraceGen::new(p, 13).take(2000).map(|b| b.gap_insts).collect();
+        let mut gaps: Vec<u64> = TraceGen::new(p, 13)
+            .take(2000)
+            .map(|b| b.gap_insts)
+            .collect();
         gaps.sort_unstable();
         let p50 = gaps[gaps.len() / 2] as f64;
         let p95 = gaps[gaps.len() * 95 / 100] as f64;

@@ -88,7 +88,8 @@ fn read_varint<R: Read>(r: &mut R) -> Result<u64, TraceIoError> {
     let mut v: u64 = 0;
     for shift in (0..70).step_by(7) {
         let mut b = [0u8; 1];
-        r.read_exact(&mut b).map_err(|_| TraceIoError::Corrupt("varint truncated"))?;
+        r.read_exact(&mut b)
+            .map_err(|_| TraceIoError::Corrupt("varint truncated"))?;
         if shift == 63 && b[0] > 1 {
             return Err(TraceIoError::Corrupt("varint overflow"));
         }
@@ -158,7 +159,14 @@ pub fn read_trace<R: Read>(r: &mut R) -> Result<(TraceMeta, Vec<Burst>), TraceIo
         }
         bursts.push(Burst::new(gap, events as u32, within as u32, opcode));
     }
-    Ok((TraceMeta { name, ipc, total_insts }, bursts))
+    Ok((
+        TraceMeta {
+            name,
+            ipc,
+            total_insts,
+        },
+        bursts,
+    ))
 }
 
 /// Imports an *event list* — the raw format a QEMU-plugin recording
@@ -225,7 +233,11 @@ pub fn import_events<R: std::io::BufRead>(
         }
         let count = (j - i) as u32;
         let span = events[j - 1].0 - start;
-        let within = if count > 1 { (span / u64::from(count - 1)).max(1) as u32 } else { 0 };
+        let within = if count > 1 {
+            (span / u64::from(count - 1)).max(1) as u32
+        } else {
+            0
+        };
         bursts.push(Burst::new(start - prev_end, count, within, opcode));
         prev_end = events[j - 1].0 + 1;
         i = j;
@@ -240,7 +252,11 @@ mod tests {
     use crate::profile;
 
     fn sample_meta() -> TraceMeta {
-        TraceMeta { name: "502.gcc".into(), ipc: 1.2, total_insts: 1_000_000 }
+        TraceMeta {
+            name: "502.gcc".into(),
+            ipc: 1.2,
+            total_insts: 1_000_000,
+        }
     }
 
     #[test]
@@ -271,7 +287,10 @@ mod tests {
         let mut buf = Vec::new();
         write_trace(&mut buf, &sample_meta(), Vec::new()).unwrap();
         buf[0] = b'X';
-        assert!(matches!(read_trace(&mut buf.as_slice()), Err(TraceIoError::BadMagic)));
+        assert!(matches!(
+            read_trace(&mut buf.as_slice()),
+            Err(TraceIoError::BadMagic)
+        ));
     }
 
     #[test]
@@ -328,8 +347,11 @@ mod tests {
     fn import_accepts_family_mnemonics() {
         // Concrete family members (VPCMPEQD, VPMAXSD) map onto the Table 1
         // families via their canonical prefixes.
-        let ok = import_events("10 VOR\n2000000 VPCMPEQD\n4000000 VPMAXSD\n".as_bytes(), 100)
-            .unwrap();
+        let ok = import_events(
+            "10 VOR\n2000000 VPCMPEQD\n4000000 VPMAXSD\n".as_bytes(),
+            100,
+        )
+        .unwrap();
         assert_eq!(ok.len(), 3);
         assert_eq!(ok[1].opcode, Opcode::Vpcmp);
         assert_eq!(ok[2].opcode, Opcode::Vpmax);

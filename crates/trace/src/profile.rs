@@ -209,29 +209,259 @@ fn build_profiles() -> Vec<WorkloadProfile> {
     let avg_imul = 0.0007; // §6.1: 0.07 % on average outside 525.x264
     let mut v = vec![
         // name, suite, ipc, imul, noSIMD(intel), noSIMD(amd), residency, span µs, within-gap insts
-        spec("523.xalancbmk", Suite::SpecInt, 1.3, avg_imul, -0.002, -0.003, 0.975, 120.0, 330.0),
-        spec("557.xz", Suite::SpecInt, 1.1, avg_imul, -0.005, -0.007, 0.971, 300.0, 10_000.0),
-        spec("549.fotonik3d", Suite::SpecFp, 1.6, avg_imul, -0.030, -0.042, 0.960, 200.0, 5_000.0),
-        spec("505.mcf", Suite::SpecInt, 0.5, avg_imul, 0.000, 0.000, 0.955, 150.0, 250.0),
-        spec("531.deepsjeng", Suite::SpecInt, 1.5, avg_imul, -0.005, -0.007, 0.945, 180.0, 1_000.0),
-        spec("548.exchange2", Suite::SpecInt, 2.3, avg_imul, 0.077, 0.068, 0.935, 150.0, 10_000.0),
-        spec("519.lbm", Suite::SpecFp, 1.0, avg_imul, -0.030, -0.042, 0.925, 250.0, 25.0),
-        spec("541.leela", Suite::SpecInt, 1.4, avg_imul, -0.003, -0.004, 0.910, 200.0, 1_500.0),
-        spec("538.imagick", Suite::SpecFp, 2.0, avg_imul, -0.120, -0.090, 0.890, 300.0, 2_000.0),
-        spec("525.x264", Suite::SpecInt, 2.2, 0.0099, 0.070, 0.220, 0.870, 250.0, 20_000.0),
-        spec("510.parest", Suite::SpecFp, 1.6, avg_imul, -0.020, -0.028, 0.820, 280.0, 20_000.0),
-        spec("502.gcc", Suite::SpecInt, 1.2, avg_imul, -0.008, -0.011, 0.766, 300.0, 3_000.0),
-        spec("508.namd", Suite::SpecFp, 2.2, avg_imul, -0.220, -0.350, 0.750, 350.0, 150.0),
-        spec("526.blender", Suite::SpecFp, 1.7, avg_imul, -0.020, -0.028, 0.710, 320.0, 34_000.0),
-        spec("511.povray", Suite::SpecFp, 1.9, avg_imul, -0.010, -0.014, 0.670, 300.0, 42_000.0),
-        spec("507.cactuBSSN", Suite::SpecFp, 1.3, avg_imul, -0.020, -0.028, 0.630, 350.0, 4_000.0),
-        spec("500.perlbench", Suite::SpecInt, 1.8, avg_imul, -0.010, -0.014, 0.590, 280.0, 40_000.0),
-        spec("503.bwaves", Suite::SpecFp, 1.9, avg_imul, -0.015, -0.021, 0.540, 400.0, 250.0),
-        spec("554.roms", Suite::SpecFp, 1.5, avg_imul, -0.033, -0.190, 0.490, 380.0, 180.0),
-        spec("544.nab", Suite::SpecFp, 1.7, avg_imul, -0.020, -0.028, 0.430, 360.0, 9_000.0),
-        spec("527.cam4", Suite::SpecFp, 1.4, avg_imul, -0.020, -0.028, 0.330, 400.0, 9_000.0),
-        spec("520.omnetpp", Suite::SpecInt, 0.8, avg_imul, -0.003, -0.004, 0.032, 20.0, 3_500.0),
-        spec("521.wrf", Suite::SpecFp, 1.5, avg_imul, -0.014, -0.053, 0.100, 60.0, 190.0),
+        spec(
+            "523.xalancbmk",
+            Suite::SpecInt,
+            1.3,
+            avg_imul,
+            -0.002,
+            -0.003,
+            0.975,
+            120.0,
+            330.0,
+        ),
+        spec(
+            "557.xz",
+            Suite::SpecInt,
+            1.1,
+            avg_imul,
+            -0.005,
+            -0.007,
+            0.971,
+            300.0,
+            10_000.0,
+        ),
+        spec(
+            "549.fotonik3d",
+            Suite::SpecFp,
+            1.6,
+            avg_imul,
+            -0.030,
+            -0.042,
+            0.960,
+            200.0,
+            5_000.0,
+        ),
+        spec(
+            "505.mcf",
+            Suite::SpecInt,
+            0.5,
+            avg_imul,
+            0.000,
+            0.000,
+            0.955,
+            150.0,
+            250.0,
+        ),
+        spec(
+            "531.deepsjeng",
+            Suite::SpecInt,
+            1.5,
+            avg_imul,
+            -0.005,
+            -0.007,
+            0.945,
+            180.0,
+            1_000.0,
+        ),
+        spec(
+            "548.exchange2",
+            Suite::SpecInt,
+            2.3,
+            avg_imul,
+            0.077,
+            0.068,
+            0.935,
+            150.0,
+            10_000.0,
+        ),
+        spec(
+            "519.lbm",
+            Suite::SpecFp,
+            1.0,
+            avg_imul,
+            -0.030,
+            -0.042,
+            0.925,
+            250.0,
+            25.0,
+        ),
+        spec(
+            "541.leela",
+            Suite::SpecInt,
+            1.4,
+            avg_imul,
+            -0.003,
+            -0.004,
+            0.910,
+            200.0,
+            1_500.0,
+        ),
+        spec(
+            "538.imagick",
+            Suite::SpecFp,
+            2.0,
+            avg_imul,
+            -0.120,
+            -0.090,
+            0.890,
+            300.0,
+            2_000.0,
+        ),
+        spec(
+            "525.x264",
+            Suite::SpecInt,
+            2.2,
+            0.0099,
+            0.070,
+            0.220,
+            0.870,
+            250.0,
+            20_000.0,
+        ),
+        spec(
+            "510.parest",
+            Suite::SpecFp,
+            1.6,
+            avg_imul,
+            -0.020,
+            -0.028,
+            0.820,
+            280.0,
+            20_000.0,
+        ),
+        spec(
+            "502.gcc",
+            Suite::SpecInt,
+            1.2,
+            avg_imul,
+            -0.008,
+            -0.011,
+            0.766,
+            300.0,
+            3_000.0,
+        ),
+        spec(
+            "508.namd",
+            Suite::SpecFp,
+            2.2,
+            avg_imul,
+            -0.220,
+            -0.350,
+            0.750,
+            350.0,
+            150.0,
+        ),
+        spec(
+            "526.blender",
+            Suite::SpecFp,
+            1.7,
+            avg_imul,
+            -0.020,
+            -0.028,
+            0.710,
+            320.0,
+            34_000.0,
+        ),
+        spec(
+            "511.povray",
+            Suite::SpecFp,
+            1.9,
+            avg_imul,
+            -0.010,
+            -0.014,
+            0.670,
+            300.0,
+            42_000.0,
+        ),
+        spec(
+            "507.cactuBSSN",
+            Suite::SpecFp,
+            1.3,
+            avg_imul,
+            -0.020,
+            -0.028,
+            0.630,
+            350.0,
+            4_000.0,
+        ),
+        spec(
+            "500.perlbench",
+            Suite::SpecInt,
+            1.8,
+            avg_imul,
+            -0.010,
+            -0.014,
+            0.590,
+            280.0,
+            40_000.0,
+        ),
+        spec(
+            "503.bwaves",
+            Suite::SpecFp,
+            1.9,
+            avg_imul,
+            -0.015,
+            -0.021,
+            0.540,
+            400.0,
+            250.0,
+        ),
+        spec(
+            "554.roms",
+            Suite::SpecFp,
+            1.5,
+            avg_imul,
+            -0.033,
+            -0.190,
+            0.490,
+            380.0,
+            180.0,
+        ),
+        spec(
+            "544.nab",
+            Suite::SpecFp,
+            1.7,
+            avg_imul,
+            -0.020,
+            -0.028,
+            0.430,
+            360.0,
+            9_000.0,
+        ),
+        spec(
+            "527.cam4",
+            Suite::SpecFp,
+            1.4,
+            avg_imul,
+            -0.020,
+            -0.028,
+            0.330,
+            400.0,
+            9_000.0,
+        ),
+        spec(
+            "520.omnetpp",
+            Suite::SpecInt,
+            0.8,
+            avg_imul,
+            -0.003,
+            -0.004,
+            0.032,
+            20.0,
+            3_500.0,
+        ),
+        spec(
+            "521.wrf",
+            Suite::SpecFp,
+            1.5,
+            avg_imul,
+            -0.014,
+            -0.053,
+            0.100,
+            60.0,
+            190.0,
+        ),
     ];
     // Nginx: wrk-driven HTTPS serving of 100 kB files. Each request
     // encrypts ~6 250 AES blocks (62 500 AESENC rounds) plus GCM GHASH

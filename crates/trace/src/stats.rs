@@ -74,7 +74,11 @@ impl GapHistogram {
 
     /// Records one gap.
     pub fn record(&mut self, gap: u64) {
-        let bucket = if gap == 0 { 0 } else { (gap as f64).log10().floor() as usize };
+        let bucket = if gap == 0 {
+            0
+        } else {
+            (gap as f64).log10().floor() as usize
+        };
         self.buckets[bucket.min(self.buckets.len() - 1)] += 1;
         self.total += 1;
     }
@@ -114,9 +118,27 @@ mod tests {
         ];
         let t = gap_timeline(bursts, usize::MAX);
         assert_eq!(t.len(), 4);
-        assert_eq!(t[0], TimelinePoint { index: 100, gap: 100 });
-        assert_eq!(t[1], TimelinePoint { index: 111, gap: 10 });
-        assert_eq!(t[2], TimelinePoint { index: 122, gap: 10 });
+        assert_eq!(
+            t[0],
+            TimelinePoint {
+                index: 100,
+                gap: 100
+            }
+        );
+        assert_eq!(
+            t[1],
+            TimelinePoint {
+                index: 111,
+                gap: 10
+            }
+        );
+        assert_eq!(
+            t[2],
+            TimelinePoint {
+                index: 122,
+                gap: 10
+            }
+        );
         // Next burst starts after the last event's slot plus its gap:
         // the last event at 122 occupies its slot and a trailing
         // within-gap stride (122 + 11 = 133), then the 1000-gap follows.
@@ -133,7 +155,16 @@ mod tests {
     #[test]
     fn log10_gap() {
         assert_eq!(TimelinePoint { index: 0, gap: 0 }.log10_gap(), 0.0);
-        assert!((TimelinePoint { index: 0, gap: 1000 }.log10_gap() - 3.0).abs() < 1e-12);
+        assert!(
+            (TimelinePoint {
+                index: 0,
+                gap: 1000
+            }
+            .log10_gap()
+                - 3.0)
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]

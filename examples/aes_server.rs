@@ -48,8 +48,7 @@ fn main() {
         "\n  {} AES instructions would each pay the {:.2} µs emulation round\n\
          trip — the short bursts of many encryptions are \"good for DVFS curve\n\
          switching but impose prohibitive costs for emulation\" (§6.6).\n",
-        emu.events,
-        cpu.delays.emulation_call_us
+        emu.events, cpu.delays.emulation_call_us
     );
 
     // --- What the emulation handler actually computes -------------------
@@ -57,8 +56,8 @@ fn main() {
     let state = Vec128::from_bytes(*b"plaintext block!");
     let rk = key.round_key(1);
 
-    let trapped = emulate(Opcode::Aesenc, EmuOperands::new(state, rk))
-        .expect("AESENC is emulatable");
+    let trapped =
+        emulate(Opcode::Aesenc, EmuOperands::new(state, rk)).expect("AESENC is emulatable");
     assert_eq!(trapped.value, reference::aesenc(state, rk));
     assert_eq!(trapped.value, bitsliced::aesenc(state, rk));
     println!(

@@ -16,12 +16,23 @@ fn main() {
     // --- Borrowable aging guardband over a 5-year deployment ------------
     let aging = AgingModel::default();
     let curve = DvfsCurve::i9_9900k();
-    println!("Aging guardband of the modelled CPU: {:.0} mV (§5.6: 137 mV)\n", aging_guardband_mv(&curve));
-    println!("{:>6} {:>10} {:>16} {:>22}", "year", "temp (C)", "unused fraction", "borrowable (80% reserve)");
+    println!(
+        "Aging guardband of the modelled CPU: {:.0} mV (§5.6: 137 mV)\n",
+        aging_guardband_mv(&curve)
+    );
+    println!(
+        "{:>6} {:>10} {:>16} {:>22}",
+        "year", "temp (C)", "unused fraction", "borrowable (80% reserve)"
+    );
     for year in [0.0, 1.0, 3.0, 5.0] {
         let unused = aging.unused_fraction(year, 60.0);
         let borrow = aging.borrowable_mv(&curve, year, 60.0, 0.8);
-        println!("{year:>6} {:>10} {:>15.1}% {:>21.1} mV", 60, unused * 100.0, borrow);
+        println!(
+            "{year:>6} {:>10} {:>15.1}% {:>21.1} mV",
+            60,
+            unused * 100.0,
+            borrow
+        );
     }
     println!(
         "\nAWS-style 5-year deployments at controlled temperatures never consume\n\
@@ -41,7 +52,10 @@ fn main() {
     let baseline_mwh = SERVERS * WATTS_PER_SERVER * HOURS_PER_YEAR / 1e6;
     let saved_mwh = baseline_mwh * (-g.power);
 
-    println!("Fleet of {SERVERS:.0} {} servers:", CpuModel::xeon_4208().name);
+    println!(
+        "Fleet of {SERVERS:.0} {} servers:",
+        CpuModel::xeon_4208().name
+    );
     println!("  package power change:  {:+.1} %", g.power * 100.0);
     println!("  performance change:    {:+.1} %", g.perf * 100.0);
     println!("  efficiency change:     {:+.1} %", g.eff * 100.0);
@@ -52,7 +66,11 @@ fn main() {
     // domain the gain shrinks with utilised cores.
     println!("\nShared-domain caveat (i9-9900K class, fV at -97 mV):");
     for (label, idx) in [("1 core", 0usize), ("4 cores", 1)] {
-        let row = run_row(&table6_rows()[idx], UndervoltLevel::Mv97, Some(1_000_000_000));
+        let row = run_row(
+            &table6_rows()[idx],
+            UndervoltLevel::Mv97,
+            Some(1_000_000_000),
+        );
         println!(
             "  {:>7}: efficiency {:+.1} % (residency {:.0} %)",
             label,

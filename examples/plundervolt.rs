@@ -24,12 +24,14 @@ fn main() {
     let chip = ChipVminModel::sample(1, 10.0, 7);
     let imul_margin = chip.margin_mv(0, Opcode::Imul);
     let offset = -(imul_margin + 5.0);
-    println!(
-        "This chip's IMUL starts faulting {imul_margin:.0} mV below the conservative curve."
-    );
+    println!("This chip's IMUL starts faulting {imul_margin:.0} mV below the conservative curve.");
     println!("Attacker undervolts to {offset:.0} mV (naive, no SUIT) and requests signatures...");
 
-    let env = SignerEnv::NaiveUndervolt { chip: &chip, core: 0, offset_mv: offset };
+    let env = SignerEnv::NaiveUndervolt {
+        chip: &chip,
+        core: 0,
+        offset_mv: offset,
+    };
     match attack(&key, &env, 2_000, 99) {
         Some((factor, tries)) => {
             let other = key.n / factor;

@@ -14,7 +14,10 @@ fn main() {
     // the best fit for SUIT (fast per-core switching).
     let cpu = CpuModel::xeon_4208();
 
-    println!("SUIT quickstart — {} with the fV operating strategy\n", cpu.name);
+    println!(
+        "SUIT quickstart — {} with the fV operating strategy\n",
+        cpu.name
+    );
     println!(
         "{:<16} {:>7} {:>8} {:>8} {:>8} {:>10} {:>8}",
         "workload", "offset", "perf", "power", "eff", "residency", "#DO"

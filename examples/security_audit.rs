@@ -16,7 +16,12 @@ fn main() {
     println!("Fault-injection campaign on a simulated 4-core chip:");
     println!("  instruction ranking by fault count (paper Table 1 order: IMUL first):");
     for (i, op) in report.ranking().iter().enumerate().take(5) {
-        println!("   {}. {:<12} {:>4} faulting combinations", i + 1, op.to_string(), report.faults(*op));
+        println!(
+            "   {}. {:<12} {:>4} faulting combinations",
+            i + 1,
+            op.to_string(),
+            report.faults(*op)
+        );
     }
     println!(
         "  IMUL starts faulting at only {:.0} mV undervolt on this chip;\n\
@@ -27,7 +32,10 @@ fn main() {
 
     // --- The audit: naive vs. SUIT ---------------------------------------
     println!("Audit: 20 chips x 5 000 crypto/SIMD instructions per offset");
-    println!("{:>10} | {:>24} | {:>28}", "offset", "naive undervolt", "SUIT (traps + hardened IMUL)");
+    println!(
+        "{:>10} | {:>24} | {:>28}",
+        "offset", "naive undervolt", "SUIT (traps + hardened IMUL)"
+    );
     for offset in [-70.0, -97.0, -130.0] {
         let mut naive_errors = 0;
         let mut suit_errors = 0;

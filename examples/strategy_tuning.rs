@@ -19,7 +19,10 @@ fn main() {
     let cap = 1_000_000_000;
 
     println!("Deadline sweep on 520.omnetpp ({}):\n", cpu.name);
-    println!("{:>10} {:>8} {:>8} {:>10} {:>10}", "p_dl (us)", "perf", "eff", "#DO", "residency");
+    println!(
+        "{:>10} {:>8} {:>8} {:>10} {:>10}",
+        "p_dl (us)", "perf", "eff", "#DO", "residency"
+    );
     for dl in [5u64, 15, 30, 60, 120, 300] {
         let mut cfg = SimConfig::fv_intel(UndervoltLevel::Mv97).with_max_insts(cap);
         cfg.params = StrategyParams::intel().with_deadline(SimDuration::from_micros(dl));
@@ -35,10 +38,16 @@ fn main() {
     }
 
     println!("\nThrashing prevention on/off at the Table 7 optimum (p_dl = 30 µs):\n");
-    println!("{:>16} {:>8} {:>8} {:>10} {:>12}", "guard", "perf", "eff", "#DO", "thrash hits");
+    println!(
+        "{:>16} {:>8} {:>8} {:>10} {:>12}",
+        "guard", "perf", "eff", "#DO", "thrash hits"
+    );
     for (label, params) in [
         ("enabled", StrategyParams::intel()),
-        ("disabled", StrategyParams::intel().without_thrash_prevention()),
+        (
+            "disabled",
+            StrategyParams::intel().without_thrash_prevention(),
+        ),
     ] {
         let mut cfg = SimConfig::fv_intel(UndervoltLevel::Mv97).with_max_insts(cap);
         cfg.params = params;

@@ -67,8 +67,7 @@ fn trace_generator_bursts_are_consistent_with_the_cipher() {
     // at least one whole 100 kB response's crypto, on average.
     let p = profile::by_name("Nginx").unwrap();
     let bursts: Vec<_> = TraceGen::new(p, 0x5017).take(300).collect();
-    let mean: f64 =
-        bursts.iter().map(|b| f64::from(b.events)).sum::<f64>() / bursts.len() as f64;
+    let mean: f64 = bursts.iter().map(|b| f64::from(b.events)).sum::<f64>() / bursts.len() as f64;
     let one_response = (100.0 * 1024.0 / 16.0) * FAULTABLE_PER_BLOCK_MIN;
     assert!(
         mean > one_response * 0.8,

@@ -1,0 +1,81 @@
+//! Determinism regression tests for the parallel campaigns.
+//!
+//! The contract: every random draw in a sharded campaign derives from the
+//! top-level seed through [`suit_rng::SuitRng::fork`] keyed by the shard
+//! index — a pure function of `(seed, index)`, independent of which worker
+//! thread executes the shard and of when it is scheduled. Hence the same
+//! seed must produce **byte-identical** results at every thread count.
+//! These tests pin that property at the public-API level so a future
+//! refactor cannot silently trade reproducibility for speed.
+
+use suit::faults::inject::Campaign;
+use suit::faults::vmin::ChipVminModel;
+use suit::hw::{CpuModel, UndervoltLevel};
+use suit::sim::engine::SimConfig;
+use suit::sim::montecarlo::monte_carlo_with_threads;
+use suit::trace::profile;
+
+#[test]
+fn monte_carlo_values_are_byte_identical_across_thread_counts() {
+    let cpu = CpuModel::xeon_4208();
+    let p = profile::by_name("502.gcc").unwrap();
+    let cfg = SimConfig::fv_intel(UndervoltLevel::Mv97).with_max_insts(200_000_000);
+
+    let reference = monte_carlo_with_threads(&cpu, p, &cfg, 8, 1);
+    for threads in [4, 8] {
+        let parallel = monte_carlo_with_threads(&cpu, p, &cfg, 8, threads);
+        // Compare the raw sorted per-run vectors bit-for-bit: f64 -> bits
+        // so even a ±0.0 or ULP difference fails loudly.
+        for (name, a, b) in [
+            ("perf", &reference.perf, &parallel.perf),
+            ("power", &reference.power, &parallel.power),
+            ("eff", &reference.eff, &parallel.eff),
+            ("residency", &reference.residency, &parallel.residency),
+        ] {
+            let bits = |d: &suit::sim::montecarlo::Distribution| {
+                d.values.iter().map(|v| v.to_bits()).collect::<Vec<u64>>()
+            };
+            assert_eq!(bits(a), bits(b), "{name} diverged at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn monte_carlo_is_invariant_to_oversubscription() {
+    // More workers than runs: some threads get empty shards. The chunked
+    // index arithmetic must still place run i's metrics in slot i.
+    let cpu = CpuModel::xeon_4208();
+    let p = profile::by_name("Nginx").unwrap();
+    let cfg = SimConfig::fv_intel(UndervoltLevel::Mv70).with_max_insts(100_000_000);
+
+    let serial = monte_carlo_with_threads(&cpu, p, &cfg, 3, 1);
+    let oversubscribed = monte_carlo_with_threads(&cpu, p, &cfg, 3, 16);
+    assert_eq!(serial, oversubscribed);
+}
+
+#[test]
+fn fault_campaign_reports_are_identical_across_thread_counts() {
+    let chip = ChipVminModel::sample(2, 12.0, 7);
+    let campaign = Campaign::standard(chip, 1234);
+    let reference = campaign.run_with_threads(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            campaign.run_with_threads(threads),
+            reference,
+            "campaign diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn distinct_top_level_seeds_decorrelate() {
+    // Guards against a fork() regression that ignores the root seed.
+    let cpu = CpuModel::xeon_4208();
+    let p = profile::by_name("502.gcc").unwrap();
+    let mut cfg = SimConfig::fv_intel(UndervoltLevel::Mv97).with_max_insts(100_000_000);
+
+    let a = monte_carlo_with_threads(&cpu, p, &cfg, 4, 4);
+    cfg.seed = cfg.seed.wrapping_add(1);
+    let b = monte_carlo_with_threads(&cpu, p, &cfg, 4, 4);
+    assert_ne!(a, b, "different seeds must give different campaigns");
+}

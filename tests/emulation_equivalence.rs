@@ -1,122 +1,203 @@
-//! Property-based equivalence of the emulation library: the bit-sliced
-//! AES must match the table-based reference on *all* inputs, and every
-//! scalar SIMD emulation must match its architectural lane semantics.
+//! Equivalence of the emulation library under randomized inputs: the
+//! bit-sliced AES must match the table-based reference, and every scalar
+//! SIMD emulation must match its architectural lane semantics.
+//!
+//! Cases come from explicitly seeded [`SuitRng`] loops, so each run tests
+//! the identical inputs and a failure names its iteration.
 
-use proptest::prelude::*;
 use suit::emu::aes::{bitsliced, reference, Aes128Key};
 use suit::emu::{emulate, simd, EmuOperands};
 use suit::isa::{FaultableSet, Opcode, Vec128};
+use suit_rng::{Rng, RngCore, SuitRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const CASES: usize = 256;
 
-    #[test]
-    fn bitsliced_aesenc_matches_reference(state in any::<u128>(), rk in any::<u128>()) {
-        let s = Vec128::from_u128(state);
-        let k = Vec128::from_u128(rk);
-        prop_assert_eq!(bitsliced::aesenc(s, k), reference::aesenc(s, k));
-        prop_assert_eq!(bitsliced::aesenclast(s, k), reference::aesenclast(s, k));
+fn i32x4(rng: &mut dyn RngCore) -> [i32; 4] {
+    [
+        rng.next_u64() as i32,
+        rng.next_u64() as i32,
+        rng.next_u64() as i32,
+        rng.next_u64() as i32,
+    ]
+}
+
+fn u64x2(rng: &mut dyn RngCore) -> [u64; 2] {
+    [rng.next_u64(), rng.next_u64()]
+}
+
+#[test]
+fn bitsliced_aesenc_matches_reference() {
+    let mut rng = SuitRng::seed_from_u64(0xAE5_0001);
+    for case in 0..CASES {
+        let s = Vec128::from_u128(rng.u128());
+        let k = Vec128::from_u128(rng.u128());
+        assert_eq!(
+            bitsliced::aesenc(s, k),
+            reference::aesenc(s, k),
+            "case {case}"
+        );
+        assert_eq!(
+            bitsliced::aesenclast(s, k),
+            reference::aesenclast(s, k),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn bitsliced_full_encryption_matches(key in any::<[u8; 16]>(), block in any::<u128>()) {
-        let key = Aes128Key::expand(key);
-        let b = Vec128::from_u128(block);
-        prop_assert_eq!(bitsliced::encrypt128(&key, b), reference::encrypt128(&key, b));
+#[test]
+fn bitsliced_full_encryption_matches() {
+    let mut rng = SuitRng::seed_from_u64(0xAE5_0002);
+    for case in 0..CASES {
+        let key = Aes128Key::expand(rng.u128().to_le_bytes());
+        let b = Vec128::from_u128(rng.u128());
+        assert_eq!(
+            bitsliced::encrypt128(&key, b),
+            reference::encrypt128(&key, b),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn four_wide_kernel_lanes_are_independent(blocks in any::<[u128; 4]>(), rk in any::<u128>()) {
-        let k = Vec128::from_u128(rk);
+#[test]
+fn four_wide_kernel_lanes_are_independent() {
+    let mut rng = SuitRng::seed_from_u64(0xAE5_0003);
+    for case in 0..CASES {
+        let blocks = [rng.u128(), rng.u128(), rng.u128(), rng.u128()];
+        let k = Vec128::from_u128(rng.u128());
         let bs = blocks.map(Vec128::from_u128);
         let out = bitsliced::aesenc4(bs, k);
         for i in 0..4 {
-            prop_assert_eq!(out[i], reference::aesenc(bs[i], k), "lane {}", i);
+            assert_eq!(out[i], reference::aesenc(bs[i], k), "case {case}, lane {i}");
         }
     }
+}
 
-    #[test]
-    fn vpaddq_matches_lane_semantics(a in any::<[u64; 2]>(), b in any::<[u64; 2]>()) {
+#[test]
+fn vpaddq_matches_lane_semantics() {
+    let mut rng = SuitRng::seed_from_u64(0xAE5_0004);
+    for case in 0..CASES {
+        let a = u64x2(&mut rng);
+        let b = u64x2(&mut rng);
         let r = simd::vpaddq(Vec128::from_u64x2(a), Vec128::from_u64x2(b)).to_u64x2();
-        prop_assert_eq!(r[0], a[0].wrapping_add(b[0]));
-        prop_assert_eq!(r[1], a[1].wrapping_add(b[1]));
+        assert_eq!(r[0], a[0].wrapping_add(b[0]), "case {case}");
+        assert_eq!(r[1], a[1].wrapping_add(b[1]), "case {case}");
     }
+}
 
-    #[test]
-    fn vpmaxsd_matches_lane_semantics(a in any::<[i32; 4]>(), b in any::<[i32; 4]>()) {
+#[test]
+fn vpmaxsd_matches_lane_semantics() {
+    let mut rng = SuitRng::seed_from_u64(0xAE5_0005);
+    for case in 0..CASES {
+        let a = i32x4(&mut rng);
+        let b = i32x4(&mut rng);
         let r = simd::vpmaxsd(Vec128::from_i32x4(a), Vec128::from_i32x4(b)).to_i32x4();
         for i in 0..4 {
-            prop_assert_eq!(r[i], a[i].max(b[i]));
+            assert_eq!(r[i], a[i].max(b[i]), "case {case}, lane {i}");
         }
     }
+}
 
-    #[test]
-    fn vpsrad_matches_lane_semantics(a in any::<[i32; 4]>(), count in any::<u8>()) {
+#[test]
+fn vpsrad_matches_lane_semantics() {
+    let mut rng = SuitRng::seed_from_u64(0xAE5_0006);
+    for case in 0..CASES {
+        let a = i32x4(&mut rng);
+        let count = rng.u8();
         let r = simd::vpsrad(Vec128::from_i32x4(a), count).to_i32x4();
         let shift = u32::from(count).min(31);
         for i in 0..4 {
-            prop_assert_eq!(r[i], a[i] >> shift);
+            assert_eq!(r[i], a[i] >> shift, "case {case}, lane {i}");
         }
     }
+}
 
-    #[test]
-    fn vpcmp_produces_all_or_nothing_masks(a in any::<[i32; 4]>(), b in any::<[i32; 4]>()) {
+#[test]
+fn vpcmp_produces_all_or_nothing_masks() {
+    let mut rng = SuitRng::seed_from_u64(0xAE5_0007);
+    for case in 0..CASES {
+        let a = i32x4(&mut rng);
+        // Mix fresh draws with near-duplicates so the equal path is hit.
+        let b = if rng.bool() { a } else { i32x4(&mut rng) };
         let eq = simd::vpcmpeqd(Vec128::from_i32x4(a), Vec128::from_i32x4(b)).to_u32x4();
         let gt = simd::vpcmpgtd(Vec128::from_i32x4(a), Vec128::from_i32x4(b)).to_u32x4();
         for i in 0..4 {
-            prop_assert!(eq[i] == 0 || eq[i] == u32::MAX);
-            prop_assert_eq!(eq[i] == u32::MAX, a[i] == b[i]);
-            prop_assert_eq!(gt[i] == u32::MAX, a[i] > b[i]);
+            assert!(eq[i] == 0 || eq[i] == u32::MAX, "case {case}, lane {i}");
+            assert_eq!(eq[i] == u32::MAX, a[i] == b[i], "case {case}, lane {i}");
+            assert_eq!(gt[i] == u32::MAX, a[i] > b[i], "case {case}, lane {i}");
         }
     }
+}
 
-    #[test]
-    fn clmul_is_xor_linear(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
-        let f = |x: u64, y: u64| {
-            simd::vpclmulqdq(
-                Vec128::from_u64x2([x, 0]),
-                Vec128::from_u64x2([y, 0]),
-                0,
-            ).as_u128()
-        };
-        prop_assert_eq!(f(a, b ^ c), f(a, b) ^ f(a, c));
-        prop_assert_eq!(f(a, b), f(b, a));
+#[test]
+fn clmul_is_xor_linear() {
+    let mut rng = SuitRng::seed_from_u64(0xAE5_0008);
+    let f = |x: u64, y: u64| {
+        simd::vpclmulqdq(Vec128::from_u64x2([x, 0]), Vec128::from_u64x2([y, 0]), 0).as_u128()
+    };
+    for case in 0..CASES {
+        let (a, b, c) = (rng.u64(), rng.u64(), rng.u64());
+        assert_eq!(f(a, b ^ c), f(a, b) ^ f(a, c), "case {case}");
+        assert_eq!(f(a, b), f(b, a), "case {case}");
     }
+}
 
-    #[test]
-    fn vandn_uses_x86_operand_order(a in any::<u128>(), b in any::<u128>()) {
+#[test]
+fn vandn_uses_x86_operand_order() {
+    let mut rng = SuitRng::seed_from_u64(0xAE5_0009);
+    for case in 0..CASES {
+        let (a, b) = (rng.u128(), rng.u128());
         let r = simd::vandn(Vec128::from_u128(a), Vec128::from_u128(b));
-        prop_assert_eq!(r.as_u128(), !a & b);
+        assert_eq!(r.as_u128(), !a & b, "case {case}");
     }
+}
 
-    #[test]
-    fn vsqrtpd_squares_back(a in prop::array::uniform2(0.0f64..1e150)) {
+#[test]
+fn vsqrtpd_squares_back() {
+    let mut rng = SuitRng::seed_from_u64(0xAE5_000A);
+    for case in 0..CASES {
+        // Positive finite doubles spread over ~300 orders of magnitude.
+        let a = [
+            rng.f64() * 10f64.powi(rng.gen_range(0u32..150) as i32),
+            rng.f64() * 10f64.powi(rng.gen_range(0u32..150) as i32),
+        ];
         let r = simd::vsqrtpd(Vec128::from_f64x2(a)).to_f64x2();
         for i in 0..2 {
             let back = r[i] * r[i];
-            let rel = if a[i] == 0.0 { 0.0 } else { (back - a[i]).abs() / a[i] };
-            prop_assert!(rel < 1e-12, "lane {}: {} vs {}", i, back, a[i]);
+            let rel = if a[i] == 0.0 {
+                0.0
+            } else {
+                (back - a[i]).abs() / a[i]
+            };
+            assert!(rel < 1e-12, "case {case}, lane {i}: {} vs {}", back, a[i]);
         }
     }
+}
 
-    #[test]
-    fn imul_emulation_is_a_full_multiplier(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn imul_emulation_is_a_full_multiplier() {
+    let mut rng = SuitRng::seed_from_u64(0xAE5_000B);
+    for case in 0..CASES {
+        let (a, b) = (rng.u64(), rng.u64());
         let r = emulate(
             Opcode::Imul,
             EmuOperands::new(Vec128::from_u64x2([a, 0]), Vec128::from_u64x2([b, 0])),
-        ).unwrap();
-        prop_assert_eq!(r.value.as_u128(), (a as u128) * (b as u128));
+        )
+        .unwrap();
+        assert_eq!(r.value.as_u128(), (a as u128) * (b as u128), "case {case}");
     }
+}
 
-    #[test]
-    fn dispatcher_covers_exactly_the_faultable_set(a in any::<u128>(), b in any::<u128>()) {
-        let ops = EmuOperands::new(Vec128::from_u128(a), Vec128::from_u128(b));
+#[test]
+fn dispatcher_covers_exactly_the_faultable_set() {
+    let mut rng = SuitRng::seed_from_u64(0xAE5_000C);
+    for case in 0..CASES {
+        let ops = EmuOperands::new(Vec128::from_u128(rng.u128()), Vec128::from_u128(rng.u128()));
         for op in Opcode::ALL {
             let result = emulate(op, ops);
-            prop_assert_eq!(
+            assert_eq!(
                 result.is_ok(),
                 FaultableSet::table1().contains(op),
-                "{}", op
+                "case {case}: {op}"
             );
         }
     }

@@ -23,9 +23,16 @@ fn headline_efficiency_on_xeon() {
     let row = run_row(spec, UndervoltLevel::Mv97, CAP);
     let g = row.spec_gmean();
     assert!((0.07..=0.15).contains(&g.eff), "efficiency {:+.3}", g.eff);
-    assert!(g.perf.abs() < 0.03, "perf {:+.3} should be ~neutral", g.perf);
+    assert!(
+        g.perf.abs() < 0.03,
+        "perf {:+.3} should be ~neutral",
+        g.perf
+    );
     let res = row.spec_residency_mean();
-    assert!((0.62..=0.82).contains(&res), "residency {res:.3} vs paper 0.727");
+    assert!(
+        (0.62..=0.82).contains(&res),
+        "residency {res:.3} vs paper 0.727"
+    );
 }
 
 #[test]
@@ -35,18 +42,37 @@ fn pinned_benchmark_residencies() {
     let xz = simulate(&cpu, profile::by_name("557.xz").unwrap(), &c);
     let gcc = simulate(&cpu, profile::by_name("502.gcc").unwrap(), &c);
     let omnetpp = simulate(&cpu, profile::by_name("520.omnetpp").unwrap(), &c);
-    assert!((xz.residency() - 0.971).abs() < 0.03, "xz {:.3}", xz.residency());
-    assert!((gcc.residency() - 0.766).abs() < 0.06, "gcc {:.3}", gcc.residency());
-    assert!(omnetpp.residency() < 0.10, "omnetpp {:.3}", omnetpp.residency());
+    assert!(
+        (xz.residency() - 0.971).abs() < 0.03,
+        "xz {:.3}",
+        xz.residency()
+    );
+    assert!(
+        (gcc.residency() - 0.766).abs() < 0.06,
+        "gcc {:.3}",
+        gcc.residency()
+    );
+    assert!(
+        omnetpp.residency() < 0.10,
+        "omnetpp {:.3}",
+        omnetpp.residency()
+    );
 }
 
 #[test]
 fn state_time_accounting_is_conserved() {
     let cpu = CpuModel::xeon_4208();
-    let r = simulate(&cpu, profile::by_name("502.gcc").unwrap(), &cfg(UndervoltLevel::Mv97));
+    let r = simulate(
+        &cpu,
+        profile::by_name("502.gcc").unwrap(),
+        &cfg(UndervoltLevel::Mv97),
+    );
     let parts = r.time_e + r.time_cf + r.time_cv + r.time_stall;
     let diff = (parts.as_secs_f64() - r.duration.as_secs_f64()).abs();
-    assert!(diff < 1e-6 * r.duration.as_secs_f64(), "accounting leak: {diff}");
+    assert!(
+        diff < 1e-6 * r.duration.as_secs_f64(),
+        "accounting leak: {diff}"
+    );
 }
 
 #[test]
@@ -76,8 +102,17 @@ fn strategies_rank_as_the_paper_argues() {
     let f = simulate(&cpu, nginx, &f_cfg);
     let e = simulate_emulation(&cpu, nginx, level, 0x5017, CAP);
 
-    assert!(fv.perf() >= f.perf() - 0.005, "fV {:+.3} vs f {:+.3}", fv.perf(), f.perf());
-    assert!(e.perf() < -0.9, "emulation must collapse on Nginx: {:+.3}", e.perf());
+    assert!(
+        fv.perf() >= f.perf() - 0.005,
+        "fV {:+.3} vs f {:+.3}",
+        fv.perf(),
+        f.perf()
+    );
+    assert!(
+        e.perf() < -0.9,
+        "emulation must collapse on Nginx: {:+.3}",
+        e.perf()
+    );
 }
 
 #[test]
@@ -142,7 +177,10 @@ fn four_core_shared_domain_halves_the_gain() {
     let a1 = run_row(&rows[0], UndervoltLevel::Mv97, Some(1_000_000_000));
     let a4 = run_row(&rows[1], UndervoltLevel::Mv97, Some(1_000_000_000));
     let (e1, e4) = (a1.spec_gmean().eff, a4.spec_gmean().eff);
-    assert!(e4 < e1, "shared domain must cost efficiency: {e1:.3} vs {e4:.3}");
+    assert!(
+        e4 < e1,
+        "shared domain must cost efficiency: {e1:.3} vs {e4:.3}"
+    );
     assert!(e4 > 0.0, "but a gain must remain (paper: +5.8 %)");
     assert!(e4 / e1 > 0.25 && e4 / e1 < 0.85, "ratio {:.2}", e4 / e1);
 }

@@ -1,71 +1,127 @@
-//! Property-based invariants over the hardware models, trace generators
+//! Property-style invariants over the hardware models, trace generators
 //! and the system simulator — the "can't-happen" class of bugs.
+//!
+//! Each test draws its cases from an explicitly seeded [`SuitRng`], so
+//! every run checks the identical case set and a failure names the exact
+//! iteration that produced it.
 
-use proptest::prelude::*;
 use suit::core::strategy::StrategyParams;
 use suit::hw::{CpuModel, DvfsCurve, UndervoltLevel};
 use suit::isa::SimDuration;
 use suit::sim::engine::{simulate, SimConfig};
 use suit::trace::{profile, Burst, TraceGen};
+use suit_rng::{Rng, SuitRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 48;
 
-    /// DVFS curve interpolation is monotone and bounded for any query.
-    #[test]
-    fn dvfs_curve_is_monotone(f1 in 0.5f64..6.0, f2 in 0.5f64..6.0) {
-        let c = DvfsCurve::i9_9900k();
+/// DVFS curve interpolation is monotone and bounded for any query.
+#[test]
+fn dvfs_curve_is_monotone() {
+    let c = DvfsCurve::i9_9900k();
+    let mut rng = SuitRng::seed_from_u64(0x0D5F_0001);
+    for case in 0..CASES {
+        let f1 = rng.gen_range(0.5f64..6.0);
+        let f2 = rng.gen_range(0.5f64..6.0);
         let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
-        prop_assert!(c.voltage_at(lo) <= c.voltage_at(hi) + 1e-9);
+        assert!(
+            c.voltage_at(lo) <= c.voltage_at(hi) + 1e-9,
+            "case {case}: f1 {f1}, f2 {f2}"
+        );
         let v = c.voltage_at(f1);
-        prop_assert!((700.0..=1300.0).contains(&v), "{v}");
+        assert!((700.0..=1300.0).contains(&v), "case {case}: {v}");
     }
+}
 
-    /// `max_freq_at_voltage` inverts `voltage_at` on the curve's range.
-    #[test]
-    fn dvfs_inversion_roundtrips(f in 1.0f64..5.0) {
-        let c = DvfsCurve::i9_9900k();
+/// `max_freq_at_voltage` inverts `voltage_at` on the curve's range.
+#[test]
+fn dvfs_inversion_roundtrips() {
+    let c = DvfsCurve::i9_9900k();
+    let mut rng = SuitRng::seed_from_u64(0x0D5F_0002);
+    for case in 0..CASES {
+        let f = rng.gen_range(1.0f64..5.0);
         let v = c.voltage_at(f);
         let back = c.max_freq_at_voltage(v);
         // On flat segments many frequencies share a voltage: the inverse
         // must return one at least as fast that is still safe.
-        prop_assert!(back >= f - 1e-9, "{back} vs {f}");
-        prop_assert!(c.voltage_at(back) <= v + 1e-9);
+        assert!(back >= f - 1e-9, "case {case}: {back} vs {f}");
+        assert!(c.voltage_at(back) <= v + 1e-9, "case {case}");
     }
+}
 
-    /// The steady-state undervolt response is well behaved on the whole
-    /// modelled range, not just at the two paper points.
-    #[test]
-    fn undervolt_response_is_sane(offset in -97.0f64..0.0) {
-        for cpu in [CpuModel::i9_9900k(), CpuModel::ryzen_7700x(), CpuModel::i5_1035g1()] {
+/// The steady-state undervolt response is well behaved on the whole
+/// modelled range, not just at the two paper points.
+#[test]
+fn undervolt_response_is_sane() {
+    let mut rng = SuitRng::seed_from_u64(0x0D5F_0003);
+    for case in 0..CASES {
+        let offset = rng.gen_range(-97.0f64..0.0);
+        for cpu in [
+            CpuModel::i9_9900k(),
+            CpuModel::ryzen_7700x(),
+            CpuModel::i5_1035g1(),
+        ] {
             let r = cpu.steady.response(offset);
-            prop_assert!(r.power <= 1e-12, "{}: power {}", cpu.name, r.power);
-            prop_assert!(r.score >= -1e-12, "{}: score {}", cpu.name, r.score);
-            prop_assert!(r.power > -0.35, "{}: implausible power {}", cpu.name, r.power);
-            prop_assert!(r.score < 0.25, "{}: implausible score {}", cpu.name, r.score);
+            assert!(
+                r.power <= 1e-12,
+                "case {case}, {}: power {}",
+                cpu.name,
+                r.power
+            );
+            assert!(
+                r.score >= -1e-12,
+                "case {case}, {}: score {}",
+                cpu.name,
+                r.score
+            );
+            assert!(
+                r.power > -0.35,
+                "case {case}, {}: implausible power {}",
+                cpu.name,
+                r.power
+            );
+            assert!(
+                r.score < 0.25,
+                "case {case}, {}: implausible score {}",
+                cpu.name,
+                r.score
+            );
         }
     }
+}
 
-    /// Trace generation: bursts are structurally valid and instruction
-    /// accounting never regresses.
-    #[test]
-    fn trace_bursts_are_well_formed(seed in any::<u64>(), idx in 0usize..25) {
+/// Trace generation: bursts are structurally valid and instruction
+/// accounting never regresses.
+#[test]
+fn trace_bursts_are_well_formed() {
+    let mut rng = SuitRng::seed_from_u64(0x0D5F_0004);
+    for case in 0..CASES {
+        let seed = rng.u64();
+        let idx = rng.gen_range(0..profile::all().len());
         let p = &profile::all()[idx];
         let bursts: Vec<Burst> = TraceGen::new(p, seed).take(200).collect();
-        prop_assert!(!bursts.is_empty());
+        assert!(!bursts.is_empty(), "case {case}: {}", p.name);
         for b in &bursts {
-            prop_assert!(b.events >= 1);
-            prop_assert!(b.opcode.is_faultable());
-            prop_assert!(b.gap_insts > 0);
+            assert!(b.events >= 1, "case {case}");
+            assert!(b.opcode.is_faultable(), "case {case}");
+            assert!(b.gap_insts > 0, "case {case}");
         }
     }
+}
 
-    /// Engine invariants for arbitrary seeds, levels and workloads:
-    /// accounting conservation, metric ranges, baseline consistency.
-    #[test]
-    fn engine_invariants(seed in any::<u64>(), idx in 0usize..25, level_97 in any::<bool>()) {
+/// Engine invariants for arbitrary seeds, levels and workloads:
+/// accounting conservation, metric ranges, baseline consistency.
+#[test]
+fn engine_invariants() {
+    let mut rng = SuitRng::seed_from_u64(0x0D5F_0005);
+    for case in 0..CASES {
+        let seed = rng.u64();
+        let idx = rng.gen_range(0..profile::all().len());
+        let level = if rng.bool() {
+            UndervoltLevel::Mv97
+        } else {
+            UndervoltLevel::Mv70
+        };
         let p = &profile::all()[idx];
-        let level = if level_97 { UndervoltLevel::Mv97 } else { UndervoltLevel::Mv70 };
         let mut cfg = SimConfig::fv_intel(level).with_max_insts(150_000_000);
         cfg.seed = seed;
         let r = simulate(&CpuModel::xeon_4208(), p, &cfg);
@@ -73,31 +129,56 @@ proptest! {
         // Time accounting conserves.
         let parts = r.time_e + r.time_cf + r.time_cv + r.time_stall;
         let diff = (parts.as_secs_f64() - r.duration.as_secs_f64()).abs();
-        prop_assert!(diff < 1e-6 * r.duration.as_secs_f64().max(1e-9));
+        assert!(
+            diff < 1e-6 * r.duration.as_secs_f64().max(1e-9),
+            "case {case}: {}",
+            p.name
+        );
 
         // Metrics in physical ranges.
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&r.residency()));
-        prop_assert!(r.power() <= 0.0 + 1e-9, "undervolting cannot raise mean power: {}", r.power());
-        prop_assert!(r.power() > -0.25);
-        prop_assert!(r.perf() > -0.30 && r.perf() < 0.10, "perf {}", r.perf());
+        assert!((0.0..=1.0 + 1e-9).contains(&r.residency()), "case {case}");
+        assert!(
+            r.power() <= 0.0 + 1e-9,
+            "case {case}: undervolting cannot raise mean power: {}",
+            r.power()
+        );
+        assert!(r.power() > -0.25, "case {case}");
+        assert!(
+            r.perf() > -0.30 && r.perf() < 0.10,
+            "case {case}: perf {}",
+            r.perf()
+        );
         // Episode accounting: timers never outnumber exceptions.
-        prop_assert!(r.timer_fires <= r.exceptions);
-        prop_assert!(r.events >= r.exceptions);
+        assert!(r.timer_fires <= r.exceptions, "case {case}");
+        assert!(r.events >= r.exceptions, "case {case}");
     }
+}
 
-    /// Strategy-parameter robustness: any sane deadline keeps the engine
-    /// convergent and the metrics bounded (the paper's "workloads tolerate
-    /// a range rather than requiring individual parameters").
-    #[test]
-    fn any_sane_deadline_works(dl_us in 2u64..500, df in 2u32..40) {
-        let p = profile::by_name("502.gcc").unwrap();
+/// Strategy-parameter robustness: any sane deadline keeps the engine
+/// convergent and the metrics bounded (the paper's "workloads tolerate
+/// a range rather than requiring individual parameters").
+#[test]
+fn any_sane_deadline_works() {
+    let p = profile::by_name("502.gcc").unwrap();
+    let mut rng = SuitRng::seed_from_u64(0x0D5F_0006);
+    for case in 0..CASES {
+        let dl_us = rng.gen_range(2u64..500);
+        let df = rng.gen_range(2u32..40);
         let mut cfg = SimConfig::fv_intel(UndervoltLevel::Mv97).with_max_insts(150_000_000);
         cfg.params = StrategyParams::intel()
             .with_deadline(SimDuration::from_micros(dl_us))
             .with_deadline_factor(f64::from(df));
         let r = simulate(&CpuModel::xeon_4208(), p, &cfg);
-        prop_assert!(r.perf() > -0.25, "dl {dl_us} df {df}: perf {}", r.perf());
-        prop_assert!(r.efficiency() > -0.15, "eff {}", r.efficiency());
+        assert!(
+            r.perf() > -0.25,
+            "case {case}: dl {dl_us} df {df}: perf {}",
+            r.perf()
+        );
+        assert!(
+            r.efficiency() > -0.15,
+            "case {case}: eff {}",
+            r.efficiency()
+        );
     }
 }
 

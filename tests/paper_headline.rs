@@ -38,7 +38,11 @@ fn conclusion_headline_plain_suit() {
     let spec = &table6_rows()[5];
     let row = run_row(spec, UndervoltLevel::Mv97, CAP);
     let g = row.spec_gmean();
-    assert!((0.07..=0.15).contains(&g.eff), "efficiency {:+.3} vs paper +11 %", g.eff);
+    assert!(
+        (0.07..=0.15).contains(&g.eff),
+        "efficiency {:+.3} vs paper +11 %",
+        g.eff
+    );
     assert!(g.perf.abs() <= 0.03, "perf {:+.3} vs paper ~0", g.perf);
 }
 
@@ -54,7 +58,10 @@ fn power_reduction_and_peak_efficiency() {
         .iter()
         .map(|r| r.efficiency())
         .fold(f64::NEG_INFINITY, f64::max);
-    assert!(best > 0.14, "peak efficiency {best:+.3} vs paper 'up to 20 %'");
+    assert!(
+        best > 0.14,
+        "peak efficiency {best:+.3} vs paper 'up to 20 %'"
+    );
     // Deepest per-benchmark power reduction is in the teens.
     let deepest_power = row
         .per_workload
@@ -79,8 +86,7 @@ fn efficiency_doubles_between_offsets() {
 #[test]
 fn table6_row_ordering_holds() {
     let rows = table6_rows();
-    let eff =
-        |i: usize| run_row(&rows[i], UndervoltLevel::Mv97, Some(1_000_000_000)).spec_gmean();
+    let eff = |i: usize| run_row(&rows[i], UndervoltLevel::Mv97, Some(1_000_000_000)).spec_gmean();
     let a1 = eff(0);
     let a4 = eff(1);
     let ae = eff(2);
@@ -88,14 +94,23 @@ fn table6_row_ordering_holds() {
     let cf = eff(5);
 
     // Per-core p-states (C) ≈ single-core shared (A1): both near +11 %.
-    assert!((a1.eff - cf.eff).abs() < 0.04, "A1 {:+.3} vs C {:+.3}", a1.eff, cf.eff);
+    assert!(
+        (a1.eff - cf.eff).abs() < 0.04,
+        "A1 {:+.3} vs C {:+.3}",
+        a1.eff,
+        cf.eff
+    );
     // Shared domain with 4 cores halves the gain.
     assert!(a4.eff < a1.eff - 0.02);
     // Emulation's gmean is deeply negative (a few catastrophic benchmarks).
     assert!(ae.perf < -0.25, "A∞e perf {:+.3}", ae.perf);
     // B's slow switching keeps it clearly behind the Intel fV rows.
     assert!(bf.eff < cf.eff, "B {:+.3} vs C {:+.3}", bf.eff, cf.eff);
-    assert!(bf.perf < -0.03, "B must pay its 668 µs switches: {:+.3}", bf.perf);
+    assert!(
+        bf.perf < -0.03,
+        "B must pay its 668 µs switches: {:+.3}",
+        bf.perf
+    );
 }
 
 /// §1/§6.1: the hardened IMUL costs 0.03 % on SPEC average and ~1.6 % on

@@ -1,88 +1,117 @@
-//! Property-based security invariants (§3.2, §6.9).
+//! Security invariants (§3.2, §6.9) under randomized inputs.
 //!
 //! The central theorem, checked across random chips, offsets, sequences
 //! and MSR interleavings: **a SUIT system never executes a faultable
 //! instruction below its minimum voltage**, hence never produces a silent
 //! data error — while naive undervolting demonstrably does.
+//!
+//! Cases come from explicitly seeded [`SuitRng`] loops, so each run tests
+//! the identical inputs and a failure names its iteration.
 
-use proptest::prelude::*;
 use suit::core::{CurveSelect, MsrError, SuitMsrs};
 use suit::faults::vmin::ChipVminModel;
 use suit::faults::{audit_naive_undervolt, audit_suit_system};
 use suit::isa::{FaultableSet, Opcode};
+use suit_rng::{Rng, SuitRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    /// The hardware invariant: no random sequence of MSR writes can reach
-    /// (efficient curve, any vendor-faultable opcode enabled).
-    #[test]
-    fn msr_interleavings_preserve_the_invariant(ops in prop::collection::vec(0u8..4, 1..60)) {
+/// The hardware invariant: no random sequence of MSR writes can reach
+/// (efficient curve, any vendor-faultable opcode enabled).
+#[test]
+fn msr_interleavings_preserve_the_invariant() {
+    let mut rng = SuitRng::seed_from_u64(0x5EC_0001);
+    for case in 0..CASES {
+        let len = rng.gen_range(1usize..60);
         let mut msrs = SuitMsrs::suit_cpu();
-        for op in ops {
+        for _ in 0..len {
             // Exercise all four write kinds; errors are allowed (that is
             // the enforcement), state corruption is not.
-            let _res: Result<(), MsrError> = match op {
+            let _res: Result<(), MsrError> = match rng.gen_range(0u8..4) {
                 0 => msrs.write_curve(CurveSelect::Efficient),
                 1 => msrs.write_curve(CurveSelect::Conservative),
-                2 => { msrs.disable_faultable(); Ok(()) }
+                2 => {
+                    msrs.disable_faultable();
+                    Ok(())
+                }
                 _ => msrs.enable_all(),
             };
-            prop_assert!(msrs.invariant_holds());
+            assert!(msrs.invariant_holds(), "case {case}");
         }
     }
+}
 
-    /// The end-to-end theorem at the evaluated offsets.
-    #[test]
-    fn suit_never_faults_silently(seed in 0u64..500, offset in -130.0f64..-60.0) {
+/// The end-to-end theorem at the evaluated offsets.
+#[test]
+fn suit_never_faults_silently() {
+    let mut rng = SuitRng::seed_from_u64(0x5EC_0002);
+    for case in 0..CASES {
+        let seed = rng.gen_range(0u64..500);
+        let offset = rng.gen_range(-130.0f64..-60.0);
         let chip = ChipVminModel::sample(2, 12.0, seed);
         let out = audit_suit_system(&chip, seed as usize % 2, offset, seed, 800);
-        prop_assert_eq!(out.silent_errors, 0, "seed {}, offset {}", seed, offset);
+        assert_eq!(
+            out.silent_errors, 0,
+            "case {case}: seed {seed}, offset {offset}"
+        );
     }
+}
 
-    /// Depth monotonicity of the attack surface: if naive undervolting is
-    /// fault-free at a deep offset on a chip, it is fault-free at every
-    /// shallower offset with the same sequence.
-    #[test]
-    fn naive_fault_counts_grow_with_depth(seed in 0u64..100) {
+/// Depth monotonicity of the attack surface: if naive undervolting is
+/// fault-free at a deep offset on a chip, it is fault-free at every
+/// shallower offset with the same sequence.
+#[test]
+fn naive_fault_counts_grow_with_depth() {
+    let mut rng = SuitRng::seed_from_u64(0x5EC_0003);
+    for case in 0..CASES {
+        let seed = rng.gen_range(0u64..100);
         let chip = ChipVminModel::sample(1, 12.0, seed);
         let shallow = audit_naive_undervolt(&chip, 0, -80.0, seed, 600).silent_errors;
         let deep = audit_naive_undervolt(&chip, 0, -160.0, seed, 600).silent_errors;
-        prop_assert!(deep >= shallow, "deep {} vs shallow {}", deep, shallow);
+        assert!(
+            deep >= shallow,
+            "case {case}: deep {deep} vs shallow {shallow}"
+        );
     }
+}
 
-    /// The safe-offset function is consistent with per-opcode margins.
-    #[test]
-    fn safe_offset_is_min_margin(seed in 0u64..200, core in 0usize..2) {
+/// The safe-offset function is consistent with per-opcode margins.
+#[test]
+fn safe_offset_is_min_margin() {
+    let mut rng = SuitRng::seed_from_u64(0x5EC_0004);
+    for case in 0..CASES {
+        let seed = rng.gen_range(0u64..200);
+        let core = rng.gen_range(0usize..2);
         let chip = ChipVminModel::sample(2, 15.0, seed);
         let safe = chip.safe_offset_mv(core, FaultableSet::table1().iter());
         for op in FaultableSet::table1().iter() {
-            prop_assert!(!chip.can_fault(core, op, safe + 0.5), "{} faults above the bound", op);
+            assert!(
+                !chip.can_fault(core, op, safe + 0.5),
+                "case {case}: {op} faults above the bound"
+            );
         }
         // The bound is tight: *some* opcode faults just below it.
         let any_faults = FaultableSet::table1()
             .iter()
             .any(|op| chip.can_fault(core, op, safe - 1.0));
-        prop_assert!(any_faults);
+        assert!(any_faults, "case {case}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// The §3.4 architectural contract, fuzzed: for *any* program of
+/// register-form faultable instructions and any starting register
+/// state, running with traps + OS emulation produces bit-identical
+/// final state to direct execution.
+#[test]
+fn trap_emulation_equals_direct_execution() {
+    use suit::core::frontend::SuitFrontend;
+    use suit::isa::Vec128;
 
-    /// The §3.4 architectural contract, fuzzed: for *any* program of
-    /// register-form faultable instructions and any starting register
-    /// state, running with traps + OS emulation produces bit-identical
-    /// final state to direct execution.
-    #[test]
-    fn trap_emulation_equals_direct_execution(
-        ops in prop::collection::vec(0u8..6, 1..40),
-        seed in any::<u64>(),
-    ) {
-        use suit::core::frontend::SuitFrontend;
-        use suit::isa::Vec128;
-        use rand::{Rng, SeedableRng};
-        use rand::rngs::StdRng;
+    let mut rng = SuitRng::seed_from_u64(0x5EC_0005);
+    for case in 0..CASES {
+        let len = rng.gen_range(1usize..40);
+        let ops: Vec<u8> = (0..len).map(|_| rng.gen_range(0u8..6)).collect();
+        let seed = rng.u64();
 
         // Assemble a random program from register-form encodings.
         let mut prog = Vec::new();
@@ -99,12 +128,12 @@ proptest! {
 
         // Identical random starting state for both runs.
         let seed_state = |f: &mut SuitFrontend| {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SuitRng::seed_from_u64(seed);
             for x in f.state.xmm.iter_mut() {
-                *x = Vec128::from_u128(rng.gen());
+                *x = Vec128::from_u128(rng.u128());
             }
-            f.state.gpr[0] = rng.gen();
-            f.state.gpr[3] = rng.gen();
+            f.state.gpr[0] = rng.u64();
+            f.state.gpr[3] = rng.u64();
         };
         let mut direct = SuitFrontend::new();
         seed_state(&mut direct);
@@ -112,15 +141,18 @@ proptest! {
         let mut trapped = SuitFrontend::new();
         seed_state(&mut trapped);
         trapped.msrs.disable_faultable();
-        trapped.msrs.write_curve(suit::core::CurveSelect::Efficient).unwrap();
+        trapped
+            .msrs
+            .write_curve(suit::core::CurveSelect::Efficient)
+            .unwrap();
 
         let a = direct.run_with_emulation_os(&prog).unwrap();
         let b = trapped.run_with_emulation_os(&prog).unwrap();
-        prop_assert_eq!(a, b);
-        prop_assert_eq!(&direct.state, &trapped.state);
+        assert_eq!(a, b, "case {case}");
+        assert_eq!(&direct.state, &trapped.state, "case {case}");
         // Everything except IMUL must have trapped.
         let imuls = ops.iter().filter(|&&o| o % 6 == 4).count() as u64;
-        prop_assert_eq!(trapped.emulated, ops.len() as u64 - imuls);
+        assert_eq!(trapped.emulated, ops.len() as u64 - imuls, "case {case}");
     }
 }
 
@@ -144,7 +176,10 @@ fn suit_trap_counts_match_disabled_executions() {
     let out = audit_suit_system(&chip, 0, -97.0, 123, 5_000);
     assert_eq!(out.executed, 5_000);
     assert!(out.trapped > 0);
-    assert!(out.trapped < out.executed, "conservative dwell must execute some natively");
+    assert!(
+        out.trapped < out.executed,
+        "conservative dwell must execute some natively"
+    );
 }
 
 #[test]
@@ -153,8 +188,8 @@ fn hardened_imul_is_safe_on_the_efficient_curve() {
     // large sample keeps IMUL safe at −97 mV with that relaxation.
     for seed in 0..300 {
         let chip = ChipVminModel::sample(1, 15.0, seed);
-        let margin = chip.margin_mv(0, Opcode::Imul)
-            + suit::faults::security::HARDENED_IMUL_EXTRA_MARGIN_MV;
+        let margin =
+            chip.margin_mv(0, Opcode::Imul) + suit::faults::security::HARDENED_IMUL_EXTRA_MARGIN_MV;
         assert!(margin > 97.0, "seed {seed}: hardened margin {margin}");
     }
 }
