@@ -1,4 +1,14 @@
 //! Regenerates the paper's Fig. 5 (burst and curve reaction).
+//!
+//! `--telemetry` additionally prints the simulator's telemetry summary
+//! (curve switches, #DO traps, stalls, residency counters).
 fn main() {
-    println!("{}", suit_bench::figs::fig5(suit_bench::cap_from_args()));
+    let tele = suit_bench::telemetry_from_args();
+    println!(
+        "{}",
+        suit_bench::figs::fig5_telemetry(suit_bench::cap_from_args(), &tele)
+    );
+    if tele.is_enabled() {
+        println!("\n{}", tele.snapshot().summary());
+    }
 }

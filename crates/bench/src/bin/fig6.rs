@@ -1,4 +1,11 @@
 //! Regenerates the paper's Fig. 6 (fV sequence on a long burst).
+//!
+//! `--telemetry` additionally prints the simulator's telemetry summary
+//! (curve switches, #DO traps, stalls, residency counters).
 fn main() {
-    println!("{}", suit_bench::figs::fig6());
+    let tele = suit_bench::telemetry_from_args();
+    println!("{}", suit_bench::figs::fig6_telemetry(&tele));
+    if tele.is_enabled() {
+        println!("\n{}", tele.snapshot().summary());
+    }
 }

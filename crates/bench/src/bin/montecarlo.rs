@@ -3,12 +3,15 @@
 //!
 //! `--threads N` pins the worker count (default: all cores). The
 //! reported distributions are byte-identical for every `N`; only the
-//! wall-clock changes.
+//! wall-clock changes. `--telemetry` records per-run counters, histograms
+//! and events (merged deterministically across workers) and prints the
+//! summary after the table.
 use std::time::Instant;
 
 use suit_hw::{CpuModel, UndervoltLevel};
 use suit_sim::engine::SimConfig;
-use suit_sim::montecarlo::{monte_carlo, monte_carlo_with_threads};
+use suit_sim::montecarlo::{monte_carlo, monte_carlo_telemetry, monte_carlo_with_threads};
+use suit_telemetry::TelemetrySnapshot;
 use suit_trace::profile;
 
 fn threads_from_args() -> Option<usize> {
@@ -33,6 +36,8 @@ fn main() {
         10
     };
     let threads = threads_from_args();
+    let telemetry = std::env::args().any(|a| a == "--telemetry");
+    let mut merged = TelemetrySnapshot::default();
     let cpu = CpuModel::xeon_4208();
     let cfg = SimConfig::fv_intel(UndervoltLevel::Mv97).with_max_insts(2_000_000_000);
     println!("Monte-Carlo ({runs} runs/workload): sampled transition delays + trace seeds");
@@ -50,9 +55,17 @@ fn main() {
         "VLC",
     ] {
         let p = profile::by_name(name).expect("workload");
-        let mc = match threads {
-            Some(n) => monte_carlo_with_threads(&cpu, p, &cfg, runs, n),
-            None => monte_carlo(&cpu, p, &cfg, runs),
+        let mc = if telemetry {
+            let workers = threads
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+            let (mc, snap) = monte_carlo_telemetry(&cpu, p, &cfg, runs, workers);
+            merged.merge_shard(&snap);
+            mc
+        } else {
+            match threads {
+                Some(n) => monte_carlo_with_threads(&cpu, p, &cfg, runs, n),
+                None => monte_carlo(&cpu, p, &cfg, runs),
+            }
         };
         println!(
             "{:<16} {:>12.2}% +/- {:>4.2} {:>12.2}% +/- {:>4.2} {:>12.1}%",
@@ -69,4 +82,7 @@ fn main() {
          Wall-clock: {:.2} s.",
         t0.elapsed().as_secs_f64()
     );
+    if telemetry {
+        println!("\n{}", merged.summary());
+    }
 }

@@ -1,0 +1,68 @@
+//! Measures the cost of a disabled telemetry hook — the one-branch no-op
+//! fast path that lets hooks stay compiled into the hot simulator loops.
+//!
+//! Three loops over the same hook site: no call at all (baseline), a
+//! disabled handle (`Telemetry::off()`, one `Option` branch), and a
+//! recording handle (relaxed atomic add). The disabled column is what
+//! every non-`--telemetry` run pays.
+//!
+//! `--test` shrinks the iteration count and asserts the disabled hook
+//! stays within a generous per-op bound, for CI.
+use std::hint::black_box;
+use std::time::Instant;
+
+use suit_telemetry::{Counter, Telemetry};
+
+fn time_ns_per_op<F: FnMut(u64)>(iters: u64, mut f: F) -> f64 {
+    let t0 = Instant::now();
+    for i in 0..iters {
+        f(i);
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let iters: u64 = if test_mode { 5_000_000 } else { 100_000_000 };
+
+    // Warm up the allocator/timer paths once.
+    let _ = time_ns_per_op(100_000, |i| {
+        black_box(i);
+    });
+
+    let baseline = time_ns_per_op(iters, |i| {
+        black_box(i);
+    });
+
+    let off = Telemetry::off();
+    let disabled = time_ns_per_op(iters, |i| {
+        black_box(&off).count(Counter::DoTraps);
+        black_box(i);
+    });
+
+    let on = Telemetry::recording();
+    let enabled = time_ns_per_op(iters, |i| {
+        black_box(&on).count(Counter::DoTraps);
+        black_box(i);
+    });
+    assert_eq!(on.snapshot().counter(Counter::DoTraps), iters);
+
+    println!("telemetry hook overhead ({iters} iterations per loop)");
+    println!("{:<26} {:>12}", "variant", "ns/op");
+    println!("{:<26} {:>12.3}", "no hook (baseline)", baseline);
+    println!("{:<26} {:>12.3}", "disabled (Option branch)", disabled);
+    println!("{:<26} {:>12.3}", "recording (atomic add)", enabled);
+    println!(
+        "\ndisabled-hook overhead vs baseline: {:.3} ns/op",
+        (disabled - baseline).max(0.0)
+    );
+
+    if test_mode {
+        let overhead = (disabled - baseline).max(0.0);
+        assert!(
+            overhead < 20.0,
+            "disabled hook costs {overhead:.3} ns/op — more than a branch should"
+        );
+        println!("OK: disabled hook within the no-op budget");
+    }
+}

@@ -5,9 +5,10 @@ use suit_hw::delays::{frequency_settle_curve, voltage_settle_curve, TransitionDe
 use suit_hw::undervolt::SteadyStateModel;
 use suit_hw::{CpuModel, DvfsCurve, UndervoltLevel};
 use suit_ooo::fig14::{self, FIG14_LATENCIES};
-use suit_sim::engine::{simulate_with_timeline, Point, SimConfig};
+use suit_sim::engine::{simulate_with_timeline_telemetry, Point, SimConfig};
 use suit_sim::experiment::{run_row, table6_rows};
 use suit_sim::timeline::fv_series;
+use suit_telemetry::Telemetry;
 use suit_trace::{profile, TraceGen};
 
 use suit_rng::SuitRng;
@@ -17,11 +18,16 @@ use crate::render::{num, pct, pct2, TextTable};
 /// Fig. 5: a crypto burst and the DVFS-curve reaction — gap-size events
 /// interleaved with the recorded curve switches.
 pub fn fig5(cap: Option<u64>) -> TextTable {
+    fig5_telemetry(cap, &Telemetry::off())
+}
+
+/// [`fig5`] recording simulator telemetry into `tele` along the way.
+pub fn fig5_telemetry(cap: Option<u64>, tele: &Telemetry) -> TextTable {
     let cpu = CpuModel::xeon_4208();
     let p = profile::by_name("Nginx").expect("profile");
     let cfg = SimConfig::fv_intel(UndervoltLevel::Mv97)
         .with_max_insts(cap.unwrap_or(p.total_insts).min(400_000_000));
-    let (_, changes) = simulate_with_timeline(&cpu, p, &cfg);
+    let (_, changes) = simulate_with_timeline_telemetry(&cpu, p, &cfg, tele);
     let mut t = TextTable::new(
         "Fig. 5 — AES burst and DVFS curve reaction (first switches)",
         &["t (us)", "curve"],
@@ -44,12 +50,17 @@ pub fn fig5(cap: Option<u64>) -> TextTable {
 /// Fig. 6: the 𝑓𝑉 sequence on a long burst — frequency drops first, the
 /// voltage raise lands later, expiry returns to the efficient curve.
 pub fn fig6() -> TextTable {
+    fig6_telemetry(&Telemetry::off())
+}
+
+/// [`fig6`] recording simulator telemetry into `tele` along the way.
+pub fn fig6_telemetry(tele: &Telemetry) -> TextTable {
     let cpu = CpuModel::xeon_4208();
     // A dedicated single-long-burst workload makes the sequence crisp.
     let mut p = profile::by_name("Nginx").expect("profile").clone();
     p.total_insts = 40_000_000;
     let cfg = SimConfig::fv_intel(UndervoltLevel::Mv97);
-    let (_, changes) = simulate_with_timeline(&cpu, &p, &cfg);
+    let (_, changes) = simulate_with_timeline_telemetry(&cpu, &p, &cfg, tele);
     let series = fv_series(&cpu, UndervoltLevel::Mv97, &changes);
     let mut t = TextTable::new(
         "Fig. 6 — fV operating strategy on a long burst",

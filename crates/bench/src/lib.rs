@@ -35,3 +35,14 @@ pub fn cap_from_args() -> Option<u64> {
         Some(QUICK_CAP)
     }
 }
+
+/// Parses the conventional `--telemetry` flag: when present, returns a
+/// recording handle whose summary the binary prints after its table;
+/// otherwise the no-op handle (one predicted branch per hook).
+pub fn telemetry_from_args() -> suit_telemetry::Telemetry {
+    if std::env::args().any(|a| a == "--telemetry") {
+        suit_telemetry::Telemetry::recording()
+    } else {
+        suit_telemetry::Telemetry::off()
+    }
+}

@@ -145,6 +145,12 @@ impl AdaptiveChooser {
         self.switches
     }
 
+    /// Whether the current burst is a deliberate probe (emulated to
+    /// refresh the size estimate while the steady mode is 𝑓𝑉).
+    pub fn is_probing(&self) -> bool {
+        self.probing
+    }
+
     /// The learned events-per-burst estimate.
     pub fn events_per_burst(&self) -> f64 {
         self.est_events_per_burst

@@ -13,6 +13,7 @@
 //! [`crate::deadline::DeadlineTimer`].
 
 use suit_isa::{SimDuration, SimTime};
+use suit_telemetry::{Counter, EventKind, Telemetry};
 
 use crate::adaptive::{AdaptiveChooser, AdaptiveConfig};
 use crate::exception::DisabledOpcode;
@@ -86,6 +87,18 @@ pub struct SuitOs {
     stats: OsStats,
     current_deadline: SimDuration,
     chooser: Option<AdaptiveChooser>,
+    tele: Telemetry,
+}
+
+/// The telemetry payload identifying an operating strategy in
+/// `strategy_decision` events.
+fn strategy_arg(s: OperatingStrategy) -> u64 {
+    match s {
+        OperatingStrategy::Frequency => 0,
+        OperatingStrategy::Voltage => 1,
+        OperatingStrategy::FreqVolt => 2,
+        OperatingStrategy::Emulation => 3,
+    }
 }
 
 impl SuitOs {
@@ -98,7 +111,17 @@ impl SuitOs {
             current_deadline: params.deadline,
             stats: OsStats::default(),
             chooser: None,
+            tele: Telemetry::off(),
         }
+    }
+
+    /// Attaches a telemetry handle: the handlers record `#DO` entries and
+    /// exits, MSR disable-mask writes, deadline fires, thrash lockouts,
+    /// and adaptive-chooser activity through it. The default is
+    /// [`Telemetry::off`], which costs one branch per hook.
+    pub fn with_telemetry(mut self, tele: Telemetry) -> Self {
+        self.tele = tele;
+        self
     }
 
     /// Creates the OS policy with the §6.8 dynamic strategy chooser: it
@@ -145,17 +168,36 @@ impl SuitOs {
         exception: &DisabledOpcode,
     ) -> HandlerAction {
         self.stats.exceptions += 1;
-        let _ = exception; // semantics only depend on the strategy
+        self.tele.count(Counter::DoTraps);
+        self.tele
+            .instant(EventKind::DoTrap, cpu.now(), exception.core as u64);
 
         // §6.8: dynamic strategy selection re-evaluates on every trap.
         if let Some(chooser) = &mut self.chooser {
+            let was_probing = chooser.is_probing();
+            let prev_mode = chooser.mode();
             self.strategy = chooser.on_exception(cpu.now());
+            if chooser.is_probing() && !was_probing {
+                self.tele.count(Counter::AdaptiveProbes);
+            }
+            if chooser.mode() != prev_mode {
+                self.tele.count(Counter::AdaptiveFlips);
+            }
         }
+
+        self.tele.count(Counter::StrategyDecisions);
+        self.tele.instant(
+            EventKind::StrategyDecision,
+            cpu.now(),
+            strategy_arg(self.strategy),
+        );
 
         if self.strategy == OperatingStrategy::Emulation {
             // No curve change: the handler returns into mapped user-space
             // emulation code (§3.4). Instructions stay disabled.
             self.stats.emulated += 1;
+            self.tele.count(Counter::Emulations);
+            self.tele.instant(EventKind::DoTrapExit, cpu.now(), 0);
             return HandlerAction::Emulated;
         }
 
@@ -174,25 +216,32 @@ impl SuitOs {
         }
 
         cpu.set_instructions_disabled(false);
+        self.tele.count(Counter::MsrDisableWrites);
 
         // Thrashing prevention (Listing 1, lines 10-14).
         let now = cpu.now();
         let thrashing = self.thrash.record_exception(now);
         self.current_deadline = if thrashing {
             self.stats.thrash_hits += 1;
+            self.tele.count(Counter::ThrashLockouts);
+            self.tele.instant(EventKind::ThrashLockout, now, 0);
             self.params.extended_deadline()
         } else {
             self.params.deadline
         };
         cpu.set_timer_interrupt(self.current_deadline);
 
+        self.tele.instant(EventKind::DoTrapExit, cpu.now(), 0);
         HandlerAction::SwitchedToConservative
     }
 
     /// The deadline-timer handler (Listing 1, `timer_interrupt_handler`).
     pub fn on_timer_interrupt(&mut self, cpu: &mut impl CpuControl) {
         self.stats.timer_fires += 1;
+        self.tele.count(Counter::DeadlineFires);
+        self.tele.instant(EventKind::DeadlineFire, cpu.now(), 0);
         cpu.set_instructions_disabled(true);
+        self.tele.count(Counter::MsrDisableWrites);
         cpu.change_pstate_async(CurveTarget::E);
     }
 }
@@ -316,6 +365,30 @@ mod tests {
         cpu.now = SimTime::ZERO + SimDuration::from_micros(10_000);
         os.on_disabled_opcode(&mut cpu, &exception(10_000));
         assert_eq!(os.current_deadline(), SimDuration::from_micros(30));
+    }
+
+    #[test]
+    fn telemetry_hooks_record_handler_activity() {
+        let tele = Telemetry::recording();
+        let mut os = SuitOs::new(OperatingStrategy::FreqVolt, StrategyParams::intel())
+            .with_telemetry(tele.clone());
+        let mut cpu = MockCpu::default();
+        os.on_disabled_opcode(&mut cpu, &exception(0));
+        os.on_timer_interrupt(&mut cpu);
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter(Counter::DoTraps), 1);
+        assert_eq!(snap.counter(Counter::StrategyDecisions), 1);
+        assert_eq!(snap.counter(Counter::DeadlineFires), 1);
+        // One disable-mask write per handler (re-enable, then re-disable).
+        assert_eq!(snap.counter(Counter::MsrDisableWrites), 2);
+        assert_eq!(snap.event_count(EventKind::DoTrap), 1);
+        assert_eq!(snap.event_count(EventKind::DoTrapExit), 1);
+        assert_eq!(snap.event_count(EventKind::DeadlineFire), 1);
+        // The default handle records nothing and changes no behaviour.
+        let mut quiet = SuitOs::new(OperatingStrategy::FreqVolt, StrategyParams::intel());
+        let mut cpu2 = MockCpu::default();
+        quiet.on_disabled_opcode(&mut cpu2, &exception(0));
+        assert_eq!(cpu.calls[..4], cpu2.calls[..]);
     }
 
     #[test]

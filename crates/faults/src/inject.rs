@@ -11,6 +11,7 @@
 use suit_emu::{emulate, EmuOperands};
 use suit_isa::{FaultableSet, Opcode, Vec128, TABLE1};
 use suit_rng::{Rng, SuitRng};
+use suit_telemetry::{Counter, Hist, Telemetry};
 
 use crate::vmin::ChipVminModel;
 
@@ -59,6 +60,19 @@ impl Campaign {
     ///
     /// Panics if `threads` is zero.
     pub fn run_with_threads(&self, threads: usize) -> CampaignReport {
+        self.run_with_threads_telemetry(threads, &Telemetry::off())
+    }
+
+    /// [`Self::run_with_threads`] recording per-shard injection counts and
+    /// first-fault depths into `tele`. Shards land on workers in
+    /// thread-count-dependent chunks, so only commutative telemetry
+    /// operations (counters, histograms) are recorded here — no timeline
+    /// events — keeping the merged snapshot thread-count invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn run_with_threads_telemetry(&self, threads: usize, tele: &Telemetry) -> CampaignReport {
         assert!(threads >= 1, "need at least one worker");
         let shards = self.chip.core_count() * self.freqs_ghz.len();
         let root = SuitRng::seed_from_u64(self.seed);
@@ -71,12 +85,13 @@ impl Campaign {
                 .map(|ch| {
                     let ch = ch.to_vec();
                     let root = root.clone();
+                    let tele = tele.clone();
                     scope.spawn(move || {
                         let mut acc = CampaignReport::empty();
                         for s in ch {
                             let core = s / self.freqs_ghz.len();
                             let mut rng = root.fork(s as u64);
-                            acc.merge(&self.run_shard(core, &mut rng));
+                            acc.merge(&self.run_shard(core, &mut rng, &tele));
                         }
                         acc
                     })
@@ -95,8 +110,9 @@ impl Campaign {
 
     /// One shard: the offset × instruction sweep of a single
     /// (core, frequency) combination.
-    fn run_shard(&self, core: usize, rng: &mut SuitRng) -> CampaignReport {
+    fn run_shard(&self, core: usize, rng: &mut SuitRng, tele: &Telemetry) -> CampaignReport {
         let mut report = CampaignReport::empty();
+        let mut shard_faults = 0u64;
         for &offset in &self.offsets_mv {
             for row in TABLE1 {
                 let op = row.opcode;
@@ -111,7 +127,17 @@ impl Campaign {
                     report.faults[op.index()] += 1;
                     let e = &mut report.first_fault_offset[op.index()];
                     *e = e.max(offset);
+                    shard_faults += 1;
                 }
+            }
+        }
+        tele.count(Counter::CampaignShards);
+        tele.add(Counter::FaultsInjected, shard_faults);
+        tele.observe(Hist::FaultsPerShard, shard_faults);
+        for op in TABLE1.iter().map(|r| r.opcode) {
+            let first = report.first_fault_offset[op.index()];
+            if first.is_finite() {
+                tele.observe(Hist::FirstFaultDepthMv, (-first) as u64);
             }
         }
         report
@@ -254,6 +280,30 @@ mod tests {
         for threads in [2, 4, 8] {
             let parallel = Campaign::standard(chip(), 9).run_with_threads(threads);
             assert_eq!(serial, parallel, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn campaign_telemetry_is_thread_count_invariant() {
+        let campaign = Campaign::standard(chip(), 9);
+        let tele = Telemetry::recording();
+        let serial = campaign.run_with_threads_telemetry(1, &tele);
+        let reference = tele.snapshot();
+        let shards = (campaign.chip.core_count() * campaign.freqs_ghz.len()) as u64;
+        assert_eq!(reference.counter(Counter::CampaignShards), shards);
+        let total: u32 = TABLE1.iter().map(|r| serial.faults(r.opcode)).sum();
+        assert_eq!(reference.counter(Counter::FaultsInjected), u64::from(total));
+        assert_eq!(reference.hist(Hist::FaultsPerShard).count(), shards);
+        assert!(reference.hist(Hist::FirstFaultDepthMv).count() > 0);
+        for threads in [2, 4, 8] {
+            let tele = Telemetry::recording();
+            let parallel = campaign.run_with_threads_telemetry(threads, &tele);
+            assert_eq!(serial, parallel, "{threads} threads diverged");
+            assert_eq!(
+                reference,
+                tele.snapshot(),
+                "{threads}-thread telemetry diverged"
+            );
         }
     }
 

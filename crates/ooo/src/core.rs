@@ -23,6 +23,7 @@
 use std::collections::VecDeque;
 
 use suit_isa::{InstKind, Opcode};
+use suit_telemetry::{Counter, Telemetry};
 
 use crate::bpred::Gshare;
 use crate::cache::Hierarchy;
@@ -94,6 +95,23 @@ impl O3Core {
     /// The configuration.
     pub fn config(&self) -> &O3Config {
         &self.cfg
+    }
+
+    /// [`Self::run`] with microarchitectural telemetry: mispredicts, L1D
+    /// misses and ROB-full stall cycles are added to `tele`'s counters
+    /// after the run. Pure observation — the returned statistics are
+    /// identical to [`Self::run`]'s.
+    pub fn run_telemetry<I: Iterator<Item = Uop>>(
+        &mut self,
+        stream: I,
+        n: u64,
+        tele: &Telemetry,
+    ) -> CoreStats {
+        let stats = self.run(stream, n);
+        tele.add(Counter::OooMispredicts, stats.mispredicts);
+        tele.add(Counter::OooL1dMisses, stats.l1d_misses);
+        tele.add(Counter::OooRobStallCycles, stats.rob_stall_cycles);
+        stats
     }
 
     /// Runs `n` µops from `stream` and returns timing statistics.
@@ -364,6 +382,24 @@ mod tests {
         let uops = (0..10_000u64).map(|i| compute(Opcode::Imul, (i % 32) as u8, 40, 50));
         let s = core.run(uops, 10_000);
         assert!(s.port_wait_per_inst() > s.dep_wait_per_inst());
+    }
+
+    #[test]
+    fn run_telemetry_mirrors_core_stats() {
+        let p = by_name("505.mcf").unwrap();
+        let mut c1 = O3Core::new(O3Config::default());
+        let plain = c1.run(UopStream::new(p.clone(), 1), 100_000);
+        let mut c2 = O3Core::new(O3Config::default());
+        let tele = Telemetry::recording();
+        let traced = c2.run_telemetry(UopStream::new(p, 1), 100_000, &tele);
+        assert_eq!(plain, traced, "telemetry must not perturb the model");
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter(Counter::OooMispredicts), plain.mispredicts);
+        assert_eq!(snap.counter(Counter::OooL1dMisses), plain.l1d_misses);
+        assert_eq!(
+            snap.counter(Counter::OooRobStallCycles),
+            plain.rob_stall_cycles
+        );
     }
 
     #[test]

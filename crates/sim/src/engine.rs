@@ -30,6 +30,7 @@ use suit_core::{
 };
 use suit_hw::{CpuModel, OperatingPoint, TransitionDelays, UndervoltLevel};
 use suit_isa::{SimDuration, SimTime};
+use suit_telemetry::{Counter, EventKind, Hist, Telemetry};
 use suit_trace::{TraceGen, WorkloadProfile};
 
 use crate::result::RunResult;
@@ -135,6 +136,18 @@ pub enum Point {
     Cv,
 }
 
+impl Point {
+    /// The telemetry payload identifying this point in curve-switch and
+    /// residency events.
+    fn arg(self) -> u64 {
+        match self {
+            Point::E => 0,
+            Point::Cf => 1,
+            Point::Cv => 2,
+        }
+    }
+}
+
 /// One recorded p-state change (for Figs. 5 and 6).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PointChange {
@@ -187,6 +200,14 @@ struct Hw {
     time_cv: SimDuration,
     time_stall: SimDuration,
     timeline: Option<Vec<PointChange>>,
+    // Observability (never feeds back into simulation state, so results
+    // are identical with telemetry on or off).
+    tele: Telemetry,
+    /// When the current operating point was entered (residency spans).
+    point_since: SimTime,
+    /// Start of the conservative episode in progress, if any (the span
+    /// from leaving `E` to arriving back on it).
+    conservative_since: Option<SimTime>,
 }
 
 impl Hw {
@@ -207,10 +228,24 @@ impl Hw {
     /// energy accumulate.
     fn run_for(&mut self, dt: SimDuration) {
         self.energy_rel += self.power() * dt.as_secs_f64();
+        // The telemetry time counters accumulate the *same* dt as the
+        // engine aggregates, so residency re-derived from telemetry is
+        // exact, not approximate.
         match self.point {
-            Point::E => self.time_e += dt,
-            Point::Cf => self.time_cf += dt,
-            Point::Cv => self.time_cv += dt,
+            Point::E => {
+                self.time_e += dt;
+                self.tele.add(Counter::TimeEfficientPs, dt.as_picos());
+            }
+            Point::Cf => {
+                self.time_cf += dt;
+                self.tele
+                    .add(Counter::TimeConservativeFreqPs, dt.as_picos());
+            }
+            Point::Cv => {
+                self.time_cv += dt;
+                self.tele
+                    .add(Counter::TimeConservativeVoltPs, dt.as_picos());
+            }
         }
         self.now += dt;
     }
@@ -219,11 +254,38 @@ impl Hw {
     fn stall_for(&mut self, dt: SimDuration) {
         self.energy_rel += self.power() * dt.as_secs_f64();
         self.time_stall += dt;
+        self.tele.count(Counter::Stalls);
+        self.tele.add(Counter::TimeStallPs, dt.as_picos());
+        self.tele.observe(Hist::StallPs, dt.as_picos());
+        self.tele.span(EventKind::Stall, self.now, self.now + dt, 0);
         self.now += dt;
     }
 
     fn set_point(&mut self, p: Point) {
         self.write_curve_for(p);
+        // Close the residency span of the outgoing point, mark the
+        // switch, and track conservative episodes (E → … → E).
+        self.tele.span(
+            EventKind::Residency,
+            self.point_since,
+            self.now,
+            self.point.arg(),
+        );
+        self.tele.instant(EventKind::CurveSwitch, self.now, p.arg());
+        self.tele.count(Counter::CurveSwitches);
+        match p {
+            Point::E => self.tele.count(Counter::CurveSwitchToEfficient),
+            Point::Cf | Point::Cv => self.tele.count(Counter::CurveSwitchToConservative),
+        }
+        if self.point == Point::E && p != Point::E {
+            self.conservative_since = Some(self.now);
+        } else if p == Point::E {
+            if let Some(t0) = self.conservative_since.take() {
+                self.tele
+                    .observe(Hist::ConservativeEpisodePs, self.now.since(t0).as_picos());
+            }
+        }
+        self.point_since = self.now;
         self.point = p;
         if let Some(tl) = &mut self.timeline {
             tl.push(PointChange {
@@ -265,6 +327,7 @@ impl Hw {
         self.msrs
             .write_curve(curve)
             .expect("Listing 1 must satisfy the Section 3.2 MSR invariant");
+        self.tele.count(Counter::MsrCurveWrites);
         debug_assert!(self.msrs.invariant_holds());
     }
 }
@@ -472,8 +535,20 @@ pub struct MixedResult {
 /// Panics if `cfg.strategy` is [`OperatingStrategy::Emulation`] (use
 /// [`crate::analytic::simulate_emulation`]) or `cfg.cores` is zero.
 pub fn simulate(cpu: &CpuModel, profile: &WorkloadProfile, cfg: &SimConfig) -> RunResult {
+    simulate_telemetry(cpu, profile, cfg, &Telemetry::off())
+}
+
+/// Like [`simulate`], recording counters, histograms and timeline events
+/// through `tele` (see `suit-telemetry`). Telemetry is strictly
+/// observational: the returned result is byte-identical to [`simulate`]'s.
+pub fn simulate_telemetry(
+    cpu: &CpuModel,
+    profile: &WorkloadProfile,
+    cfg: &SimConfig,
+    tele: &Telemetry,
+) -> RunResult {
     let profiles: Vec<&WorkloadProfile> = (0..cfg.cores).map(|_| profile).collect();
-    run(cpu, &profiles, cfg).0.domain
+    run(cpu, &profiles, cfg, tele).0.domain
 }
 
 /// Simulates a *heterogeneous* mix: one workload per core, all sharing the
@@ -485,7 +560,7 @@ pub fn simulate_mixed(
     profiles: &[&WorkloadProfile],
     cfg: &SimConfig,
 ) -> MixedResult {
-    run(cpu, profiles, cfg).0
+    run(cpu, profiles, cfg, &Telemetry::off()).0
 }
 
 /// Like [`simulate`], but also returns the p-state change timeline
@@ -495,10 +570,20 @@ pub fn simulate_with_timeline(
     profile: &WorkloadProfile,
     cfg: &SimConfig,
 ) -> (RunResult, Vec<PointChange>) {
+    simulate_with_timeline_telemetry(cpu, profile, cfg, &Telemetry::off())
+}
+
+/// [`simulate_with_timeline`] with a telemetry handle attached.
+pub fn simulate_with_timeline_telemetry(
+    cpu: &CpuModel,
+    profile: &WorkloadProfile,
+    cfg: &SimConfig,
+    tele: &Telemetry,
+) -> (RunResult, Vec<PointChange>) {
     let mut cfg = cfg.clone();
     cfg.record_timeline = true;
     let profiles: Vec<&WorkloadProfile> = (0..cfg.cores).map(|_| profile).collect();
-    let (result, timeline) = run(cpu, &profiles, &cfg);
+    let (result, timeline) = run(cpu, &profiles, &cfg, tele);
     (result.domain, timeline.unwrap_or_default())
 }
 
@@ -506,6 +591,7 @@ fn run(
     cpu: &CpuModel,
     profiles: &[&WorkloadProfile],
     cfg: &SimConfig,
+    tele: &Telemetry,
 ) -> (MixedResult, Option<Vec<PointChange>>) {
     assert!(!profiles.is_empty(), "need at least one core");
     assert!(
@@ -525,7 +611,8 @@ fn run(
     let mut os = match cfg.adaptive {
         Some(adaptive) => SuitOs::new_adaptive(cfg.params, adaptive),
         None => SuitOs::new(cfg.strategy, cfg.params),
-    };
+    }
+    .with_telemetry(tele.clone());
     // Boot like the OS would: disable the faultable set, then select the
     // efficient curve — the only write order the MSRs accept (§3.2).
     let mut msrs = SuitMsrs::suit_cpu();
@@ -546,6 +633,9 @@ fn run(
         time_cv: SimDuration::ZERO,
         time_stall: SimDuration::ZERO,
         timeline: cfg.record_timeline.then(Vec::new),
+        tele: tele.clone(),
+        point_since: SimTime::ZERO,
+        conservative_since: None,
     };
 
     let mut cores: Vec<CoreStream> = profiles
@@ -644,6 +734,9 @@ fn run(
                                 .emulation_call()
                                 .saturating_sub(hw.delays.exception());
                             cores[i].stall_local(remainder, rate_i);
+                            let call = hw.delays.emulation_call();
+                            tele.span(EventKind::EmulationCall, hw.now, hw.now + call, i as u64);
+                            tele.observe(Hist::EmulationCallPs, call.as_picos());
                         }
                     }
                 }
@@ -656,6 +749,10 @@ fn run(
             NextEvent::Idle => unreachable!("loop guard handles completion"),
         }
     }
+
+    // Close the final residency span so the exported timeline covers the
+    // whole run.
+    tele.span(EventKind::Residency, hw.point_since, hw.now, hw.point.arg());
 
     let stats = os.stats();
     let per_core: Vec<CoreOutcome> = cores
@@ -988,6 +1085,42 @@ mod tests {
             assert!(c.finish <= mixed.domain.duration);
             assert!(c.events > 0);
         }
+    }
+
+    #[test]
+    fn telemetry_is_observational_and_exact() {
+        let cpu = CpuModel::xeon_4208();
+        let p = profile::by_name("502.gcc").unwrap();
+        let cfg = xeon_cfg().with_max_insts(200_000_000);
+        let off = simulate(&cpu, p, &cfg);
+        let tele = Telemetry::recording();
+        let on = simulate_telemetry(&cpu, p, &cfg, &tele);
+        assert_eq!(off, on, "telemetry must not perturb simulation results");
+
+        let snap = tele.snapshot();
+        // Counters re-derive the engine aggregates exactly.
+        assert_eq!(snap.counter(Counter::DoTraps), on.exceptions);
+        assert_eq!(snap.counter(Counter::DeadlineFires), on.timer_fires);
+        assert_eq!(snap.counter(Counter::ThrashLockouts), on.thrash_hits);
+        assert_eq!(snap.counter(Counter::TimeEfficientPs), on.time_e.as_picos());
+        assert_eq!(
+            snap.counter(Counter::TimeConservativeFreqPs),
+            on.time_cf.as_picos()
+        );
+        assert_eq!(
+            snap.counter(Counter::TimeConservativeVoltPs),
+            on.time_cv.as_picos()
+        );
+        assert_eq!(snap.counter(Counter::TimeStallPs), on.time_stall.as_picos());
+        assert!(snap.counter(Counter::CurveSwitches) > 0);
+        assert!(snap.hist(Hist::StallPs).count() > 0);
+
+        // The exported trace validates and carries the acceptance events.
+        let json = snap.to_perfetto_json();
+        let stats = suit_telemetry::validate_perfetto(&json).expect("trace must validate");
+        assert!(stats.count("curve_switch") > 0);
+        assert!(stats.count("do_trap") > 0);
+        assert!(stats.count("stall") > 0);
     }
 
     #[test]

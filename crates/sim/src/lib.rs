@@ -41,5 +41,5 @@ pub mod result;
 pub mod thermal_loop;
 pub mod timeline;
 
-pub use engine::{simulate, SimConfig};
+pub use engine::{simulate, simulate_telemetry, SimConfig};
 pub use result::RunResult;

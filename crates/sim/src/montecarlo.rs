@@ -15,9 +15,10 @@
 
 use suit_hw::CpuModel;
 use suit_rng::{Rng, SuitRng};
+use suit_telemetry::{Telemetry, TelemetrySnapshot};
 use suit_trace::WorkloadProfile;
 
-use crate::engine::{simulate, SimConfig};
+use crate::engine::{simulate_telemetry, SimConfig};
 
 /// Summary statistics of one metric across runs.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,10 +90,22 @@ pub struct McSummary {
 /// One run's metric vector: perf, power, efficiency, residency.
 type RunMetrics = [f64; 4];
 
+/// Event-ring capacity of each run's private recorder in
+/// [`monte_carlo_telemetry`]: bounds merged-trace memory at
+/// `runs × capacity` while keeping counters and histograms exact.
+const MC_RUN_EVENT_CAPACITY: usize = 4096;
+
 /// Executes Monte-Carlo run `i`: samples realised transition delays and a
 /// trace seed from the fork of the top-level seed keyed by `i`, then
-/// simulates. Pure in `(cpu, profile, cfg, i)`.
-fn one_run(cpu: &CpuModel, profile: &WorkloadProfile, cfg: &SimConfig, i: usize) -> RunMetrics {
+/// simulates. Pure in `(cpu, profile, cfg, i)`; `tele` is observational
+/// only.
+fn one_run(
+    cpu: &CpuModel,
+    profile: &WorkloadProfile,
+    cfg: &SimConfig,
+    i: usize,
+    tele: &Telemetry,
+) -> RunMetrics {
     let mut rng = SuitRng::seed_from_u64(cfg.seed).fork(i as u64);
     let mut cpu_i = cpu.clone();
     // Sample this run's realised transition delays around the measured
@@ -106,7 +119,7 @@ fn one_run(cpu: &CpuModel, profile: &WorkloadProfile, cfg: &SimConfig, i: usize)
 
     let mut cfg_i = cfg.clone();
     cfg_i.seed = rng.u64();
-    let r = simulate(&cpu_i, profile, &cfg_i);
+    let r = simulate_telemetry(&cpu_i, profile, &cfg_i, tele);
     [r.perf(), r.power(), r.efficiency(), r.residency()]
 }
 
@@ -150,12 +163,62 @@ pub fn monte_carlo_with_threads(
         for (ci, slots) in metrics.chunks_mut(chunk).enumerate() {
             scope.spawn(move || {
                 for (j, slot) in slots.iter_mut().enumerate() {
-                    *slot = one_run(cpu, profile, cfg, ci * chunk + j);
+                    *slot = one_run(cpu, profile, cfg, ci * chunk + j, &Telemetry::off());
                 }
             });
         }
     });
+    summarize(&metrics)
+}
 
+/// [`monte_carlo_with_threads`] with telemetry: every run records into its
+/// own private recorder, and the per-run snapshots are merged
+/// **position-ordered** (run 0 first, then 1, …) after all workers join.
+/// Chunking therefore never reorders the merge, so both the returned
+/// metrics *and* the merged telemetry are byte-identical at any thread
+/// count — the guarantee `tests/determinism.rs` pins.
+///
+/// Each run's event ring holds [`MC_RUN_EVENT_CAPACITY`] events; counters
+/// and histograms are exact regardless.
+///
+/// # Panics
+///
+/// Panics if `runs` or `threads` is zero.
+pub fn monte_carlo_telemetry(
+    cpu: &CpuModel,
+    profile: &WorkloadProfile,
+    cfg: &SimConfig,
+    runs: usize,
+    threads: usize,
+) -> (McSummary, TelemetrySnapshot) {
+    assert!(runs >= 1, "need at least one run");
+    assert!(threads >= 1, "need at least one worker");
+    let mut metrics: Vec<RunMetrics> = vec![[0.0; 4]; runs];
+    let mut snaps: Vec<TelemetrySnapshot> = vec![TelemetrySnapshot::default(); runs];
+    let chunk = runs.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for ((ci, slots), snap_slots) in metrics
+            .chunks_mut(chunk)
+            .enumerate()
+            .zip(snaps.chunks_mut(chunk))
+        {
+            scope.spawn(move || {
+                for (j, (slot, snap)) in slots.iter_mut().zip(snap_slots.iter_mut()).enumerate() {
+                    let tele = Telemetry::with_capacity(MC_RUN_EVENT_CAPACITY);
+                    *slot = one_run(cpu, profile, cfg, ci * chunk + j, &tele);
+                    *snap = tele.snapshot();
+                }
+            });
+        }
+    });
+    let mut merged = TelemetrySnapshot::default();
+    for snap in &snaps {
+        merged.merge_shard(snap);
+    }
+    (summarize(&metrics), merged)
+}
+
+fn summarize(metrics: &[RunMetrics]) -> McSummary {
     let column = |k: usize| metrics.iter().map(|m| m[k]).collect();
     McSummary {
         perf: Distribution::from(column(0)),
@@ -168,6 +231,7 @@ pub fn monte_carlo_with_threads(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::simulate;
     use suit_hw::UndervoltLevel;
     use suit_trace::profile;
 
@@ -237,6 +301,27 @@ mod tests {
         cfg.seed ^= 0xABCD;
         let b = monte_carlo(&cpu, p, &cfg, 4);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn telemetry_variant_matches_plain_metrics() {
+        let (cpu, p, cfg) = setup();
+        let plain = monte_carlo_with_threads(&cpu, p, &cfg, 4, 2);
+        let (with_tele, snap) = monte_carlo_telemetry(&cpu, p, &cfg, 4, 2);
+        assert_eq!(plain, with_tele, "telemetry must not perturb the campaign");
+        assert!(snap.counter(suit_telemetry::Counter::DoTraps) > 0);
+        assert!(snap.counter(suit_telemetry::Counter::CurveSwitches) > 0);
+    }
+
+    #[test]
+    fn telemetry_merge_is_thread_count_invariant() {
+        let (cpu, p, cfg) = setup();
+        let (summary1, snap1) = monte_carlo_telemetry(&cpu, p, &cfg, 6, 1);
+        for threads in [2, 4] {
+            let (summary_n, snap_n) = monte_carlo_telemetry(&cpu, p, &cfg, 6, threads);
+            assert_eq!(summary1, summary_n, "{threads} threads diverged");
+            assert_eq!(snap1, snap_n, "{threads}-thread telemetry diverged");
+        }
     }
 
     #[test]

@@ -4,10 +4,15 @@
 //! suit-cli list
 //! suit-cli simulate --workload 557.xz --cpu c --strategy fv --offset 97
 //! suit-cli simulate --workload Nginx --cpu a --strategy adaptive --insts 2000000000
+//! suit-cli profile Nginx --trace-out trace.json --insts 200000000
+//! suit-cli validate-trace trace.json
 //! suit-cli trace record --workload 502.gcc --out gcc.suittrc --bursts 5000
 //! suit-cli trace info gcc.suittrc
 //! suit-cli security
 //! ```
+//!
+//! Unknown subcommands and unknown flags print the usage text and exit
+//! nonzero — they are never silently ignored.
 
 use std::process::ExitCode;
 
@@ -15,9 +20,20 @@ use suit::core::strategy::StrategyParams;
 use suit::core::OperatingStrategy;
 use suit::hw::{CpuModel, UndervoltLevel};
 use suit::sim::analytic::simulate_emulation;
-use suit::sim::engine::{simulate, SimConfig};
+use suit::sim::engine::{simulate, simulate_telemetry, SimConfig};
+use suit::telemetry::{validate_perfetto, Telemetry};
 use suit::trace::io::{read_trace, write_trace, TraceMeta};
 use suit::trace::{profile, TraceGen};
+
+const USAGE: &str =
+    "usage: suit-cli <list|simulate|profile|validate-trace|mix|trace|analyze|security> [options]\n\
+\x20 simulate --workload <name> [--cpu a|b|c] [--strategy fv|f|v|e|adaptive]\n\
+\x20          [--offset 70|97] [--cores N] [--insts N] [--seed N]\n\
+\x20 profile <workload> [--trace-out <file>] [--cpu a|b|c] [--strategy fv|f|v|adaptive]\n\
+\x20          [--offset 70|97] [--cores N] [--insts N] [--seed N] [--events N]\n\
+\x20 validate-trace <file>\n\
+\x20 trace record --workload <name> --out <file> [--bursts N]\n\
+\x20 trace info <file>";
 
 fn main() -> ExitCode {
     // `suit-cli ... | head` is normal usage; `println!` panics on EPIPE,
@@ -36,27 +52,28 @@ fn main() -> ExitCode {
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("list") => cmd_list(),
+        Some("list") => cmd_list(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("validate-trace") => cmd_validate_trace(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
-        Some("security") => cmd_security(),
+        Some("security") => cmd_security(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("mix") => cmd_mix(&args[1..]),
-        _ => {
-            eprintln!(
-                "usage: suit-cli <list|simulate|mix|trace|analyze|security> [options]\n\
-                 \x20 simulate --workload <name> [--cpu a|b|c] [--strategy fv|f|v|e|adaptive]\n\
-                 \x20          [--offset 70|97] [--cores N] [--insts N] [--seed N]\n\
-                 \x20 trace record --workload <name> --out <file> [--bursts N]\n\
-                 \x20 trace info <file>"
-            );
-            Err("missing or unknown subcommand".into())
-        }
+        Some(other) => Err(format!("unknown subcommand '{other}'")),
+        None => Err("missing subcommand".into()),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
+            if e.contains("unknown subcommand")
+                || e.contains("missing subcommand")
+                || e.contains("unknown flag")
+                || e.contains("unexpected argument")
+            {
+                eprintln!("{USAGE}");
+            }
             ExitCode::FAILURE
         }
     }
@@ -70,7 +87,56 @@ fn opt(args: &[String], name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-fn cmd_list() -> CliResult {
+/// The first token that is neither a `--flag` nor a flag's value.
+/// Only meaningful after [`check_args`] has accepted the argument list
+/// (every `--flag` a subcommand takes consumes a value).
+fn first_positional(args: &[String]) -> Option<String> {
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            return Some(args[i].clone());
+        }
+    }
+    None
+}
+
+/// Strict argument validation: every `--flag` must be in `value_flags`
+/// (which consume the following token) or `bool_flags`, and at most
+/// `max_positionals` non-flag tokens may remain. Anything else is an
+/// error, so typos fail loudly instead of being silently ignored.
+fn check_args(
+    args: &[String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+    max_positionals: usize,
+) -> CliResult {
+    let mut positionals = 0;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a.starts_with("--") {
+            if value_flags.contains(&a.as_str()) {
+                i += 2;
+            } else if bool_flags.contains(&a.as_str()) {
+                i += 1;
+            } else {
+                return Err(format!("unknown flag '{a}'"));
+            }
+        } else {
+            positionals += 1;
+            if positionals > max_positionals {
+                return Err(format!("unexpected argument '{a}'"));
+            }
+            i += 1;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_list(args: &[String]) -> CliResult {
+    check_args(args, &[], &[], 0)?;
     println!("Workloads (25):");
     for p in profile::all() {
         println!(
@@ -104,6 +170,20 @@ fn parse_level(s: Option<String>) -> Result<UndervoltLevel, String> {
 }
 
 fn cmd_simulate(args: &[String]) -> CliResult {
+    check_args(
+        args,
+        &[
+            "--workload",
+            "--cpu",
+            "--strategy",
+            "--offset",
+            "--cores",
+            "--insts",
+            "--seed",
+        ],
+        &[],
+        0,
+    )?;
     let name = opt(args, "--workload").ok_or("missing --workload <name> (see `suit-cli list`)")?;
     let p = profile::by_name(&name).ok_or_else(|| format!("unknown workload '{name}'"))?;
     let cpu = parse_cpu(opt(args, "--cpu"))?;
@@ -174,6 +254,7 @@ fn cmd_simulate(args: &[String]) -> CliResult {
 fn cmd_trace(args: &[String]) -> CliResult {
     match args.first().map(String::as_str) {
         Some("record") => {
+            check_args(args, &["--workload", "--out", "--bursts", "--seed"], &[], 1)?;
             let name = opt(args, "--workload").ok_or("missing --workload")?;
             let p = profile::by_name(&name).ok_or_else(|| format!("unknown workload '{name}'"))?;
             let out = opt(args, "--out").ok_or("missing --out <file>")?;
@@ -195,6 +276,7 @@ fn cmd_trace(args: &[String]) -> CliResult {
             Ok(())
         }
         Some("info") => {
+            check_args(args, &[], &[], 2)?;
             let path = args.get(1).ok_or("missing <file>")?;
             let mut f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
             let (meta, bursts) = read_trace(&mut f).map_err(|e| e.to_string())?;
@@ -213,13 +295,14 @@ fn cmd_trace(args: &[String]) -> CliResult {
 
 fn cmd_mix(args: &[String]) -> CliResult {
     use suit::sim::engine::simulate_mixed;
-    let name = args.first().ok_or_else(|| {
+    check_args(args, &["--cpu", "--insts"], &[], 1)?;
+    let name = first_positional(args).ok_or_else(|| {
         format!(
             "usage: mix <{}> [--cpu a|b|c] [--insts N]",
             suit::trace::profile::MIX_NAMES.join("|")
         )
     })?;
-    let workloads = suit::trace::profile::mix(name).ok_or_else(|| {
+    let workloads = suit::trace::profile::mix(&name).ok_or_else(|| {
         format!(
             "unknown mix '{name}' (try {})",
             suit::trace::profile::MIX_NAMES.join(", ")
@@ -268,6 +351,7 @@ fn cmd_mix(args: &[String]) -> CliResult {
 }
 
 fn cmd_analyze(args: &[String]) -> CliResult {
+    check_args(args, &[], &[], 2)?;
     let name = args.first().ok_or("usage: analyze <workload> [bursts]")?;
     let p = profile::by_name(name).ok_or_else(|| format!("unknown workload '{name}'"))?;
     let bursts: usize = args
@@ -303,7 +387,122 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     Ok(())
 }
 
-fn cmd_security() -> CliResult {
+fn cmd_security(args: &[String]) -> CliResult {
+    check_args(args, &[], &[], 0)?;
     println!("{}", suit::bench::tables::security_report(10, 3_000));
+    Ok(())
+}
+
+/// `profile <workload>`: one instrumented simulation — telemetry summary
+/// on stdout, optional Chrome/Perfetto trace via `--trace-out`.
+fn cmd_profile(args: &[String]) -> CliResult {
+    check_args(
+        args,
+        &[
+            "--trace-out",
+            "--cpu",
+            "--strategy",
+            "--offset",
+            "--cores",
+            "--insts",
+            "--seed",
+            "--events",
+        ],
+        &[],
+        1,
+    )?;
+    let name = first_positional(args).ok_or("missing <workload> (see `suit-cli list`)")?;
+    let p = profile::by_name(&name).ok_or_else(|| format!("unknown workload '{name}'"))?;
+    let cpu = parse_cpu(opt(args, "--cpu"))?;
+    let level = parse_level(opt(args, "--offset"))?;
+    let cores: usize =
+        opt(args, "--cores").map_or(Ok(1), |v| v.parse().map_err(|e| format!("--cores: {e}")))?;
+    let insts: Option<u64> = opt(args, "--insts")
+        .map(|v| v.parse().map_err(|e| format!("--insts: {e}")))
+        .transpose()?;
+    let seed: u64 = opt(args, "--seed").map_or(Ok(0x5017), |v| {
+        v.parse().map_err(|e| format!("--seed: {e}"))
+    })?;
+    let events: usize = opt(args, "--events").map_or(Ok(1 << 16), |v| {
+        v.parse().map_err(|e| format!("--events: {e}"))
+    })?;
+    let strategy = opt(args, "--strategy").unwrap_or_else(|| "fv".into());
+    let (strat, adaptive) = match strategy.as_str() {
+        "fv" => (OperatingStrategy::FreqVolt, None),
+        "f" => (OperatingStrategy::Frequency, None),
+        "v" => (OperatingStrategy::Voltage, None),
+        "adaptive" => (
+            OperatingStrategy::FreqVolt,
+            Some(suit::core::AdaptiveConfig::for_cpu(&cpu.delays)),
+        ),
+        other => {
+            return Err(format!(
+                "unknown strategy '{other}' (profile needs a curve-switching strategy)"
+            ))
+        }
+    };
+    let params = match cpu.kind {
+        suit::hw::CpuKind::AmdRyzen7700X => StrategyParams::amd(),
+        _ => StrategyParams::intel(),
+    };
+    let cfg = SimConfig {
+        strategy: strat,
+        params,
+        level,
+        cores,
+        seed,
+        max_insts: insts,
+        record_timeline: false,
+        adaptive,
+    };
+
+    let tele = Telemetry::with_capacity(events);
+    let r = simulate_telemetry(&cpu, p, &cfg, &tele);
+    let snap = tele.snapshot();
+
+    println!(
+        "profiled {} on {} at {} ({} strategy, {} core(s))",
+        p.name, cpu.name, level, strategy, cores
+    );
+    println!(
+        "  performance {:+.2} %  efficiency {:+.2} %  residency {:.1} %\n",
+        r.perf() * 100.0,
+        r.efficiency() * 100.0,
+        r.residency() * 100.0
+    );
+    println!("{}", snap.summary());
+
+    if let Some(out) = opt(args, "--trace-out") {
+        let json = snap.to_perfetto_json();
+        let stats = validate_perfetto(&json)
+            .map_err(|e| format!("internal: emitted invalid trace: {e}"))?;
+        std::fs::write(&out, &json).map_err(|e| format!("{out}: {e}"))?;
+        println!(
+            "\nwrote {out}: {} trace events ({} spans, {} instants; {} dropped) — open in ui.perfetto.dev",
+            stats.total - stats.metadata,
+            stats.spans,
+            stats.instants,
+            snap.events_dropped
+        );
+    }
+    Ok(())
+}
+
+/// `validate-trace <file>`: parse a Chrome/Perfetto trace with the
+/// in-tree JSON parser and check the event-stream invariants.
+fn cmd_validate_trace(args: &[String]) -> CliResult {
+    check_args(args, &[], &[], 1)?;
+    let path = args.first().ok_or("missing <file>")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let stats = validate_perfetto(&src).map_err(|e| format!("{path}: invalid trace: {e}"))?;
+    println!(
+        "{path}: valid Perfetto trace — {} events ({} spans, {} instants, {} metadata)",
+        stats.total, stats.spans, stats.instants, stats.metadata
+    );
+    let mut names: Vec<(&String, &usize)> = stats.names.iter().collect();
+    names.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    for (name, n) in names {
+        println!("  {n:>8}  {name}");
+    }
     Ok(())
 }

@@ -19,6 +19,7 @@
 //! | [`core`] | The SUIT mechanism: MSRs, `#DO`, deadline, strategies |
 //! | [`sim`] | The event-based system simulator (Tables 2/6, Figs 12/16) |
 //! | [`ooo`] | The out-of-order core model (Fig. 14) |
+//! | [`telemetry`] | Counters, histograms, event rings, Perfetto export |
 //! | [`mod@bench`] | Regenerators for every paper table and figure |
 //!
 //! ## Quick start
@@ -50,4 +51,5 @@ pub use suit_hw as hw;
 pub use suit_isa as isa;
 pub use suit_ooo as ooo;
 pub use suit_sim as sim;
+pub use suit_telemetry as telemetry;
 pub use suit_trace as trace;

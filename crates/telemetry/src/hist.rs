@@ -1,0 +1,264 @@
+//! Log₂-bucketed histograms with atomic observation.
+//!
+//! Values span nine orders of magnitude (a 200 ps cycle to multi-second
+//! episodes), so buckets are powers of two: value `v` lands in bucket
+//! `⌊log₂ v⌋ + 1` (bucket 0 holds exact zeros). 65 buckets cover the full
+//! `u64` range. Quantiles read out as the *upper edge* of the bucket the
+//! rank falls in — within 2× of the exact order statistic by
+//! construction, and exact for the maximum (tracked separately).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: bucket 0 for zero, buckets 1..=64 for ⌊log₂⌋ 0..=63.
+pub const BUCKETS: usize = 65;
+
+/// The bucket index of a value.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper edge of a bucket (`u64::MAX` for the last).
+pub fn bucket_upper(idx: usize) -> u64 {
+    match idx {
+        0 => 0,
+        64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// A thread-safe histogram: all mutation is commutative atomic addition
+/// (plus an atomic max), so concurrent observers from any number of
+/// threads produce the same final state.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A plain-data copy of the current state.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data histogram state: mergeable, comparable, readable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket observation counts.
+    pub buckets: [u64; BUCKETS],
+    /// Sum of all observed values (wrapping on overflow).
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            buckets: [0; BUCKETS],
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Quantile readout, `q` in `[0, 1]`: the upper edge of the bucket
+    /// holding the `⌈q · n⌉`-th smallest observation (the exact observed
+    /// maximum when that bucket is the last occupied one). Within one
+    /// power of two of the exact order statistic.
+    ///
+    /// Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile needs q in [0, 1]");
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        let mut last_occupied = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            last_occupied = i;
+            seen += c;
+            if seen >= rank {
+                // The max lives in the top occupied bucket; report it
+                // exactly there instead of the (looser) bucket edge.
+                let edge = bucket_upper(i);
+                return if self.buckets[i + 1..].iter().all(|&c| c == 0) {
+                    self.max
+                        .min(edge)
+                        .max(if i == 0 { 0 } else { edge.min(self.max) })
+                } else {
+                    edge
+                };
+            }
+        }
+        bucket_upper(last_occupied)
+    }
+
+    /// Folds another histogram into this one. Bucket counts and sums add,
+    /// maxima take the max — commutative and associative, so merge order
+    /// cannot affect the result.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suit_rng::{Rng, SuitRng};
+
+    #[test]
+    fn bucket_layout() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, u64::MAX / 2, u64::MAX] {
+            assert!(v <= bucket_upper(bucket_of(v)), "{v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_match_sorted_reference_within_a_bucket() {
+        // The satellite check: quantiles against a sorted-reference
+        // computation on suit-rng-seeded samples. The histogram readout
+        // must land in the same log bucket as the exact order statistic
+        // (i.e. within 2×), and the max must be exact.
+        let mut rng = SuitRng::seed_from_u64(0x7e1e);
+        for scale in [100u64, 100_000, 10_000_000_000] {
+            let mut hist = HistSnapshot::default();
+            let mut samples: Vec<u64> = (0..5_000).map(|_| rng.gen_range(0..scale)).collect();
+            for &s in &samples {
+                let mut one = HistSnapshot::default();
+                one.buckets[bucket_of(s)] += 1;
+                one.sum += s;
+                one.max = s;
+                hist.merge(&one);
+            }
+            samples.sort_unstable();
+            for q in [0.5, 0.9, 0.99] {
+                let rank = ((q * samples.len() as f64).ceil() as usize).max(1) - 1;
+                let exact = samples[rank];
+                let est = hist.quantile(q);
+                assert!(est >= exact, "q{q}: est {est} < exact {exact}");
+                assert_eq!(
+                    bucket_of(est.max(1)),
+                    bucket_of(exact.max(1)),
+                    "q{q}: est {est} vs exact {exact} crossed a bucket"
+                );
+            }
+            assert_eq!(hist.quantile(1.0), *samples.last().unwrap(), "max is exact");
+        }
+    }
+
+    #[test]
+    fn atomic_and_plain_agree() {
+        let atomic = AtomicHistogram::default();
+        let mut plain = HistSnapshot::default();
+        for v in [0u64, 1, 5, 5, 1024, 999_999_999] {
+            atomic.observe(v);
+            plain.buckets[bucket_of(v)] += 1;
+            plain.sum += v;
+            plain.max = plain.max.max(v);
+        }
+        assert_eq!(atomic.snapshot(), plain);
+        assert_eq!(plain.count(), 6);
+        assert!((plain.mean() - (1 + 5 + 5 + 1024 + 999_999_999) as f64 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = HistSnapshot::default();
+        a.buckets[3] = 2;
+        a.sum = 10;
+        a.max = 7;
+        let mut b = HistSnapshot::default();
+        b.buckets[10] = 1;
+        b.sum = 600;
+        b.max = 600;
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 3);
+        assert_eq!(ab.max, 600);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = HistSnapshot::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "q in [0, 1]")]
+    fn quantile_rejects_out_of_range() {
+        let _ = HistSnapshot::default().quantile(1.5);
+    }
+}

@@ -1,0 +1,244 @@
+//! Chrome/Perfetto `trace.json` export and in-tree validation.
+//!
+//! The exporter emits the legacy Chrome JSON trace format (an object with
+//! a `traceEvents` array), which `ui.perfetto.dev` and `chrome://tracing`
+//! both load. Each [`EventKind`] gets its own track (tid) named via `"M"`
+//! metadata events; spans are `"X"` complete events, instants are `"i"`.
+//!
+//! Timestamps are microseconds. To keep the output **byte-stable** they
+//! are rendered from integer picoseconds as exact 6-decimal strings
+//! (`ps / 10⁶ . ps % 10⁶`) — no float formatting is involved, so the
+//! same snapshot always serializes to the same bytes.
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, Value};
+use crate::recorder::{EventKind, TelemetrySnapshot};
+
+/// Renders integer picoseconds as an exact microsecond decimal literal.
+fn fmt_us(ps: u64) -> String {
+    format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
+}
+
+impl TelemetrySnapshot {
+    /// Serializes the retained events as a Chrome/Perfetto `trace.json`
+    /// document.
+    ///
+    /// Events are globally sorted by start time (ties keep record order),
+    /// so the emitted timestamps are monotonically non-decreasing — the
+    /// property [`validate_perfetto`] checks.
+    pub fn to_perfetto_json(&self) -> String {
+        let mut order: Vec<usize> = (0..self.events.len()).collect();
+        order.sort_by_key(|&i| self.events[i].start);
+
+        let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        let mut first = true;
+        let mut push = |out: &mut String, item: String| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&item);
+        };
+
+        // One named track per event kind (tid = kind index + 1).
+        for k in EventKind::ALL {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\
+                     \"args\":{{\"name\":{}}}}}",
+                    k.index() + 1,
+                    json::escape(k.name()),
+                ),
+            );
+        }
+
+        for &i in &order {
+            let e = &self.events[i];
+            let tid = e.kind.index() + 1;
+            let name = json::escape(e.kind.name());
+            let ts = fmt_us(e.start.as_picos());
+            let item = match e.dur {
+                Some(d) => format!(
+                    "{{\"name\":{name},\"cat\":\"suit\",\"ph\":\"X\",\"pid\":0,\
+                     \"tid\":{tid},\"ts\":{ts},\"dur\":{},\"args\":{{\"arg\":{}}}}}",
+                    fmt_us(d.as_picos()),
+                    e.arg,
+                ),
+                None => format!(
+                    "{{\"name\":{name},\"cat\":\"suit\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"pid\":0,\"tid\":{tid},\"ts\":{ts},\"args\":{{\"arg\":{}}}}}",
+                    e.arg,
+                ),
+            };
+            push(&mut out, item);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// What [`validate_perfetto`] found in a well-formed trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PerfettoStats {
+    /// Total entries in `traceEvents` (including metadata).
+    pub total: usize,
+    /// `"X"` complete (span) events.
+    pub spans: usize,
+    /// `"i"` instant events.
+    pub instants: usize,
+    /// `"M"` metadata events.
+    pub metadata: usize,
+    /// Occurrences per event name (metadata excluded).
+    pub names: BTreeMap<String, usize>,
+}
+
+impl PerfettoStats {
+    /// Occurrences of event `name` (0 if absent).
+    pub fn count(&self, name: &str) -> usize {
+        self.names.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Parses `src` with the in-tree JSON parser and checks the structural
+/// invariants the exporter guarantees:
+///
+/// * top level is an object with a `traceEvents` array;
+/// * every entry is an object with a string `name` and a `ph` of
+///   `"X"`/`"i"`/`"M"`;
+/// * non-metadata entries carry a numeric `ts`; `"X"` entries also a
+///   numeric `dur`;
+/// * `ts` is monotonically non-decreasing in array order.
+pub fn validate_perfetto(src: &str) -> Result<PerfettoStats, String> {
+    let doc = json::parse(src)?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing traceEvents")?
+        .as_arr()
+        .ok_or("traceEvents is not an array")?;
+
+    let mut stats = PerfettoStats {
+        total: events.len(),
+        ..PerfettoStats::default()
+    };
+    let mut last_ts = f64::NEG_INFINITY;
+    for (i, e) in events.iter().enumerate() {
+        let name = e
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing string name"))?;
+        let ph = e
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        match ph {
+            "M" => {
+                stats.metadata += 1;
+                continue;
+            }
+            "X" => {
+                stats.spans += 1;
+                e.get("dur")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i}: span without numeric dur"))?;
+            }
+            "i" => stats.instants += 1,
+            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+        }
+        let ts = e
+            .get("ts")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing numeric ts"))?;
+        if ts < last_ts {
+            return Err(format!(
+                "event {i}: ts {ts} precedes previous ts {last_ts} — timeline not monotonic"
+            ));
+        }
+        last_ts = ts;
+        *stats.names.entry(name.to_string()).or_insert(0) += 1;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{EventKind, Telemetry};
+    use suit_isa::{SimDuration, SimTime};
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn export_round_trips_through_the_parser() {
+        let tele = Telemetry::recording();
+        tele.instant(EventKind::CurveSwitch, t(5), 2);
+        tele.span(EventKind::Stall, t(5), t(32), 0);
+        tele.instant(EventKind::DoTrap, t(2), 0);
+        tele.span(EventKind::Residency, t(0), t(5), 1);
+        let json = tele.snapshot().to_perfetto_json();
+
+        let stats = validate_perfetto(&json).expect("exporter output must validate");
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.instants, 2);
+        assert_eq!(stats.metadata, EventKind::COUNT);
+        assert_eq!(stats.count("curve_switch"), 1);
+        assert_eq!(stats.count("do_trap"), 1);
+        assert_eq!(stats.count("stall"), 1);
+        assert_eq!(stats.count("nonexistent"), 0);
+    }
+
+    #[test]
+    fn timestamps_are_sorted_and_exact() {
+        let tele = Telemetry::recording();
+        // Recorded out of order; export must sort by start time.
+        tele.instant(EventKind::DeadlineFire, t(9), 0);
+        tele.instant(EventKind::DoTrap, SimTime::from_picos(1_234_567), 0);
+        let json = tele.snapshot().to_perfetto_json();
+        validate_perfetto(&json).unwrap();
+        // 1_234_567 ps = 1.234567 µs, rendered exactly.
+        assert!(json.contains("\"ts\":1.234567"), "{json}");
+        assert!(json.contains("\"ts\":9.000000"));
+    }
+
+    #[test]
+    fn export_is_byte_stable() {
+        let mk = || {
+            let tele = Telemetry::recording();
+            tele.span(EventKind::EmulationCall, t(1), t(2), 7);
+            tele.instant(EventKind::ThrashLockout, t(3), 0);
+            tele.snapshot().to_perfetto_json()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn validator_rejects_structural_breakage() {
+        assert!(validate_perfetto("not json").is_err());
+        assert!(validate_perfetto("{}").is_err());
+        assert!(validate_perfetto("{\"traceEvents\":3}").is_err());
+        // Missing ph.
+        assert!(validate_perfetto("{\"traceEvents\":[{\"name\":\"x\"}]}").is_err());
+        // Span without dur.
+        assert!(
+            validate_perfetto("{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"X\",\"ts\":1}]}")
+                .is_err()
+        );
+        // Non-monotonic timeline.
+        let bad = "{\"traceEvents\":[\
+            {\"name\":\"a\",\"ph\":\"i\",\"ts\":5},\
+            {\"name\":\"b\",\"ph\":\"i\",\"ts\":4}]}";
+        let err = validate_perfetto(bad).unwrap_err();
+        assert!(err.contains("monotonic"), "{err}");
+    }
+
+    #[test]
+    fn empty_snapshot_exports_metadata_only() {
+        let json = Telemetry::recording().snapshot().to_perfetto_json();
+        let stats = validate_perfetto(&json).unwrap();
+        assert_eq!(stats.spans + stats.instants, 0);
+        assert_eq!(stats.metadata, EventKind::COUNT);
+    }
+}

@@ -1,0 +1,159 @@
+//! Bounded event ring buffer.
+//!
+//! Traces of long runs can produce millions of events; the ring keeps
+//! memory bounded by overwriting the *oldest* events once capacity is
+//! reached, while counting how many were lost. Counters and histograms
+//! (which never drop) remain exact regardless of ring pressure — the ring
+//! only bounds the *timeline* detail exported to Perfetto.
+
+use suit_isa::{SimDuration, SimTime};
+
+use crate::recorder::EventKind;
+
+/// One recorded event: an instant (`dur == None`) or a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// When it happened (span start for spans).
+    pub start: SimTime,
+    /// Span length; `None` marks an instant event.
+    pub dur: Option<SimDuration>,
+    /// Kind-specific payload (e.g. the target operating-point index for a
+    /// curve switch, the chosen strategy for a strategy decision).
+    pub arg: u64,
+}
+
+/// A fixed-capacity ring of [`Event`]s with overwrite-oldest semantics.
+#[derive(Debug)]
+pub struct EventRing {
+    buf: Vec<Event>,
+    cap: usize,
+    /// Next write position (wraps at `cap` once full).
+    head: usize,
+    /// Events overwritten because the ring was full.
+    dropped: u64,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `cap` events (`cap == 0` records
+    /// nothing and counts every push as dropped).
+    pub fn new(cap: usize) -> Self {
+        EventRing {
+            buf: Vec::with_capacity(cap.min(1024)),
+            cap,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest if the ring is full.
+    pub fn push(&mut self, e: Event) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() < self.cap {
+            self.buf.push(e);
+            self.head = self.buf.len() % self.cap;
+        } else {
+            self.buf[self.head] = e;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many events were overwritten (or discarded at `cap == 0`).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained events, oldest first.
+    pub fn to_vec(&self) -> Vec<Event> {
+        if self.buf.len() < self.cap || self.cap == 0 {
+            self.buf.clone()
+        } else {
+            // Full ring: the oldest event sits at `head`.
+            let mut out = Vec::with_capacity(self.cap);
+            out.extend_from_slice(&self.buf[self.head..]);
+            out.extend_from_slice(&self.buf[..self.head]);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ps: u64) -> Event {
+        Event {
+            kind: EventKind::Stall,
+            start: SimTime::from_picos(ps),
+            dur: None,
+            arg: ps,
+        }
+    }
+
+    #[test]
+    fn fills_then_overwrites_oldest() {
+        let mut ring = EventRing::new(4);
+        for i in 0..4 {
+            ring.push(ev(i));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 0);
+        let order: Vec<u64> = ring.to_vec().iter().map(|e| e.arg).collect();
+        assert_eq!(order, [0, 1, 2, 3]);
+
+        // Two more pushes evict the two oldest.
+        ring.push(ev(4));
+        ring.push(ev(5));
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 2);
+        let order: Vec<u64> = ring.to_vec().iter().map(|e| e.arg).collect();
+        assert_eq!(order, [2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn wraps_repeatedly() {
+        let mut ring = EventRing::new(3);
+        for i in 0..10 {
+            ring.push(ev(i));
+        }
+        assert_eq!(ring.dropped(), 7);
+        let order: Vec<u64> = ring.to_vec().iter().map(|e| e.arg).collect();
+        assert_eq!(order, [7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut ring = EventRing::new(0);
+        ring.push(ev(1));
+        ring.push(ev(2));
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 2);
+        assert!(ring.to_vec().is_empty());
+    }
+
+    #[test]
+    fn partial_ring_keeps_insertion_order() {
+        let mut ring = EventRing::new(8);
+        for i in 0..5 {
+            ring.push(ev(i));
+        }
+        let order: Vec<u64> = ring.to_vec().iter().map(|e| e.arg).collect();
+        assert_eq!(order, [0, 1, 2, 3, 4]);
+        assert!(!ring.is_empty());
+    }
+}

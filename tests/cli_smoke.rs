@@ -1,0 +1,102 @@
+//! Smoke tests for the `suit-cli` binary: strict argument handling
+//! (unknown subcommands and flags must print usage and exit nonzero, not
+//! panic or get silently ignored) and the `profile` → `validate-trace`
+//! round trip.
+
+use std::process::{Command, Output};
+
+fn cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_suit-cli"))
+        .args(args)
+        .output()
+        .expect("spawn suit-cli")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn unknown_subcommand_prints_usage_and_fails() {
+    let out = cli(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown subcommand 'frobnicate'"), "{err}");
+    assert!(err.contains("usage: suit-cli"), "{err}");
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = cli(&[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("usage: suit-cli"));
+}
+
+#[test]
+fn unknown_flag_prints_usage_and_fails() {
+    let out = cli(&["simulate", "--workload", "557.xz", "--bogus"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown flag '--bogus'"), "{err}");
+    assert!(err.contains("usage: suit-cli"), "{err}");
+}
+
+#[test]
+fn unexpected_positional_fails() {
+    let out = cli(&["simulate", "stray", "--workload", "557.xz"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unexpected argument 'stray'"));
+}
+
+#[test]
+fn list_succeeds() {
+    let out = cli(&["list"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("557.xz"));
+}
+
+#[test]
+fn bad_flag_values_fail_cleanly() {
+    for args in [
+        ["simulate", "--workload", "no-such-workload"].as_slice(),
+        ["simulate", "--workload", "557.xz", "--cpu", "z"].as_slice(),
+        ["simulate", "--workload", "557.xz", "--insts", "many"].as_slice(),
+        ["validate-trace", "/no/such/file.json"].as_slice(),
+    ] {
+        let out = cli(args);
+        assert!(!out.status.success(), "{args:?} should fail");
+        assert!(stderr(&out).contains("error:"), "{args:?}");
+    }
+}
+
+#[test]
+fn profile_trace_round_trips_through_validate_trace() {
+    let path = std::env::temp_dir().join(format!("suit-cli-smoke-{}.json", std::process::id()));
+    let path = path.to_str().expect("utf-8 temp path");
+
+    let out = cli(&[
+        "profile",
+        "Nginx",
+        "--insts",
+        "50000000",
+        "--trace-out",
+        path,
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let log = stdout(&out);
+    assert!(log.contains("telemetry summary"), "{log}");
+    assert!(log.contains("do_traps"), "{log}");
+
+    let out = cli(&["validate-trace", path]);
+    let report = stdout(&out);
+    std::fs::remove_file(path).ok();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(report.contains("valid Perfetto trace"), "{report}");
+    for required in ["curve_switch", "do_trap", "stall"] {
+        assert!(report.contains(required), "missing {required}: {report}");
+    }
+}

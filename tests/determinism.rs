@@ -11,8 +11,9 @@
 use suit::faults::inject::Campaign;
 use suit::faults::vmin::ChipVminModel;
 use suit::hw::{CpuModel, UndervoltLevel};
-use suit::sim::engine::SimConfig;
-use suit::sim::montecarlo::monte_carlo_with_threads;
+use suit::sim::engine::{simulate, simulate_telemetry, SimConfig};
+use suit::sim::montecarlo::{monte_carlo_telemetry, monte_carlo_with_threads};
+use suit::telemetry::Telemetry;
 use suit::trace::profile;
 
 #[test]
@@ -64,6 +65,44 @@ fn fault_campaign_reports_are_identical_across_thread_counts() {
             reference,
             "campaign diverged at {threads} threads"
         );
+    }
+}
+
+#[test]
+fn merged_telemetry_is_byte_identical_across_thread_counts() {
+    // Telemetry from a sharded Monte-Carlo campaign: per-run recorders are
+    // merged in run-index order after the parallel scope, so counters,
+    // histogram buckets and the event stream — and therefore the serialized
+    // Perfetto trace — must be byte-identical at every thread count.
+    let cpu = CpuModel::xeon_4208();
+    let p = profile::by_name("502.gcc").unwrap();
+    let cfg = SimConfig::fv_intel(UndervoltLevel::Mv97).with_max_insts(100_000_000);
+
+    let (reference_mc, reference) = monte_carlo_telemetry(&cpu, p, &cfg, 8, 1);
+    assert!(reference.counter(suit::telemetry::Counter::DoTraps) > 0);
+    for threads in [4, 8, 16] {
+        let (mc, snap) = monte_carlo_telemetry(&cpu, p, &cfg, 8, threads);
+        assert_eq!(reference_mc, mc, "metrics diverged at {threads} threads");
+        assert_eq!(reference, snap, "telemetry diverged at {threads} threads");
+        assert_eq!(
+            reference.to_perfetto_json(),
+            snap.to_perfetto_json(),
+            "serialized trace diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn telemetry_recording_does_not_change_results() {
+    // The recorder is strictly observational: a run with telemetry on must
+    // produce bit-for-bit the same RunResult as one with it off.
+    let cpu = CpuModel::xeon_4208();
+    let p = profile::by_name("Nginx").unwrap();
+    for level in [UndervoltLevel::Mv70, UndervoltLevel::Mv97] {
+        let cfg = SimConfig::fv_intel(level).with_max_insts(150_000_000);
+        let plain = simulate(&cpu, p, &cfg);
+        let traced = simulate_telemetry(&cpu, p, &cfg, &Telemetry::recording());
+        assert_eq!(plain, traced, "telemetry perturbed the run at {level}");
     }
 }
 
