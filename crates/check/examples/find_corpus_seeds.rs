@@ -1,0 +1,27 @@
+//! Corpus-seed miner: brute-forces case seeds whose generated decoder
+//! input exercises the 15-byte instruction-length cap (the bug class the
+//! `decode_fuzz::total` property originally caught — before the cap, the
+//! decoder happily returned 16+-byte instructions that real hardware
+//! would refuse with #GP).
+//!
+//! Run with `cargo run -p suit-check --example find_corpus_seeds`, then
+//! commit the printed seeds under `tests/corpus/` to pin the regression.
+
+use suit_check::{gens, Source};
+use suit_isa::decode::{decode, DecodeError};
+
+fn main() {
+    let gen = gens::decoder_input();
+    let mut found = 0u32;
+    for seed in 0u64..2_000_000 {
+        let bytes = gen.sample(&mut Source::fresh(seed));
+        if decode(&bytes) == Err(DecodeError::TooLong) {
+            println!("seed {seed:#018x}  ({} bytes: {bytes:02x?})", bytes.len());
+            found += 1;
+            if found >= 8 {
+                return;
+            }
+        }
+    }
+    eprintln!("only {found} seeds found in the scanned range");
+}

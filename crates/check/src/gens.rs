@@ -1,0 +1,196 @@
+//! Domain generators for the SUIT workspace: 128-bit vectors,
+//! instruction descriptors, and structure-aware fuzz inputs for the
+//! `#DO` byte decoder.
+
+use suit_isa::encode::{EncodeSpec, Rm, SIMD_FORMS};
+use suit_isa::{Inst, Opcode, Vec128, TABLE1};
+
+use crate::gen::{
+    bool_any, byte, bytes_up_to, from_slice, one_of, pair, u128_any, u64_in, usize_in, Gen,
+};
+
+/// Any 128-bit vector (shrinks toward zero).
+pub fn vec128() -> Gen<Vec128> {
+    u128_any().map(Vec128::from_u128)
+}
+
+/// A pair of 128-bit vectors — the operand shape of every two-source
+/// SIMD emulation.
+pub fn vec128_pair() -> Gen<(Vec128, Vec128)> {
+    pair(&vec128(), &vec128())
+}
+
+/// One faultable opcode (Table 1 order; shrinks toward `IMUL`).
+pub fn faultable_opcode() -> Gen<Opcode> {
+    usize_in(0..=TABLE1.len() - 1).map(|i| TABLE1[i].opcode)
+}
+
+/// An abstract decoded instruction descriptor over the faultable set,
+/// as consumed by the pipeline models.
+pub fn inst() -> Gen<Inst> {
+    let regs = u64_in(0..=63).map(|r| r as u8);
+    faultable_opcode().bind(move |op| {
+        regs.array::<3>()
+            .map(move |[dst, src1, src2]| Inst::new(op, dst, src1, src2))
+    })
+}
+
+/// A ModRM r/m operand: register forms (including REX-extended) plus
+/// every memory addressing shape the decoder must length-match.
+pub fn rm_operand() -> Gen<Rm> {
+    // Legal mod=0 bases avoid rm=4 (SIB) and rm=5 (RIP); disp forms
+    // avoid rm=4 only.
+    const BASES_MOD0: [u8; 6] = [0, 1, 2, 3, 6, 7];
+    const BASES_DISP: [u8; 7] = [0, 1, 2, 3, 5, 6, 7];
+    one_of(vec![
+        u64_in(0..=15).map(|r| Rm::Reg(r as u8)),
+        from_slice(&BASES_MOD0).map(Rm::Base),
+        pair(&from_slice(&BASES_DISP), &byte()).map(|(b, d)| Rm::Disp8(b, d)),
+        pair(&from_slice(&BASES_DISP), &u64_in(0..=u64::from(u32::MAX)))
+            .map(|(b, d)| Rm::Disp32(b, d as u32)),
+        u64_in(0..=u64::from(u32::MAX)).map(|d| Rm::Rip(d as u32)),
+        Gen::new(|_| Rm::Sib),
+    ])
+}
+
+/// A valid faultable-instruction encoding spec covering every SIMD/AES
+/// form (legacy and VEX) and all four `IMUL`/`MUL` encodings.
+pub fn encode_spec() -> Gen<EncodeSpec> {
+    let reg = u64_in(0..=15).map(|r| r as u8);
+    let simd = {
+        let form = usize_in(0..=SIMD_FORMS.len() - 1);
+        let parts = pair(&pair(&form, &bool_any()), &pair(&reg, &rm_operand()));
+        pair(&parts, &pair(&reg, &byte())).map(|(((form, vex), (reg, rm)), (vvvv, imm8))| {
+            EncodeSpec::Simd {
+                form,
+                vex,
+                reg,
+                rm,
+                vvvv,
+                imm8,
+            }
+        })
+    };
+    let imul_reg = pair(&reg, &rm_operand()).map(|(reg, rm)| EncodeSpec::ImulRegRm { reg, rm });
+    let imul_imm = pair(&pair(&reg, &rm_operand()), &pair(&bool_any(), &u128_any())).map(
+        |((reg, rm), (is_imm8, imm))| EncodeSpec::ImulImm {
+            reg,
+            rm,
+            imm8: is_imm8.then_some(imm as u8),
+            imm32: imm as u32,
+        },
+    );
+    let group3 = pair(&bool_any(), &rm_operand()).map(|(signed, rm)| {
+        // Group-3 encodings carry no REX here, so clamp register rm
+        // operands to the low bank.
+        let rm = match rm {
+            Rm::Reg(r) => Rm::Reg(r & 7),
+            other => other,
+        };
+        EncodeSpec::MulGroup3 { signed, rm }
+    });
+    one_of(vec![simd, imul_reg, imul_imm, group3])
+}
+
+/// The bytes of one valid faultable encoding.
+pub fn valid_encoding() -> Gen<Vec<u8>> {
+    encode_spec().map(|spec| spec.encode())
+}
+
+/// Structure-aware decoder fuzz input: raw byte soup, pristine valid
+/// encodings, bit-flipped / truncated / extended mutants of valid
+/// encodings, and legal-prefix padding (which probes the 15-byte limit).
+pub fn decoder_input() -> Gen<Vec<u8>> {
+    const PREFIXES: [u8; 8] = [0x66, 0xF2, 0xF3, 0x2E, 0x3E, 0x26, 0x64, 0x65];
+    let mutated = valid_encoding().bind(|bytes| {
+        mutation().vec_up_to(4).map(move |muts| {
+            let mut b = bytes.clone();
+            for m in muts {
+                m.apply(&mut b);
+            }
+            b
+        })
+    });
+    let padded = pair(&usize_in(0..=14), &valid_encoding()).bind(move |(n, bytes)| {
+        from_slice(&PREFIXES).vec_of(n).map(move |pad| {
+            let mut out = pad;
+            out.extend_from_slice(&bytes);
+            out
+        })
+    });
+    one_of(vec![bytes_up_to(18), valid_encoding(), mutated, padded])
+}
+
+/// One byte-level mutation applied to a valid encoding.
+#[derive(Clone, Copy)]
+enum Mutation {
+    FlipBit(usize),
+    Truncate(usize),
+    Overwrite(usize, u8),
+    Insert(usize, u8),
+}
+
+impl Mutation {
+    fn apply(self, bytes: &mut Vec<u8>) {
+        if bytes.is_empty() {
+            return;
+        }
+        let len = bytes.len();
+        match self {
+            Mutation::FlipBit(pos) => bytes[(pos / 8) % len] ^= 1 << (pos % 8),
+            Mutation::Truncate(keep) => bytes.truncate(keep % (len + 1)),
+            Mutation::Overwrite(pos, v) => bytes[pos % len] = v,
+            Mutation::Insert(pos, v) => bytes.insert(pos % (len + 1), v),
+        }
+    }
+}
+
+fn mutation() -> Gen<Mutation> {
+    let pos = usize_in(0..=127);
+    one_of(vec![
+        pos.map(Mutation::FlipBit),
+        pos.map(Mutation::Truncate),
+        pair(&pos, &byte()).map(|(p, v)| Mutation::Overwrite(p, v)),
+        pair(&pos, &byte()).map(|(p, v)| Mutation::Insert(p, v)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Source;
+    use suit_isa::decode::decode;
+
+    #[test]
+    fn every_generated_spec_is_decodable() {
+        let g = encode_spec();
+        for seed in 0..500 {
+            let spec = g.sample(&mut Source::fresh(seed));
+            let bytes = spec.encode();
+            let d = decode(&bytes).unwrap_or_else(|e| panic!("seed {seed} {spec:?}: {e}"));
+            assert_eq!(d, spec.expected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn decoder_inputs_cover_valid_and_garbage() {
+        let g = decoder_input();
+        let (mut ok, mut err) = (0, 0);
+        for seed in 0..500 {
+            match decode(&g.sample(&mut Source::fresh(seed))) {
+                Ok(_) => ok += 1,
+                Err(_) => err += 1,
+            }
+        }
+        assert!(ok > 50, "only {ok} valid decodes");
+        assert!(err > 50, "only {err} rejections");
+    }
+
+    #[test]
+    fn inst_descriptors_are_faultable() {
+        let g = inst();
+        for seed in 0..100 {
+            assert!(g.sample(&mut Source::fresh(seed)).opcode.is_faultable());
+        }
+    }
+}

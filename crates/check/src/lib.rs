@@ -1,0 +1,58 @@
+//! # suit-check
+//!
+//! Deterministic property-testing and differential fuzzing for the SUIT
+//! workspace — zero external dependencies, every failure replayable from
+//! a single `u64` seed.
+//!
+//! SUIT's security argument rests on exact equivalences: the emulated
+//! `AESENC`/GCM paths must be bit-identical to the hardware semantics,
+//! and the `#DO` decoder must agree with the encoder on every faultable
+//! encoding. This crate provides the correctness substrate those claims
+//! are checked against:
+//!
+//! * [`Gen`] — composable generators over a recorded *choice stream*
+//!   ([`Source`]): ints, byte blobs, `Vec128`, instruction descriptors,
+//!   plus `map`/`bind`/collection combinators.
+//! * **Integrated shrinking** — failures are minimised by editing the
+//!   recorded choice sequence (block deletion, zeroing, per-choice
+//!   binary search), so every combinator stack shrinks for free and the
+//!   shrink trace is byte-identical across runs of the same seed.
+//! * [`Checker`] — the runner: replays the committed regression corpus
+//!   (`tests/corpus/*.seed`) before random exploration, persists new
+//!   failing seeds, and reports a minimal counterexample + replay seed.
+//! * [`Checker::check_diff`] — the differential oracle for
+//!   reference-vs-optimised implementation pairs.
+//! * [`gens`] — SUIT-specific generators, including the structure-aware
+//!   byte-mutation inputs for the `suit_isa::decode` fuzz target.
+//!
+//! ```
+//! use suit_check::{gen, Checker};
+//!
+//! Checker::new("doc::xor_involution").cases(500).check(
+//!     &gen::pair(&gen::u128_any(), &gen::u128_any()),
+//!     |&(a, b)| a ^ b ^ b == a,
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod gens;
+pub mod runner;
+pub mod shrink;
+pub mod source;
+
+pub use gen::Gen;
+pub use runner::{Checker, Failure, Outcome};
+pub use source::Source;
+
+/// The workspace regression-corpus directory (`tests/corpus` at the repo
+/// root), resolved relative to the *calling* crate's manifest so test
+/// binaries find it regardless of the working directory cargo picks.
+#[macro_export]
+macro_rules! corpus_dir {
+    () => {
+        ::std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+    };
+}

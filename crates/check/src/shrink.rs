@@ -1,0 +1,198 @@
+//! Choice-sequence shrinking.
+//!
+//! Given the recorded choices of a failing run and an oracle that says
+//! whether an edited choice list still fails, [`shrink`] greedily
+//! minimises the sequence with three passes, iterated to a fixpoint:
+//!
+//! 1. **block deletion** — remove spans of 8/4/2/1 choices scanning from
+//!    the tail (drops collection elements and whole sub-structures);
+//! 2. **zeroing** — set individual choices to 0 (the minimal choice);
+//! 3. **binary search** — minimise each choice value individually.
+//!
+//! The algorithm is fully deterministic: the same initial choices and the
+//! same oracle produce the identical accepted-step trace, which the
+//! runner prints so that a failure's shrink history can be diffed across
+//! runs.
+
+/// The outcome of shrinking a failing choice sequence.
+pub struct Shrunk {
+    /// The minimised choice sequence (still failing).
+    pub choices: Vec<u64>,
+    /// One line per *accepted* shrink step, in order.
+    pub trace: Vec<String>,
+    /// Total candidates evaluated (accepted + rejected).
+    pub candidates: u64,
+}
+
+/// Hard cap on oracle evaluations, so pathological properties terminate.
+const CANDIDATE_BUDGET: u64 = 20_000;
+
+/// Minimises `initial` under `still_fails` (which must return `true` for
+/// `initial` itself; candidates are arbitrary edited choice lists).
+pub fn shrink(initial: &[u64], mut still_fails: impl FnMut(&[u64]) -> bool) -> Shrunk {
+    let mut cur = initial.to_vec();
+    let mut trace = Vec::new();
+    let mut candidates = 0u64;
+
+    // Tries one candidate; on success commits it and logs `step`.
+    let attempt = |cur: &mut Vec<u64>,
+                   cand: Vec<u64>,
+                   step: String,
+                   trace: &mut Vec<String>,
+                   candidates: &mut u64,
+                   still_fails: &mut dyn FnMut(&[u64]) -> bool|
+     -> bool {
+        if *candidates >= CANDIDATE_BUDGET {
+            return false;
+        }
+        *candidates += 1;
+        if still_fails(&cand) {
+            *cur = cand;
+            trace.push(step);
+            true
+        } else {
+            false
+        }
+    };
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: delete blocks of choices, largest blocks first, tail
+        // to head so element indices stay stable while scanning.
+        for block in [8usize, 4, 2, 1] {
+            let mut i = cur.len().saturating_sub(block);
+            loop {
+                if cur.len() >= block && i + block <= cur.len() {
+                    let mut cand = cur.clone();
+                    cand.drain(i..i + block);
+                    let step = format!("delete [{i}..{}) -> len {}", i + block, cand.len());
+                    if attempt(
+                        &mut cur,
+                        cand,
+                        step,
+                        &mut trace,
+                        &mut candidates,
+                        &mut still_fails,
+                    ) {
+                        improved = true;
+                        i = i.min(cur.len().saturating_sub(block));
+                        continue;
+                    }
+                }
+                if i == 0 {
+                    break;
+                }
+                i -= 1;
+            }
+        }
+
+        // Pass 2: zero individual choices, head to tail.
+        for i in 0..cur.len() {
+            if cur[i] == 0 {
+                continue;
+            }
+            let mut cand = cur.clone();
+            cand[i] = 0;
+            let step = format!("zero [{i}] ({} -> 0)", cur[i]);
+            if attempt(
+                &mut cur,
+                cand,
+                step,
+                &mut trace,
+                &mut candidates,
+                &mut still_fails,
+            ) {
+                improved = true;
+            }
+        }
+
+        // Pass 3: binary-search each remaining choice toward 0.
+        for i in 0..cur.len() {
+            if cur[i] == 0 {
+                continue;
+            }
+            let original = cur[i];
+            let (mut lo, mut hi) = (0u64, cur[i]); // hi is known to fail
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let mut cand = cur.clone();
+                cand[i] = mid;
+                let step = format!("min [{i}] ({} -> {mid})", cur[i]);
+                if attempt(
+                    &mut cur,
+                    cand,
+                    step,
+                    &mut trace,
+                    &mut candidates,
+                    &mut still_fails,
+                ) {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            if cur[i] < original {
+                improved = true;
+            }
+        }
+
+        if !improved || candidates >= CANDIDATE_BUDGET {
+            break;
+        }
+    }
+
+    Shrunk {
+        choices: cur,
+        trace,
+        candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_a_scalar_to_the_boundary() {
+        // "fails iff choice[0] >= 1000": minimum failing value is 1000.
+        let s = shrink(&[87_654], |c| c.first().copied().unwrap_or(0) >= 1000);
+        assert_eq!(s.choices, vec![1000]);
+        assert!(!s.trace.is_empty());
+    }
+
+    #[test]
+    fn deletes_irrelevant_choices() {
+        // Only the first choice matters; the other nine get deleted.
+        let init: Vec<u64> = (0..10).map(|i| 5000 + i).collect();
+        let s = shrink(&init, |c| c.first().copied().unwrap_or(0) >= 1000);
+        assert_eq!(s.choices, vec![1000]);
+    }
+
+    #[test]
+    fn respects_multi_element_predicates() {
+        // Fails iff at least 3 nonzero choices exist.
+        let init = vec![9, 9, 9, 9, 9, 9];
+        let s = shrink(&init, |c| c.iter().filter(|&&v| v > 0).count() >= 3);
+        assert_eq!(s.choices.len(), 3);
+        assert!(s.choices.iter().all(|&v| v == 1), "{:?}", s.choices);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let init: Vec<u64> = (0..20).map(|i| (i * 7919) % 5000).collect();
+        let oracle = |c: &[u64]| c.iter().sum::<u64>() >= 4000;
+        let a = shrink(&init, oracle);
+        let b = shrink(&init, oracle);
+        assert_eq!(a.choices, b.choices);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.candidates, b.candidates);
+    }
+
+    #[test]
+    fn empty_sequence_is_already_minimal() {
+        let s = shrink(&[], |_| true);
+        assert!(s.choices.is_empty());
+        assert!(s.trace.is_empty());
+    }
+}

@@ -62,6 +62,10 @@ pub enum DecodeError {
     NotFaultable,
     /// The bytes do not form a recognised instruction.
     Unknown,
+    /// The encoding exceeds the architectural 15-byte instruction limit
+    /// (redundant-prefix padding); hardware raises `#GP` for these, so
+    /// the decoder must never report them as executable.
+    TooLong,
 }
 
 impl core::fmt::Display for DecodeError {
@@ -70,6 +74,9 @@ impl core::fmt::Display for DecodeError {
             DecodeError::Truncated => write!(f, "instruction bytes truncated"),
             DecodeError::NotFaultable => write!(f, "instruction is not in the faultable set"),
             DecodeError::Unknown => write!(f, "unrecognised instruction bytes"),
+            DecodeError::TooLong => {
+                write!(f, "encoding exceeds the 15-byte instruction limit")
+            }
         }
     }
 }
@@ -181,9 +188,25 @@ fn map_opcode(map: u8, op: u8) -> Option<(Opcode, bool /* has imm8 */, Option<Ae
 /// # Errors
 ///
 /// [`DecodeError::NotFaultable`] for recognisable instructions outside
-/// Table 1, [`DecodeError::Unknown`] for unrecognised bytes, and
-/// [`DecodeError::Truncated`] when `bytes` is too short.
+/// Table 1, [`DecodeError::Unknown`] for unrecognised bytes,
+/// [`DecodeError::Truncated`] when `bytes` is too short, and
+/// [`DecodeError::TooLong`] when prefix padding pushes the encoding past
+/// the architectural 15-byte limit.
 pub fn decode(bytes: &[u8]) -> Result<Decoded, DecodeError> {
+    // x86 caps instructions at 15 bytes; anything longer (reachable here
+    // only through redundant prefix padding) takes #GP on hardware and
+    // must not decode. Found by the suit-check decoder fuzz target: the
+    // prefix loop happily consumed e.g. twelve 0x66 bytes and reported a
+    // 17-byte "instruction" (regression seeds in tests/corpus/).
+    const MAX_INST_LEN: usize = 15;
+    let d = decode_inner(bytes)?;
+    if d.length > MAX_INST_LEN {
+        return Err(DecodeError::TooLong);
+    }
+    Ok(d)
+}
+
+fn decode_inner(bytes: &[u8]) -> Result<Decoded, DecodeError> {
     let mut c = Cursor { bytes, pos: 0 };
     let mut b = c.next()?;
 
@@ -453,6 +476,24 @@ mod tests {
         assert_eq!(decode(&[]), Err(DecodeError::Truncated));
         // MMX POR (no 66 prefix) is not the XMM faultable.
         assert_eq!(decode(&[0x0F, 0xEB, 0xC1]), Err(DecodeError::NotFaultable));
+    }
+
+    #[test]
+    fn prefix_padding_past_15_bytes_is_rejected() {
+        // 10 redundant 0x66 prefixes + PXOR: 14 bytes, still legal.
+        let mut bytes = vec![0x66u8; 10];
+        bytes.extend_from_slice(&[0x66, 0x0F, 0xEF, 0xC1]);
+        assert_eq!(decode(&bytes).unwrap().length, 14);
+        // 15 bytes sits exactly on the architectural limit; one more
+        // prefix crosses it: #GP, not a 16-byte decode.
+        bytes.insert(0, 0x2E);
+        assert_eq!(decode(&bytes).unwrap().length, 15);
+        bytes.insert(0, 0x3E);
+        assert_eq!(decode(&bytes), Err(DecodeError::TooLong));
+        // Same guard on the longest natural form (disp32 + imm8 + VEX).
+        let mut long = vec![0xF3u8; 9];
+        long.extend_from_slice(&[0x66, 0x0F, 0x3A, 0x44, 0x80, 1, 2, 3, 4, 0x10]);
+        assert_eq!(decode(&long), Err(DecodeError::TooLong));
     }
 
     #[test]

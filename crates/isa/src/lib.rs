@@ -20,6 +20,9 @@
 //! * [`mod@decode`] — an x86-64 byte decoder for the faultable-set encodings
 //!   (legacy SSE and VEX), what a real `#DO` handler runs at the faulting
 //!   RIP.
+//! * [`mod@encode`] — the inverse: concrete faultable encodings emitted from
+//!   an independent opcode table, the differential oracle the `suit-check`
+//!   fuzz targets pit against the decoder.
 //!
 //! The crate is dependency-free and forbids `unsafe`.
 
@@ -27,12 +30,14 @@
 #![warn(missing_docs)]
 
 pub mod decode;
+pub mod encode;
 pub mod inst;
 pub mod opcode;
 pub mod time;
 pub mod vec;
 
 pub use decode::{decode, AesVariant, DecodeError, Decoded};
+pub use encode::{reencode, EncodeSpec, Rm};
 pub use inst::{Inst, InstKind};
 pub use opcode::{FaultableSet, Opcode, OpcodeClass, TABLE1};
 pub use time::{SimDuration, SimTime};

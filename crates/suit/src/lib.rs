@@ -21,6 +21,7 @@
 //! | [`ooo`] | The out-of-order core model (Fig. 14) |
 //! | [`telemetry`] | Counters, histograms, event rings, Perfetto export |
 //! | [`mod@bench`] | Regenerators for every paper table and figure |
+//! | [`check`] | Property testing, shrinking, differential fuzzing |
 //!
 //! ## Quick start
 //!
@@ -44,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub use suit_bench as bench;
+pub use suit_check as check;
 pub use suit_core as core;
 pub use suit_emu as emu;
 pub use suit_faults as faults;

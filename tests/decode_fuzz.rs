@@ -1,0 +1,131 @@
+//! Structure-aware differential fuzz target for the `#DO` byte decoder.
+//!
+//! Four properties over `suit_isa::decode`:
+//!
+//! 1. total safety: `decode` never panics on arbitrary/mutated input, and
+//!    every `Ok` decode is self-consistent (length in `1..=15`, within the
+//!    input, and stable under re-decoding its own prefix);
+//! 2. encode→decode agreement: the independent encoder's expectation is
+//!    reproduced exactly for every valid encoding spec;
+//! 3. decode→reencode→decode: canonical re-encoding preserves instruction
+//!    semantics;
+//! 4. over-length rejection: any encoding padded past the architectural
+//!    15-byte limit is refused, never decoded.
+//!
+//! CI drives property 1 with `SUIT_CHECK_CASES=100000` as the fuzz-smoke
+//! gate; locally it runs a bounded default. Failing seeds are persisted
+//! to `tests/corpus/` and replayed first on every run.
+
+use suit::check::{corpus_dir, gens, Checker};
+use suit::isa::decode::decode;
+use suit::isa::reencode;
+
+/// The decoder must be total: no panics, and every accepted decode must
+/// be internally consistent with the bytes it consumed.
+#[test]
+fn decode_is_total_and_consistent() {
+    Checker::new("decode_fuzz::total")
+        .cases_from_env_or(20_000)
+        .corpus(corpus_dir!())
+        .check(&gens::decoder_input(), |bytes: &Vec<u8>| {
+            match decode(bytes) {
+                Err(_) => Ok(()),
+                Ok(d) => {
+                    if d.length == 0 || d.length > 15 {
+                        return Err(format!("length {} outside 1..=15", d.length));
+                    }
+                    if d.length > bytes.len() {
+                        return Err(format!(
+                            "length {} exceeds input length {}",
+                            d.length,
+                            bytes.len()
+                        ));
+                    }
+                    // Prefix stability: the consumed bytes alone decode
+                    // to the identical instruction.
+                    match decode(&bytes[..d.length]) {
+                        Ok(d2) if d2 == d => Ok(()),
+                        other => Err(format!("prefix re-decode diverged: {other:?} vs {d:?}")),
+                    }
+                }
+            }
+        });
+}
+
+/// Differential oracle: the encoder (an independent transcription of the
+/// SDM tables) and the decoder must agree on every valid encoding.
+#[test]
+fn encode_decode_round_trip() {
+    Checker::new("decode_fuzz::encode_roundtrip")
+        .cases_from_env_or(20_000)
+        .corpus(corpus_dir!())
+        .check(&gens::encode_spec(), |spec| {
+            let bytes = spec.encode();
+            match decode(&bytes) {
+                Ok(d) if d == spec.expected() => Ok(()),
+                Ok(d) => Err(format!("decoded {d:?}, expected {:?}", spec.expected())),
+                Err(e) => Err(format!("valid encoding rejected: {e} ({bytes:02x?})")),
+            }
+        });
+}
+
+/// Canonical re-encoding preserves instruction semantics: a decode of
+/// `reencode(d)` agrees with `d` on every semantic field (the byte form
+/// may differ — redundant prefixes and memory operands are canonicalised).
+#[test]
+fn reencode_preserves_semantics() {
+    Checker::new("decode_fuzz::reencode")
+        .cases_from_env_or(10_000)
+        .corpus(corpus_dir!())
+        .check(&gens::valid_encoding(), |bytes: &Vec<u8>| {
+            let d = match decode(bytes) {
+                Ok(d) => d,
+                Err(e) => return Err(format!("valid encoding rejected: {e}")),
+            };
+            let re = match reencode(&d) {
+                Some(re) => re,
+                None => return Err(format!("no canonical re-encoding for {d:?}")),
+            };
+            let d2 = match decode(&re) {
+                Ok(d2) => d2,
+                Err(e) => return Err(format!("re-encoding undecodable: {e} ({re:02x?})")),
+            };
+            let semantic = |d: &suit::isa::decode::Decoded| {
+                (d.opcode, d.aes, d.reg, d.rm_reg, d.vvvv, d.imm8, d.vex)
+            };
+            if semantic(&d2) != semantic(&d) {
+                return Err(format!("semantics changed: {d:?} -> {d2:?}"));
+            }
+            if d2.length != re.len() {
+                return Err(format!(
+                    "canonical form has trailing bytes: length {} of {}",
+                    d2.length,
+                    re.len()
+                ));
+            }
+            Ok(())
+        });
+}
+
+/// Padding a valid encoding past 15 total bytes must be rejected with
+/// `TooLong` — real hardware raises #GP, so the model must not decode it.
+#[test]
+fn over_length_encodings_are_rejected() {
+    Checker::new("decode_fuzz::over_length")
+        .cases_from_env_or(5_000)
+        .corpus(corpus_dir!())
+        .check(&gens::valid_encoding(), |bytes: &Vec<u8>| {
+            // Pad with redundant F3 prefixes to one byte past the limit.
+            // (F3 keeps every faultable form decodable-but-over-long.)
+            let pad = 16usize.saturating_sub(bytes.len());
+            let mut long = vec![0xF3u8; pad];
+            long.extend_from_slice(bytes);
+            match decode(&long) {
+                Ok(d) => Err(format!("16-byte encoding decoded: {d:?}")),
+                // Extending the prefix run may reclassify the instruction
+                // entirely (e.g. F3 before a VEX escape), so any rejection
+                // counts — `TooLong` is just the usual one.
+                Err(_) => Ok(()),
+            }
+        });
+}

@@ -2,164 +2,151 @@
 //! bit-sliced AES must match the table-based reference, and every scalar
 //! SIMD emulation must match its architectural lane semantics.
 //!
-//! Cases come from explicitly seeded [`SuitRng`] loops, so each run tests
-//! the identical inputs and a failure names its iteration.
+//! All differential pairs run through [`suit::check`]'s `check_diff`
+//! oracle: a divergence shrinks to a minimal input pair and pins its
+//! replay seed in `tests/corpus/`. The final test turns the framework on
+//! itself — a deliberately broken AES must produce a byte-identical,
+//! standalone-replayable shrink trace (the acceptance bar for "failures
+//! are deterministic").
 
+use suit::check::{corpus_dir, gen, gens, Checker};
 use suit::emu::aes::{bitsliced, reference, Aes128Key};
 use suit::emu::{emulate, simd, EmuOperands};
 use suit::isa::{FaultableSet, Opcode, Vec128};
-use suit_rng::{Rng, RngCore, SuitRng};
 
-const CASES: usize = 256;
-
-fn i32x4(rng: &mut dyn RngCore) -> [i32; 4] {
-    [
-        rng.next_u64() as i32,
-        rng.next_u64() as i32,
-        rng.next_u64() as i32,
-        rng.next_u64() as i32,
-    ]
-}
-
-fn u64x2(rng: &mut dyn RngCore) -> [u64; 2] {
-    [rng.next_u64(), rng.next_u64()]
+/// A differential checker preconfigured for this suite.
+fn diff(name: &str) -> Checker {
+    Checker::new(name).cases(256).corpus(corpus_dir!())
 }
 
 #[test]
 fn bitsliced_aesenc_matches_reference() {
-    let mut rng = SuitRng::seed_from_u64(0xAE5_0001);
-    for case in 0..CASES {
-        let s = Vec128::from_u128(rng.u128());
-        let k = Vec128::from_u128(rng.u128());
-        assert_eq!(
-            bitsliced::aesenc(s, k),
-            reference::aesenc(s, k),
-            "case {case}"
-        );
-        assert_eq!(
-            bitsliced::aesenclast(s, k),
-            reference::aesenclast(s, k),
-            "case {case}"
-        );
-    }
+    diff("emu::aesenc").check_diff(
+        &gens::vec128_pair(),
+        |&(s, k)| bitsliced::aesenc(s, k),
+        |&(s, k)| reference::aesenc(s, k),
+    );
+    diff("emu::aesenclast").check_diff(
+        &gens::vec128_pair(),
+        |&(s, k)| bitsliced::aesenclast(s, k),
+        |&(s, k)| reference::aesenclast(s, k),
+    );
 }
 
 #[test]
 fn bitsliced_full_encryption_matches() {
-    let mut rng = SuitRng::seed_from_u64(0xAE5_0002);
-    for case in 0..CASES {
-        let key = Aes128Key::expand(rng.u128().to_le_bytes());
-        let b = Vec128::from_u128(rng.u128());
-        assert_eq!(
-            bitsliced::encrypt128(&key, b),
-            reference::encrypt128(&key, b),
-            "case {case}"
-        );
-    }
+    diff("emu::encrypt128").check_diff(
+        &gen::pair(&gen::u128_any(), &gens::vec128()),
+        |&(key, b)| bitsliced::encrypt128(&Aes128Key::expand(key.to_le_bytes()), b),
+        |&(key, b)| reference::encrypt128(&Aes128Key::expand(key.to_le_bytes()), b),
+    );
 }
 
 #[test]
 fn four_wide_kernel_lanes_are_independent() {
-    let mut rng = SuitRng::seed_from_u64(0xAE5_0003);
-    for case in 0..CASES {
-        let blocks = [rng.u128(), rng.u128(), rng.u128(), rng.u128()];
-        let k = Vec128::from_u128(rng.u128());
-        let bs = blocks.map(Vec128::from_u128);
-        let out = bitsliced::aesenc4(bs, k);
-        for i in 0..4 {
-            assert_eq!(out[i], reference::aesenc(bs[i], k), "case {case}, lane {i}");
-        }
-    }
+    diff("emu::aesenc4").check_diff(
+        &gen::pair(&gens::vec128().array::<4>(), &gens::vec128()),
+        |&(bs, k)| bitsliced::aesenc4(bs, k),
+        |&(bs, k)| bs.map(|b| reference::aesenc(b, k)),
+    );
 }
 
 #[test]
 fn vpaddq_matches_lane_semantics() {
-    let mut rng = SuitRng::seed_from_u64(0xAE5_0004);
-    for case in 0..CASES {
-        let a = u64x2(&mut rng);
-        let b = u64x2(&mut rng);
-        let r = simd::vpaddq(Vec128::from_u64x2(a), Vec128::from_u64x2(b)).to_u64x2();
-        assert_eq!(r[0], a[0].wrapping_add(b[0]), "case {case}");
-        assert_eq!(r[1], a[1].wrapping_add(b[1]), "case {case}");
-    }
+    diff("emu::vpaddq").check_diff(
+        &gens::vec128_pair(),
+        |&(a, b)| simd::vpaddq(a, b).to_u64x2(),
+        |&(a, b)| {
+            let (a, b) = (a.to_u64x2(), b.to_u64x2());
+            [a[0].wrapping_add(b[0]), a[1].wrapping_add(b[1])]
+        },
+    );
 }
 
 #[test]
 fn vpmaxsd_matches_lane_semantics() {
-    let mut rng = SuitRng::seed_from_u64(0xAE5_0005);
-    for case in 0..CASES {
-        let a = i32x4(&mut rng);
-        let b = i32x4(&mut rng);
-        let r = simd::vpmaxsd(Vec128::from_i32x4(a), Vec128::from_i32x4(b)).to_i32x4();
-        for i in 0..4 {
-            assert_eq!(r[i], a[i].max(b[i]), "case {case}, lane {i}");
-        }
-    }
+    diff("emu::vpmaxsd").check_diff(
+        &gens::vec128_pair(),
+        |&(a, b)| simd::vpmaxsd(a, b).to_i32x4(),
+        |&(a, b)| {
+            let (a, b) = (a.to_i32x4(), b.to_i32x4());
+            std::array::from_fn(|i| a[i].max(b[i]))
+        },
+    );
 }
 
 #[test]
 fn vpsrad_matches_lane_semantics() {
-    let mut rng = SuitRng::seed_from_u64(0xAE5_0006);
-    for case in 0..CASES {
-        let a = i32x4(&mut rng);
-        let count = rng.u8();
-        let r = simd::vpsrad(Vec128::from_i32x4(a), count).to_i32x4();
-        let shift = u32::from(count).min(31);
-        for i in 0..4 {
-            assert_eq!(r[i], a[i] >> shift, "case {case}, lane {i}");
-        }
-    }
+    diff("emu::vpsrad").check_diff(
+        &gen::pair(&gens::vec128(), &gen::byte()),
+        |&(a, count)| simd::vpsrad(a, count).to_i32x4(),
+        |&(a, count)| {
+            let shift = u32::from(count).min(31);
+            a.to_i32x4().map(|lane| lane >> shift)
+        },
+    );
 }
 
 #[test]
 fn vpcmp_produces_all_or_nothing_masks() {
-    let mut rng = SuitRng::seed_from_u64(0xAE5_0007);
-    for case in 0..CASES {
-        let a = i32x4(&mut rng);
-        // Mix fresh draws with near-duplicates so the equal path is hit.
-        let b = if rng.bool() { a } else { i32x4(&mut rng) };
-        let eq = simd::vpcmpeqd(Vec128::from_i32x4(a), Vec128::from_i32x4(b)).to_u32x4();
-        let gt = simd::vpcmpgtd(Vec128::from_i32x4(a), Vec128::from_i32x4(b)).to_u32x4();
+    // Mix fresh pairs with forced duplicates so the equal path is hit.
+    let operands =
+        gen::pair(&gens::vec128_pair(), &gen::bool_any())
+            .map(|((a, b), dup)| if dup { (a, a) } else { (a, b) });
+    diff("emu::vpcmp").check(&operands, |&(a, b)| {
+        let eq = simd::vpcmpeqd(a, b).to_u32x4();
+        let gt = simd::vpcmpgtd(a, b).to_u32x4();
+        let (ai, bi) = (a.to_i32x4(), b.to_i32x4());
         for i in 0..4 {
-            assert!(eq[i] == 0 || eq[i] == u32::MAX, "case {case}, lane {i}");
-            assert_eq!(eq[i] == u32::MAX, a[i] == b[i], "case {case}, lane {i}");
-            assert_eq!(gt[i] == u32::MAX, a[i] > b[i], "case {case}, lane {i}");
+            if eq[i] != 0 && eq[i] != u32::MAX {
+                return Err(format!("lane {i}: partial mask {:#010x}", eq[i]));
+            }
+            if (eq[i] == u32::MAX) != (ai[i] == bi[i]) {
+                return Err(format!("lane {i}: eq mask disagrees"));
+            }
+            if (gt[i] == u32::MAX) != (ai[i] > bi[i]) {
+                return Err(format!("lane {i}: gt mask disagrees"));
+            }
         }
-    }
+        Ok(())
+    });
 }
 
 #[test]
 fn clmul_is_xor_linear() {
-    let mut rng = SuitRng::seed_from_u64(0xAE5_0008);
     let f = |x: u64, y: u64| {
         simd::vpclmulqdq(Vec128::from_u64x2([x, 0]), Vec128::from_u64x2([y, 0]), 0).as_u128()
     };
-    for case in 0..CASES {
-        let (a, b, c) = (rng.u64(), rng.u64(), rng.u64());
-        assert_eq!(f(a, b ^ c), f(a, b) ^ f(a, c), "case {case}");
-        assert_eq!(f(a, b), f(b, a), "case {case}");
-    }
+    diff("emu::clmul_linear").check(
+        &gen::triple(&gen::u64_any(), &gen::u64_any(), &gen::u64_any()),
+        move |&(a, b, c)| {
+            if f(a, b ^ c) != f(a, b) ^ f(a, c) {
+                return Err("carry-less multiply is not XOR-linear".into());
+            }
+            if f(a, b) != f(b, a) {
+                return Err("carry-less multiply is not commutative".into());
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]
 fn vandn_uses_x86_operand_order() {
-    let mut rng = SuitRng::seed_from_u64(0xAE5_0009);
-    for case in 0..CASES {
-        let (a, b) = (rng.u128(), rng.u128());
-        let r = simd::vandn(Vec128::from_u128(a), Vec128::from_u128(b));
-        assert_eq!(r.as_u128(), !a & b, "case {case}");
-    }
+    diff("emu::vandn").check_diff(
+        &gens::vec128_pair(),
+        |&(a, b)| simd::vandn(a, b).as_u128(),
+        |&(a, b)| !a.as_u128() & b.as_u128(),
+    );
 }
 
 #[test]
 fn vsqrtpd_squares_back() {
-    let mut rng = SuitRng::seed_from_u64(0xAE5_000A);
-    for case in 0..CASES {
-        // Positive finite doubles spread over ~300 orders of magnitude.
-        let a = [
-            rng.f64() * 10f64.powi(rng.gen_range(0u32..150) as i32),
-            rng.f64() * 10f64.powi(rng.gen_range(0u32..150) as i32),
-        ];
+    // Positive finite doubles spread over ~300 orders of magnitude.
+    let lane = gen::pair(&gen::f64_in(0.0, 1.0), &gen::u32_in(0..=149))
+        .map(|(m, e)| m * 10f64.powi(e as i32));
+    diff("emu::vsqrtpd").check(&gen::pair(&lane, &lane), |&(l0, l1)| {
+        let a = [l0, l1];
         let r = simd::vsqrtpd(Vec128::from_f64x2(a)).to_f64x2();
         for i in 0..2 {
             let back = r[i] * r[i];
@@ -168,37 +155,97 @@ fn vsqrtpd_squares_back() {
             } else {
                 (back - a[i]).abs() / a[i]
             };
-            assert!(rel < 1e-12, "case {case}, lane {i}: {} vs {}", back, a[i]);
+            if rel >= 1e-12 {
+                return Err(format!("lane {i}: sqrt({})² = {back}", a[i]));
+            }
         }
-    }
+        Ok(())
+    });
 }
 
 #[test]
 fn imul_emulation_is_a_full_multiplier() {
-    let mut rng = SuitRng::seed_from_u64(0xAE5_000B);
-    for case in 0..CASES {
-        let (a, b) = (rng.u64(), rng.u64());
-        let r = emulate(
-            Opcode::Imul,
-            EmuOperands::new(Vec128::from_u64x2([a, 0]), Vec128::from_u64x2([b, 0])),
-        )
-        .unwrap();
-        assert_eq!(r.value.as_u128(), (a as u128) * (b as u128), "case {case}");
-    }
+    diff("emu::imul_full").check_diff(
+        &gen::pair(&gen::u64_any(), &gen::u64_any()),
+        |&(a, b)| {
+            emulate(
+                Opcode::Imul,
+                EmuOperands::new(Vec128::from_u64x2([a, 0]), Vec128::from_u64x2([b, 0])),
+            )
+            .unwrap()
+            .value
+            .as_u128()
+        },
+        |&(a, b)| u128::from(a) * u128::from(b),
+    );
 }
 
 #[test]
 fn dispatcher_covers_exactly_the_faultable_set() {
-    let mut rng = SuitRng::seed_from_u64(0xAE5_000C);
-    for case in 0..CASES {
-        let ops = EmuOperands::new(Vec128::from_u128(rng.u128()), Vec128::from_u128(rng.u128()));
+    diff("emu::dispatch_coverage").check(&gens::vec128_pair(), |&(a, b)| {
+        let ops = EmuOperands::new(a, b);
         for op in Opcode::ALL {
-            let result = emulate(op, ops);
-            assert_eq!(
-                result.is_ok(),
-                FaultableSet::table1().contains(op),
-                "case {case}: {op}"
-            );
+            if emulate(op, ops).is_ok() != FaultableSet::table1().contains(op) {
+                return Err(format!("dispatcher disagrees with Table 1 on {op}"));
+            }
         }
-    }
+        Ok(())
+    });
+}
+
+/// The framework's own acceptance bar: a deliberately broken AES (output
+/// bit flipped for a subset of inputs) must (a) be caught, (b) shrink to
+/// a byte-identical trace on every run of the same seed, and (c) re-fail
+/// standalone from the reported replay seed with the identical result.
+#[test]
+fn broken_aes_shrinks_deterministically() {
+    let broken = |s: Vec128, k: Vec128| {
+        let good = bitsliced::aesenc(s, k);
+        // The planted bug: inputs whose low state byte has its top bit
+        // set take a corrupted path.
+        if s.as_u128() & 0x80 != 0 {
+            Vec128::from_u128(good.as_u128() ^ 1)
+        } else {
+            good
+        }
+    };
+    let run = || {
+        Checker::new("emu::broken_aes")
+            .cases(256)
+            .check_report(&gens::vec128_pair(), |&(s, k)| {
+                if broken(s, k) == reference::aesenc(s, k) {
+                    Ok(())
+                } else {
+                    Err("bit-sliced output diverges from the reference".into())
+                }
+            })
+            .expect("the planted bug must be caught")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b, "same seed must shrink along a byte-identical trace");
+    assert!(!a.trace.is_empty(), "the failure must actually shrink");
+
+    // The reported seed re-fails standalone and re-shrinks identically.
+    let replayed = Checker::new("emu::broken_aes")
+        .replay(
+            &gens::vec128_pair(),
+            |&(s, k)| {
+                if broken(s, k) == reference::aesenc(s, k) {
+                    Ok(())
+                } else {
+                    Err("bit-sliced output diverges from the reference".into())
+                }
+            },
+            a.seed,
+        )
+        .expect("the replay seed must re-fail standalone");
+    assert_eq!(replayed, a);
+
+    // The minimal counterexample is on the planted-bug boundary: the
+    // low byte's top bit set and nothing else required.
+    assert!(
+        a.minimal_debug.contains("80") || a.minimal_debug.contains("128"),
+        "minimal counterexample should isolate the planted bit: {}",
+        a.minimal_debug
+    );
 }

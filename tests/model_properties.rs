@@ -1,157 +1,182 @@
 //! Property-style invariants over the hardware models, trace generators
 //! and the system simulator — the "can't-happen" class of bugs.
 //!
-//! Each test draws its cases from an explicitly seeded [`SuitRng`], so
-//! every run checks the identical case set and a failure names the exact
-//! iteration that produced it.
+//! Every seeded loop here runs through [`suit::check`]: cases are
+//! explored from a deterministic base seed, failures shrink to a minimal
+//! counterexample, and the failing case seed is persisted to
+//! `tests/corpus/` so the regression replays first on every future run.
 
+use suit::check::{corpus_dir, gen, Checker};
 use suit::core::strategy::StrategyParams;
+use suit::core::thrash::ThrashGuard;
 use suit::hw::{CpuModel, DvfsCurve, UndervoltLevel};
-use suit::isa::SimDuration;
+use suit::isa::{SimDuration, SimTime};
 use suit::sim::engine::{simulate, SimConfig};
 use suit::trace::{profile, Burst, TraceGen};
-use suit_rng::{Rng, SuitRng};
 
-const CASES: usize = 48;
-
-/// DVFS curve interpolation is monotone and bounded for any query.
+/// DVFS curve interpolation is monotone and bounded for any query pair.
 #[test]
 fn dvfs_curve_is_monotone() {
     let c = DvfsCurve::i9_9900k();
-    let mut rng = SuitRng::seed_from_u64(0x0D5F_0001);
-    for case in 0..CASES {
-        let f1 = rng.gen_range(0.5f64..6.0);
-        let f2 = rng.gen_range(0.5f64..6.0);
-        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
-        assert!(
-            c.voltage_at(lo) <= c.voltage_at(hi) + 1e-9,
-            "case {case}: f1 {f1}, f2 {f2}"
+    Checker::new("model::dvfs_monotone")
+        .cases(256)
+        .corpus(corpus_dir!())
+        .check(
+            &gen::pair(&gen::f64_in(0.5, 6.0), &gen::f64_in(0.5, 6.0)),
+            move |&(f1, f2)| {
+                let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+                if c.voltage_at(lo) > c.voltage_at(hi) + 1e-9 {
+                    return Err(format!("voltage not monotone between {lo} and {hi}"));
+                }
+                let v = c.voltage_at(f1);
+                if !(700.0..=1300.0).contains(&v) {
+                    return Err(format!("voltage {v} outside the physical range"));
+                }
+                Ok(())
+            },
         );
-        let v = c.voltage_at(f1);
-        assert!((700.0..=1300.0).contains(&v), "case {case}: {v}");
-    }
 }
 
 /// `max_freq_at_voltage` inverts `voltage_at` on the curve's range.
 #[test]
 fn dvfs_inversion_roundtrips() {
     let c = DvfsCurve::i9_9900k();
-    let mut rng = SuitRng::seed_from_u64(0x0D5F_0002);
-    for case in 0..CASES {
-        let f = rng.gen_range(1.0f64..5.0);
-        let v = c.voltage_at(f);
-        let back = c.max_freq_at_voltage(v);
-        // On flat segments many frequencies share a voltage: the inverse
-        // must return one at least as fast that is still safe.
-        assert!(back >= f - 1e-9, "case {case}: {back} vs {f}");
-        assert!(c.voltage_at(back) <= v + 1e-9, "case {case}");
-    }
+    Checker::new("model::dvfs_inversion")
+        .cases(256)
+        .corpus(corpus_dir!())
+        .check(&gen::f64_in(1.0, 5.0), move |&f| {
+            let v = c.voltage_at(f);
+            let back = c.max_freq_at_voltage(v);
+            // On flat segments many frequencies share a voltage: the
+            // inverse must return one at least as fast, still safe.
+            if back < f - 1e-9 {
+                return Err(format!("inverse {back} slower than query {f}"));
+            }
+            if c.voltage_at(back) > v + 1e-9 {
+                return Err(format!("inverse {back} needs more than {v} mV"));
+            }
+            Ok(())
+        });
 }
 
 /// The steady-state undervolt response is well behaved on the whole
 /// modelled range, not just at the two paper points.
 #[test]
 fn undervolt_response_is_sane() {
-    let mut rng = SuitRng::seed_from_u64(0x0D5F_0003);
-    for case in 0..CASES {
-        let offset = rng.gen_range(-97.0f64..0.0);
-        for cpu in [
-            CpuModel::i9_9900k(),
-            CpuModel::ryzen_7700x(),
-            CpuModel::i5_1035g1(),
-        ] {
-            let r = cpu.steady.response(offset);
-            assert!(
-                r.power <= 1e-12,
-                "case {case}, {}: power {}",
-                cpu.name,
-                r.power
-            );
-            assert!(
-                r.score >= -1e-12,
-                "case {case}, {}: score {}",
-                cpu.name,
-                r.score
-            );
-            assert!(
-                r.power > -0.35,
-                "case {case}, {}: implausible power {}",
-                cpu.name,
-                r.power
-            );
-            assert!(
-                r.score < 0.25,
-                "case {case}, {}: implausible score {}",
-                cpu.name,
-                r.score
-            );
-        }
-    }
+    Checker::new("model::undervolt_response")
+        .cases(128)
+        .corpus(corpus_dir!())
+        .check(&gen::f64_in(-97.0, 0.0), |&offset| {
+            for cpu in [
+                CpuModel::i9_9900k(),
+                CpuModel::ryzen_7700x(),
+                CpuModel::i5_1035g1(),
+            ] {
+                let r = cpu.steady.response(offset);
+                if r.power > 1e-12 {
+                    return Err(format!(
+                        "{}: undervolting raised power {}",
+                        cpu.name, r.power
+                    ));
+                }
+                if r.score < -1e-12 {
+                    return Err(format!("{}: negative score {}", cpu.name, r.score));
+                }
+                if r.power <= -0.35 {
+                    return Err(format!("{}: implausible power {}", cpu.name, r.power));
+                }
+                if r.score >= 0.25 {
+                    return Err(format!("{}: implausible score {}", cpu.name, r.score));
+                }
+            }
+            Ok(())
+        });
 }
 
-/// Trace generation: bursts are structurally valid and instruction
-/// accounting never regresses.
+/// Trace generation: bursts are structurally valid for any seed/profile.
 #[test]
 fn trace_bursts_are_well_formed() {
-    let mut rng = SuitRng::seed_from_u64(0x0D5F_0004);
-    for case in 0..CASES {
-        let seed = rng.u64();
-        let idx = rng.gen_range(0..profile::all().len());
-        let p = &profile::all()[idx];
-        let bursts: Vec<Burst> = TraceGen::new(p, seed).take(200).collect();
-        assert!(!bursts.is_empty(), "case {case}: {}", p.name);
-        for b in &bursts {
-            assert!(b.events >= 1, "case {case}");
-            assert!(b.opcode.is_faultable(), "case {case}");
-            assert!(b.gap_insts > 0, "case {case}");
-        }
-    }
+    let profiles = profile::all();
+    Checker::new("model::trace_bursts")
+        .cases(64)
+        .corpus(corpus_dir!())
+        .check(
+            &gen::pair(&gen::u64_any(), &gen::usize_in(0..=profiles.len() - 1)),
+            move |&(seed, idx)| {
+                let p = &profiles[idx];
+                let bursts: Vec<Burst> = TraceGen::new(p, seed).take(200).collect();
+                if bursts.is_empty() {
+                    return Err(format!("{}: no bursts", p.name));
+                }
+                for b in &bursts {
+                    if b.events < 1 || b.gap_insts == 0 {
+                        return Err(format!("{}: degenerate burst {b:?}", p.name));
+                    }
+                    if !b.opcode.is_faultable() {
+                        return Err(format!("{}: non-faultable {:?}", p.name, b.opcode));
+                    }
+                }
+                Ok(())
+            },
+        );
 }
 
 /// Engine invariants for arbitrary seeds, levels and workloads:
-/// accounting conservation, metric ranges, baseline consistency.
+/// accounting conservation, metric ranges, episode consistency.
 #[test]
 fn engine_invariants() {
-    let mut rng = SuitRng::seed_from_u64(0x0D5F_0005);
-    for case in 0..CASES {
-        let seed = rng.u64();
-        let idx = rng.gen_range(0..profile::all().len());
-        let level = if rng.bool() {
-            UndervoltLevel::Mv97
-        } else {
-            UndervoltLevel::Mv70
-        };
-        let p = &profile::all()[idx];
-        let mut cfg = SimConfig::fv_intel(level).with_max_insts(150_000_000);
-        cfg.seed = seed;
-        let r = simulate(&CpuModel::xeon_4208(), p, &cfg);
+    let profiles = profile::all();
+    let case = gen::triple(
+        &gen::u64_any(),
+        &gen::usize_in(0..=profiles.len() - 1),
+        &gen::bool_any(),
+    );
+    Checker::new("model::engine_invariants")
+        .cases(48)
+        .corpus(corpus_dir!())
+        .check(&case, move |&(seed, idx, deep)| {
+            let level = if deep {
+                UndervoltLevel::Mv70
+            } else {
+                UndervoltLevel::Mv97
+            };
+            let p = &profiles[idx];
+            let mut cfg = SimConfig::fv_intel(level).with_max_insts(150_000_000);
+            cfg.seed = seed;
+            let r = simulate(&CpuModel::xeon_4208(), p, &cfg);
 
-        // Time accounting conserves.
-        let parts = r.time_e + r.time_cf + r.time_cv + r.time_stall;
-        let diff = (parts.as_secs_f64() - r.duration.as_secs_f64()).abs();
-        assert!(
-            diff < 1e-6 * r.duration.as_secs_f64().max(1e-9),
-            "case {case}: {}",
-            p.name
-        );
+            // Time accounting conserves.
+            let parts = r.time_e + r.time_cf + r.time_cv + r.time_stall;
+            let diff = (parts.as_secs_f64() - r.duration.as_secs_f64()).abs();
+            if diff >= 1e-6 * r.duration.as_secs_f64().max(1e-9) {
+                return Err(format!("{}: time accounting leaks {diff}", p.name));
+            }
 
-        // Metrics in physical ranges.
-        assert!((0.0..=1.0 + 1e-9).contains(&r.residency()), "case {case}");
-        assert!(
-            r.power() <= 0.0 + 1e-9,
-            "case {case}: undervolting cannot raise mean power: {}",
-            r.power()
-        );
-        assert!(r.power() > -0.25, "case {case}");
-        assert!(
-            r.perf() > -0.30 && r.perf() < 0.10,
-            "case {case}: perf {}",
-            r.perf()
-        );
-        // Episode accounting: timers never outnumber exceptions.
-        assert!(r.timer_fires <= r.exceptions, "case {case}");
-        assert!(r.events >= r.exceptions, "case {case}");
-    }
+            // Metrics in physical ranges.
+            if !(0.0..=1.0 + 1e-9).contains(&r.residency()) {
+                return Err(format!("residency {} outside [0, 1]", r.residency()));
+            }
+            if r.power() > 1e-9 {
+                return Err(format!("undervolting raised mean power: {}", r.power()));
+            }
+            if r.power() <= -0.25 {
+                return Err(format!("implausible power {}", r.power()));
+            }
+            if r.perf() <= -0.30 || r.perf() >= 0.10 {
+                return Err(format!("implausible perf {}", r.perf()));
+            }
+            // Episode accounting: timers never outnumber exceptions.
+            if r.timer_fires > r.exceptions {
+                return Err(format!(
+                    "{} timers > {} exceptions",
+                    r.timer_fires, r.exceptions
+                ));
+            }
+            if r.events < r.exceptions {
+                return Err(format!("{} events < {} exceptions", r.events, r.exceptions));
+            }
+            Ok(())
+        });
 }
 
 /// Strategy-parameter robustness: any sane deadline keeps the engine
@@ -160,26 +185,65 @@ fn engine_invariants() {
 #[test]
 fn any_sane_deadline_works() {
     let p = profile::by_name("502.gcc").unwrap();
-    let mut rng = SuitRng::seed_from_u64(0x0D5F_0006);
-    for case in 0..CASES {
-        let dl_us = rng.gen_range(2u64..500);
-        let df = rng.gen_range(2u32..40);
-        let mut cfg = SimConfig::fv_intel(UndervoltLevel::Mv97).with_max_insts(150_000_000);
-        cfg.params = StrategyParams::intel()
-            .with_deadline(SimDuration::from_micros(dl_us))
-            .with_deadline_factor(f64::from(df));
-        let r = simulate(&CpuModel::xeon_4208(), p, &cfg);
-        assert!(
-            r.perf() > -0.25,
-            "case {case}: dl {dl_us} df {df}: perf {}",
-            r.perf()
+    Checker::new("model::any_sane_deadline")
+        .cases(48)
+        .corpus(corpus_dir!())
+        .check(
+            &gen::pair(&gen::u64_in(2..=499), &gen::u32_in(2..=39)),
+            move |&(dl_us, df)| {
+                let mut cfg = SimConfig::fv_intel(UndervoltLevel::Mv97).with_max_insts(150_000_000);
+                cfg.params = StrategyParams::intel()
+                    .with_deadline(SimDuration::from_micros(dl_us))
+                    .with_deadline_factor(f64::from(df));
+                let r = simulate(&CpuModel::xeon_4208(), p, &cfg);
+                if r.perf() <= -0.25 {
+                    return Err(format!("dl {dl_us} df {df}: perf {}", r.perf()));
+                }
+                if r.efficiency() <= -0.15 {
+                    return Err(format!("dl {dl_us} df {df}: eff {}", r.efficiency()));
+                }
+                Ok(())
+            },
         );
-        assert!(
-            r.efficiency() > -0.15,
-            "case {case}: eff {}",
-            r.efficiency()
-        );
-    }
+}
+
+/// Thrash detection is monotone in its parameters: on the same exception
+/// stream, a lower threshold or a longer look-back window can only
+/// detect thrashing at least as often (§4.3).
+#[test]
+fn thrash_guard_is_monotone_in_its_parameters() {
+    // Inter-arrival gaps in µs; cumulative sum gives the event stream.
+    let gaps = gen::u64_in(0..=600).vec_up_to(40);
+    let params = gen::pair(&gen::u32_in(1..=5), &gen::u64_in(50..=900));
+    let case = gen::triple(&gaps, &params, &params);
+    let activations = |gaps: &[u64], threshold: u32, window_us: u64| -> u64 {
+        let mut g = ThrashGuard::new(SimDuration::from_micros(window_us), threshold);
+        let mut now = SimTime::ZERO;
+        for &gap in gaps {
+            now += SimDuration::from_micros(gap);
+            g.record_exception(now);
+        }
+        g.activations()
+    };
+    Checker::new("model::thrash_monotone")
+        .cases(512)
+        .corpus(corpus_dir!())
+        .check(&case, move |(gaps, a, b)| {
+            // Order the two parameter sets so `strict` is pointwise at
+            // least as sensitive as `lax`.
+            let strict = (a.0.min(b.0), a.1.max(b.1));
+            let lax = (a.0.max(b.0), a.1.min(b.1));
+            let sensitive = activations(gaps, strict.0, strict.1);
+            let relaxed = activations(gaps, lax.0, lax.1);
+            if sensitive < relaxed {
+                return Err(format!(
+                    "threshold {} window {} µs detected {sensitive} < {relaxed} \
+                     with threshold {} window {} µs",
+                    strict.0, strict.1, lax.0, lax.1
+                ));
+            }
+            Ok(())
+        });
 }
 
 #[test]
