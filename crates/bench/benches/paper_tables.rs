@@ -4,9 +4,12 @@
 //! on the in-tree median-of-K harness.
 
 use suit_bench::harness::bench;
+use suit_exec::Threads;
 use suit_hw::UndervoltLevel;
 
 const CAP: Option<u64> = Some(200_000_000);
+// Wall-clock benches measure the work, not the fan-out: one worker.
+const SERIAL: Threads = Threads::Fixed(1);
 
 fn bench_tables() {
     println!("# paper_tables");
@@ -16,12 +19,14 @@ fn bench_tables() {
     bench("table4_no_simd", suit_bench::tables::table4);
     bench("table5_system_config", suit_bench::tables::table5);
     bench("table6_headline_97mv", || {
-        suit_bench::tables::table6(UndervoltLevel::Mv97, CAP)
+        suit_bench::tables::table6(UndervoltLevel::Mv97, CAP, SERIAL)
     });
     bench("table7_parameter_sweep", || {
-        suit_bench::tables::table7(Some(50_000_000))
+        suit_bench::tables::table7(Some(50_000_000), SERIAL)
     });
-    bench("table8_no_simd_wins", || suit_bench::tables::table8(CAP));
+    bench("table8_no_simd_wins", || {
+        suit_bench::tables::table8(CAP, SERIAL)
+    });
 }
 
 fn bench_figures() {
@@ -36,7 +41,9 @@ fn bench_figures() {
     bench("fig12_undervolt_sweep", suit_bench::figs::fig12);
     bench("fig13_fv_pairs", suit_bench::figs::fig13);
     bench("fig14_imul_latency", || suit_bench::figs::fig14(50_000));
-    bench("fig16_per_benchmark", || suit_bench::figs::fig16(CAP));
+    bench("fig16_per_benchmark", || {
+        suit_bench::figs::fig16(CAP, SERIAL)
+    });
 }
 
 fn main() {

@@ -2,6 +2,7 @@
 
 use suit_core::strategy::StrategyParams;
 use suit_core::OperatingStrategy;
+use suit_exec::Threads;
 use suit_hw::{CpuModel, UndervoltLevel};
 use suit_isa::Opcode;
 use suit_sim::engine::{simulate, simulate_mixed, SimConfig};
@@ -12,7 +13,8 @@ use crate::render::{pct, TextTable};
 /// Ablation: thrashing prevention on vs. off (§4.3) for the thrash-prone
 /// workloads. Without the guard, borderline gap cadences pay a curve
 /// switch per burst; with it, the CPU parks on the conservative curve.
-pub fn thrash_prevention(cap: Option<u64>) -> TextTable {
+/// The (workload × guard) cells fan out over `threads` workers.
+pub fn thrash_prevention(cap: Option<u64>, threads: Threads) -> TextTable {
     let cpu = CpuModel::xeon_4208();
     let mut t = TextTable::new(
         "Ablation — thrashing prevention (CPU C, fV, -97 mV)",
@@ -25,15 +27,21 @@ pub fn thrash_prevention(cap: Option<u64>) -> TextTable {
             "Switches on/off",
         ],
     );
-    for name in ["520.omnetpp", "521.wrf", "502.gcc"] {
-        let p = profile::by_name(name).expect("profile");
+    const NAMES: [&str; 3] = ["520.omnetpp", "521.wrf", "502.gcc"];
+    // Jobs are (workload, guard) cells: even index = guard on, odd = off.
+    let results = suit_exec::run(NAMES.len() * 2, threads, |i| {
+        let p = profile::by_name(NAMES[i / 2]).expect("profile");
         let mut cfg = SimConfig::fv_intel(UndervoltLevel::Mv97);
         cfg.max_insts = cap;
-        let on = simulate(&cpu, p, &cfg);
-        cfg.params = StrategyParams::intel().without_thrash_prevention();
-        let off = simulate(&cpu, p, &cfg);
+        if i % 2 == 1 {
+            cfg.params = StrategyParams::intel().without_thrash_prevention();
+        }
+        simulate(&cpu, p, &cfg)
+    });
+    for (w, name) in NAMES.iter().enumerate() {
+        let (on, off) = (&results[2 * w], &results[2 * w + 1]);
         t.row(vec![
-            name.into(),
+            (*name).into(),
             pct(on.perf()),
             pct(on.efficiency()),
             pct(off.perf()),
@@ -46,50 +54,56 @@ pub fn thrash_prevention(cap: Option<u64>) -> TextTable {
 }
 
 /// Ablation: the three curve-switching strategies side by side (§4.3),
-/// plus the §6.8 adaptive emulation/fV chooser.
-pub fn strategies(cap: Option<u64>) -> TextTable {
+/// plus the §6.8 adaptive emulation/fV chooser. The
+/// (workload × strategy) cells fan out over `threads` workers.
+pub fn strategies(cap: Option<u64>, threads: Threads) -> TextTable {
     let cpu = CpuModel::xeon_4208();
     let mut t = TextTable::new(
         "Ablation — operating strategies on CPU C at -97 mV",
         &["Workload", "Strategy", "Perf", "Power", "Eff"],
     );
-    for name in ["557.xz", "502.gcc", "Nginx"] {
+    const NAMES: [&str; 3] = ["557.xz", "502.gcc", "Nginx"];
+    const VARIANTS: usize = 4; // f, V, fV, adaptive
+    let rows = suit_exec::run(NAMES.len() * VARIANTS, threads, |i| {
+        let name = NAMES[i / VARIANTS];
         let p = profile::by_name(name).expect("profile");
-        for strategy in [
-            OperatingStrategy::Frequency,
-            OperatingStrategy::Voltage,
-            OperatingStrategy::FreqVolt,
-        ] {
-            let cfg = SimConfig {
-                strategy,
-                params: StrategyParams::intel(),
-                level: UndervoltLevel::Mv97,
-                cores: 1,
-                seed: 0x5017,
-                max_insts: cap,
-                record_timeline: false,
-                adaptive: None,
-            };
-            let r = simulate(&cpu, p, &cfg);
-            t.row(vec![
-                name.into(),
-                strategy.to_string(),
-                pct(r.perf()),
-                pct(r.power()),
-                pct(r.efficiency()),
-            ]);
-        }
-        // §6.8 dynamic selection.
-        let mut cfg = SimConfig::adaptive_intel(UndervoltLevel::Mv97);
-        cfg.max_insts = cap;
+        let (label, cfg) = match i % VARIANTS {
+            v @ 0..=2 => {
+                let strategy = [
+                    OperatingStrategy::Frequency,
+                    OperatingStrategy::Voltage,
+                    OperatingStrategy::FreqVolt,
+                ][v];
+                let cfg = SimConfig {
+                    strategy,
+                    params: StrategyParams::intel(),
+                    level: UndervoltLevel::Mv97,
+                    cores: 1,
+                    seed: 0x5017,
+                    max_insts: cap,
+                    record_timeline: false,
+                    adaptive: None,
+                };
+                (strategy.to_string(), cfg)
+            }
+            _ => {
+                // §6.8 dynamic selection.
+                let mut cfg = SimConfig::adaptive_intel(UndervoltLevel::Mv97);
+                cfg.max_insts = cap;
+                ("adaptive".to_string(), cfg)
+            }
+        };
         let r = simulate(&cpu, p, &cfg);
-        t.row(vec![
+        vec![
             name.into(),
-            "adaptive".into(),
+            label,
             pct(r.perf()),
             pct(r.power()),
             pct(r.efficiency()),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.note("fV combines f's fast engage with V's full-speed dwell (Fig. 4)");
     t.note("adaptive (Section 6.8) emulates sparse traffic and switches curves for bursts");
@@ -115,8 +129,8 @@ pub fn imul_trap_profile() -> WorkloadProfile {
 }
 
 /// Ablation: statically hardened IMUL vs. trapping IMUL (§4.2's "IMUL is
-/// the exception" argument).
-pub fn imul_hardening(cap: Option<u64>) -> TextTable {
+/// the exception" argument). Both variants fan out over `threads`.
+pub fn imul_hardening(cap: Option<u64>, threads: Threads) -> TextTable {
     let cpu = CpuModel::xeon_4208();
     let mut t = TextTable::new(
         "Ablation — hardened 4-cycle IMUL vs. trapping IMUL (CPU C, fV, -97 mV)",
@@ -125,29 +139,32 @@ pub fn imul_hardening(cap: Option<u64>) -> TextTable {
     let mut cfg = SimConfig::fv_intel(UndervoltLevel::Mv97);
     cfg.max_insts = cap.map(|c| c.min(1_000_000_000));
 
-    let hardened = simulate(&cpu, profile::by_name("502.gcc").expect("profile"), &cfg);
-    t.row(vec![
-        "hardened IMUL (SUIT)".into(),
-        format!("{:.1}%", hardened.residency() * 100.0),
-        pct(hardened.perf()),
-        pct(hardened.efficiency()),
-    ]);
-
     let trap_profile = imul_trap_profile();
-    let trapped = simulate(&cpu, &trap_profile, &cfg);
-    t.row(vec![
-        "trapped IMUL".into(),
-        format!("{:.1}%", trapped.residency() * 100.0),
-        pct(trapped.perf()),
-        pct(trapped.efficiency()),
-    ]);
+    let labels = ["hardened IMUL (SUIT)", "trapped IMUL"];
+    let results = suit_exec::run(2, threads, |i| {
+        let p = if i == 0 {
+            profile::by_name("502.gcc").expect("profile")
+        } else {
+            &trap_profile
+        };
+        simulate(&cpu, p, &cfg)
+    });
+    for (label, r) in labels.iter().zip(&results) {
+        t.row(vec![
+            (*label).into(),
+            format!("{:.1}%", r.residency() * 100.0),
+            pct(r.perf()),
+            pct(r.efficiency()),
+        ]);
+    }
     t.note("§4.2: trapping IMUL would keep the CPU permanently on the conservative curve, erasing the efficiency gain");
     t
 }
 
 /// Ablation: workload consolidation on a single shared DVFS domain (§6.4
 /// extended) — a quiet benchmark next to increasingly noisy neighbours.
-pub fn noisy_neighbor(cap: Option<u64>) -> TextTable {
+/// The solo run and the three pairings fan out over `threads` workers.
+pub fn noisy_neighbor(cap: Option<u64>, threads: Threads) -> TextTable {
     let cpu = CpuModel::i9_9900k(); // single shared domain
     let xz = profile::by_name("557.xz").expect("profile");
     let mut t = TextTable::new(
@@ -162,22 +179,31 @@ pub fn noisy_neighbor(cap: Option<u64>) -> TextTable {
     let mut cfg = SimConfig::fv_intel(UndervoltLevel::Mv97);
     cfg.max_insts = cap.map(|c| c.min(1_500_000_000));
 
-    let solo = simulate(&cpu, xz, &cfg);
-    t.row(vec![
-        "557.xz alone".into(),
-        format!("{:.1}%", solo.residency() * 100.0),
-        pct(solo.power()),
-        pct(solo.perf()),
-    ]);
-    for neighbor in ["502.gcc", "Nginx", "520.omnetpp"] {
-        let n = profile::by_name(neighbor).expect("profile");
-        let m = simulate_mixed(&cpu, &[xz, n], &cfg);
-        t.row(vec![
-            format!("557.xz + {neighbor}"),
-            format!("{:.1}%", m.domain.residency() * 100.0),
-            pct(m.domain.power()),
-            pct(m.per_core[0].perf()),
-        ]);
+    const NEIGHBORS: [&str; 3] = ["502.gcc", "Nginx", "520.omnetpp"];
+    // Job 0 is the solo baseline; jobs 1..=3 pair xz with a neighbour.
+    let rows = suit_exec::run(1 + NEIGHBORS.len(), threads, |i| {
+        if i == 0 {
+            let solo = simulate(&cpu, xz, &cfg);
+            vec![
+                "557.xz alone".into(),
+                format!("{:.1}%", solo.residency() * 100.0),
+                pct(solo.power()),
+                pct(solo.perf()),
+            ]
+        } else {
+            let neighbor = NEIGHBORS[i - 1];
+            let n = profile::by_name(neighbor).expect("profile");
+            let m = simulate_mixed(&cpu, &[xz, n], &cfg);
+            vec![
+                format!("557.xz + {neighbor}"),
+                format!("{:.1}%", m.domain.residency() * 100.0),
+                pct(m.domain.power()),
+                pct(m.per_core[0].perf()),
+            ]
+        }
+    });
+    for row in rows {
+        t.row(row);
     }
     t.note("a thrash-prone neighbour parks the whole domain on the conservative curve; per-core DVFS domains (CPU C) avoid this");
     t
@@ -191,7 +217,7 @@ mod tests {
 
     #[test]
     fn thrash_guard_reduces_switching() {
-        let t = thrash_prevention(CAP);
+        let t = thrash_prevention(CAP, Threads::Fixed(2));
         // omnetpp row: switches with the guard must be far fewer.
         let cells = &t.rows[0];
         let parts: Vec<u64> = cells[5].split('/').map(|v| v.parse().unwrap()).collect();
@@ -203,7 +229,7 @@ mod tests {
         // §4.3/§6.8: fV is the "one fits all" balance — near-top efficiency
         // *and* top performance; pure-frequency saves more power but runs
         // slower on C_f, pure-voltage pays long engage stalls.
-        let t = strategies(CAP);
+        let t = strategies(CAP, Threads::Fixed(2));
         let field = |row: &Vec<String>, i: usize| -> f64 {
             row[i].trim_end_matches('%').parse::<f64>().unwrap()
         };
@@ -233,7 +259,7 @@ mod tests {
 
     #[test]
     fn noisy_neighbors_degrade_shared_domains() {
-        let t = noisy_neighbor(CAP);
+        let t = noisy_neighbor(CAP, Threads::Fixed(2));
         let res = |i: usize| -> f64 { t.rows[i][1].trim_end_matches('%').parse::<f64>().unwrap() };
         assert!(res(0) > 80.0, "solo xz residency {}", res(0));
         assert!(res(3) < 30.0, "omnetpp neighbour residency {}", res(3));
@@ -243,7 +269,7 @@ mod tests {
 
     #[test]
     fn trapping_imul_erases_the_gain() {
-        let t = imul_hardening(CAP);
+        let t = imul_hardening(CAP, Threads::Fixed(2));
         let res = |i: usize| -> f64 { t.rows[i][1].trim_end_matches('%').parse::<f64>().unwrap() };
         assert!(res(0) > 60.0, "hardened residency {}", res(0));
         assert!(res(1) < 10.0, "trapped residency {}", res(1));

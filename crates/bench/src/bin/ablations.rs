@@ -1,8 +1,10 @@
 //! Runs the DESIGN.md ablation studies.
+//! `--threads N` pins the fan-out worker count (default: all cores).
 fn main() {
     let cap = suit_bench::cap_from_args();
-    println!("{}", suit_bench::ablation::thrash_prevention(cap));
-    println!("{}", suit_bench::ablation::strategies(cap));
-    println!("{}", suit_bench::ablation::imul_hardening(cap));
-    println!("{}", suit_bench::ablation::noisy_neighbor(cap));
+    let threads = suit_bench::threads_from_args();
+    println!("{}", suit_bench::ablation::thrash_prevention(cap, threads));
+    println!("{}", suit_bench::ablation::strategies(cap, threads));
+    println!("{}", suit_bench::ablation::imul_hardening(cap, threads));
+    println!("{}", suit_bench::ablation::noisy_neighbor(cap, threads));
 }

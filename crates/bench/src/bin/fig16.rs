@@ -1,4 +1,8 @@
 //! Regenerates the paper's Fig. 16 (per-application impact on CPU C).
+//! `--threads N` pins the fan-out worker count (default: all cores).
 fn main() {
-    println!("{}", suit_bench::figs::fig16(suit_bench::cap_from_args()));
+    println!(
+        "{}",
+        suit_bench::figs::fig16(suit_bench::cap_from_args(), suit_bench::threads_from_args())
+    );
 }

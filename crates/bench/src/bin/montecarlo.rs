@@ -10,24 +10,9 @@ use std::time::Instant;
 
 use suit_hw::{CpuModel, UndervoltLevel};
 use suit_sim::engine::SimConfig;
-use suit_sim::montecarlo::{monte_carlo, monte_carlo_telemetry, monte_carlo_with_threads};
+use suit_sim::montecarlo::{monte_carlo_telemetry, monte_carlo_with_threads};
 use suit_telemetry::TelemetrySnapshot;
 use suit_trace::profile;
-
-fn threads_from_args() -> Option<usize> {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--threads" {
-            let n = args
-                .next()
-                .and_then(|v| v.parse().ok())
-                .expect("--threads needs a positive integer");
-            assert!(n >= 1, "--threads needs a positive integer");
-            return Some(n);
-        }
-    }
-    None
-}
 
 fn main() {
     let runs = if std::env::args().any(|a| a == "--full") {
@@ -35,7 +20,7 @@ fn main() {
     } else {
         10
     };
-    let threads = threads_from_args();
+    let workers = suit_bench::threads_from_args().count();
     let telemetry = std::env::args().any(|a| a == "--telemetry");
     let mut merged = TelemetrySnapshot::default();
     let cpu = CpuModel::xeon_4208();
@@ -56,16 +41,11 @@ fn main() {
     ] {
         let p = profile::by_name(name).expect("workload");
         let mc = if telemetry {
-            let workers = threads
-                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
             let (mc, snap) = monte_carlo_telemetry(&cpu, p, &cfg, runs, workers);
             merged.merge_shard(&snap);
             mc
         } else {
-            match threads {
-                Some(n) => monte_carlo_with_threads(&cpu, p, &cfg, runs, n),
-                None => monte_carlo(&cpu, p, &cfg, runs),
-            }
+            monte_carlo_with_threads(&cpu, p, &cfg, runs, workers)
         };
         println!(
             "{:<16} {:>12.2}% +/- {:>4.2} {:>12.2}% +/- {:>4.2} {:>12.1}%",

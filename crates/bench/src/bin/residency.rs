@@ -1,7 +1,8 @@
 //! Prints the Section 6.4 efficient-curve residency report.
+//! `--threads N` pins the fan-out worker count (default: all cores).
 fn main() {
     println!(
         "{}",
-        suit_bench::tables::residency(suit_bench::cap_from_args())
+        suit_bench::tables::residency(suit_bench::cap_from_args(), suit_bench::threads_from_args())
     );
 }

@@ -1,8 +1,11 @@
 //! Regenerates the paper's Table 6 (the headline evaluation).
+//! `--threads N` pins the fan-out worker count (default: all cores);
+//! the table is byte-identical for every `N`.
 use suit_hw::UndervoltLevel;
 fn main() {
     let cap = suit_bench::cap_from_args();
+    let threads = suit_bench::threads_from_args();
     for level in UndervoltLevel::ALL {
-        println!("{}", suit_bench::tables::table6(level, cap));
+        println!("{}", suit_bench::tables::table6(level, cap, threads));
     }
 }

@@ -1,7 +1,8 @@
 //! Regenerates the paper's Table 8 (no-SIMD vs. SUIT wins).
+//! `--threads N` pins the fan-out worker count (default: all cores).
 fn main() {
     println!(
         "{}",
-        suit_bench::tables::table8(suit_bench::cap_from_args())
+        suit_bench::tables::table8(suit_bench::cap_from_args(), suit_bench::threads_from_args())
     );
 }

@@ -1,12 +1,13 @@
 //! Regenerators for the paper's Figures 5–16 (the data series; the paper
 //! plots them, we print them).
 
+use suit_exec::Threads;
 use suit_hw::delays::{frequency_settle_curve, voltage_settle_curve, TransitionDelays};
 use suit_hw::undervolt::SteadyStateModel;
 use suit_hw::{CpuModel, DvfsCurve, UndervoltLevel};
 use suit_ooo::fig14::{self, FIG14_LATENCIES};
 use suit_sim::engine::{simulate_with_timeline_telemetry, Point, SimConfig};
-use suit_sim::experiment::{run_row, table6_rows};
+use suit_sim::experiment::{run_row_threads, table6_rows};
 use suit_sim::timeline::fv_series;
 use suit_telemetry::Telemetry;
 use suit_trace::{profile, TraceGen};
@@ -246,11 +247,12 @@ pub fn fig14(uops: u64) -> TextTable {
     t
 }
 
-/// Fig. 16: per-benchmark performance and efficiency on CPU 𝒞, 𝑓𝑉.
-pub fn fig16(cap: Option<u64>) -> TextTable {
+/// Fig. 16: per-benchmark performance and efficiency on CPU 𝒞, 𝑓𝑉. The
+/// workloads of each level fan out over `threads` workers.
+pub fn fig16(cap: Option<u64>, threads: Threads) -> TextTable {
     let spec = &table6_rows()[5];
-    let r70 = run_row(spec, UndervoltLevel::Mv70, cap);
-    let r97 = run_row(spec, UndervoltLevel::Mv97, cap);
+    let r70 = run_row_threads(spec, UndervoltLevel::Mv70, cap, threads);
+    let r97 = run_row_threads(spec, UndervoltLevel::Mv97, cap, threads);
     let mut t = TextTable::new(
         "Fig. 16 — Per-application impact on CPU C (fV strategy)",
         &[
@@ -344,7 +346,7 @@ mod tests {
 
     #[test]
     fn fig16_covers_all_workloads() {
-        let t = fig16(CAP);
+        let t = fig16(CAP, Threads::Fixed(2));
         assert_eq!(t.rows.len(), 25);
     }
 }

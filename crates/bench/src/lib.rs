@@ -36,6 +36,25 @@ pub fn cap_from_args() -> Option<u64> {
     }
 }
 
+/// Parses the conventional `--threads N` flag into an executor policy
+/// for the sweeping binaries. Absent, every core is used
+/// ([`suit_exec::Threads::Auto`]); results are byte-identical at every
+/// worker count, so the flag only trades wall-clock. Zero or junk values
+/// print the parse error and exit with status 2.
+pub fn threads_from_args() -> suit_exec::Threads {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            let raw = args.next().unwrap_or_default();
+            return suit_exec::Threads::parse(&raw).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+        }
+    }
+    suit_exec::Threads::Auto
+}
+
 /// Parses the conventional `--telemetry` flag: when present, returns a
 /// recording handle whose summary the binary prints after its table;
 /// otherwise the no-op handle (one predicted branch per hook).

@@ -1,5 +1,6 @@
 //! Regenerators for the paper's Tables 1–8.
 
+use suit_exec::Threads;
 use suit_faults::vmin::ChipVminModel;
 use suit_faults::Campaign;
 use suit_hw::guardband::{core_temp_at_fan_rpm, max_undervolt_at_temp_mv};
@@ -8,7 +9,7 @@ use suit_hw::undervolt::SteadyStateModel;
 use suit_hw::UndervoltLevel;
 use suit_isa::TABLE1;
 use suit_ooo::O3Config;
-use suit_sim::experiment::{run_row, table6_rows, table8_counts, RowResult};
+use suit_sim::experiment::{run_row_threads, table6_rows, table8_counts, RowResult};
 use suit_trace::profile;
 
 use crate::render::{num, pct, TextTable};
@@ -190,8 +191,10 @@ fn deltas_row(label: &str, row: &RowResult) -> Vec<Vec<String>> {
 }
 
 /// Table 6: the headline evaluation — power, performance and efficiency
-/// for every (CPU, cores, strategy) row at one undervolt level.
-pub fn table6(level: UndervoltLevel, cap: Option<u64>) -> TextTable {
+/// for every (CPU, cores, strategy) row at one undervolt level. The
+/// workloads of each row fan out over `threads` workers; the rendered
+/// table is byte-identical at every worker count.
+pub fn table6(level: UndervoltLevel, cap: Option<u64>, threads: Threads) -> TextTable {
     let mut t = TextTable::new(
         format!("Table 6 — SUIT system results at {level}"),
         &[
@@ -206,7 +209,7 @@ pub fn table6(level: UndervoltLevel, cap: Option<u64>) -> TextTable {
         ],
     );
     for spec in table6_rows() {
-        let row = run_row(&spec, level, cap);
+        let row = run_row_threads(&spec, level, cap, threads);
         for cells in deltas_row(spec.label, &row) {
             t.row(cells);
         }
@@ -216,8 +219,9 @@ pub fn table6(level: UndervoltLevel, cap: Option<u64>) -> TextTable {
 }
 
 /// Table 7: the optimal operating-strategy parameters, with a deadline
-/// sweep demonstrating the flat optimum the paper reports.
-pub fn table7(cap: Option<u64>) -> TextTable {
+/// sweep demonstrating the flat optimum the paper reports. The deadline
+/// sweep points fan out over `threads` workers.
+pub fn table7(cap: Option<u64>, threads: Threads) -> TextTable {
     use suit_core::strategy::StrategyParams;
     use suit_core::OperatingStrategy;
     use suit_hw::CpuModel;
@@ -234,13 +238,14 @@ pub fn table7(cap: Option<u64>) -> TextTable {
         "Table 7 — Operating-strategy parameter sweep (deadline p_dl on CPU C)",
         &["p_dl (us)", "SPEC eff (gmean)", "delta vs optimum"],
     );
-    let mut results = Vec::new();
-    for dl_us in [10u64, 20, 30, 40, 60, 120] {
+    const DEADLINES_US: [u64; 6] = [10, 20, 30, 40, 60, 120];
+    let results: Vec<(u64, f64)> = suit_exec::run(DEADLINES_US.len(), threads, |i| {
+        let dl_us = DEADLINES_US[i];
         let params =
             StrategyParams::intel().with_deadline(suit_isa::SimDuration::from_micros(dl_us));
         let row = run_row_with_params(&spec, UndervoltLevel::Mv97, params, cap);
-        results.push((dl_us, row.spec_gmean().eff));
-    }
+        (dl_us, row.spec_gmean().eff)
+    });
     let best = results
         .iter()
         .map(|r| r.1)
@@ -255,7 +260,7 @@ pub fn table7(cap: Option<u64>) -> TextTable {
 
 /// Table 8: in how many SPEC benchmarks does compiling without SIMD beat
 /// running SUIT with traps.
-pub fn table8(cap: Option<u64>) -> TextTable {
+pub fn table8(cap: Option<u64>, threads: Threads) -> TextTable {
     let mut t = TextTable::new(
         "Table 8 — No-SIMD vs. SUIT wins over the 23 SPEC benchmarks (-97 mV)",
         &["Config", "No SIMD wins", "SUIT wins", "paper (No SIMD)"],
@@ -269,7 +274,7 @@ pub fn table8(cap: Option<u64>) -> TextTable {
         ("Cinf fV", 16),
     ];
     for (spec, (_, paper_wins)) in table6_rows().iter().zip(paper) {
-        let row = run_row(spec, UndervoltLevel::Mv97, cap);
+        let row = run_row_threads(spec, UndervoltLevel::Mv97, cap, threads);
         let (ns, suit) = table8_counts(&row);
         t.row(vec![
             spec.label.to_string(),
@@ -282,9 +287,9 @@ pub fn table8(cap: Option<u64>) -> TextTable {
 }
 
 /// §6.4 residency report: fraction of time on the efficient curve.
-pub fn residency(cap: Option<u64>) -> TextTable {
+pub fn residency(cap: Option<u64>, threads: Threads) -> TextTable {
     let spec = &table6_rows()[5]; // C∞ fV
-    let row = run_row(spec, UndervoltLevel::Mv97, cap);
+    let row = run_row_threads(spec, UndervoltLevel::Mv97, cap, threads);
     let mut t = TextTable::new(
         "Efficient-curve residency on CPU C, fV, -97 mV (paper §6.4)",
         &["Workload", "Residency", "Paper"],
@@ -428,7 +433,7 @@ mod tests {
 
     #[test]
     fn table6_renders_all_rows() {
-        let t = table6(UndervoltLevel::Mv97, CAP);
+        let t = table6(UndervoltLevel::Mv97, CAP, Threads::Fixed(2));
         assert_eq!(t.rows.len(), 6 * 3);
         let s = t.to_string();
         assert!(s.contains("A1 fV"));
@@ -437,7 +442,7 @@ mod tests {
 
     #[test]
     fn table8_counts_sum_to_23() {
-        let t = table8(CAP);
+        let t = table8(CAP, Threads::Fixed(1));
         for row in &t.rows {
             let ns: usize = row[1].parse().unwrap();
             let suit: usize = row[2].parse().unwrap();
@@ -447,7 +452,7 @@ mod tests {
 
     #[test]
     fn residency_table_covers_all_workloads() {
-        let t = residency(CAP);
+        let t = residency(CAP, Threads::Fixed(2));
         assert_eq!(t.rows.len(), 26); // 25 workloads + SPEC mean
     }
 

@@ -9,13 +9,18 @@
 //! drives shrunk counterexamples toward minimal form.
 
 use std::ops::RangeInclusive;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::source::Source;
 
 /// A composable generator: a pure function from a choice stream to `T`.
+///
+/// Generators are `Send + Sync` (the sampling closure is shared behind
+/// an `Arc`), so one `Gen` can drive [`Checker`](crate::Checker)'s
+/// parallel exploration mode — every worker samples through the same
+/// generator from its own per-case [`Source`].
 pub struct Gen<T> {
-    f: Rc<dyn Fn(&mut Source) -> T>,
+    f: Arc<dyn Fn(&mut Source) -> T + Send + Sync>,
 }
 
 impl<T> Clone for Gen<T> {
@@ -26,8 +31,8 @@ impl<T> Clone for Gen<T> {
 
 impl<T: 'static> Gen<T> {
     /// Wraps a raw sampling function.
-    pub fn new(f: impl Fn(&mut Source) -> T + 'static) -> Self {
-        Gen { f: Rc::new(f) }
+    pub fn new(f: impl Fn(&mut Source) -> T + Send + Sync + 'static) -> Self {
+        Gen { f: Arc::new(f) }
     }
 
     /// Draws one value from `src`.
@@ -37,13 +42,13 @@ impl<T: 'static> Gen<T> {
 
     /// Applies `f` to every generated value. Shrinks through `f` because
     /// shrinking happens on the choice stream, not on the output.
-    pub fn map<U: 'static>(&self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+    pub fn map<U: 'static>(&self, f: impl Fn(T) -> U + Send + Sync + 'static) -> Gen<U> {
         let g = self.clone();
         Gen::new(move |src| f(g.sample(src)))
     }
 
     /// Monadic bind: the generated value selects the next generator.
-    pub fn bind<U: 'static>(&self, f: impl Fn(T) -> Gen<U> + 'static) -> Gen<U> {
+    pub fn bind<U: 'static>(&self, f: impl Fn(T) -> Gen<U> + Send + Sync + 'static) -> Gen<U> {
         let g = self.clone();
         Gen::new(move |src| f(g.sample(src)).sample(src))
     }
@@ -76,7 +81,7 @@ impl<T: 'static> Gen<T> {
 }
 
 /// Always generates a clone of `v` (consumes no choices).
-pub fn constant<T: Clone + 'static>(v: T) -> Gen<T> {
+pub fn constant<T: Clone + Send + Sync + 'static>(v: T) -> Gen<T> {
     Gen::new(move |_| v.clone())
 }
 
@@ -142,7 +147,7 @@ pub fn f64_in(lo: f64, hi: f64) -> Gen<f64> {
 }
 
 /// One element of `items`, cloned; shrinks toward the first element.
-pub fn from_slice<T: Clone + 'static>(items: &[T]) -> Gen<T> {
+pub fn from_slice<T: Clone + Send + Sync + 'static>(items: &[T]) -> Gen<T> {
     let items: Vec<T> = items.to_vec();
     assert!(!items.is_empty(), "empty choice slice");
     Gen::new(move |src| items[src.choice(items.len() as u64) as usize].clone())

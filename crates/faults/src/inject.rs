@@ -9,6 +9,7 @@
 //! flips in the architectural result) used by the security audit.
 
 use suit_emu::{emulate, EmuOperands};
+use suit_exec::Threads;
 use suit_isa::{FaultableSet, Opcode, Vec128, TABLE1};
 use suit_rng::{Rng, SuitRng};
 use suit_telemetry::{Counter, Hist, Telemetry};
@@ -44,17 +45,17 @@ impl Campaign {
         }
     }
 
-    /// Runs the campaign and tallies faults per opcode, sharded across all
-    /// available cores. The tally is identical for every thread count.
+    /// Runs the campaign and tallies faults per opcode, fanned out across
+    /// all available cores. The tally is identical for every thread count.
     pub fn run(&self) -> CampaignReport {
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        self.run_with_threads(threads)
+        self.run_with_threads(Threads::Auto.count())
     }
 
-    /// [`Self::run`] with an explicit worker count. One shard per
-    /// (core, frequency) sweep; shard `s` draws from `fork(s)` of the
-    /// campaign seed, so the merged report is a pure function of the
-    /// configuration no matter how shards land on workers.
+    /// [`Self::run`] with an explicit worker count. One job per
+    /// (core, frequency) shard on the [`suit_exec`] executor; shard `s`
+    /// draws from `fork(s)` of the campaign seed, so the merged report is
+    /// a pure function of the configuration no matter how shards land on
+    /// workers.
     ///
     /// # Panics
     ///
@@ -64,10 +65,12 @@ impl Campaign {
     }
 
     /// [`Self::run_with_threads`] recording per-shard injection counts and
-    /// first-fault depths into `tele`. Shards land on workers in
-    /// thread-count-dependent chunks, so only commutative telemetry
+    /// first-fault depths into `tele`. Shards are claimed by workers in
+    /// scheduling-dependent order, so only commutative telemetry
     /// operations (counters, histograms) are recorded here — no timeline
-    /// events — keeping the merged snapshot thread-count invariant.
+    /// events — keeping the shared-recorder snapshot thread-count
+    /// invariant. The per-shard reports themselves come back index-ordered
+    /// from the executor and merge with commutative, associative ops.
     ///
     /// # Panics
     ///
@@ -75,32 +78,15 @@ impl Campaign {
     pub fn run_with_threads_telemetry(&self, threads: usize, tele: &Telemetry) -> CampaignReport {
         assert!(threads >= 1, "need at least one worker");
         let shards = self.chip.core_count() * self.freqs_ghz.len();
-        let root = SuitRng::seed_from_u64(self.seed);
-        let mut partials: Vec<CampaignReport> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let chunk = shards.div_ceil(threads).max(1);
-            let handles: Vec<_> = (0..shards)
-                .collect::<Vec<_>>()
-                .chunks(chunk)
-                .map(|ch| {
-                    let ch = ch.to_vec();
-                    let root = root.clone();
-                    let tele = tele.clone();
-                    scope.spawn(move || {
-                        let mut acc = CampaignReport::empty();
-                        for s in ch {
-                            let core = s / self.freqs_ghz.len();
-                            let mut rng = root.fork(s as u64);
-                            acc.merge(&self.run_shard(core, &mut rng, &tele));
-                        }
-                        acc
-                    })
-                })
-                .collect();
-            for h in handles {
-                partials.push(h.join().expect("campaign worker panicked"));
-            }
-        });
+        let partials = suit_exec::run_seeded(
+            shards,
+            Threads::Fixed(threads),
+            self.seed,
+            |s, mut rng: SuitRng| {
+                let core = s / self.freqs_ghz.len();
+                self.run_shard(core, &mut rng, tele)
+            },
+        );
         let mut report = CampaignReport::empty();
         for p in &partials {
             report.merge(p);

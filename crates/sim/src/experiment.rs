@@ -8,6 +8,7 @@
 
 use suit_core::strategy::StrategyParams;
 use suit_core::OperatingStrategy;
+use suit_exec::Threads;
 use suit_hw::{CpuModel, UndervoltLevel};
 use suit_trace::{profile, WorkloadProfile};
 
@@ -80,7 +81,7 @@ pub fn params_for(cpu: &CpuModel) -> StrategyParams {
 
 /// Per-workload results plus the derived Table 6 columns for one
 /// (row, level) cell block.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RowResult {
     /// The row's label.
     pub label: &'static str,
@@ -176,12 +177,23 @@ impl RowResult {
     }
 }
 
-/// Runs one Table 6 row at one undervolt level over all 25 workloads.
+/// Runs one Table 6 row at one undervolt level over all 25 workloads,
+/// fanned out over all available cores.
 ///
 /// `max_insts` caps the per-workload virtual trace; `None` runs the full
 /// 2 × 10¹⁰ instructions (use caps in debug builds).
 pub fn run_row(spec: &RowSpec, level: UndervoltLevel, max_insts: Option<u64>) -> RowResult {
     run_row_with_params(spec, level, params_for(&spec.cpu), max_insts)
+}
+
+/// [`run_row`] with an explicit worker policy.
+pub fn run_row_threads(
+    spec: &RowSpec,
+    level: UndervoltLevel,
+    max_insts: Option<u64>,
+    threads: Threads,
+) -> RowResult {
+    run_row_with_params_threads(spec, level, params_for(&spec.cpu), max_insts, threads)
 }
 
 /// Like [`run_row`] with explicit strategy parameters (used by the Table 7
@@ -192,19 +204,62 @@ pub fn run_row_with_params(
     params: StrategyParams,
     max_insts: Option<u64>,
 ) -> RowResult {
-    let per_workload = profile::all()
-        .iter()
-        .map(|p| run_workload(spec, p, level, params, max_insts))
-        .collect();
-    let no_simd = profile::spec_suite()
-        .map(|p| simulate_no_simd(&spec.cpu, p, level, max_insts))
-        .collect();
+    run_row_with_params_threads(spec, level, params, max_insts, Threads::Auto)
+}
+
+/// [`run_row_with_params`] with an explicit worker policy: the 25
+/// workloads plus the SPECnoSIMD set form one indexed job set on the
+/// [`suit_exec`] executor. Each job is a pure function of its index, so
+/// the row is byte-identical at every thread count; stealing keeps
+/// workers busy even though per-workload costs vary by an order of
+/// magnitude (520.omnetpp switches curves far more often than 557.xz).
+pub fn run_row_with_params_threads(
+    spec: &RowSpec,
+    level: UndervoltLevel,
+    params: StrategyParams,
+    max_insts: Option<u64>,
+    threads: Threads,
+) -> RowResult {
+    let all = profile::all();
+    let spec_suite: Vec<&WorkloadProfile> = profile::spec_suite().collect();
+    let mut results = suit_exec::run(all.len() + spec_suite.len(), threads, |i| {
+        if i < all.len() {
+            run_workload(spec, &all[i], level, params, max_insts)
+        } else {
+            simulate_no_simd(&spec.cpu, spec_suite[i - all.len()], level, max_insts)
+        }
+    });
+    let no_simd = results.split_off(all.len());
     RowResult {
         label: spec.label,
         level,
-        per_workload,
+        per_workload: results,
         no_simd,
     }
+}
+
+/// Runs the full Table 6 sweep — every (row, level) cell, level-major in
+/// [`UndervoltLevel::ALL`] order then [`table6_rows`] order — as one
+/// indexed job set on the [`suit_exec`] executor. Cells run their
+/// workloads serially (the fan-out is across cells), so the result is a
+/// pure function of `max_insts` and byte-identical at every thread
+/// count; `tests/determinism.rs` pins that.
+pub fn run_table6(threads: Threads, max_insts: Option<u64>) -> Vec<RowResult> {
+    let rows = table6_rows();
+    let cells: Vec<(&RowSpec, UndervoltLevel)> = UndervoltLevel::ALL
+        .iter()
+        .flat_map(|&level| rows.iter().map(move |spec| (spec, level)))
+        .collect();
+    suit_exec::run(cells.len(), threads, |i| {
+        let (spec, level) = cells[i];
+        run_row_with_params_threads(
+            spec,
+            level,
+            params_for(&spec.cpu),
+            max_insts,
+            Threads::Fixed(1),
+        )
+    })
 }
 
 fn run_workload(
@@ -266,6 +321,29 @@ mod tests {
         assert_eq!(rows[0].label, "A1 fV");
         assert_eq!(rows[1].cores, 4);
         assert!(matches!(rows[2].strategy, OperatingStrategy::Emulation));
+    }
+
+    #[test]
+    fn parallel_row_matches_serial() {
+        // The fan-out across the 25 + 23 workload jobs is index-ordered,
+        // so a parallel row must be byte-identical to the serial one.
+        let spec = &table6_rows()[5];
+        let serial = run_row_threads(spec, UndervoltLevel::Mv97, CAP, Threads::Fixed(1));
+        let parallel = run_row_threads(spec, UndervoltLevel::Mv97, CAP, Threads::Fixed(4));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.per_workload.len(), 25);
+        assert_eq!(serial.no_simd.len(), 23);
+    }
+
+    #[test]
+    fn table6_sweep_covers_every_cell_level_major() {
+        let cells = run_table6(Threads::Auto, Some(20_000_000));
+        assert_eq!(cells.len(), 12);
+        let rows = table6_rows();
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.label, rows[i % rows.len()].label);
+            assert_eq!(cell.level, UndervoltLevel::ALL[i / rows.len()]);
+        }
     }
 
     #[test]

@@ -7,12 +7,14 @@
 //! per-run sampled [`suit_hw::TransitionDelays`] and trace seeds and reports the
 //! resulting distributions — the error bars the single numbers live in.
 //!
-//! Runs are independent, so the campaign shards across scoped worker
-//! threads. Every run's randomness is a [`SuitRng::fork`] of the
-//! top-level seed keyed by the run index — a pure function of
-//! `(cfg.seed, run)` — so the resulting distributions are **bit-identical
-//! for every thread count** while wall-clock drops by ~N× on N cores.
+//! Runs are independent, so the campaign fans out through the
+//! [`suit_exec`] work-stealing executor. Every run's randomness is a
+//! [`SuitRng::fork`] of the top-level seed keyed by the run index — a
+//! pure function of `(cfg.seed, run)` — so the resulting distributions
+//! are **bit-identical for every thread count** while wall-clock drops
+//! by ~N× on N cores.
 
+use suit_exec::Threads;
 use suit_hw::CpuModel;
 use suit_rng::{Rng, SuitRng};
 use suit_telemetry::{Telemetry, TelemetrySnapshot};
@@ -23,15 +25,22 @@ use crate::engine::{simulate_telemetry, SimConfig};
 /// Summary statistics of one metric across runs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Distribution {
-    /// Per-run values, sorted ascending.
+    /// Per-run values, sorted ascending by [`f64::total_cmp`]; NaNs (if
+    /// any run degenerated) sort to the end and are tallied in
+    /// [`Distribution::nans`].
     pub values: Vec<f64>,
+    /// Number of NaN values among [`Distribution::values`]. A NaN metric
+    /// marks a degenerate run; it is surfaced here instead of aborting
+    /// the whole campaign from inside a worker.
+    pub nans: usize,
 }
 
 impl Distribution {
     fn from(mut values: Vec<f64>) -> Self {
         assert!(!values.is_empty());
-        values.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
-        Distribution { values }
+        values.sort_by(f64::total_cmp);
+        let nans = values.iter().filter(|v| v.is_nan()).count();
+        Distribution { values, nans }
     }
 
     /// Arithmetic mean.
@@ -136,8 +145,7 @@ pub fn monte_carlo(
     cfg: &SimConfig,
     runs: usize,
 ) -> McSummary {
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    monte_carlo_with_threads(cpu, profile, cfg, runs, threads)
+    monte_carlo_with_threads(cpu, profile, cfg, runs, Threads::Auto.count())
 }
 
 /// [`monte_carlo`] with an explicit worker count. `threads = 1` recovers
@@ -157,16 +165,8 @@ pub fn monte_carlo_with_threads(
 ) -> McSummary {
     assert!(runs >= 1, "need at least one run");
     assert!(threads >= 1, "need at least one worker");
-    let mut metrics: Vec<RunMetrics> = vec![[0.0; 4]; runs];
-    let chunk = runs.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (ci, slots) in metrics.chunks_mut(chunk).enumerate() {
-            scope.spawn(move || {
-                for (j, slot) in slots.iter_mut().enumerate() {
-                    *slot = one_run(cpu, profile, cfg, ci * chunk + j, &Telemetry::off());
-                }
-            });
-        }
+    let metrics = suit_exec::run(runs, Threads::Fixed(threads), |i| {
+        one_run(cpu, profile, cfg, i, &Telemetry::off())
     });
     summarize(&metrics)
 }
@@ -174,7 +174,7 @@ pub fn monte_carlo_with_threads(
 /// [`monte_carlo_with_threads`] with telemetry: every run records into its
 /// own private recorder, and the per-run snapshots are merged
 /// **position-ordered** (run 0 first, then 1, …) after all workers join.
-/// Chunking therefore never reorders the merge, so both the returned
+/// Work stealing therefore never reorders the merge, so both the returned
 /// metrics *and* the merged telemetry are byte-identical at any thread
 /// count — the guarantee `tests/determinism.rs` pins.
 ///
@@ -193,28 +193,12 @@ pub fn monte_carlo_telemetry(
 ) -> (McSummary, TelemetrySnapshot) {
     assert!(runs >= 1, "need at least one run");
     assert!(threads >= 1, "need at least one worker");
-    let mut metrics: Vec<RunMetrics> = vec![[0.0; 4]; runs];
-    let mut snaps: Vec<TelemetrySnapshot> = vec![TelemetrySnapshot::default(); runs];
-    let chunk = runs.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for ((ci, slots), snap_slots) in metrics
-            .chunks_mut(chunk)
-            .enumerate()
-            .zip(snaps.chunks_mut(chunk))
-        {
-            scope.spawn(move || {
-                for (j, (slot, snap)) in slots.iter_mut().zip(snap_slots.iter_mut()).enumerate() {
-                    let tele = Telemetry::with_capacity(MC_RUN_EVENT_CAPACITY);
-                    *slot = one_run(cpu, profile, cfg, ci * chunk + j, &tele);
-                    *snap = tele.snapshot();
-                }
-            });
-        }
-    });
-    let mut merged = TelemetrySnapshot::default();
-    for snap in &snaps {
-        merged.merge_shard(snap);
-    }
+    let (metrics, merged) = suit_exec::run_telemetry(
+        runs,
+        Threads::Fixed(threads),
+        MC_RUN_EVENT_CAPACITY,
+        |i, tele| one_run(cpu, profile, cfg, i, tele),
+    );
     (summarize(&metrics), merged)
 }
 
@@ -247,6 +231,7 @@ mod tests {
     fn distribution_statistics() {
         let d = Distribution::from(vec![3.0, 1.0, 2.0, 4.0]);
         assert_eq!(d.values, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.nans, 0);
         assert!((d.mean() - 2.5).abs() < 1e-12);
         assert!((d.percentile(0.0) - 1.0).abs() < 1e-12);
         assert!((d.percentile(100.0) - 4.0).abs() < 1e-12);
@@ -254,6 +239,22 @@ mod tests {
         assert!(d.std() > 1.0 && d.std() < 1.5);
         assert_eq!(d.min(), 1.0);
         assert_eq!(d.max(), 4.0);
+    }
+
+    #[test]
+    fn an_injected_nan_is_counted_not_fatal() {
+        // A NaN metric from one degenerate run must not abort the whole
+        // campaign from inside a worker thread (the old
+        // `partial_cmp().expect("no NaNs")` did exactly that); it sorts
+        // to the end under total_cmp and is surfaced as a count.
+        let d = Distribution::from(vec![2.0, f64::NAN, 1.0]);
+        assert_eq!(d.nans, 1);
+        assert_eq!(&d.values[..2], &[1.0, 2.0]);
+        assert!(d.values[2].is_nan());
+        assert_eq!(d.min(), 1.0);
+        // Statistics over a NaN-bearing sample are NaN — visible, not a
+        // panic.
+        assert!(d.mean().is_nan());
     }
 
     #[test]

@@ -27,13 +27,15 @@ use suit::trace::{profile, TraceGen};
 
 const USAGE: &str =
     "usage: suit-cli <list|simulate|profile|validate-trace|mix|trace|analyze|security> [options]\n\
-\x20 simulate --workload <name> [--cpu a|b|c] [--strategy fv|f|v|e|adaptive]\n\
-\x20          [--offset 70|97] [--cores N] [--insts N] [--seed N]\n\
+\x20 simulate --workload <name[,name...]|all> [--cpu a|b|c] [--strategy fv|f|v|e|adaptive]\n\
+\x20          [--offset 70|97] [--cores N] [--insts N] [--seed N] [--threads N]\n\
 \x20 profile <workload> [--trace-out <file>] [--cpu a|b|c] [--strategy fv|f|v|adaptive]\n\
 \x20          [--offset 70|97] [--cores N] [--insts N] [--seed N] [--events N]\n\
 \x20 validate-trace <file>\n\
+\x20 mix <office|webserver|hpc|media|all> [--cpu a|b|c] [--insts N] [--threads N]\n\
 \x20 trace record --workload <name> --out <file> [--bursts N]\n\
-\x20 trace info <file>";
+\x20 trace info <file>\n\
+\x20 --threads N fans workloads out over N workers; results are identical for every N";
 
 fn main() -> ExitCode {
     // `suit-cli ... | head` is normal usage; `println!` panics on EPIPE,
@@ -71,6 +73,7 @@ fn main() -> ExitCode {
                 || e.contains("missing subcommand")
                 || e.contains("unknown flag")
                 || e.contains("unexpected argument")
+                || e.contains("--threads")
             {
                 eprintln!("{USAGE}");
             }
@@ -100,6 +103,16 @@ fn first_positional(args: &[String]) -> Option<String> {
         }
     }
     None
+}
+
+/// Parses `--threads N` into an executor policy. Absent means
+/// sequential; `0` or junk is rejected with the parse error (which names
+/// the flag, so `main` prints the usage text).
+fn parse_threads(args: &[String]) -> Result<suit::exec::Threads, String> {
+    match opt(args, "--threads") {
+        Some(v) => suit::exec::Threads::parse(&v),
+        None => Ok(suit::exec::Threads::Fixed(1)),
+    }
 }
 
 /// Strict argument validation: every `--flag` must be in `value_flags`
@@ -180,12 +193,24 @@ fn cmd_simulate(args: &[String]) -> CliResult {
             "--cores",
             "--insts",
             "--seed",
+            "--threads",
         ],
         &[],
         0,
     )?;
-    let name = opt(args, "--workload").ok_or("missing --workload <name> (see `suit-cli list`)")?;
-    let p = profile::by_name(&name).ok_or_else(|| format!("unknown workload '{name}'"))?;
+    let name = opt(args, "--workload")
+        .ok_or("missing --workload <name[,name...]|all> (see `suit-cli list`)")?;
+    // A comma list or `all` fans out over the executor; a single name
+    // degenerates to one job on one worker.
+    let profiles: Vec<&profile::WorkloadProfile> = if name == "all" {
+        profile::all().iter().collect()
+    } else {
+        name.split(',')
+            .map(str::trim)
+            .map(|n| profile::by_name(n).ok_or_else(|| format!("unknown workload '{n}'")))
+            .collect::<Result<_, _>>()?
+    };
+    let threads = parse_threads(args)?;
     let cpu = parse_cpu(opt(args, "--cpu"))?;
     let level = parse_level(opt(args, "--offset"))?;
     let cores: usize =
@@ -206,8 +231,9 @@ fn cmd_simulate(args: &[String]) -> CliResult {
         _ => StrategyParams::intel(),
     };
 
-    let r = match strategy.as_str() {
-        "e" => simulate_emulation(&cpu, p, level, seed, insts),
+    // Strategy validation happens once, before the fan-out.
+    let engine_cfg = match strategy.as_str() {
+        "e" => None,
         s => {
             let (strat, adaptive) = match s {
                 "fv" => (OperatingStrategy::FreqVolt, None),
@@ -219,7 +245,7 @@ fn cmd_simulate(args: &[String]) -> CliResult {
                 ),
                 other => return Err(format!("unknown strategy '{other}'")),
             };
-            let cfg = SimConfig {
+            Some(SimConfig {
                 strategy: strat,
                 params,
                 level,
@@ -228,26 +254,35 @@ fn cmd_simulate(args: &[String]) -> CliResult {
                 max_insts: insts,
                 record_timeline: false,
                 adaptive,
-            };
-            simulate(&cpu, p, &cfg)
+            })
         }
     };
 
-    println!(
-        "{} on {} at {} ({} strategy, {} core(s))",
-        p.name, cpu.name, level, strategy, cores
-    );
-    println!("  performance : {:+.2} %", r.perf() * 100.0);
-    println!("  power       : {:+.2} %", r.power() * 100.0);
-    println!("  efficiency  : {:+.2} %", r.efficiency() * 100.0);
-    println!(
-        "  residency   : {:.1} % on the efficient curve",
-        r.residency() * 100.0
-    );
-    println!(
-        "  activity    : {} faultable instructions, {} #DO, {} timer fires, {} thrash hits",
-        r.events, r.exceptions, r.timer_fires, r.thrash_hits
-    );
+    let results = suit::exec::run(profiles.len(), threads, |i| {
+        let p = profiles[i];
+        match &engine_cfg {
+            None => simulate_emulation(&cpu, p, level, seed, insts),
+            Some(cfg) => simulate(&cpu, p, cfg),
+        }
+    });
+
+    for (p, r) in profiles.iter().zip(&results) {
+        println!(
+            "{} on {} at {} ({} strategy, {} core(s))",
+            p.name, cpu.name, level, strategy, cores
+        );
+        println!("  performance : {:+.2} %", r.perf() * 100.0);
+        println!("  power       : {:+.2} %", r.power() * 100.0);
+        println!("  efficiency  : {:+.2} %", r.efficiency() * 100.0);
+        println!(
+            "  residency   : {:.1} % on the efficient curve",
+            r.residency() * 100.0
+        );
+        println!(
+            "  activity    : {} faultable instructions, {} #DO, {} timer fires, {} thrash hits",
+            r.events, r.exceptions, r.timer_fires, r.thrash_hits
+        );
+    }
     Ok(())
 }
 
@@ -295,19 +330,31 @@ fn cmd_trace(args: &[String]) -> CliResult {
 
 fn cmd_mix(args: &[String]) -> CliResult {
     use suit::sim::engine::simulate_mixed;
-    check_args(args, &["--cpu", "--insts"], &[], 1)?;
+    check_args(args, &["--cpu", "--insts", "--threads"], &[], 1)?;
     let name = first_positional(args).ok_or_else(|| {
         format!(
-            "usage: mix <{}> [--cpu a|b|c] [--insts N]",
+            "usage: mix <{}|all> [--cpu a|b|c] [--insts N] [--threads N]",
             suit::trace::profile::MIX_NAMES.join("|")
         )
     })?;
-    let workloads = suit::trace::profile::mix(&name).ok_or_else(|| {
-        format!(
-            "unknown mix '{name}' (try {})",
-            suit::trace::profile::MIX_NAMES.join(", ")
-        )
-    })?;
+    // `all` fans every named mix out over the executor.
+    let names: Vec<&str> = if name == "all" {
+        suit::trace::profile::MIX_NAMES.to_vec()
+    } else {
+        vec![name.as_str()]
+    };
+    let mixes: Vec<Vec<&suit::trace::profile::WorkloadProfile>> = names
+        .iter()
+        .map(|n| {
+            suit::trace::profile::mix(n).ok_or_else(|| {
+                format!(
+                    "unknown mix '{n}' (try {}, all)",
+                    suit::trace::profile::MIX_NAMES.join(", ")
+                )
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let threads = parse_threads(args)?;
     // Mixes model consolidation on ONE shared DVFS domain — only the
     // i9-9900K class has that topology (CPU C's per-core p-states would
     // never couple the workloads), so default to CPU a.
@@ -328,24 +375,28 @@ fn cmd_mix(args: &[String]) -> CliResult {
         cfg.strategy = OperatingStrategy::Frequency;
         cfg.params = StrategyParams::amd();
     }
-    let m = simulate_mixed(&cpu, &workloads, &cfg);
-    println!(
-        "mix '{name}' on {} (one shared domain, {} strategy, -97 mV):",
-        cpu.name, cfg.strategy
-    );
-    println!(
-        "  domain: residency {:.1}%  power {:+.2}%  efficiency {:+.2}%",
-        m.domain.residency() * 100.0,
-        m.domain.power() * 100.0,
-        m.domain.efficiency() * 100.0
-    );
-    for c in &m.per_core {
+    let results = suit::exec::run(mixes.len(), threads, |i| {
+        simulate_mixed(&cpu, &mixes[i], &cfg)
+    });
+    for (name, m) in names.iter().zip(&results) {
         println!(
-            "  core {:<16} perf {:+.2}%  ({} faultable instructions)",
-            c.workload,
-            c.perf() * 100.0,
-            c.events
+            "mix '{name}' on {} (one shared domain, {} strategy, -97 mV):",
+            cpu.name, cfg.strategy
         );
+        println!(
+            "  domain: residency {:.1}%  power {:+.2}%  efficiency {:+.2}%",
+            m.domain.residency() * 100.0,
+            m.domain.power() * 100.0,
+            m.domain.efficiency() * 100.0
+        );
+        for c in &m.per_core {
+            println!(
+                "  core {:<16} perf {:+.2}%  ({} faultable instructions)",
+                c.workload,
+                c.perf() * 100.0,
+                c.events
+            );
+        }
     }
     Ok(())
 }

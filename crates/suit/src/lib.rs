@@ -20,6 +20,7 @@
 //! | [`sim`] | The event-based system simulator (Tables 2/6, Figs 12/16) |
 //! | [`ooo`] | The out-of-order core model (Fig. 14) |
 //! | [`telemetry`] | Counters, histograms, event rings, Perfetto export |
+//! | [`exec`] | Deterministic fan-out executor behind every parallel sweep |
 //! | [`mod@bench`] | Regenerators for every paper table and figure |
 //! | [`check`] | Property testing, shrinking, differential fuzzing |
 //!
@@ -48,6 +49,7 @@ pub use suit_bench as bench;
 pub use suit_check as check;
 pub use suit_core as core;
 pub use suit_emu as emu;
+pub use suit_exec as exec;
 pub use suit_faults as faults;
 pub use suit_hw as hw;
 pub use suit_isa as isa;

@@ -74,6 +74,58 @@ fn bad_flag_values_fail_cleanly() {
 }
 
 #[test]
+fn bad_threads_values_print_usage_and_fail() {
+    for bad in ["0", "-1", "many", ""] {
+        let out = cli(&["simulate", "--workload", "557.xz", "--threads", bad]);
+        assert!(!out.status.success(), "--threads {bad:?} should fail");
+        let err = stderr(&out);
+        assert!(
+            err.contains("--threads must be a positive integer"),
+            "--threads {bad:?}: {err}"
+        );
+        assert!(err.contains("usage: suit-cli"), "--threads {bad:?}: {err}");
+    }
+}
+
+#[test]
+fn simulate_fans_out_a_workload_list_deterministically() {
+    let args = |threads: &'static str| {
+        [
+            "simulate",
+            "--workload",
+            "557.xz,Nginx,502.gcc",
+            "--insts",
+            "50000000",
+            "--threads",
+            threads,
+        ]
+    };
+    let parallel = cli(&args("2"));
+    assert!(parallel.status.success(), "{}", stderr(&parallel));
+    let log = stdout(&parallel);
+    // Output is in list order, one block per workload, at any width.
+    let xz = log.find("557.xz on").expect("xz block");
+    let nginx = log.find("Nginx on").expect("nginx block");
+    let gcc = log.find("502.gcc on").expect("gcc block");
+    assert!(xz < nginx && nginx < gcc, "{log}");
+    let sequential = cli(&args("1"));
+    assert_eq!(stdout(&sequential), log, "output diverged across widths");
+}
+
+#[test]
+fn mix_all_runs_every_mix() {
+    let out = cli(&["mix", "all", "--insts", "50000000", "--threads", "2"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let log = stdout(&out);
+    for name in ["office", "webserver", "hpc", "media"] {
+        assert!(
+            log.contains(&format!("mix '{name}'")),
+            "missing {name}: {log}"
+        );
+    }
+}
+
+#[test]
 fn profile_trace_round_trips_through_validate_trace() {
     let path = std::env::temp_dir().join(format!("suit-cli-smoke-{}.json", std::process::id()));
     let path = path.to_str().expect("utf-8 temp path");

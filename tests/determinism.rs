@@ -8,10 +8,12 @@
 //! These tests pin that property at the public-API level so a future
 //! refactor cannot silently trade reproducibility for speed.
 
+use suit::exec::Threads;
 use suit::faults::inject::Campaign;
 use suit::faults::vmin::ChipVminModel;
 use suit::hw::{CpuModel, UndervoltLevel};
 use suit::sim::engine::{simulate, simulate_telemetry, SimConfig};
+use suit::sim::experiment::run_table6;
 use suit::sim::montecarlo::{monte_carlo_telemetry, monte_carlo_with_threads};
 use suit::telemetry::Telemetry;
 use suit::trace::profile;
@@ -88,6 +90,69 @@ fn merged_telemetry_is_byte_identical_across_thread_counts() {
             reference.to_perfetto_json(),
             snap.to_perfetto_json(),
             "serialized trace diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn table6_sweep_is_byte_identical_across_thread_counts() {
+    // The full Table 6 sweep — every (row, level) cell — goes through the
+    // suit-exec fan-out. PartialEq on RowResult compares every per-workload
+    // f64, so any scheduling-dependent divergence fails here.
+    let reference = run_table6(Threads::Fixed(1), Some(20_000_000));
+    assert_eq!(reference.len(), 12, "6 rows x 2 levels");
+    for threads in [4, 8] {
+        assert_eq!(
+            run_table6(Threads::Fixed(threads), Some(20_000_000)),
+            reference,
+            "Table 6 sweep diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn fault_campaign_telemetry_is_identical_across_thread_counts() {
+    // The refactored campaign shares one recorder across workers and
+    // restricts itself to commutative telemetry (counters/histograms), so
+    // both the report and the merged snapshot must match at any width.
+    let chip = ChipVminModel::sample(2, 12.0, 3);
+    let campaign = Campaign::standard(chip, 99);
+    let reference_tele = Telemetry::recording();
+    let reference = campaign.run_with_threads_telemetry(1, &reference_tele);
+    for threads in [4, 8] {
+        let tele = Telemetry::recording();
+        let report = campaign.run_with_threads_telemetry(threads, &tele);
+        assert_eq!(report, reference, "report diverged at {threads} threads");
+        assert_eq!(
+            tele.snapshot(),
+            reference_tele.snapshot(),
+            "telemetry diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn parallel_property_exploration_finds_the_sequential_failure() {
+    // suit-check's parallel mode scans case indices in blocks and takes the
+    // lowest failing index, then shrinks sequentially — so the reported
+    // Failure (seed, minimal counterexample, shrink trace) must be
+    // byte-identical to a one-worker run.
+    use suit::check::{gen, Checker};
+    let run = |threads: Threads| {
+        Checker::new("determinism::parallel_explore")
+            .cases(512)
+            .workers(threads)
+            .check_report(&gen::u64_in(0..=1_000_000).vec_up_to(8), |v: &Vec<u64>| {
+                v.iter().sum::<u64>() < 900_000
+            })
+            .expect("property must fail")
+    };
+    let sequential = run(Threads::Fixed(1));
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            run(Threads::Fixed(threads)),
+            sequential,
+            "suit-check diverged at {threads} workers"
         );
     }
 }
