@@ -40,14 +40,18 @@ pub fn cap_from_args() -> Option<u64> {
 /// for the sweeping binaries. Absent, every core is used
 /// ([`suit_exec::Threads::Auto`]); results are byte-identical at every
 /// worker count, so the flag only trades wall-clock. Zero or junk values
-/// print the parse error and exit with status 2.
+/// print the same `error: …` + usage shape as `suit-cli` and exit with
+/// status 2, so every binary in the workspace rejects a bad `--threads`
+/// identically.
 pub fn threads_from_args() -> suit_exec::Threads {
     let mut args = std::env::args();
+    let bin = args.next().unwrap_or_else(|| "bench".into());
     while let Some(a) = args.next() {
         if a == "--threads" {
             let raw = args.next().unwrap_or_default();
             return suit_exec::Threads::parse(&raw).unwrap_or_else(|e| {
-                eprintln!("{e}");
+                eprintln!("error: {e}");
+                eprintln!("usage: {bin} [--full] [--threads N] [--telemetry]");
                 std::process::exit(2);
             });
         }

@@ -1,0 +1,658 @@
+//! Endpoint schemas: strict validation of JSON request bodies into typed
+//! job specs, execution over the workspace engines, and deterministic
+//! JSON serialisation of the results.
+//!
+//! Validation is strict in the same spirit as `suit-cli`'s argument
+//! handling: unknown fields, wrong types, unknown workload/CPU/strategy
+//! names and zero instruction budgets are all `400` errors with a
+//! structured message — never silently ignored, never a panic.
+//!
+//! Serialisation is a pure function of the result values: floats are
+//! written with Rust's shortest round-trip `Display` (deterministic
+//! across platforms) and non-finite values map to `null`, so a batch
+//! response is byte-identical to serialising the equivalent direct
+//! `suit-sim` API call — the loopback e2e test pins this at several
+//! worker-thread counts.
+
+use std::time::Instant;
+
+use suit_core::strategy::StrategyParams;
+use suit_core::{AdaptiveConfig, OperatingStrategy};
+use suit_exec::Threads;
+use suit_faults::inject::Campaign;
+use suit_faults::vmin::ChipVminModel;
+use suit_hw::{CpuKind, CpuModel, UndervoltLevel};
+use suit_isa::TABLE1;
+use suit_rng::SuitRng;
+use suit_sim::analytic::simulate_emulation;
+use suit_sim::engine::{simulate, SimConfig};
+use suit_sim::experiment::{run_table6, RowResult};
+use suit_sim::result::RunResult;
+use suit_telemetry::json::{escape, parse, Value};
+use suit_trace::profile;
+
+/// A request that failed validation (`400`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadRequest(pub String);
+
+/// Why a job did not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The request's deadline expired before or during execution (`408`).
+    DeadlineExpired,
+}
+
+/// A wall-clock deadline, cooperatively checked between simulation
+/// bursts (batch points, campaign shards). `None` never expires.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline(pub Option<Instant>);
+
+impl Deadline {
+    /// A deadline `ms` milliseconds from now (`None` → never expires).
+    pub fn after_ms(ms: Option<u64>) -> Self {
+        Deadline(ms.map(|m| Instant::now() + std::time::Duration::from_millis(m)))
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.0.is_some_and(|t| Instant::now() >= t)
+    }
+}
+
+/// One validated compute job, ready to run on a worker.
+#[derive(Debug, Clone)]
+pub enum Job {
+    /// `POST /v1/simulate`: a single workload point (boxed to keep the
+    /// enum variants close in size).
+    Simulate(Box<SimPoint>),
+    /// `POST /v1/batch`: a sweep fanned out over `suit-exec`.
+    Batch(BatchSpec),
+    /// `POST /v1/faults`: a fault-injection campaign.
+    Faults(FaultsSpec),
+}
+
+/// A single simulation point (the CLI `simulate` surface as JSON).
+#[derive(Debug, Clone)]
+pub struct SimPoint {
+    /// Workload name (see `suit-cli list`).
+    pub workload: String,
+    /// CPU model key: `a` | `b` | `c`.
+    pub cpu: CpuModel,
+    /// Strategy key: `fv` | `f` | `v` | `e` | `adaptive`.
+    pub strategy: String,
+    /// Undervolt level.
+    pub level: UndervoltLevel,
+    /// Cores sharing the DVFS domain.
+    pub cores: usize,
+    /// Optional instruction cap.
+    pub insts: Option<u64>,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+/// A batch sweep: either the full Table 6 harness or a workload list.
+#[derive(Debug, Clone)]
+pub enum BatchSpec {
+    /// The full Table 6 sweep (`{"sweep":"table6"}`), optionally capped.
+    Table6 {
+        /// Per-workload instruction cap.
+        max_insts: Option<u64>,
+    },
+    /// An explicit workload list sharing one configuration template.
+    /// Job `i` simulates `workloads[i]` with seed `fork(i)` of `seed`,
+    /// so the response is byte-identical at any worker-thread count.
+    Workloads {
+        /// Workload names (or the expansion of `"all"`).
+        workloads: Vec<String>,
+        /// The shared configuration template (its `workload` is unused;
+        /// boxed to keep the enum variants close in size).
+        template: Box<SimPoint>,
+    },
+}
+
+/// A fault-campaign request (the Table 1 sweep surface as JSON).
+#[derive(Debug, Clone)]
+pub struct FaultsSpec {
+    /// Cores in the sampled chip.
+    pub cores: usize,
+    /// Per-core Vmin variation sigma, mV.
+    pub sigma_mv: f64,
+    /// Campaign seed (also seeds the chip sample).
+    pub seed: u64,
+    /// Executions per (combination, instruction).
+    pub executions: u32,
+}
+
+fn obj<'a>(v: &'a Value, allowed: &[&str]) -> Result<&'a [(String, Value)], BadRequest> {
+    let Value::Obj(pairs) = v else {
+        return Err(BadRequest("request body must be a JSON object".into()));
+    };
+    for (k, _) in pairs {
+        if !allowed.contains(&k.as_str()) {
+            return Err(BadRequest(format!(
+                "unknown field '{k}' (allowed: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(pairs)
+}
+
+fn get_str(v: &Value, key: &str) -> Result<Option<String>, BadRequest> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(BadRequest(format!("field '{key}' must be a string"))),
+    }
+}
+
+fn get_u64(v: &Value, key: &str) -> Result<Option<u64>, BadRequest> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(Value::Num(n)) if n.fract() == 0.0 && *n >= 0.0 && *n <= 2f64.powi(53) => {
+            Ok(Some(*n as u64))
+        }
+        Some(_) => Err(BadRequest(format!(
+            "field '{key}' must be a non-negative integer"
+        ))),
+    }
+}
+
+fn get_f64(v: &Value, key: &str) -> Result<Option<f64>, BadRequest> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(Value::Num(n)) => Ok(Some(*n)),
+        Some(_) => Err(BadRequest(format!("field '{key}' must be a number"))),
+    }
+}
+
+fn parse_cpu(key: Option<String>) -> Result<CpuModel, BadRequest> {
+    match key.as_deref().unwrap_or("c") {
+        "a" => Ok(CpuModel::i9_9900k()),
+        "b" => Ok(CpuModel::ryzen_7700x()),
+        "c" => Ok(CpuModel::xeon_4208()),
+        other => Err(BadRequest(format!(
+            "unknown cpu '{other}' (expected a, b or c)"
+        ))),
+    }
+}
+
+fn parse_level(offset: Option<u64>) -> Result<UndervoltLevel, BadRequest> {
+    match offset.unwrap_or(97) {
+        70 => Ok(UndervoltLevel::Mv70),
+        97 => Ok(UndervoltLevel::Mv97),
+        other => Err(BadRequest(format!(
+            "unknown offset '{other}' (expected 70 or 97)"
+        ))),
+    }
+}
+
+const STRATEGIES: [&str; 5] = ["fv", "f", "v", "e", "adaptive"];
+
+/// Fields shared by `/v1/simulate` and the batch template.
+const POINT_FIELDS: [&str; 8] = [
+    "workload",
+    "cpu",
+    "strategy",
+    "offset",
+    "cores",
+    "insts",
+    "seed",
+    "deadline_ms",
+];
+
+fn parse_point(v: &Value, require_workload: bool) -> Result<SimPoint, BadRequest> {
+    let workload = match get_str(v, "workload")? {
+        Some(name) => {
+            profile::by_name(&name).ok_or_else(|| {
+                BadRequest(format!("unknown workload '{name}' (see `suit-cli list`)"))
+            })?;
+            name
+        }
+        None if require_workload => {
+            return Err(BadRequest("missing field 'workload'".into()));
+        }
+        None => String::new(),
+    };
+    let strategy = get_str(v, "strategy")?.unwrap_or_else(|| "fv".into());
+    if !STRATEGIES.contains(&strategy.as_str()) {
+        return Err(BadRequest(format!(
+            "unknown strategy '{strategy}' (expected {})",
+            STRATEGIES.join(", ")
+        )));
+    }
+    let insts = get_u64(v, "insts")?;
+    if insts == Some(0) {
+        return Err(BadRequest("field 'insts' must be at least 1".into()));
+    }
+    let cores = get_u64(v, "cores")?.unwrap_or(1);
+    if cores == 0 {
+        return Err(BadRequest("field 'cores' must be at least 1".into()));
+    }
+    Ok(SimPoint {
+        workload,
+        cpu: parse_cpu(get_str(v, "cpu")?)?,
+        strategy,
+        level: parse_level(get_u64(v, "offset")?)?,
+        cores: cores as usize,
+        insts,
+        seed: get_u64(v, "seed")?.unwrap_or(0x5017),
+    })
+}
+
+/// Validates the body of `POST /v1/simulate`.
+pub fn parse_simulate(body: &str) -> Result<(Job, Option<u64>), BadRequest> {
+    let v = parse(body).map_err(|e| BadRequest(format!("invalid JSON body: {e}")))?;
+    obj(&v, &POINT_FIELDS)?;
+    let deadline_ms = get_u64(&v, "deadline_ms")?;
+    Ok((Job::Simulate(Box::new(parse_point(&v, true)?)), deadline_ms))
+}
+
+/// Validates the body of `POST /v1/batch`.
+pub fn parse_batch(body: &str) -> Result<(Job, Option<u64>), BadRequest> {
+    let v = parse(body).map_err(|e| BadRequest(format!("invalid JSON body: {e}")))?;
+    let mut fields = vec!["sweep", "max_insts", "workloads"];
+    fields.extend(POINT_FIELDS);
+    obj(&v, &fields)?;
+    let deadline_ms = get_u64(&v, "deadline_ms")?;
+    match get_str(&v, "sweep")? {
+        Some(sweep) if sweep == "table6" => {
+            if v.get("workloads").is_some() {
+                return Err(BadRequest(
+                    "'sweep' and 'workloads' are mutually exclusive".into(),
+                ));
+            }
+            let max_insts = get_u64(&v, "max_insts")?;
+            if max_insts == Some(0) {
+                return Err(BadRequest("field 'max_insts' must be at least 1".into()));
+            }
+            Ok((Job::Batch(BatchSpec::Table6 { max_insts }), deadline_ms))
+        }
+        Some(other) => Err(BadRequest(format!(
+            "unknown sweep '{other}' (expected table6)"
+        ))),
+        None => {
+            let workloads: Vec<String> = match v.get("workloads") {
+                Some(Value::Str(s)) if s == "all" => {
+                    profile::all().iter().map(|p| p.name.to_string()).collect()
+                }
+                Some(Value::Arr(items)) => {
+                    let mut names = Vec::with_capacity(items.len());
+                    for item in items {
+                        let Value::Str(name) = item else {
+                            return Err(BadRequest(
+                                "field 'workloads' must be an array of names".into(),
+                            ));
+                        };
+                        if profile::by_name(name).is_none() {
+                            return Err(BadRequest(format!("unknown workload '{name}'")));
+                        }
+                        names.push(name.clone());
+                    }
+                    names
+                }
+                Some(_) => {
+                    return Err(BadRequest(
+                        "field 'workloads' must be an array of names or \"all\"".into(),
+                    ))
+                }
+                None => {
+                    return Err(BadRequest(
+                        "missing field 'workloads' (or \"sweep\":\"table6\")".into(),
+                    ))
+                }
+            };
+            if workloads.is_empty() {
+                return Err(BadRequest("field 'workloads' must not be empty".into()));
+            }
+            let template = Box::new(parse_point(&v, false)?);
+            Ok((
+                Job::Batch(BatchSpec::Workloads {
+                    workloads,
+                    template,
+                }),
+                deadline_ms,
+            ))
+        }
+    }
+}
+
+/// Validates the body of `POST /v1/faults`.
+pub fn parse_faults(body: &str) -> Result<(Job, Option<u64>), BadRequest> {
+    let v = parse(body).map_err(|e| BadRequest(format!("invalid JSON body: {e}")))?;
+    obj(
+        &v,
+        &["cores", "sigma_mv", "seed", "executions", "deadline_ms"],
+    )?;
+    let deadline_ms = get_u64(&v, "deadline_ms")?;
+    let cores = get_u64(&v, "cores")?.unwrap_or(4);
+    if cores == 0 || cores > 256 {
+        return Err(BadRequest("field 'cores' must be in 1..=256".into()));
+    }
+    let sigma_mv = get_f64(&v, "sigma_mv")?.unwrap_or(5.0);
+    if !sigma_mv.is_finite() || sigma_mv < 0.0 {
+        return Err(BadRequest(
+            "field 'sigma_mv' must be a non-negative number".into(),
+        ));
+    }
+    let executions = get_u64(&v, "executions")?.unwrap_or(10_000);
+    if executions == 0 || executions > 10_000_000 {
+        return Err(BadRequest(
+            "field 'executions' must be in 1..=10000000".into(),
+        ));
+    }
+    Ok((
+        Job::Faults(FaultsSpec {
+            cores: cores as usize,
+            sigma_mv,
+            seed: get_u64(&v, "seed")?.unwrap_or(0x5017),
+            executions: executions as u32,
+        }),
+        deadline_ms,
+    ))
+}
+
+/// Runs a validated job. Fan-out inside batch jobs goes over
+/// [`suit_exec`] with `threads`; the deadline is checked cooperatively
+/// between simulation bursts (each fan-out point checks before it
+/// starts), so an expired request aborts with [`ExecError::DeadlineExpired`]
+/// instead of holding a worker for the rest of the sweep.
+pub fn execute(job: &Job, threads: Threads, deadline: Deadline) -> Result<String, ExecError> {
+    if deadline.expired() {
+        return Err(ExecError::DeadlineExpired);
+    }
+    match job {
+        Job::Simulate(point) => Ok(format!(
+            "{{\"result\":{}}}",
+            run_result_json(&simulate_point(point, &point.workload, point.seed))
+        )),
+        Job::Batch(BatchSpec::Table6 { max_insts }) => {
+            let rows = run_table6(threads, *max_insts);
+            if deadline.expired() {
+                return Err(ExecError::DeadlineExpired);
+            }
+            Ok(batch_table6_json(&rows))
+        }
+        Job::Batch(BatchSpec::Workloads {
+            workloads,
+            template,
+        }) => {
+            let root = SuitRng::seed_from_u64(template.seed);
+            let results = suit_exec::run(workloads.len(), threads, |i| {
+                if deadline.expired() {
+                    return None;
+                }
+                Some(simulate_point(
+                    template,
+                    &workloads[i],
+                    root.fork(i as u64).root_seed(),
+                ))
+            });
+            let results: Option<Vec<RunResult>> = results.into_iter().collect();
+            match results {
+                None => Err(ExecError::DeadlineExpired),
+                Some(results) => Ok(batch_workloads_json(&results)),
+            }
+        }
+        Job::Faults(spec) => {
+            let chip = ChipVminModel::sample(spec.cores, spec.sigma_mv, spec.seed);
+            let mut campaign = Campaign::standard(chip, spec.seed);
+            campaign.executions = spec.executions;
+            let report = campaign.run_with_threads(threads.count());
+            if deadline.expired() {
+                return Err(ExecError::DeadlineExpired);
+            }
+            let table1: Vec<String> = TABLE1
+                .iter()
+                .map(|row| {
+                    let op = row.opcode;
+                    let first = report.first_fault_offset_mv(op);
+                    format!(
+                        "{{\"opcode\":{},\"faults\":{},\"first_fault_mv\":{}}}",
+                        escape(op.mnemonic()),
+                        report.faults(op),
+                        json_num(first)
+                    )
+                })
+                .collect();
+            let ranking: Vec<String> = report
+                .ranking()
+                .iter()
+                .map(|op| escape(op.mnemonic()))
+                .collect();
+            Ok(format!(
+                "{{\"cores\":{},\"executions\":{},\"table1\":[{}],\"ranking\":[{}]}}",
+                spec.cores,
+                spec.executions,
+                table1.join(","),
+                ranking.join(",")
+            ))
+        }
+    }
+}
+
+/// Simulates one point of the template for `workload` with `seed` —
+/// exactly the engine calls `suit-cli simulate` makes.
+fn simulate_point(template: &SimPoint, workload: &str, seed: u64) -> RunResult {
+    let p = profile::by_name(workload).expect("workload validated at parse time");
+    if template.strategy == "e" {
+        return simulate_emulation(&template.cpu, p, template.level, seed, template.insts);
+    }
+    let (strategy, adaptive) = match template.strategy.as_str() {
+        "fv" => (OperatingStrategy::FreqVolt, None),
+        "f" => (OperatingStrategy::Frequency, None),
+        "v" => (OperatingStrategy::Voltage, None),
+        "adaptive" => (
+            OperatingStrategy::FreqVolt,
+            Some(AdaptiveConfig::for_cpu(&template.cpu.delays)),
+        ),
+        other => unreachable!("strategy '{other}' validated at parse time"),
+    };
+    let params = match template.cpu.kind {
+        CpuKind::AmdRyzen7700X => StrategyParams::amd(),
+        _ => StrategyParams::intel(),
+    };
+    let cfg = SimConfig {
+        strategy,
+        params,
+        level: template.level,
+        cores: template.cores,
+        seed,
+        max_insts: template.insts,
+        record_timeline: false,
+        adaptive,
+    };
+    simulate(&template.cpu, p, &cfg)
+}
+
+/// A JSON number: shortest round-trip `Display` for finite values,
+/// `null` for NaN/±∞ (JSON has no encoding for them).
+pub fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Serialises one [`RunResult`] — raw aggregates plus the paper's
+/// derived metrics — deterministically.
+pub fn run_result_json(r: &RunResult) -> String {
+    format!(
+        "{{\"workload\":{},\"perf\":{},\"power\":{},\"efficiency\":{},\"residency\":{},\
+         \"duration_ps\":{},\"baseline_ps\":{},\"energy_rel\":{},\"time_e_ps\":{},\
+         \"time_cf_ps\":{},\"time_cv_ps\":{},\"time_stall_ps\":{},\"events\":{},\
+         \"exceptions\":{},\"timer_fires\":{},\"thrash_hits\":{}}}",
+        escape(&r.workload),
+        json_num(r.perf()),
+        json_num(r.power()),
+        json_num(r.efficiency()),
+        json_num(r.residency()),
+        r.duration.as_picos(),
+        r.baseline_duration.as_picos(),
+        json_num(r.energy_rel),
+        r.time_e.as_picos(),
+        r.time_cf.as_picos(),
+        r.time_cv.as_picos(),
+        r.time_stall.as_picos(),
+        r.events,
+        r.exceptions,
+        r.timer_fires,
+        r.thrash_hits
+    )
+}
+
+/// Serialises a list of per-workload results (`/v1/batch` workloads mode).
+pub fn batch_workloads_json(results: &[RunResult]) -> String {
+    let items: Vec<String> = results.iter().map(run_result_json).collect();
+    format!("{{\"results\":[{}]}}", items.join(","))
+}
+
+/// Serialises the Table 6 sweep (`/v1/batch` `"sweep":"table6"` mode) —
+/// the byte-identity anchor for the loopback e2e test against a direct
+/// [`run_table6`] call.
+pub fn batch_table6_json(rows: &[RowResult]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            let per: Vec<String> = row.per_workload.iter().map(run_result_json).collect();
+            let no_simd: Vec<String> = row.no_simd.iter().map(run_result_json).collect();
+            format!(
+                "{{\"label\":{},\"offset_mv\":{},\"per_workload\":[{}],\"no_simd\":[{}]}}",
+                escape(row.label),
+                json_num(row.level.offset_mv()),
+                per.join(","),
+                no_simd.join(",")
+            )
+        })
+        .collect();
+    format!("{{\"sweep\":\"table6\",\"rows\":[{}]}}", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulate_body_validates_strictly() {
+        for bad in [
+            "",
+            "not json",
+            "[1,2]",
+            "{}",
+            "{\"workload\":\"no-such\"}",
+            "{\"workload\":\"557.xz\",\"bogus\":1}",
+            "{\"workload\":\"557.xz\",\"cpu\":\"z\"}",
+            "{\"workload\":\"557.xz\",\"offset\":80}",
+            "{\"workload\":\"557.xz\",\"strategy\":\"warp\"}",
+            "{\"workload\":\"557.xz\",\"insts\":0}",
+            "{\"workload\":\"557.xz\",\"insts\":-3}",
+            "{\"workload\":\"557.xz\",\"seed\":1.5}",
+            "{\"workload\":[\"557.xz\"]}",
+        ] {
+            assert!(parse_simulate(bad).is_err(), "accepted {bad:?}");
+        }
+        let (job, deadline) =
+            parse_simulate("{\"workload\":\"557.xz\",\"insts\":1000000,\"deadline_ms\":50}")
+                .unwrap();
+        assert_eq!(deadline, Some(50));
+        match job {
+            Job::Simulate(p) => {
+                assert_eq!(p.workload, "557.xz");
+                assert_eq!(p.insts, Some(1_000_000));
+                assert_eq!(p.seed, 0x5017);
+            }
+            other => panic!("wrong job {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_body_accepts_both_modes() {
+        let (job, _) = parse_batch("{\"sweep\":\"table6\",\"max_insts\":1000}").unwrap();
+        assert!(matches!(
+            job,
+            Job::Batch(BatchSpec::Table6 {
+                max_insts: Some(1000)
+            })
+        ));
+        let (job, _) = parse_batch("{\"workloads\":[\"557.xz\",\"Nginx\"],\"insts\":5}").unwrap();
+        match job {
+            Job::Batch(BatchSpec::Workloads { workloads, .. }) => {
+                assert_eq!(workloads, ["557.xz", "Nginx"]);
+            }
+            other => panic!("wrong job {other:?}"),
+        }
+        let (job, _) = parse_batch("{\"workloads\":\"all\"}").unwrap();
+        match job {
+            Job::Batch(BatchSpec::Workloads { workloads, .. }) => {
+                assert_eq!(workloads.len(), profile::all().len());
+            }
+            other => panic!("wrong job {other:?}"),
+        }
+        for bad in [
+            "{\"sweep\":\"table9\"}",
+            "{\"sweep\":\"table6\",\"workloads\":[\"557.xz\"]}",
+            "{\"workloads\":[]}",
+            "{\"workloads\":[\"no-such\"]}",
+            "{\"workloads\":[1]}",
+            "{}",
+        ] {
+            assert!(parse_batch(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn workload_batch_is_thread_count_invariant_and_forked() {
+        let (job, _) = parse_batch(
+            "{\"workloads\":[\"557.xz\",\"Nginx\",\"502.gcc\"],\"insts\":20000000,\"seed\":7}",
+        )
+        .unwrap();
+        let one = execute(&job, Threads::Fixed(1), Deadline(None)).unwrap();
+        let four = execute(&job, Threads::Fixed(4), Deadline(None)).unwrap();
+        assert_eq!(one, four, "batch diverged across thread counts");
+        // And it really is per-job fork(i) seeding: job 0 must match a
+        // direct engine call with the forked seed.
+        let root = SuitRng::seed_from_u64(7);
+        let (Job::Batch(BatchSpec::Workloads { template, .. }), _) =
+            parse_batch("{\"workloads\":[\"557.xz\"],\"insts\":20000000,\"seed\":7}").unwrap()
+        else {
+            unreachable!()
+        };
+        let direct = simulate_point(&template, "557.xz", root.fork(0).root_seed());
+        assert!(one.contains(&run_result_json(&direct)));
+    }
+
+    #[test]
+    fn expired_deadline_aborts_before_work() {
+        let (job, _) = parse_simulate("{\"workload\":\"557.xz\",\"insts\":1000000}").unwrap();
+        let expired = Deadline(Some(Instant::now() - std::time::Duration::from_millis(1)));
+        assert_eq!(
+            execute(&job, Threads::Fixed(1), expired),
+            Err(ExecError::DeadlineExpired)
+        );
+    }
+
+    #[test]
+    fn faults_response_lists_table1() {
+        let (job, _) =
+            parse_faults("{\"cores\":2,\"executions\":500,\"seed\":3,\"sigma_mv\":4.0}").unwrap();
+        let body = execute(&job, Threads::Fixed(2), Deadline(None)).unwrap();
+        let v = parse(&body).expect("valid JSON");
+        let table = v.get("table1").and_then(Value::as_arr).unwrap();
+        assert_eq!(table.len(), TABLE1.len());
+        assert_eq!(
+            table[0].get("opcode").and_then(Value::as_str),
+            Some(TABLE1[0].opcode.mnemonic())
+        );
+        // Determinism across thread counts.
+        let again = execute(&job, Threads::Fixed(1), Deadline(None)).unwrap();
+        assert_eq!(body, again);
+    }
+
+    #[test]
+    fn json_num_maps_non_finite_to_null() {
+        assert_eq!(json_num(1.5), "1.5");
+        assert_eq!(json_num(f64::NEG_INFINITY), "null");
+        assert_eq!(json_num(f64::NAN), "null");
+    }
+}

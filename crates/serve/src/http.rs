@@ -1,0 +1,556 @@
+//! A strict, total HTTP/1.1 request parser and response writer.
+//!
+//! Hand-rolled in the spirit of the in-tree JSON parser in
+//! `suit-telemetry`: small, allocation-light, and — above all — *total*.
+//! [`parse_request`] is a pure function over a byte buffer that either
+//! asks for more bytes, yields a complete request, or returns a typed
+//! error that maps onto an HTTP status. It never panics on any input;
+//! `tests/serve_fuzz.rs` throws arbitrary and mutated bytes at it to pin
+//! that, with regression seeds committed under `tests/corpus/`.
+//!
+//! Scope is deliberately narrow: `GET`/`POST`, `HTTP/1.0`/`1.1`,
+//! `Content-Length` bodies only (no chunked transfer), explicit header
+//! and body size limits. Everything outside that scope is a *clean*
+//! error response, not undefined behaviour.
+
+use std::io::{Read, Write};
+
+/// Size limits enforced while parsing. Oversized inputs fail with
+/// [`ParseError::HeadTooLarge`] / [`ParseError::BodyTooLarge`] before
+/// the server buffers unbounded data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum byte length of the request line plus all headers
+    /// (including the terminating blank line).
+    pub max_head: usize,
+    /// Maximum `Content-Length` accepted.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head: 8 * 1024,
+            max_body: 1024 * 1024,
+        }
+    }
+}
+
+/// Request method. Anything other than `GET`/`POST` parses as [`Method::Other`]
+/// so the router can answer `405` instead of the parser guessing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST`
+    Post,
+    /// A syntactically valid but unsupported method token.
+    Other(String),
+}
+
+/// One parsed request. Header names are lowercased; values are trimmed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method.
+    pub method: Method,
+    /// The request target (always starts with `/`).
+    pub path: String,
+    /// `(name, value)` pairs in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (exactly `Content-Length` bytes; empty without one).
+    pub body: Vec<u8>,
+    /// Whether the request used `HTTP/1.1` (governs keep-alive default).
+    pub http11: bool,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the peer asked to close the connection after this
+    /// exchange (`Connection: close`, or HTTP/1.0 without keep-alive).
+    pub fn wants_close(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => true,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => false,
+            _ => !self.http11,
+        }
+    }
+}
+
+/// Outcome of a parse attempt over the bytes received so far.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parse {
+    /// The buffer does not yet hold a full request; read more bytes.
+    Partial,
+    /// A complete request, plus how many buffer bytes it consumed.
+    Complete(Request, usize),
+}
+
+/// A request that can never become valid. Each kind maps onto the HTTP
+/// status the server answers with before closing the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Head (request line + headers) exceeds [`Limits::max_head`] → 431.
+    HeadTooLarge,
+    /// Declared `Content-Length` exceeds [`Limits::max_body`] → 413.
+    BodyTooLarge,
+    /// Unsupported HTTP version → 505.
+    BadVersion(String),
+    /// Syntactically invalid request → 400, with a reason.
+    Malformed(String),
+}
+
+impl ParseError {
+    /// The HTTP status code this error is answered with.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::HeadTooLarge => 431,
+            ParseError::BodyTooLarge => 413,
+            ParseError::BadVersion(_) => 505,
+            ParseError::Malformed(_) => 400,
+        }
+    }
+
+    /// Human-readable reason, used in the structured JSON error body.
+    pub fn message(&self) -> String {
+        match self {
+            ParseError::HeadTooLarge => "request head exceeds the header size limit".into(),
+            ParseError::BodyTooLarge => "request body exceeds the body size limit".into(),
+            ParseError::BadVersion(v) => format!("unsupported HTTP version '{v}'"),
+            ParseError::Malformed(m) => format!("malformed request: {m}"),
+        }
+    }
+}
+
+/// Finds `\r\n\r\n` in `buf`, returning the index *after* it.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+/// Attempts to parse one request from the front of `buf`.
+///
+/// Total over arbitrary input: returns [`Parse::Partial`] when more
+/// bytes could complete the request, [`Parse::Complete`] with the
+/// consumed length otherwise, and [`ParseError`] when no continuation
+/// of `buf` can be a valid request within `limits`. Re-parsing the
+/// consumed prefix of a `Complete` yields the identical request (the
+/// fuzz target pins this).
+pub fn parse_request(buf: &[u8], limits: &Limits) -> Result<Parse, ParseError> {
+    let Some(end) = head_end(buf) else {
+        // No blank line yet. If the head already overflows the limit it
+        // never will fit; otherwise ask for more bytes.
+        if buf.len() > limits.max_head {
+            return Err(ParseError::HeadTooLarge);
+        }
+        return Ok(Parse::Partial);
+    };
+    if end > limits.max_head {
+        return Err(ParseError::HeadTooLarge);
+    }
+    let head = std::str::from_utf8(&buf[..end - 4])
+        .map_err(|_| ParseError::Malformed("head is not valid UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let (method, path, http11) = parse_request_line(request_line)?;
+
+    let mut headers = Vec::new();
+    let mut content_length: Option<u64> = None;
+    for line in lines {
+        let (name, value) = parse_header_line(line)?;
+        if name == "content-length" {
+            if content_length.is_some() {
+                return Err(ParseError::Malformed("duplicate content-length".into()));
+            }
+            let n: u64 = value
+                .parse()
+                .map_err(|_| ParseError::Malformed(format!("bad content-length '{value}'")))?;
+            content_length = Some(n);
+        }
+        if name == "transfer-encoding" {
+            return Err(ParseError::Malformed(
+                "transfer-encoding is not supported; use content-length".into(),
+            ));
+        }
+        headers.push((name, value));
+    }
+
+    let body_len = content_length.unwrap_or(0);
+    if body_len > limits.max_body as u64 {
+        return Err(ParseError::BodyTooLarge);
+    }
+    let body_len = body_len as usize;
+    let total = end + body_len;
+    if buf.len() < total {
+        return Ok(Parse::Partial);
+    }
+    Ok(Parse::Complete(
+        Request {
+            method,
+            path,
+            headers,
+            body: buf[end..total].to_vec(),
+            http11,
+        },
+        total,
+    ))
+}
+
+fn parse_request_line(line: &str) -> Result<(Method, String, bool), ParseError> {
+    let mut parts = line.split(' ');
+    let (Some(method), Some(path), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::Malformed(format!(
+            "request line needs 'METHOD PATH VERSION', got '{line}'"
+        )));
+    };
+    if method.is_empty() || method.len() > 16 || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(ParseError::Malformed(format!("bad method '{method}'")));
+    }
+    let method = match method {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        other => Method::Other(other.into()),
+    };
+    if !path.starts_with('/') || !path.bytes().all(|b| (0x21..=0x7e).contains(&b)) {
+        return Err(ParseError::Malformed(format!("bad request path '{path}'")));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => return Err(ParseError::BadVersion(other.into())),
+    };
+    Ok((method, path.into(), http11))
+}
+
+fn parse_header_line(line: &str) -> Result<(String, String), ParseError> {
+    let Some((name, value)) = line.split_once(':') else {
+        return Err(ParseError::Malformed(format!(
+            "header line without ':': '{line}'"
+        )));
+    };
+    if name.is_empty()
+        || !name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+    {
+        return Err(ParseError::Malformed(format!("bad header name '{name}'")));
+    }
+    let value = value.trim_matches([' ', '\t']);
+    if value.bytes().any(|b| b < 0x20 || b == 0x7f) {
+        return Err(ParseError::Malformed(format!(
+            "control byte in header '{name}'"
+        )));
+    }
+    Ok((name.to_ascii_lowercase(), value.to_string()))
+}
+
+/// An outgoing response: status, JSON body, and optional extras.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (always JSON in this service).
+    pub body: String,
+    /// `Retry-After` seconds, sent on `429` backpressure responses.
+    pub retry_after: Option<u32>,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn ok(body: impl Into<String>) -> Self {
+        Response {
+            status: 200,
+            body: body.into(),
+            retry_after: None,
+        }
+    }
+
+    /// A structured JSON error: `{"error":{"status":...,"message":...}}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        Response {
+            status,
+            body: format!(
+                "{{\"error\":{{\"status\":{status},\"message\":{}}}}}",
+                suit_telemetry::json::escape(message)
+            ),
+            retry_after: None,
+        }
+    }
+
+    /// The standard reason phrase for this status.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            505 => "HTTP Version Not Supported",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialises the response head + body. `keep_alive` controls the
+    /// `Connection` header the server advertises back.
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            self.status,
+            self.reason(),
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        if let Some(secs) = self.retry_after {
+            out.push_str(&format!("retry-after: {secs}\r\n"));
+        }
+        out.push_str("\r\n");
+        let mut bytes = out.into_bytes();
+        bytes.extend_from_slice(self.body.as_bytes());
+        bytes
+    }
+
+    /// Writes the response to `w` (best-effort; peers may vanish).
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        w.write_all(&self.to_bytes(keep_alive))
+    }
+}
+
+/// A response as the in-tree client sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    pub fn text(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|e| format!("response body is not UTF-8: {e}"))
+    }
+}
+
+/// Reads and parses one HTTP response from `r` (client side). Requires a
+/// `content-length` header (the in-tree server always sends one).
+pub fn read_response(r: &mut impl Read) -> Result<ClientResponse, String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let end = loop {
+        if let Some(end) = head_end(&buf) {
+            break end;
+        }
+        if buf.len() > 64 * 1024 {
+            return Err("response head too large".into());
+        }
+        match r.read(&mut chunk) {
+            Ok(0) => return Err("connection closed before response head".into()),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(format!("read: {e}")),
+        }
+    };
+    let head = std::str::from_utf8(&buf[..end - 4])
+        .map_err(|_| "response head is not UTF-8".to_string())?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let mut parts = status_line.splitn(3, ' ');
+    let (Some(version), Some(code), _) = (parts.next(), parts.next(), parts.next()) else {
+        return Err(format!("bad status line '{status_line}'"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("bad status line '{status_line}'"));
+    }
+    let status: u16 = code
+        .parse()
+        .map_err(|_| format!("bad status code '{code}'"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) =
+            parse_header_line(line).map_err(|e| format!("bad response header: {}", e.message()))?;
+        headers.push((name, value));
+    }
+    let len: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .ok_or("response without content-length")?
+        .1
+        .parse()
+        .map_err(|_| "bad response content-length".to_string())?;
+    let mut body = buf[end..].to_vec();
+    while body.len() < len {
+        match r.read(&mut chunk) {
+            Ok(0) => return Err("connection closed mid-body".into()),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(format!("read: {e}")),
+        }
+    }
+    body.truncate(len);
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(bytes: &[u8]) -> (Request, usize) {
+        match parse_request(bytes, &Limits::default()) {
+            Ok(Parse::Complete(r, n)) => (r, n),
+            other => panic!("expected complete parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let (r, n) = parse_ok(b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.path, "/v1/healthz");
+        assert!(r.http11);
+        assert_eq!(r.header("host"), Some("x"));
+        assert!(r.body.is_empty());
+        assert_eq!(n, b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n".len());
+    }
+
+    #[test]
+    fn parses_a_post_with_content_length_body() {
+        let raw = b"POST /v1/simulate HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"extra";
+        let (r, n) = parse_ok(raw);
+        assert_eq!(r.method, Method::Post);
+        assert_eq!(r.body, b"{\"a\"");
+        // Trailing bytes beyond the body belong to the next request.
+        assert_eq!(n, raw.len() - 5);
+    }
+
+    #[test]
+    fn partial_until_blank_line_and_body_complete() {
+        let limits = Limits::default();
+        assert_eq!(
+            parse_request(b"POST /x HTTP/1.1\r\nContent-", &limits),
+            Ok(Parse::Partial)
+        );
+        assert_eq!(
+            parse_request(
+                b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc",
+                &limits
+            ),
+            Ok(Parse::Partial)
+        );
+    }
+
+    #[test]
+    fn enforces_head_and_body_limits() {
+        let limits = Limits {
+            max_head: 64,
+            max_body: 8,
+        };
+        let long_head = format!("GET /x HTTP/1.1\r\nh: {}\r\n\r\n", "a".repeat(100));
+        assert_eq!(
+            parse_request(long_head.as_bytes(), &limits),
+            Err(ParseError::HeadTooLarge)
+        );
+        // Oversized heads are refused even before the blank line arrives.
+        assert_eq!(
+            parse_request(&[b'a'; 100], &limits),
+            Err(ParseError::HeadTooLarge)
+        );
+        assert_eq!(
+            parse_request(b"POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\n", &limits),
+            Err(ParseError::BodyTooLarge)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        let limits = Limits::default();
+        for bad in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /x HTTP/2\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon\r\n\r\n",
+            b"GET /x HTTP/1.1\r\n: empty\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: two\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 1\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"\xff\xfe\r\n\r\n",
+        ] {
+            assert!(
+                parse_request(bad, &limits).is_err(),
+                "accepted {:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn connection_semantics_follow_version_and_header() {
+        let (r, _) = parse_ok(b"GET / HTTP/1.1\r\n\r\n");
+        assert!(!r.wants_close());
+        let (r, _) = parse_ok(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(r.wants_close());
+        let (r, _) = parse_ok(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(r.wants_close());
+        let (r, _) = parse_ok(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(!r.wants_close());
+    }
+
+    #[test]
+    fn response_round_trips_through_the_client_reader() {
+        let resp = Response::ok("{\"status\":\"ok\"}");
+        let bytes = resp.to_bytes(true);
+        let got = read_response(&mut &bytes[..]).unwrap();
+        assert_eq!(got.status, 200);
+        assert_eq!(got.body, resp.body.as_bytes());
+        assert_eq!(got.header("connection"), Some("keep-alive"));
+
+        let err = Response::error(429, "queue full");
+        let err = Response {
+            retry_after: Some(1),
+            ..err
+        };
+        let got = read_response(&mut &err.to_bytes(false)[..]).unwrap();
+        assert_eq!(got.status, 429);
+        assert_eq!(got.header("retry-after"), Some("1"));
+        assert!(got.text().unwrap().contains("queue full"));
+    }
+
+    #[test]
+    fn error_bodies_are_valid_json() {
+        let r = Response::error(400, "bad \"quoted\" thing\n");
+        let v = suit_telemetry::json::parse(&r.body).expect("valid JSON");
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("status"))
+                .and_then(|s| s.as_f64()),
+            Some(400.0)
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! `suit-serve` — a zero-dependency HTTP/1.1 service in front of the
+//! SUIT simulation stack.
+//!
+//! The paper's experiments (undervolt sweeps, fault-injection
+//! campaigns) are batch jobs; this crate turns them into a resident
+//! service so a dashboard or sweep driver can submit work over
+//! loopback instead of forking the CLI per point. Everything is
+//! hand-rolled on `std::net` in the same spirit as the in-tree JSON
+//! parser in `suit-telemetry`: no external crates, no async runtime,
+//! no unsafe code.
+//!
+//! Endpoints:
+//!
+//! | endpoint           | method | body                                  |
+//! |--------------------|--------|---------------------------------------|
+//! | `/v1/simulate`     | POST   | one simulation point                  |
+//! | `/v1/batch`        | POST   | a sweep fanned over [`suit_exec`]     |
+//! | `/v1/faults`       | POST   | a fault-injection campaign            |
+//! | `/v1/metrics`      | GET    | request counters + latency histograms |
+//! | `/v1/healthz`      | GET    | liveness / drain state                |
+//! | `/v1/shutdown`     | POST   | begin graceful drain                  |
+//!
+//! Determinism is the load-bearing property: batch jobs seed each point
+//! with `rng.fork(i)` and collect results in index order through
+//! [`suit_exec::run`], so a response is byte-identical to the
+//! equivalent CLI invocation at any worker-thread count. The loopback
+//! e2e test pins this.
+//!
+//! Module map: [`http`] (strict request parser + response writer),
+//! [`api`] (body validation, job execution, deterministic JSON
+//! serialization), [`server`] (acceptor, bounded admission queue,
+//! worker pool, graceful shutdown), [`client`] (blocking one-shot
+//! client for the CLI and tests).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use api::{BadRequest, Deadline};
+pub use client::{request, request_text};
+pub use http::{ClientResponse, Limits, Request, Response};
+pub use server::{ServeConfig, Server, ShutdownHandle};

@@ -26,15 +26,18 @@ use suit::trace::io::{read_trace, write_trace, TraceMeta};
 use suit::trace::{profile, TraceGen};
 
 const USAGE: &str =
-    "usage: suit-cli <list|simulate|profile|validate-trace|mix|trace|analyze|security> [options]\n\
+    "usage: suit-cli <list|simulate|profile|validate-trace|mix|trace|analyze|security|serve|client> [options]\n\
 \x20 simulate --workload <name[,name...]|all> [--cpu a|b|c] [--strategy fv|f|v|e|adaptive]\n\
 \x20          [--offset 70|97] [--cores N] [--insts N] [--seed N] [--threads N]\n\
 \x20 profile <workload> [--trace-out <file>] [--cpu a|b|c] [--strategy fv|f|v|adaptive]\n\
-\x20          [--offset 70|97] [--cores N] [--insts N] [--seed N] [--events N]\n\
-\x20 validate-trace <file>\n\
+\x20          [--offset 70|97] [--cores N] [--insts N] [--seed N] [--events N] [--threads N]\n\
+\x20 validate-trace <file|->          (- reads the trace from stdin)\n\
 \x20 mix <office|webserver|hpc|media|all> [--cpu a|b|c] [--insts N] [--threads N]\n\
 \x20 trace record --workload <name> --out <file> [--bursts N]\n\
 \x20 trace info <file>\n\
+\x20 serve [--addr HOST:PORT] [--threads N] [--queue-depth N] [--deadline-ms N]\n\
+\x20 client <path> [--addr HOST:PORT] [--method GET|POST] [--body <json>|-]\n\
+\x20        [--timeout-ms N] [--expect-json]\n\
 \x20 --threads N fans workloads out over N workers; results are identical for every N";
 
 fn main() -> ExitCode {
@@ -62,6 +65,8 @@ fn main() -> ExitCode {
         Some("security") => cmd_security(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("mix") => cmd_mix(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some(other) => Err(format!("unknown subcommand '{other}'")),
         None => Err("missing subcommand".into()),
     };
@@ -74,6 +79,8 @@ fn main() -> ExitCode {
                 || e.contains("unknown flag")
                 || e.contains("unexpected argument")
                 || e.contains("--threads")
+                || e.contains("--addr")
+                || e.contains("--queue-depth")
             {
                 eprintln!("{USAGE}");
             }
@@ -458,10 +465,16 @@ fn cmd_profile(args: &[String]) -> CliResult {
             "--insts",
             "--seed",
             "--events",
+            "--threads",
         ],
         &[],
         1,
     )?;
+    // A profile run is one instrumented simulation, so `--threads` has
+    // nothing to fan out — but every subcommand accepts the flag through
+    // the same strict parse-and-usage path, so a bad value fails the
+    // same way everywhere instead of being silently ignored here.
+    let _ = parse_threads(args)?;
     let name = first_positional(args).ok_or("missing <workload> (see `suit-cli list`)")?;
     let p = profile::by_name(&name).ok_or_else(|| format!("unknown workload '{name}'"))?;
     let cpu = parse_cpu(opt(args, "--cpu"))?;
@@ -539,12 +552,23 @@ fn cmd_profile(args: &[String]) -> CliResult {
     Ok(())
 }
 
-/// `validate-trace <file>`: parse a Chrome/Perfetto trace with the
-/// in-tree JSON parser and check the event-stream invariants.
+/// `validate-trace <file|->`: parse a Chrome/Perfetto trace with the
+/// in-tree JSON parser and check the event-stream invariants. `-` reads
+/// the trace from stdin, so `suit-cli profile ... --trace-out /dev/stdout`
+/// style pipelines work without a temp file.
 fn cmd_validate_trace(args: &[String]) -> CliResult {
     check_args(args, &[], &[], 1)?;
-    let path = args.first().ok_or("missing <file>")?;
-    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let path = args.first().ok_or("missing <file|-> (- reads stdin)")?;
+    let src = if path == "-" {
+        let mut s = String::new();
+        use std::io::Read;
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| format!("stdin: {e}"))?;
+        s
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+    };
     let stats = validate_perfetto(&src).map_err(|e| format!("{path}: invalid trace: {e}"))?;
     println!(
         "{path}: valid Perfetto trace — {} events ({} spans, {} instants, {} metadata)",
@@ -555,5 +579,119 @@ fn cmd_validate_trace(args: &[String]) -> CliResult {
     for (name, n) in names {
         println!("  {n:>8}  {name}");
     }
+    Ok(())
+}
+
+/// `serve`: run the resident simulation service until `POST /v1/shutdown`.
+///
+/// All flags are validated *before* the socket is bound, so a bad
+/// `--addr` or `--queue-depth` fails with the usage text and never opens
+/// a port.
+fn cmd_serve(args: &[String]) -> CliResult {
+    check_args(
+        args,
+        &["--addr", "--threads", "--queue-depth", "--deadline-ms"],
+        &[],
+        0,
+    )?;
+    let addr = opt(args, "--addr").unwrap_or_else(|| "127.0.0.1:8017".into());
+    let sock: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| format!("--addr must be HOST:PORT, got '{addr}' ({e})"))?;
+    let threads = parse_threads(args)?;
+    let queue_depth: usize = match opt(args, "--queue-depth") {
+        None => 32,
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                return Err(format!(
+                    "--queue-depth must be a positive integer, got '{v}'"
+                ))
+            }
+        },
+    };
+    let deadline_ms: Option<u64> = opt(args, "--deadline-ms")
+        .map(|v| v.parse().map_err(|e| format!("--deadline-ms: {e}")))
+        .transpose()?;
+    let cfg = suit::serve::ServeConfig {
+        threads,
+        queue_depth,
+        default_deadline_ms: deadline_ms,
+        ..suit::serve::ServeConfig::default()
+    };
+    let server = suit::serve::Server::bind(&sock.to_string(), cfg).map_err(|e| e.to_string())?;
+    let local = server.local_addr().map_err(|e| e.to_string())?;
+    // The CI smoke step (and anyone using `--addr 127.0.0.1:0`) reads the
+    // resolved port off this line, so keep its shape stable and flushed.
+    println!(
+        "suit-serve listening on {local} ({} worker(s), queue depth {queue_depth})",
+        threads.count()
+    );
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    server.run().map_err(|e| e.to_string())?;
+    println!("suit-serve drained and stopped");
+    Ok(())
+}
+
+/// `client <path>`: one request against a running service; prints the
+/// response body to stdout and fails (nonzero exit) on any non-2xx
+/// status, so shell pipelines and the CI smoke step can chain on it.
+/// `--expect-json` additionally parses the body with the in-tree JSON
+/// parser and fails on anything malformed.
+fn cmd_client(args: &[String]) -> CliResult {
+    check_args(
+        args,
+        &["--addr", "--method", "--body", "--timeout-ms"],
+        &["--expect-json"],
+        1,
+    )?;
+    let path = first_positional(args).ok_or("missing <path> (e.g. /v1/healthz)")?;
+    if !path.starts_with('/') {
+        return Err(format!("path must start with '/', got '{path}'"));
+    }
+    let addr = opt(args, "--addr").unwrap_or_else(|| "127.0.0.1:8017".into());
+    let _sock: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| format!("--addr must be HOST:PORT, got '{addr}' ({e})"))?;
+    let body = match opt(args, "--body") {
+        // `--body -` reads the request body from stdin, mirroring
+        // `validate-trace -`.
+        Some(b) if b == "-" => {
+            let mut s = String::new();
+            use std::io::Read;
+            std::io::stdin()
+                .read_to_string(&mut s)
+                .map_err(|e| format!("stdin: {e}"))?;
+            Some(s)
+        }
+        other => other,
+    };
+    // POST whenever a body is supplied; an explicit --method wins.
+    let default_method = if body.is_some() { "POST" } else { "GET" };
+    let method = opt(args, "--method").unwrap_or_else(|| default_method.into());
+    match method.as_str() {
+        "GET" | "POST" => {}
+        other => {
+            return Err(format!(
+                "unsupported method '{other}' (expected GET or POST)"
+            ))
+        }
+    }
+    let timeout_ms: u64 = opt(args, "--timeout-ms").map_or(Ok(30_000), |v| {
+        v.parse().map_err(|e| format!("--timeout-ms: {e}"))
+    })?;
+    let text = suit::serve::request_text(
+        &addr,
+        &method,
+        &path,
+        body.as_deref(),
+        std::time::Duration::from_millis(timeout_ms),
+    )?;
+    if args.iter().any(|a| a == "--expect-json") {
+        suit::telemetry::json::parse(&text)
+            .map_err(|e| format!("response body is not valid JSON: {e}"))?;
+    }
+    println!("{text}");
     Ok(())
 }

@@ -23,6 +23,7 @@
 //! | [`exec`] | Deterministic fan-out executor behind every parallel sweep |
 //! | [`mod@bench`] | Regenerators for every paper table and figure |
 //! | [`check`] | Property testing, shrinking, differential fuzzing |
+//! | [`serve`] | Zero-dependency HTTP service: batching, backpressure |
 //!
 //! ## Quick start
 //!
@@ -54,6 +55,7 @@ pub use suit_faults as faults;
 pub use suit_hw as hw;
 pub use suit_isa as isa;
 pub use suit_ooo as ooo;
+pub use suit_serve as serve;
 pub use suit_sim as sim;
 pub use suit_telemetry as telemetry;
 pub use suit_trace as trace;

@@ -103,6 +103,16 @@ id_enum! {
         OooL1dMisses => "ooo_l1d_misses",
         /// Out-of-order core: cycles stalled with the ROB full.
         OooRobStallCycles => "ooo_rob_stall_cycles",
+        /// `suit-serve`: requests admitted to an endpoint handler.
+        ServeRequests => "serve_requests",
+        /// `suit-serve`: requests rejected with `429` (admission queue
+        /// full — explicit backpressure).
+        ServeRejected => "serve_rejected",
+        /// `suit-serve`: requests refused with a `4xx` validation or
+        /// parse error (`400`/`404`/`405`/`413`/`431`).
+        ServeBadRequests => "serve_bad_requests",
+        /// `suit-serve`: requests whose deadline expired (`408`).
+        ServeDeadlineExpired => "serve_deadline_expired",
     }
 }
 
@@ -121,6 +131,15 @@ id_enum! {
         /// Undervolting depth (millivolts below nominal) at each run's
         /// first fault.
         FirstFaultDepthMv => "first_fault_depth_mv",
+        /// `suit-serve`: `POST /v1/simulate` wall-clock latency, µs
+        /// (queue wait + execution).
+        ServeSimulateUs => "serve_simulate_us",
+        /// `suit-serve`: `POST /v1/batch` wall-clock latency, µs.
+        ServeBatchUs => "serve_batch_us",
+        /// `suit-serve`: `POST /v1/faults` wall-clock latency, µs.
+        ServeFaultsUs => "serve_faults_us",
+        /// `suit-serve`: `GET /v1/metrics` wall-clock latency, µs.
+        ServeMetricsUs => "serve_metrics_us",
     }
 }
 

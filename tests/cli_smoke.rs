@@ -126,6 +126,109 @@ fn mix_all_runs_every_mix() {
 }
 
 #[test]
+fn serve_flag_validation_prints_usage_and_fails() {
+    // Bad values must fail *before* any socket is bound: validation is
+    // fast, loud, and routed through the same usage path as --threads.
+    for (args, needle) in [
+        (
+            ["serve", "--addr", "not-an-address"].as_slice(),
+            "--addr must be HOST:PORT",
+        ),
+        (
+            ["serve", "--queue-depth", "0"].as_slice(),
+            "--queue-depth must be a positive integer",
+        ),
+        (
+            ["serve", "--queue-depth", "lots"].as_slice(),
+            "--queue-depth must be a positive integer",
+        ),
+        (
+            ["serve", "--threads", "0"].as_slice(),
+            "--threads must be a positive integer",
+        ),
+        (
+            ["serve", "--port", "80"].as_slice(),
+            "unknown flag '--port'",
+        ),
+    ] {
+        let out = cli(args);
+        assert!(!out.status.success(), "{args:?} should fail");
+        let err = stderr(&out);
+        assert!(err.contains(needle), "{args:?}: {err}");
+        assert!(err.contains("usage: suit-cli"), "{args:?}: {err}");
+    }
+}
+
+#[test]
+fn client_flag_validation_fails_cleanly() {
+    for args in [
+        ["client"].as_slice(),
+        ["client", "v1/healthz"].as_slice(),
+        ["client", "/v1/healthz", "--addr", "nope"].as_slice(),
+        ["client", "/v1/healthz", "--method", "PUT"].as_slice(),
+    ] {
+        let out = cli(args);
+        assert!(!out.status.success(), "{args:?} should fail");
+        assert!(stderr(&out).contains("error:"), "{args:?}");
+    }
+}
+
+#[test]
+fn profile_validates_threads_like_every_other_subcommand() {
+    let out = cli(&["profile", "Nginx", "--insts", "50000000", "--threads", "0"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(
+        err.contains("--threads must be a positive integer"),
+        "{err}"
+    );
+    assert!(err.contains("usage: suit-cli"), "{err}");
+
+    let out = cli(&["profile", "Nginx", "--insts", "50000000", "--threads", "2"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+}
+
+#[test]
+fn validate_trace_reads_stdin_with_dash() {
+    use std::io::Write;
+    let path = std::env::temp_dir().join(format!("suit-cli-stdin-{}.json", std::process::id()));
+    let path = path.to_str().expect("utf-8 temp path");
+    let out = cli(&[
+        "profile",
+        "Nginx",
+        "--insts",
+        "50000000",
+        "--trace-out",
+        path,
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let trace = std::fs::read(path).expect("trace file");
+    std::fs::remove_file(path).ok();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_suit-cli"))
+        .args(["validate-trace", "-"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn suit-cli");
+    child.stdin.take().expect("stdin").write_all(&trace).ok();
+    let out = child.wait_with_output().expect("wait suit-cli");
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("valid Perfetto trace"),
+        "{}",
+        stdout(&out)
+    );
+
+    // Without the trace on stdin nothing changes for files: a missing
+    // path still fails strictly.
+    let out = cli(&["validate-trace"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("missing <file|->"));
+}
+
+#[test]
 fn profile_trace_round_trips_through_validate_trace() {
     let path = std::env::temp_dir().join(format!("suit-cli-smoke-{}.json", std::process::id()));
     let path = path.to_str().expect("utf-8 temp path");

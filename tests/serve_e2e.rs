@@ -1,0 +1,269 @@
+//! Loopback end-to-end tests for `suit-serve`: real sockets, real
+//! worker pools, in-process server.
+//!
+//! The load-bearing assertion is *byte identity*: a `/v1/batch` response
+//! must equal the JSON serialization of the equivalent direct
+//! `suit-sim` API call — at one worker thread and at four. Everything
+//! else (400s, 429 backpressure, 408 deadlines, graceful drain) pins the
+//! service's robustness contract.
+
+use std::time::Duration;
+
+use suit::exec::Threads;
+use suit::serve::api;
+use suit::serve::{request, request_text, ServeConfig, Server, ShutdownHandle};
+use suit::sim::experiment::run_table6;
+use suit::telemetry::json::{parse, Value};
+
+/// Binds an ephemeral port, runs the server on a background thread, and
+/// returns the address, a shutdown handle, and the join handle.
+fn start(
+    cfg: ServeConfig,
+) -> (
+    String,
+    ShutdownHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+fn stop(handle: ShutdownHandle, join: std::thread::JoinHandle<std::io::Result<()>>) {
+    handle.shutdown();
+    join.join().expect("server thread").expect("server run");
+}
+
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+fn post(addr: &str, path: &str, body: &str) -> Result<String, String> {
+    request_text(addr, "POST", path, Some(body), TIMEOUT)
+}
+
+/// Field lookup in a parsed JSON object.
+fn field<'v>(v: &'v Value, name: &str) -> &'v Value {
+    match v {
+        Value::Obj(pairs) => pairs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing field '{name}'")),
+        other => panic!("expected object, got {other:?}"),
+    }
+}
+
+#[test]
+fn batch_table6_is_byte_identical_to_the_direct_api_at_any_thread_count() {
+    const CAP: u64 = 20_000_000;
+    // The ground truth: the same sweep through the suit-sim API,
+    // serialized by the same functions the server uses.
+    let expect = api::batch_table6_json(&run_table6(Threads::Fixed(1), Some(CAP)));
+    let body = format!("{{\"sweep\":\"table6\",\"max_insts\":{CAP}}}");
+    for workers in [1, 4] {
+        let (addr, handle, join) = start(ServeConfig {
+            threads: Threads::Fixed(workers),
+            ..ServeConfig::default()
+        });
+        let got = post(&addr, "/v1/batch", &body).expect("batch");
+        assert_eq!(
+            got, expect,
+            "/v1/batch diverged from run_table6 at {workers} worker(s)"
+        );
+        stop(handle, join);
+    }
+}
+
+#[test]
+fn simulate_round_trips_and_metrics_count_it() {
+    let (addr, handle, join) = start(ServeConfig::default());
+    let got = post(
+        &addr,
+        "/v1/simulate",
+        "{\"workload\":\"557.xz\",\"insts\":50000000}",
+    )
+    .expect("simulate");
+    let parsed = parse(&got).expect("response is valid JSON");
+    let result = field(&parsed, "result");
+    assert!(matches!(
+        field(result, "workload"),
+        Value::Str(s) if s == "557.xz"
+    ));
+
+    let metrics = request_text(&addr, "GET", "/v1/metrics", None, TIMEOUT).expect("metrics");
+    let m = parse(&metrics).expect("metrics JSON");
+    assert!(matches!(
+        field(field(&m, "requests"), "accepted"),
+        Value::Num(n) if *n >= 1.0
+    ));
+    assert!(matches!(
+        field(field(field(&m, "latency_us"), "simulate"), "count"),
+        Value::Num(n) if *n == 1.0
+    ));
+    stop(handle, join);
+}
+
+#[test]
+fn malformed_bodies_are_400_with_structured_json_never_a_panic() {
+    let (addr, handle, join) = start(ServeConfig::default());
+    for bad in [
+        "",
+        "not json",
+        "[1,2,3]",
+        "{\"workload\":\"no-such-workload\"}",
+        "{\"workload\":\"557.xz\",\"bogus\":1}",
+        "{\"workload\":\"557.xz\",\"insts\":0}",
+        "{\"workload\":\"557.xz\",\"strategy\":\"warp\"}",
+        "{\"workload\":\"557.xz\",\"seed\":-1}",
+    ] {
+        let resp = request(&addr, "POST", "/v1/simulate", Some(bad), TIMEOUT).expect("request");
+        assert_eq!(resp.status, 400, "body {bad:?}: {}", resp.text().unwrap());
+        let err = parse(resp.text().expect("utf-8")).expect("error body is valid JSON");
+        assert!(matches!(
+            field(field(&err, "error"), "status"),
+            Value::Num(n) if *n == 400.0
+        ));
+    }
+    // The server survived all of it.
+    let health = request_text(&addr, "GET", "/v1/healthz", None, TIMEOUT).expect("healthz");
+    assert_eq!(health, "{\"status\":\"ok\"}");
+    stop(handle, join);
+}
+
+#[test]
+fn full_queue_answers_429_with_retry_after() {
+    // One worker, queue depth one: at most two jobs can be in the system,
+    // so a burst of concurrent slow batches must bounce at least one
+    // request with 429.
+    let (addr, handle, join) = start(ServeConfig {
+        threads: Threads::Fixed(1),
+        queue_depth: 1,
+        ..ServeConfig::default()
+    });
+    let slow = "{\"workloads\":\"all\",\"insts\":2000000000}";
+    let mut rejected = 0u32;
+    'rounds: for _ in 0..20 {
+        let results: Vec<_> = std::thread::scope(|scope| {
+            let addr = addr.as_str();
+            let posts: Vec<_> = (0..6)
+                .map(|_| {
+                    scope.spawn(move || {
+                        request(addr, "POST", "/v1/batch", Some(slow), TIMEOUT).expect("request")
+                    })
+                })
+                .collect();
+            posts.into_iter().map(|t| t.join().expect("join")).collect()
+        });
+        for resp in results {
+            match resp.status {
+                200 => {}
+                429 => {
+                    assert_eq!(
+                        resp.header("retry-after"),
+                        Some("1"),
+                        "429 needs Retry-After"
+                    );
+                    rejected += 1;
+                }
+                other => panic!("unexpected status {other}: {}", resp.text().unwrap()),
+            }
+            if rejected > 0 {
+                break 'rounds;
+            }
+        }
+    }
+    assert!(rejected >= 1, "bounded queue never produced a 429");
+    let metrics = request_text(&addr, "GET", "/v1/metrics", None, TIMEOUT).expect("metrics");
+    let m = parse(&metrics).expect("metrics JSON");
+    assert!(matches!(
+        field(field(&m, "requests"), "rejected"),
+        Value::Num(n) if *n >= 1.0
+    ));
+    stop(handle, join);
+}
+
+#[test]
+fn an_already_expired_deadline_is_408() {
+    let (addr, handle, join) = start(ServeConfig::default());
+    let resp = request(
+        &addr,
+        "POST",
+        "/v1/simulate",
+        Some("{\"workload\":\"557.xz\",\"deadline_ms\":0}"),
+        TIMEOUT,
+    )
+    .expect("request");
+    assert_eq!(resp.status, 408, "{}", resp.text().unwrap());
+    stop(handle, join);
+}
+
+#[test]
+fn faults_campaign_reports_table1_and_is_deterministic() {
+    let body = "{\"executions\":200,\"seed\":7}";
+    let (addr, handle, join) = start(ServeConfig::default());
+    let a = post(&addr, "/v1/faults", body).expect("faults");
+    let b = post(&addr, "/v1/faults", body).expect("faults again");
+    assert_eq!(a, b, "same campaign spec must serialize identically");
+    let parsed = parse(&a).expect("faults JSON");
+    match field(&parsed, "table1") {
+        Value::Arr(rows) => assert!(!rows.is_empty(), "table1 must list opcodes"),
+        other => panic!("table1 should be an array, got {other:?}"),
+    }
+    stop(handle, join);
+}
+
+#[test]
+fn graceful_shutdown_drains_the_inflight_job() {
+    let (addr, handle, join) = start(ServeConfig {
+        threads: Threads::Fixed(1),
+        ..ServeConfig::default()
+    });
+    // Park a slow job on the single worker…
+    let slow_addr = addr.clone();
+    let slow = std::thread::spawn(move || {
+        post(
+            &slow_addr,
+            "/v1/batch",
+            "{\"workloads\":\"all\",\"insts\":2000000000}",
+        )
+    });
+    // …wait until it is actually inflight…
+    let mut inflight = false;
+    for _ in 0..200 {
+        let metrics = request_text(&addr, "GET", "/v1/metrics", None, TIMEOUT).expect("metrics");
+        let m = parse(&metrics).expect("metrics JSON");
+        if matches!(field(field(&m, "queue"), "inflight"), Value::Num(n) if *n >= 1.0) {
+            inflight = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(inflight, "slow job never became inflight");
+    // …then ask for shutdown over HTTP. The drain contract: the inflight
+    // job still completes with a full 200 response, and run() returns.
+    let drain = post(&addr, "/v1/shutdown", "{}").expect("shutdown");
+    assert_eq!(drain, "{\"status\":\"draining\"}");
+    let slow_result = slow
+        .join()
+        .expect("slow thread")
+        .expect("inflight job must complete");
+    assert!(
+        slow_result.contains("\"results\""),
+        "drained job returned a full batch result"
+    );
+    join.join().expect("server thread").expect("server run");
+    let _ = handle;
+}
+
+#[test]
+fn unknown_paths_and_wrong_methods_fail_cleanly() {
+    let (addr, handle, join) = start(ServeConfig::default());
+    let resp = request(&addr, "GET", "/v1/nope", None, TIMEOUT).expect("request");
+    assert_eq!(resp.status, 404);
+    let resp = request(&addr, "GET", "/v1/simulate", None, TIMEOUT).expect("request");
+    assert_eq!(resp.status, 405);
+    let resp = request(&addr, "POST", "/v1/metrics", Some("{}"), TIMEOUT).expect("request");
+    assert_eq!(resp.status, 405);
+    stop(handle, join);
+}

@@ -1,0 +1,230 @@
+//! Structure-aware fuzz targets for the `suit-serve` request path.
+//!
+//! Two totality properties pin the service's "never a panic" contract:
+//!
+//! 1. the HTTP/1.1 request parser is total over raw, valid, mutated,
+//!    over-long-header and truncated-body byte streams, and every
+//!    `Complete` parse is prefix-stable (re-parsing exactly the consumed
+//!    bytes reproduces the identical request);
+//! 2. the endpoint body validators (`parse_simulate` / `parse_batch` /
+//!    `parse_faults`) are total over raw and near-valid JSON — a bad
+//!    body is always a structured 400, never a crash.
+//!
+//! CI drives property 1 with `SUIT_CHECK_CASES=100000` as the fuzz-smoke
+//! gate. The committed corpus seeds in `tests/corpus/` pin the two
+//! interesting parser shapes (over-long header, truncated body) and are
+//! replayed before random exploration on every run.
+
+use suit::check::gen::{self, Gen};
+use suit::check::{corpus_dir, Checker, Source};
+use suit::serve::api;
+use suit::serve::http::{parse_request, Limits, Parse};
+
+/// Small limits so the generator can reach every rejection branch with
+/// short inputs.
+fn limits() -> Limits {
+    Limits {
+        max_head: 256,
+        max_body: 512,
+    }
+}
+
+/// A syntactically valid request with a correct `content-length`.
+fn valid_request() -> Gen<Vec<u8>> {
+    let method = gen::from_slice(&["GET", "POST"]);
+    let path = gen::from_slice(&["/v1/simulate", "/v1/batch", "/v1/healthz", "/"]);
+    let body = gen::bytes_up_to(64);
+    let keep = gen::bool_any();
+    gen::pair(&gen::pair(&method, &path), &gen::pair(&body, &keep)).map(
+        |((method, path), (body, keep))| {
+            let mut req = format!("{method} {path} HTTP/1.1\r\nhost: fuzz\r\n");
+            if keep {
+                req.push_str("connection: keep-alive\r\n");
+            }
+            req.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+            let mut bytes = req.into_bytes();
+            bytes.extend_from_slice(&body);
+            bytes
+        },
+    )
+}
+
+/// A valid request with one byte overwritten.
+fn mutated_request() -> Gen<Vec<u8>> {
+    gen::pair(
+        &valid_request(),
+        &gen::pair(&gen::usize_in(0..=511), &gen::byte()),
+    )
+    .map(|(mut bytes, (pos, b))| {
+        let at = pos % bytes.len();
+        bytes[at] = b;
+        bytes
+    })
+}
+
+/// A request whose header block alone exceeds `max_head` (256 here).
+fn overlong_header_request() -> Gen<Vec<u8>> {
+    gen::usize_in(260..=400).map(|n| {
+        let mut req = String::from("GET / HTTP/1.1\r\nx-pad: ");
+        req.extend(std::iter::repeat('a').take(n));
+        req.push_str("\r\n\r\n");
+        req.into_bytes()
+    })
+}
+
+/// A request whose `content-length` promises more bytes than follow.
+fn truncated_body_request() -> Gen<Vec<u8>> {
+    gen::pair(&gen::usize_in(1..=200), &gen::usize_in(0..=100)).map(|(claim, have)| {
+        let mut bytes =
+            format!("POST /v1/simulate HTTP/1.1\r\ncontent-length: {claim}\r\n\r\n").into_bytes();
+        bytes.extend(std::iter::repeat(0x7Bu8).take(have.min(claim.saturating_sub(1))));
+        bytes
+    })
+}
+
+/// The full request-stream generator: raw soup first (shrinks toward
+/// simplest), then the structured shapes.
+fn request_stream() -> Gen<Vec<u8>> {
+    gen::one_of(vec![
+        gen::bytes_up_to(400),
+        valid_request(),
+        mutated_request(),
+        overlong_header_request(),
+        truncated_body_request(),
+    ])
+}
+
+/// Property 1: the parser is total and `Complete` parses are
+/// prefix-stable and within limits.
+fn parser_is_total(input: &[u8]) -> Result<(), String> {
+    match parse_request(input, &limits()) {
+        Err(_) | Ok(Parse::Partial) => Ok(()),
+        Ok(Parse::Complete(req, consumed)) => {
+            if consumed > input.len() {
+                return Err(format!(
+                    "consumed {consumed} of a {}-byte input",
+                    input.len()
+                ));
+            }
+            if req.body.len() > limits().max_body {
+                return Err(format!("body {} exceeds max_body", req.body.len()));
+            }
+            match parse_request(&input[..consumed], &limits()) {
+                Ok(Parse::Complete(req2, consumed2)) if req2 == req && consumed2 == consumed => {
+                    Ok(())
+                }
+                other => Err(format!("prefix re-parse diverged: {other:?}")),
+            }
+        }
+    }
+}
+
+#[test]
+fn http_parser_is_total_over_request_streams() {
+    Checker::new("serve_fuzz::http_parser")
+        .cases_from_env_or(20_000)
+        .corpus(corpus_dir!())
+        .check(&request_stream(), |input: &Vec<u8>| parser_is_total(input));
+}
+
+/// The committed corpus seeds must keep generating the shapes they were
+/// committed to pin — if the generator drifts, this fails loudly instead
+/// of the seeds silently degenerating into byte soup.
+#[test]
+fn committed_corpus_seeds_cover_the_advertised_shapes() {
+    let sample = |seed: u64| request_stream().sample(&mut Source::fresh(seed));
+
+    let overlong = sample(OVERLONG_HEADER_SEED);
+    assert!(
+        matches!(
+            parse_request(&overlong, &limits()),
+            Err(ref e) if e.status() == 431
+        ),
+        "seed {OVERLONG_HEADER_SEED:#x} no longer generates an over-long header: {:?}",
+        parse_request(&overlong, &limits())
+    );
+
+    let truncated = sample(TRUNCATED_BODY_SEED);
+    let parsed = parse_request(&truncated, &limits());
+    assert!(
+        matches!(parsed, Ok(Parse::Partial)),
+        "seed {TRUNCATED_BODY_SEED:#x} no longer generates a truncated body: {parsed:?}"
+    );
+    assert!(
+        truncated.windows(16).any(|w| w == b"content-length: "),
+        "truncated-body seed lost its content-length header"
+    );
+}
+
+/// Seeds committed under `tests/corpus/` for the shapes above.
+const OVERLONG_HEADER_SEED: u64 = 0x0;
+const TRUNCATED_BODY_SEED: u64 = 0xc;
+
+/// Maintenance tool, not part of the suite: scans seeds and prints the
+/// first one generating each corpus shape. Run with
+/// `cargo test -p suit --test serve_fuzz find_corpus_seeds -- --ignored --nocapture`
+/// after changing the generator, then update the constants and the
+/// committed `.seed` files.
+#[test]
+#[ignore]
+fn find_corpus_seeds() {
+    let g = request_stream();
+    let mut overlong = None;
+    let mut truncated = None;
+    for seed in 0..200_000u64 {
+        let input = g.sample(&mut Source::fresh(seed));
+        let parsed = parse_request(&input, &limits());
+        if overlong.is_none() && matches!(parsed, Err(ref e) if e.status() == 431) {
+            overlong = Some(seed);
+        }
+        if truncated.is_none()
+            && matches!(parsed, Ok(Parse::Partial))
+            && input.windows(16).any(|w| w == b"content-length: ")
+        {
+            truncated = Some(seed);
+        }
+        if overlong.is_some() && truncated.is_some() {
+            break;
+        }
+    }
+    println!("over-long header seed: {overlong:?}");
+    println!("truncated body seed:   {truncated:?}");
+}
+
+/// A JSON-ish body: raw text, valid endpoint bodies, and valid bodies
+/// with one byte overwritten.
+fn jsonish_body() -> Gen<String> {
+    let valid = gen::from_slice(&[
+        "{\"workload\":\"557.xz\",\"insts\":1000000}",
+        "{\"sweep\":\"table6\",\"max_insts\":1000000}",
+        "{\"workloads\":[\"Nginx\",\"VLC\"],\"cpu\":\"a\",\"offset\":70}",
+        "{\"workloads\":\"all\",\"strategy\":\"adaptive\",\"deadline_ms\":1000}",
+        "{\"executions\":100,\"sigma_mv\":5.5,\"cores\":8}",
+        "{}",
+    ]);
+    let mutated = gen::pair(&valid, &gen::pair(&gen::usize_in(0..=127), &gen::byte())).map(
+        |(s, (pos, b))| {
+            let mut bytes = s.as_bytes().to_vec();
+            let at = pos % bytes.len();
+            bytes[at] = b;
+            String::from_utf8_lossy(&bytes).into_owned()
+        },
+    );
+    let soup = gen::bytes_up_to(200).map(|b| String::from_utf8_lossy(&b).into_owned());
+    gen::one_of(vec![soup, valid.map(String::from), mutated])
+}
+
+/// Property 2: every endpoint validator is total — any outcome is fine,
+/// panicking is the only failure.
+#[test]
+fn endpoint_validators_are_total_over_jsonish_bodies() {
+    Checker::new("serve_fuzz::validators")
+        .cases_from_env_or(20_000)
+        .corpus(corpus_dir!())
+        .check(&jsonish_body(), |body: &String| {
+            let _ = api::parse_simulate(body);
+            let _ = api::parse_batch(body);
+            let _ = api::parse_faults(body);
+            Ok::<(), String>(())
+        });
+}
