@@ -123,6 +123,28 @@ pub struct FaultsSpec {
     pub executions: u32,
 }
 
+/// Parses a request body and rejects any non-finite number anywhere in
+/// it. The in-tree JSON parser maps overflow literals like `1e999` onto
+/// ±∞ (as `f64::from_str` does), and JSON has no representation for
+/// NaN/Infinity — so a body smuggling one can never round-trip and is a
+/// structured `400` here, before any field validation sees it.
+fn parse_body(body: &str) -> Result<Value, BadRequest> {
+    let v = parse(body).map_err(|e| BadRequest(format!("invalid JSON body: {e}")))?;
+    reject_non_finite(&v)?;
+    Ok(v)
+}
+
+fn reject_non_finite(v: &Value) -> Result<(), BadRequest> {
+    match v {
+        Value::Num(n) if !n.is_finite() => Err(BadRequest(
+            "non-finite number in request body (JSON cannot represent NaN or Infinity)".into(),
+        )),
+        Value::Arr(items) => items.iter().try_for_each(reject_non_finite),
+        Value::Obj(pairs) => pairs.iter().try_for_each(|(_, v)| reject_non_finite(v)),
+        _ => Ok(()),
+    }
+}
+
 fn obj<'a>(v: &'a Value, allowed: &[&str]) -> Result<&'a [(String, Value)], BadRequest> {
     let Value::Obj(pairs) = v else {
         return Err(BadRequest("request body must be a JSON object".into()));
@@ -242,7 +264,7 @@ fn parse_point(v: &Value, require_workload: bool) -> Result<SimPoint, BadRequest
 
 /// Validates the body of `POST /v1/simulate`.
 pub fn parse_simulate(body: &str) -> Result<(Job, Option<u64>), BadRequest> {
-    let v = parse(body).map_err(|e| BadRequest(format!("invalid JSON body: {e}")))?;
+    let v = parse_body(body)?;
     obj(&v, &POINT_FIELDS)?;
     let deadline_ms = get_u64(&v, "deadline_ms")?;
     Ok((Job::Simulate(Box::new(parse_point(&v, true)?)), deadline_ms))
@@ -250,7 +272,7 @@ pub fn parse_simulate(body: &str) -> Result<(Job, Option<u64>), BadRequest> {
 
 /// Validates the body of `POST /v1/batch`.
 pub fn parse_batch(body: &str) -> Result<(Job, Option<u64>), BadRequest> {
-    let v = parse(body).map_err(|e| BadRequest(format!("invalid JSON body: {e}")))?;
+    let v = parse_body(body)?;
     let mut fields = vec!["sweep", "max_insts", "workloads"];
     fields.extend(POINT_FIELDS);
     obj(&v, &fields)?;
@@ -319,7 +341,7 @@ pub fn parse_batch(body: &str) -> Result<(Job, Option<u64>), BadRequest> {
 
 /// Validates the body of `POST /v1/faults`.
 pub fn parse_faults(body: &str) -> Result<(Job, Option<u64>), BadRequest> {
-    let v = parse(body).map_err(|e| BadRequest(format!("invalid JSON body: {e}")))?;
+    let v = parse_body(body)?;
     obj(
         &v,
         &["cores", "sigma_mv", "seed", "executions", "deadline_ms"],
@@ -654,5 +676,33 @@ mod tests {
         assert_eq!(json_num(1.5), "1.5");
         assert_eq!(json_num(f64::NEG_INFINITY), "null");
         assert_eq!(json_num(f64::NAN), "null");
+    }
+
+    #[test]
+    fn smuggled_non_finite_numbers_are_rejected_at_parse() {
+        // `1e999` overflows f64 parsing to +∞; every validator must
+        // refuse it with a structured 400 wherever it hides.
+        for bad in [
+            "{\"workload\":\"557.xz\",\"seed\":1e999}",
+            "{\"workload\":\"557.xz\",\"insts\":-1e999}",
+            "{\"workloads\":[\"557.xz\"],\"seed\":1e999}",
+            "{\"sigma_mv\":1e999}",
+            "{\"sigma_mv\":-1e999}",
+        ] {
+            let err = parse_simulate(bad)
+                .err()
+                .or_else(|| parse_batch(bad).err())
+                .or_else(|| parse_faults(bad).err())
+                .unwrap_or_else(|| panic!("accepted {bad:?}"));
+            assert!(
+                err.0.contains("non-finite") || err.0.contains("must be"),
+                "wrong error for {bad:?}: {}",
+                err.0
+            );
+        }
+        // And the dedicated walker catches nesting the field checks miss.
+        assert!(parse_faults("{\"sigma_mv\":1e999}").is_err());
+        assert!(reject_non_finite(&parse("{\"a\":[1,[2,1e999]]}").unwrap()).is_err());
+        assert!(reject_non_finite(&parse("{\"a\":[1,2.5]}").unwrap()).is_ok());
     }
 }

@@ -20,6 +20,21 @@ pub fn request(
     body: Option<&str>,
     timeout: Duration,
 ) -> std::io::Result<ClientResponse> {
+    request_with_headers(addr, method, path, body, &[], timeout)
+}
+
+/// [`request`] with caller-supplied extra headers (e.g.
+/// `("if-none-match", "\"suit-…\"")` for conditional requests).
+/// Header names and values must be free of CR/LF — this client is for
+/// trusted in-tree callers, but refuse header injection anyway.
+pub fn request_with_headers(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    headers: &[(&str, &str)],
+    timeout: Duration,
+) -> std::io::Result<ClientResponse> {
     let sock_addr: std::net::SocketAddr = addr.parse().map_err(|e| {
         std::io::Error::new(
             std::io::ErrorKind::InvalidInput,
@@ -31,6 +46,15 @@ pub fn request(
     stream.set_write_timeout(Some(timeout))?;
     stream.set_nodelay(true)?;
     let mut head = format!("{method} {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\n");
+    for (name, value) in headers {
+        if name.contains(['\r', '\n', ':']) || value.contains(['\r', '\n']) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("invalid header '{name}'"),
+            ));
+        }
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
     if let Some(b) = body {
         head.push_str(&format!(
             "content-type: application/json\r\ncontent-length: {}\r\n",

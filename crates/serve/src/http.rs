@@ -74,12 +74,46 @@ impl Request {
 
     /// Whether the peer asked to close the connection after this
     /// exchange (`Connection: close`, or HTTP/1.0 without keep-alive).
+    ///
+    /// `Connection` is a *comma-separated token list* (RFC 9112 §9.6) —
+    /// `Connection: close, TE` asks to close just as plainly as
+    /// `Connection: close` — so membership is decided per token, with
+    /// `close` winning over `keep-alive` when a peer sends both.
     pub fn wants_close(&self) -> bool {
-        match self.header("connection") {
-            Some(v) if v.eq_ignore_ascii_case("close") => true,
-            Some(v) if v.eq_ignore_ascii_case("keep-alive") => false,
-            _ => !self.http11,
+        if self.has_connection_token("close") {
+            true
+        } else if self.has_connection_token("keep-alive") {
+            false
+        } else {
+            !self.http11
         }
+    }
+
+    /// Whether any `connection` header lists `token` (case-insensitive,
+    /// optional whitespace around each list element).
+    fn has_connection_token(&self, token: &str) -> bool {
+        self.headers
+            .iter()
+            .filter(|(k, _)| k == "connection")
+            .flat_map(|(_, v)| v.split(','))
+            .any(|t| t.trim_matches([' ', '\t']).eq_ignore_ascii_case(token))
+    }
+
+    /// Evaluates `If-None-Match` against a response's entity tag
+    /// (`etag` in its quoted wire form). Per RFC 9110 §13.1.2: `*`
+    /// matches any current representation, otherwise the field is a
+    /// comma-separated list of entity-tags compared with the *weak*
+    /// comparison (a `W/` prefix on either side is ignored). Absent
+    /// header → no match. Total over arbitrary header bytes — malformed
+    /// lists simply fail to match.
+    pub fn if_none_match(&self, etag: &str) -> bool {
+        let strong = etag.strip_prefix("W/").unwrap_or(etag);
+        self.headers
+            .iter()
+            .filter(|(k, _)| k == "if-none-match")
+            .flat_map(|(_, v)| v.split(','))
+            .map(|t| t.trim_matches([' ', '\t']))
+            .any(|t| t == "*" || t.strip_prefix("W/").unwrap_or(t) == strong)
     }
 }
 
@@ -243,7 +277,9 @@ fn parse_header_line(line: &str) -> Result<(String, String), ParseError> {
         return Err(ParseError::Malformed(format!("bad header name '{name}'")));
     }
     let value = value.trim_matches([' ', '\t']);
-    if value.bytes().any(|b| b < 0x20 || b == 0x7f) {
+    // RFC 9110 §5.5: field values are visible ASCII / obs-text plus SP
+    // and HTAB; all other control bytes are refused.
+    if value.bytes().any(|b| (b < 0x20 && b != b'\t') || b == 0x7f) {
         return Err(ParseError::Malformed(format!(
             "control byte in header '{name}'"
         )));
@@ -256,10 +292,13 @@ fn parse_header_line(line: &str) -> Result<(String, String), ParseError> {
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// Response body (always JSON in this service).
+    /// Response body (always JSON in this service; empty on `304`).
     pub body: String,
     /// `Retry-After` seconds, sent on `429` backpressure responses.
     pub retry_after: Option<u32>,
+    /// Strong entity tag (quoted wire form), sent on cacheable
+    /// responses and on the `304`s they validate against.
+    pub etag: Option<String>,
 }
 
 impl Response {
@@ -269,6 +308,7 @@ impl Response {
             status: 200,
             body: body.into(),
             retry_after: None,
+            etag: None,
         }
     }
 
@@ -281,6 +321,33 @@ impl Response {
                 suit_telemetry::json::escape(message)
             ),
             retry_after: None,
+            etag: None,
+        }
+    }
+
+    /// A `429` whose honest `Retry-After` estimate rides in both the
+    /// header and the JSON body (`retry_after_s`), so clients that only
+    /// read bodies can still back off correctly.
+    pub fn too_many_requests(message: &str, retry_after_s: u32) -> Self {
+        Response {
+            status: 429,
+            body: format!(
+                "{{\"error\":{{\"status\":429,\"message\":{},\"retry_after_s\":{retry_after_s}}}}}",
+                suit_telemetry::json::escape(message)
+            ),
+            retry_after: Some(retry_after_s),
+            etag: None,
+        }
+    }
+
+    /// A bodiless `304 Not Modified` carrying the entity tag the
+    /// client's `If-None-Match` revalidated.
+    pub fn not_modified(etag: String) -> Self {
+        Response {
+            status: 304,
+            body: String::new(),
+            retry_after: None,
+            etag: Some(etag),
         }
     }
 
@@ -288,6 +355,7 @@ impl Response {
     pub fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",
+            304 => "Not Modified",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
@@ -314,6 +382,9 @@ impl Response {
         );
         if let Some(secs) = self.retry_after {
             out.push_str(&format!("retry-after: {secs}\r\n"));
+        }
+        if let Some(etag) = &self.etag {
+            out.push_str(&format!("etag: {etag}\r\n"));
         }
         out.push_str("\r\n");
         let mut bytes = out.into_bytes();
@@ -520,6 +591,73 @@ mod tests {
         assert!(r.wants_close());
         let (r, _) = parse_ok(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
         assert!(!r.wants_close());
+    }
+
+    #[test]
+    fn connection_is_a_token_list_not_a_literal() {
+        // RFC 9112 §9.6: `close` anywhere in the comma-separated list
+        // closes the connection — the old literal match missed these.
+        for head in [
+            &b"GET / HTTP/1.1\r\nConnection: close, TE\r\n\r\n"[..],
+            b"GET / HTTP/1.1\r\nConnection: TE, close\r\n\r\n",
+            b"GET / HTTP/1.1\r\nConnection: TE ,\tClOsE , upgrade\r\n\r\n",
+            b"GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n",
+            b"GET / HTTP/1.0\r\nConnection: keep-alive, close\r\n\r\n",
+        ] {
+            let (r, _) = parse_ok(head);
+            assert!(r.wants_close(), "{:?}", String::from_utf8_lossy(head));
+        }
+        let (r, _) = parse_ok(b"GET / HTTP/1.0\r\nConnection: Keep-Alive, TE\r\n\r\n");
+        assert!(!r.wants_close(), "keep-alive inside a list must count");
+        // Unrelated tokens fall back to the version default…
+        let (r, _) = parse_ok(b"GET / HTTP/1.1\r\nConnection: upgrade\r\n\r\n");
+        assert!(!r.wants_close());
+        // …and a token merely *containing* `close` is not `close`.
+        let (r, _) = parse_ok(b"GET / HTTP/1.1\r\nConnection: closet, disclose\r\n\r\n");
+        assert!(!r.wants_close());
+    }
+
+    #[test]
+    fn if_none_match_handles_lists_weak_tags_and_star() {
+        let req = |header: &str| {
+            let head = format!("GET / HTTP/1.1\r\nIf-None-Match: {header}\r\n\r\n");
+            parse_ok(head.as_bytes()).0
+        };
+        let etag = "\"suit-abc\"";
+        assert!(req("\"suit-abc\"").if_none_match(etag));
+        assert!(req("\"other\", \"suit-abc\"").if_none_match(etag));
+        assert!(req("W/\"suit-abc\"").if_none_match(etag), "weak comparison");
+        assert!(req("*").if_none_match(etag));
+        assert!(!req("\"other\"").if_none_match(etag));
+        assert!(!req("suit-abc").if_none_match(etag), "unquoted ≠ quoted");
+        assert!(!req("").if_none_match(etag));
+        let (no_header, _) = parse_ok(b"GET / HTTP/1.1\r\n\r\n");
+        assert!(!no_header.if_none_match(etag));
+    }
+
+    #[test]
+    fn not_modified_is_bodiless_with_the_etag() {
+        let resp = Response::not_modified("\"suit-123\"".into());
+        let got = read_response(&mut &resp.to_bytes(true)[..]).unwrap();
+        assert_eq!(got.status, 304);
+        assert!(got.body.is_empty());
+        assert_eq!(got.header("etag"), Some("\"suit-123\""));
+        assert_eq!(got.header("content-length"), Some("0"));
+    }
+
+    #[test]
+    fn retry_after_rides_in_header_and_body() {
+        let resp = Response::too_many_requests("queue full", 7);
+        let got = read_response(&mut &resp.to_bytes(false)[..]).unwrap();
+        assert_eq!(got.status, 429);
+        assert_eq!(got.header("retry-after"), Some("7"));
+        let v = suit_telemetry::json::parse(got.text().unwrap()).expect("valid JSON");
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("retry_after_s"))
+                .and_then(|s| s.as_f64()),
+            Some(7.0)
+        );
     }
 
     #[test]

@@ -26,21 +26,30 @@
 //! equivalent CLI invocation at any worker-thread count. The loopback
 //! e2e test pins this.
 //!
+//! Determinism also powers the **result cache**: every compute endpoint
+//! is a pure function of its canonicalized request, so responses are
+//! content-addressed — repeated identical requests are served from a
+//! bounded LRU in microseconds with a strong `ETag` (`If-None-Match` →
+//! `304`), and N concurrent identical requests coalesce onto a single
+//! computation. See [`cache`].
+//!
 //! Module map: [`http`] (strict request parser + response writer),
 //! [`api`] (body validation, job execution, deterministic JSON
-//! serialization), [`server`] (acceptor, bounded admission queue,
-//! worker pool, graceful shutdown), [`client`] (blocking one-shot
-//! client for the CLI and tests).
+//! serialization), [`cache`] (request canonicalization, content-hash
+//! ETags, bounded LRU, in-flight coalescing), [`server`] (acceptor,
+//! bounded admission queue, worker pool, graceful shutdown), [`client`]
+//! (blocking one-shot client for the CLI and tests).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod cache;
 pub mod client;
 pub mod http;
 pub mod server;
 
 pub use api::{BadRequest, Deadline};
-pub use client::{request, request_text};
+pub use client::{request, request_text, request_with_headers};
 pub use http::{ClientResponse, Limits, Request, Response};
 pub use server::{ServeConfig, Server, ShutdownHandle};

@@ -48,6 +48,7 @@ use suit_exec::Threads;
 use suit_telemetry::{Counter, Hist, Telemetry};
 
 use crate::api::{self, Deadline, ExecError};
+use crate::cache::{self, Cache, FlightTable, Role};
 use crate::http::{parse_request, Limits, Method, Parse, Request, Response};
 
 /// Server configuration.
@@ -67,6 +68,12 @@ pub struct ServeConfig {
     pub default_deadline_ms: Option<u64>,
     /// Maximum concurrent connections (`503` beyond).
     pub max_connections: usize,
+    /// Result-cache entry bound (`--cache-entries`); `0` disables the
+    /// cache *and* request coalescing — every request computes.
+    pub cache_entries: usize,
+    /// Result-cache byte budget over stored response bodies
+    /// (`--cache-bytes`); `0` disables the cache like `cache_entries`.
+    pub cache_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +85,8 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(5),
             default_deadline_ms: None,
             max_connections: 64,
+            cache_entries: 256,
+            cache_bytes: 16 * 1024 * 1024,
         }
     }
 }
@@ -121,6 +130,12 @@ struct State {
     inflight: AtomicUsize,
     conns: AtomicUsize,
     shutdown: AtomicBool,
+    /// Content-addressed result cache (canonical request → response
+    /// bytes + ETag), bounded by `cache_entries`/`cache_bytes`.
+    cache: Cache,
+    /// Coalescing table: identical in-flight requests share one
+    /// computation.
+    flights: FlightTable,
 }
 
 /// A handle that requests graceful shutdown from outside the server —
@@ -166,6 +181,7 @@ impl Server {
     pub fn bind(addr: &str, cfg: ServeConfig) -> std::io::Result<Server> {
         assert!(cfg.queue_depth >= 1, "queue depth must be at least 1");
         let listener = TcpListener::bind(addr)?;
+        let cache = Cache::new(cfg.cache_entries, cfg.cache_bytes);
         Ok(Server {
             listener,
             state: Arc::new(State {
@@ -176,6 +192,8 @@ impl Server {
                 inflight: AtomicUsize::new(0),
                 conns: AtomicUsize::new(0),
                 shutdown: AtomicBool::new(false),
+                cache,
+                flights: FlightTable::new(),
             }),
         })
     }
@@ -385,7 +403,7 @@ fn dispatch(state: &State, request: &Request) -> Response {
                 Ok((job, deadline_ms)) => {
                     let deadline =
                         Deadline::after_ms(deadline_ms.or(state.cfg.default_deadline_ms));
-                    submit(state, job, endpoint, deadline, started)
+                    submit_cached(state, request, job, endpoint, deadline, started)
                 }
             }
         }
@@ -414,6 +432,106 @@ fn dispatch(state: &State, request: &Request) -> Response {
     }
 }
 
+/// The cache-aware front of the compute path.
+///
+/// Order matters for the determinism contract: a **hit** returns the
+/// exact stored bytes (byte-identical to a fresh computation, because
+/// the engines are pure functions of the canonical request); a **miss**
+/// either *leads* — runs the job through the admission queue, stores a
+/// `200` body, and publishes the outcome — or *follows* an identical
+/// in-flight request and receives the leader's outcome verbatim,
+/// including `429`/`408`/`500` failures. `If-None-Match` revalidation
+/// happens per request (each waiter compares its own header), so a
+/// coalesced client with a fresh copy gets its `304` while the others
+/// get the body. With the cache disabled this is a pass-through to
+/// [`submit`].
+fn submit_cached(
+    state: &State,
+    request: &Request,
+    job: api::Job,
+    endpoint: Endpoint,
+    deadline: Deadline,
+    accepted: Instant,
+) -> Response {
+    if !state.cache.enabled() {
+        return submit(state, job, endpoint, deadline, accepted);
+    }
+    let key = cache::canonical_job(&job);
+    if let Some(hit) = state.cache.get(&key) {
+        state.tele.count(Counter::ServeRequests);
+        state.tele.count(Counter::ServeCacheHits);
+        let resp = revalidate(state, request, hit);
+        state
+            .tele
+            .observe(Hist::ServeCacheHitUs, elapsed_us(accepted));
+        return resp;
+    }
+    match state.flights.join(&key) {
+        Role::Leader(flight) => {
+            state.tele.count(Counter::ServeCacheMisses);
+            let mut resp = submit(state, job, endpoint, deadline, accepted);
+            if resp.status == 200 {
+                let etag = cache::etag_for(&key);
+                resp.etag = Some(etag.clone());
+                let evicted = state.cache.insert(&key, etag, resp.body.clone());
+                for _ in 0..evicted {
+                    state.tele.count(Counter::ServeCacheEvictions);
+                }
+            }
+            // Retire the flight before answering so late arrivals hit
+            // the cache instead of a finished flight.
+            state.flights.publish(&key, &flight, resp.clone());
+            conditional(state, request, resp)
+        }
+        Role::Follower(flight) => {
+            state.tele.count(Counter::ServeRequests);
+            state.tele.count(Counter::ServeCacheCoalesced);
+            let resp = flight.wait();
+            conditional(state, request, resp)
+        }
+    }
+}
+
+/// Converts a freshly cached hit into this request's answer: `304` when
+/// its `If-None-Match` revalidates, the stored bytes otherwise.
+fn revalidate(state: &State, request: &Request, hit: cache::CachedResponse) -> Response {
+    if request.if_none_match(&hit.etag) {
+        state.tele.count(Counter::ServeNotModified);
+        return Response::not_modified(hit.etag);
+    }
+    let mut resp = Response::ok(hit.body);
+    resp.etag = Some(hit.etag);
+    resp
+}
+
+/// Applies conditional-request semantics to a computed `200`.
+fn conditional(state: &State, request: &Request, resp: Response) -> Response {
+    if resp.status == 200 {
+        if let Some(etag) = &resp.etag {
+            if request.if_none_match(etag) {
+                state.tele.count(Counter::ServeNotModified);
+                return Response::not_modified(etag.clone());
+            }
+        }
+    }
+    resp
+}
+
+/// An honest `Retry-After` for a full queue: the time to drain what is
+/// queued at the endpoint's recently observed pace — queue depth × p50
+/// job latency — clamped to `1..=60` seconds. Before any job has
+/// completed there is no observed rate, so fall back to 1 s.
+fn retry_after_s(state: &State, endpoint: Endpoint, queued: usize) -> u32 {
+    let snap = state.tele.snapshot();
+    let hist = snap.hist(endpoint.latency_hist());
+    if hist.count() == 0 {
+        return 1;
+    }
+    let p50_us = hist.quantile(0.5);
+    let drain_us = (queued as u64).saturating_add(1).saturating_mul(p50_us);
+    drain_us.div_ceil(1_000_000).clamp(1, 60) as u32
+}
+
 /// Admission: enqueue within the bound or answer `429` immediately.
 fn submit(
     state: &State,
@@ -429,11 +547,13 @@ fn submit(
     {
         let mut q = state.queue.lock().unwrap_or_else(|e| e.into_inner());
         if q.len() >= state.cfg.queue_depth {
+            let queued = q.len();
             drop(q);
             state.tele.count(Counter::ServeRejected);
-            let mut resp = Response::error(429, "admission queue is full; retry later");
-            resp.retry_after = Some(1);
-            return resp;
+            return Response::too_many_requests(
+                "admission queue is full; retry later",
+                retry_after_s(state, endpoint, queued),
+            );
         }
         q.push_back(QueuedJob {
             job,
@@ -470,9 +590,14 @@ fn metrics_json(state: &State) -> String {
         )
     };
     let queued = state.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
+    let (cache_entries, cache_bytes) = state.cache.usage();
+    let (cap_entries, cap_bytes) = state.cache.capacity();
     format!(
         "{{\"requests\":{{\"accepted\":{},\"rejected\":{},\"bad\":{},\"deadline_expired\":{}}},\
          \"latency_us\":{{\"simulate\":{},\"batch\":{},\"faults\":{},\"metrics\":{}}},\
+         \"cache\":{{\"enabled\":{},\"hits\":{},\"misses\":{},\"coalesced\":{},\"evictions\":{},\
+         \"not_modified\":{},\"entries\":{},\"bytes\":{},\"capacity_entries\":{},\
+         \"capacity_bytes\":{},\"hit_latency_us\":{}}},\
          \"queue\":{{\"depth\":{},\"capacity\":{},\"inflight\":{}}},\
          \"workers\":{},\"draining\":{}}}",
         snap.counter(Counter::ServeRequests),
@@ -483,6 +608,17 @@ fn metrics_json(state: &State) -> String {
         lat(Hist::ServeBatchUs),
         lat(Hist::ServeFaultsUs),
         lat(Hist::ServeMetricsUs),
+        state.cache.enabled(),
+        snap.counter(Counter::ServeCacheHits),
+        snap.counter(Counter::ServeCacheMisses),
+        snap.counter(Counter::ServeCacheCoalesced),
+        snap.counter(Counter::ServeCacheEvictions),
+        snap.counter(Counter::ServeNotModified),
+        cache_entries,
+        cache_bytes,
+        cap_entries,
+        cap_bytes,
+        lat(Hist::ServeCacheHitUs),
         queued,
         state.cfg.queue_depth,
         state.inflight.load(Ordering::SeqCst),

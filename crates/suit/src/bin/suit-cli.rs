@@ -36,8 +36,9 @@ const USAGE: &str =
 \x20 trace record --workload <name> --out <file> [--bursts N]\n\
 \x20 trace info <file>\n\
 \x20 serve [--addr HOST:PORT] [--threads N] [--queue-depth N] [--deadline-ms N]\n\
+\x20       [--cache-entries N] [--cache-bytes N]   (0 disables the result cache)\n\
 \x20 client <path> [--addr HOST:PORT] [--method GET|POST] [--body <json>|-]\n\
-\x20        [--timeout-ms N] [--expect-json]\n\
+\x20        [--timeout-ms N] [--expect-json] [--etag TAG] [--show-etag]\n\
 \x20 --threads N fans workloads out over N workers; results are identical for every N";
 
 fn main() -> ExitCode {
@@ -590,7 +591,14 @@ fn cmd_validate_trace(args: &[String]) -> CliResult {
 fn cmd_serve(args: &[String]) -> CliResult {
     check_args(
         args,
-        &["--addr", "--threads", "--queue-depth", "--deadline-ms"],
+        &[
+            "--addr",
+            "--threads",
+            "--queue-depth",
+            "--deadline-ms",
+            "--cache-entries",
+            "--cache-bytes",
+        ],
         &[],
         0,
     )?;
@@ -613,18 +621,39 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let deadline_ms: Option<u64> = opt(args, "--deadline-ms")
         .map(|v| v.parse().map_err(|e| format!("--deadline-ms: {e}")))
         .transpose()?;
+    let default_cfg = suit::serve::ServeConfig::default();
+    // `0` on either bound disables the result cache (and coalescing).
+    let cache_entries: usize = match opt(args, "--cache-entries") {
+        None => default_cfg.cache_entries,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--cache-entries must be a non-negative integer, got '{v}'"))?,
+    };
+    let cache_bytes: usize = match opt(args, "--cache-bytes") {
+        None => default_cfg.cache_bytes,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--cache-bytes must be a non-negative integer, got '{v}'"))?,
+    };
     let cfg = suit::serve::ServeConfig {
         threads,
         queue_depth,
         default_deadline_ms: deadline_ms,
-        ..suit::serve::ServeConfig::default()
+        cache_entries,
+        cache_bytes,
+        ..default_cfg
     };
     let server = suit::serve::Server::bind(&sock.to_string(), cfg).map_err(|e| e.to_string())?;
     let local = server.local_addr().map_err(|e| e.to_string())?;
     // The CI smoke step (and anyone using `--addr 127.0.0.1:0`) reads the
     // resolved port off this line, so keep its shape stable and flushed.
+    let cache_desc = if cache_entries == 0 || cache_bytes == 0 {
+        "cache off".to_string()
+    } else {
+        format!("cache {cache_entries} entries / {cache_bytes} bytes")
+    };
     println!(
-        "suit-serve listening on {local} ({} worker(s), queue depth {queue_depth})",
+        "suit-serve listening on {local} ({} worker(s), queue depth {queue_depth}, {cache_desc})",
         threads.count()
     );
     use std::io::Write;
@@ -638,12 +667,15 @@ fn cmd_serve(args: &[String]) -> CliResult {
 /// response body to stdout and fails (nonzero exit) on any non-2xx
 /// status, so shell pipelines and the CI smoke step can chain on it.
 /// `--expect-json` additionally parses the body with the in-tree JSON
-/// parser and fails on anything malformed.
+/// parser and fails on anything malformed. `--etag TAG` sends
+/// `If-None-Match` (quoting the tag if needed) and treats a bodiless
+/// `304 not modified` as success; `--show-etag` appends the response's
+/// `etag` header as a final `etag: …` line so scripts can capture it.
 fn cmd_client(args: &[String]) -> CliResult {
     check_args(
         args,
-        &["--addr", "--method", "--body", "--timeout-ms"],
-        &["--expect-json"],
+        &["--addr", "--method", "--body", "--timeout-ms", "--etag"],
+        &["--expect-json", "--show-etag"],
         1,
     )?;
     let path = first_positional(args).ok_or("missing <path> (e.g. /v1/healthz)")?;
@@ -681,17 +713,49 @@ fn cmd_client(args: &[String]) -> CliResult {
     let timeout_ms: u64 = opt(args, "--timeout-ms").map_or(Ok(30_000), |v| {
         v.parse().map_err(|e| format!("--timeout-ms: {e}"))
     })?;
-    let text = suit::serve::request_text(
+    // `--etag x` sends `If-None-Match: "x"`; a tag already quoted (or
+    // the `*` wildcard) passes through verbatim.
+    let if_none_match = opt(args, "--etag").map(|t| {
+        if t == "*" || t.starts_with('"') || t.starts_with("W/") {
+            t
+        } else {
+            format!("\"{t}\"")
+        }
+    });
+    let headers: Vec<(&str, &str)> = if_none_match
+        .as_deref()
+        .map(|t| vec![("if-none-match", t)])
+        .unwrap_or_default();
+    let resp = suit::serve::request_with_headers(
         &addr,
         &method,
         &path,
         body.as_deref(),
+        &headers,
         std::time::Duration::from_millis(timeout_ms),
-    )?;
+    )
+    .map_err(|e| e.to_string())?;
+    let text = resp
+        .text()
+        .map_err(|e| format!("response body: {e}"))?
+        .to_string();
+    let ok = (200..300).contains(&resp.status) || (resp.status == 304 && if_none_match.is_some());
+    if !ok {
+        return Err(format!("HTTP {}: {text}", resp.status));
+    }
+    if resp.status == 304 {
+        println!("304 not modified");
+        return Ok(());
+    }
     if args.iter().any(|a| a == "--expect-json") {
         suit::telemetry::json::parse(&text)
             .map_err(|e| format!("response body is not valid JSON: {e}"))?;
     }
     println!("{text}");
+    if args.iter().any(|a| a == "--show-etag") {
+        if let Some(etag) = resp.header("etag") {
+            println!("etag: {etag}");
+        }
+    }
     Ok(())
 }

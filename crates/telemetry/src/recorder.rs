@@ -113,6 +113,20 @@ id_enum! {
         ServeBadRequests => "serve_bad_requests",
         /// `suit-serve`: requests whose deadline expired (`408`).
         ServeDeadlineExpired => "serve_deadline_expired",
+        /// `suit-serve`: compute requests answered from the result cache
+        /// (including `304` revalidations).
+        ServeCacheHits => "serve_cache_hits",
+        /// `suit-serve`: compute requests that missed the cache and led
+        /// a computation.
+        ServeCacheMisses => "serve_cache_misses",
+        /// `suit-serve`: requests coalesced onto an identical in-flight
+        /// computation (N identical requests, one computation).
+        ServeCacheCoalesced => "serve_cache_coalesced",
+        /// `suit-serve`: cache entries evicted by the LRU bounds.
+        ServeCacheEvictions => "serve_cache_evictions",
+        /// `suit-serve`: `304 Not Modified` answers to `If-None-Match`
+        /// revalidations.
+        ServeNotModified => "serve_not_modified",
     }
 }
 
@@ -140,6 +154,10 @@ id_enum! {
         ServeFaultsUs => "serve_faults_us",
         /// `suit-serve`: `GET /v1/metrics` wall-clock latency, µs.
         ServeMetricsUs => "serve_metrics_us",
+        /// `suit-serve`: wall-clock latency of cache *hits* (lookup +
+        /// serialization), µs — the microseconds-not-seconds pin for
+        /// hot repeated queries.
+        ServeCacheHitUs => "serve_cache_hit_us",
     }
 }
 

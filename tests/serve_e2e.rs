@@ -11,7 +11,9 @@ use std::time::Duration;
 
 use suit::exec::Threads;
 use suit::serve::api;
-use suit::serve::{request, request_text, ServeConfig, Server, ShutdownHandle};
+use suit::serve::{
+    request, request_text, request_with_headers, ServeConfig, Server, ShutdownHandle,
+};
 use suit::sim::experiment::run_table6;
 use suit::telemetry::json::{parse, Value};
 
@@ -135,10 +137,12 @@ fn malformed_bodies_are_400_with_structured_json_never_a_panic() {
 fn full_queue_answers_429_with_retry_after() {
     // One worker, queue depth one: at most two jobs can be in the system,
     // so a burst of concurrent slow batches must bounce at least one
-    // request with 429.
+    // request with 429. Cache off: identical requests would otherwise
+    // coalesce onto one computation and never fill the queue.
     let (addr, handle, join) = start(ServeConfig {
         threads: Threads::Fixed(1),
         queue_depth: 1,
+        cache_entries: 0,
         ..ServeConfig::default()
     });
     let slow = "{\"workloads\":\"all\",\"insts\":2000000000}";
@@ -159,11 +163,20 @@ fn full_queue_answers_429_with_retry_after() {
             match resp.status {
                 200 => {}
                 429 => {
-                    assert_eq!(
-                        resp.header("retry-after"),
-                        Some("1"),
-                        "429 needs Retry-After"
-                    );
+                    // Retry-After is computed from the observed drain
+                    // rate (queue depth × recent p50), clamped to 1..=60,
+                    // and echoed in the JSON body for honest backoff.
+                    let secs: u32 = resp
+                        .header("retry-after")
+                        .expect("429 needs Retry-After")
+                        .parse()
+                        .expect("Retry-After must be integral seconds");
+                    assert!((1..=60).contains(&secs), "unclamped Retry-After {secs}");
+                    let err = parse(resp.text().expect("utf-8")).expect("429 body is JSON");
+                    assert!(matches!(
+                        field(field(&err, "error"), "retry_after_s"),
+                        Value::Num(n) if *n == secs as f64
+                    ));
                     rejected += 1;
                 }
                 other => panic!("unexpected status {other}: {}", resp.text().unwrap()),
@@ -254,6 +267,179 @@ fn graceful_shutdown_drains_the_inflight_job() {
     );
     join.join().expect("server thread").expect("server run");
     let _ = handle;
+}
+
+/// Reads a numeric field out of the parsed `/v1/metrics` cache section.
+fn cache_metric(addr: &str, name: &str) -> f64 {
+    let metrics = request_text(addr, "GET", "/v1/metrics", None, TIMEOUT).expect("metrics");
+    let m = parse(&metrics).expect("metrics JSON");
+    match field(field(&m, "cache"), name) {
+        Value::Num(n) => *n,
+        other => panic!("cache.{name} should be a number, got {other:?}"),
+    }
+}
+
+#[test]
+fn cache_on_and_cache_off_responses_are_byte_identical_at_1_and_4_workers() {
+    let simulate = "{\"workload\":\"557.xz\",\"insts\":50000000,\"seed\":11}";
+    let batch = "{\"workloads\":[\"557.xz\",\"Nginx\"],\"insts\":20000000,\"seed\":11}";
+    for workers in [1, 4] {
+        let (addr, handle, join) = start(ServeConfig {
+            threads: Threads::Fixed(workers),
+            cache_entries: 0, // cache disabled: every request computes
+            ..ServeConfig::default()
+        });
+        let sim_off = post(&addr, "/v1/simulate", simulate).expect("simulate off");
+        let batch_off = post(&addr, "/v1/batch", batch).expect("batch off");
+        stop(handle, join);
+
+        let (addr, handle, join) = start(ServeConfig {
+            threads: Threads::Fixed(workers),
+            ..ServeConfig::default() // cache enabled by default
+        });
+        // First request computes (miss), second is served from cache.
+        let sim_miss = post(&addr, "/v1/simulate", simulate).expect("simulate miss");
+        let sim_hit = post(&addr, "/v1/simulate", simulate).expect("simulate hit");
+        let batch_miss = post(&addr, "/v1/batch", batch).expect("batch miss");
+        assert_eq!(
+            sim_off, sim_miss,
+            "cache-on diverged at {workers} worker(s)"
+        );
+        assert_eq!(
+            sim_off, sim_hit,
+            "cached bytes diverged at {workers} worker(s)"
+        );
+        assert_eq!(
+            batch_off, batch_miss,
+            "batch diverged at {workers} worker(s)"
+        );
+        assert!(
+            cache_metric(&addr, "hits") >= 1.0,
+            "hit counter never moved"
+        );
+        assert_eq!(cache_metric(&addr, "misses"), 2.0);
+        assert!(cache_metric(&addr, "entries") >= 2.0);
+        stop(handle, join);
+    }
+}
+
+#[test]
+fn concurrent_identical_requests_coalesce_onto_one_computation() {
+    const N: usize = 4;
+    let (addr, handle, join) = start(ServeConfig {
+        threads: Threads::Fixed(1),
+        ..ServeConfig::default()
+    });
+    let slow = "{\"workloads\":\"all\",\"insts\":2000000000,\"seed\":3}";
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let addr = addr.as_str();
+        let posts: Vec<_> = (0..N)
+            .map(|_| scope.spawn(move || post(addr, "/v1/batch", slow).expect("batch")))
+            .collect();
+        posts.into_iter().map(|t| t.join().expect("join")).collect()
+    });
+    for body in &bodies[1..] {
+        assert_eq!(body, &bodies[0], "coalesced responses must be identical");
+    }
+    // The load-bearing count: N identical requests, exactly ONE
+    // computation. Every non-leader either coalesced onto the flight or
+    // (if it arrived after publication) hit the cache.
+    assert_eq!(
+        cache_metric(&addr, "misses"),
+        1.0,
+        "computation ran more than once"
+    );
+    assert_eq!(
+        cache_metric(&addr, "coalesced") + cache_metric(&addr, "hits"),
+        (N - 1) as f64
+    );
+    stop(handle, join);
+}
+
+#[test]
+fn if_none_match_revalidation_round_trips_304() {
+    let (addr, handle, join) = start(ServeConfig::default());
+    let body = "{\"workload\":\"557.xz\",\"insts\":50000000}";
+    let first = request(&addr, "POST", "/v1/simulate", Some(body), TIMEOUT).expect("request");
+    assert_eq!(first.status, 200);
+    let etag = first
+        .header("etag")
+        .expect("cacheable 200 carries an ETag")
+        .to_string();
+    assert!(
+        etag.starts_with("\"suit-") && etag.ends_with('"'),
+        "strong quoted ETag, got {etag}"
+    );
+
+    // Revalidate with the tag: 304, no body, tag echoed.
+    let revalidated = request_with_headers(
+        &addr,
+        "POST",
+        "/v1/simulate",
+        Some(body),
+        &[("if-none-match", &etag)],
+        TIMEOUT,
+    )
+    .expect("conditional request");
+    assert_eq!(revalidated.status, 304);
+    assert!(revalidated.body.is_empty(), "304 must not carry a body");
+    assert_eq!(revalidated.header("etag"), Some(etag.as_str()));
+
+    // A stale tag still gets the full representation.
+    let stale = request_with_headers(
+        &addr,
+        "POST",
+        "/v1/simulate",
+        Some(body),
+        &[("if-none-match", "\"suit-00000000000000000000000000000000\"")],
+        TIMEOUT,
+    )
+    .expect("stale conditional request");
+    assert_eq!(stale.status, 200);
+    assert_eq!(stale.body, first.body);
+    assert!(cache_metric(&addr, "not_modified") >= 1.0);
+    stop(handle, join);
+}
+
+#[test]
+fn non_finite_numbers_in_bodies_are_structured_400s() {
+    let (addr, handle, join) = start(ServeConfig::default());
+    for (path, bad) in [
+        ("/v1/simulate", "{\"workload\":\"557.xz\",\"seed\":1e999}"),
+        ("/v1/batch", "{\"workloads\":[\"557.xz\"],\"insts\":1e999}"),
+        ("/v1/faults", "{\"sigma_mv\":-1e999}"),
+    ] {
+        let resp = request(&addr, "POST", path, Some(bad), TIMEOUT).expect("request");
+        assert_eq!(resp.status, 400, "{path} accepted {bad:?}");
+        let err = parse(resp.text().expect("utf-8")).expect("error body is valid JSON");
+        assert!(matches!(
+            field(field(&err, "error"), "status"),
+            Value::Num(n) if *n == 400.0
+        ));
+    }
+    stop(handle, join);
+}
+
+#[test]
+fn connection_close_inside_a_token_list_closes_after_the_response() {
+    // A raw-socket exchange: `Connection: close, TE` must yield
+    // `connection: close` back and EOF after one response — the
+    // pre-fix parser treated the token list as keep-alive.
+    use std::io::{Read, Write};
+    let (addr, handle, join) = start(ServeConfig::default());
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    stream
+        .write_all(b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\nConnection: close, TE\r\n\r\n")
+        .expect("write");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read to EOF");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    assert!(
+        text.contains("connection: close"),
+        "server must acknowledge the close: {text}"
+    );
+    stop(handle, join);
 }
 
 #[test]

@@ -10,9 +10,23 @@
 //!    `parse_faults`) are total over raw and near-valid JSON — a bad
 //!    body is always a structured 400, never a crash.
 //!
+//! Two construction-based oracle properties pin the header semantics
+//! fixed in the conformance sweep:
+//!
+//! 3. `Request::wants_close` honours `Connection` as a comma-separated
+//!    token list (RFC 9112 §9.6) — the expectation is carried alongside
+//!    each generated token, so a `close` buried in `TE, close, upgrade`
+//!    (the pre-fix bug shape) or a near-miss like `closet` can never be
+//!    misread;
+//! 4. `Request::if_none_match` implements the RFC 9110 §13.1.2 weak
+//!    comparison over `If-None-Match` lists — `W/` prefixes, the `*`
+//!    wildcard, and non-matching/unquoted members all carry their
+//!    ground-truth match bit from the generator.
+//!
 //! CI drives property 1 with `SUIT_CHECK_CASES=100000` as the fuzz-smoke
-//! gate. The committed corpus seeds in `tests/corpus/` pin the two
-//! interesting parser shapes (over-long header, truncated body) and are
+//! gate. The committed corpus seeds in `tests/corpus/` pin the
+//! interesting shapes (over-long header, truncated body, close-in-list
+//! `Connection`, matching tag in an `If-None-Match` list) and are
 //! replayed before random exploration on every run.
 
 use suit::check::gen::{self, Gen};
@@ -160,6 +174,30 @@ fn committed_corpus_seeds_cover_the_advertised_shapes() {
 const OVERLONG_HEADER_SEED: u64 = 0x0;
 const TRUNCATED_BODY_SEED: u64 = 0xc;
 
+/// Seeds committed under `tests/corpus/` for the conformance shapes.
+const CLOSE_IN_LIST_SEED: u64 = 0x9;
+const TAG_IN_LIST_SEED: u64 = 0x9;
+
+/// Same drift alarm for the conformance-sweep corpus: the committed
+/// seeds must keep generating a `close` buried in a multi-token
+/// `Connection` list and a matching tag inside an `If-None-Match` list.
+#[test]
+fn conformance_corpus_seeds_cover_the_advertised_shapes() {
+    let (bytes, expect) = connection_case().sample(&mut Source::fresh(CLOSE_IN_LIST_SEED));
+    let value = connection_value(&bytes).expect("generated request has a connection header");
+    assert!(
+        expect && close_buried_in_list(&value),
+        "seed {CLOSE_IN_LIST_SEED:#x} no longer buries close in a token list: {value:?}"
+    );
+
+    let (bytes, expect) = if_none_match_case().sample(&mut Source::fresh(TAG_IN_LIST_SEED));
+    let text = String::from_utf8_lossy(&bytes).into_owned();
+    assert!(
+        expect && text.contains(','),
+        "seed {TAG_IN_LIST_SEED:#x} no longer puts a matching tag in a list: {text:?}"
+    );
+}
+
 /// Maintenance tool, not part of the suite: scans seeds and prints the
 /// first one generating each corpus shape. Run with
 /// `cargo test -p suit --test serve_fuzz find_corpus_seeds -- --ignored --nocapture`
@@ -189,6 +227,185 @@ fn find_corpus_seeds() {
     }
     println!("over-long header seed: {overlong:?}");
     println!("truncated body seed:   {truncated:?}");
+
+    // The conformance shapes: a `close` token inside a multi-token list
+    // (the pre-fix wants_close bug), and a matching tag inside an
+    // `If-None-Match` list with at least one non-matching member.
+    let conn = connection_case();
+    let mut close_in_list = None;
+    for seed in 0..200_000u64 {
+        let (bytes, expect) = conn.sample(&mut Source::fresh(seed));
+        if expect && connection_value(&bytes).is_some_and(|v| close_buried_in_list(&v)) {
+            close_in_list = Some(seed);
+            break;
+        }
+    }
+    let inm = if_none_match_case();
+    let mut tag_in_list = None;
+    for seed in 0..200_000u64 {
+        let (bytes, expect) = inm.sample(&mut Source::fresh(seed));
+        if expect && bytes.windows(1).any(|w| w == b",") {
+            tag_in_list = Some(seed);
+            break;
+        }
+    }
+    println!("close-in-list seed:    {close_in_list:?}");
+    println!("tag-in-list seed:      {tag_in_list:?}");
+}
+
+/// Extracts the generated `connection:` header value.
+fn connection_value(bytes: &[u8]) -> Option<String> {
+    String::from_utf8_lossy(bytes)
+        .lines()
+        .find_map(|l| l.strip_prefix("connection: ").map(str::to_string))
+}
+
+/// The pre-fix bug shape: a `close` token inside a multi-token list,
+/// which the old literal `value == "close"` comparison misread as
+/// keep-alive.
+fn close_buried_in_list(value: &str) -> bool {
+    let tokens: Vec<&str> = value
+        .split(',')
+        .map(|t| t.trim_matches([' ', '\t']))
+        .collect();
+    tokens.len() >= 2
+        && tokens.iter().any(|t| t.eq_ignore_ascii_case("close"))
+        && !value.trim().eq_ignore_ascii_case("close")
+}
+
+/// What a `Connection` token means for connection lifetime. Carried
+/// alongside the spelled form so the property's expectation is ground
+/// truth by construction, not a re-implementation of the parser.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ConnToken {
+    Close,
+    KeepAlive,
+    Other,
+}
+
+/// One spelled `Connection` token: mixed case, unrelated tokens, and
+/// near-miss spellings that contain `close` as a substring.
+fn connection_token() -> Gen<(&'static str, ConnToken)> {
+    gen::from_slice(&[
+        ("close", ConnToken::Close),
+        ("CLOSE", ConnToken::Close),
+        ("ClOsE", ConnToken::Close),
+        ("keep-alive", ConnToken::KeepAlive),
+        ("Keep-Alive", ConnToken::KeepAlive),
+        ("TE", ConnToken::Other),
+        ("upgrade", ConnToken::Other),
+        ("closet", ConnToken::Other),
+        ("disclose", ConnToken::Other),
+        ("keep-alives", ConnToken::Other),
+        ("", ConnToken::Other),
+    ])
+}
+
+/// A parseable request carrying a token-list `Connection` header, plus
+/// the by-construction expectation of whether the server must close:
+/// a `close` token always wins, `keep-alive` holds an HTTP/1.0
+/// connection open, and a list of neither falls back to the version
+/// default.
+fn connection_case() -> Gen<(Vec<u8>, bool)> {
+    let tokens = connection_token().vec_up_to(4);
+    let sep = gen::from_slice(&[",", ", ", " ,", ",\t", "\t,\t", " , "]);
+    gen::pair(&gen::pair(&tokens, &sep), &gen::bool_any()).map(|((tokens, sep), http11)| {
+        let value = tokens.iter().map(|(s, _)| *s).collect::<Vec<_>>().join(sep);
+        let version = if http11 { "HTTP/1.1" } else { "HTTP/1.0" };
+        let req = format!("GET / {version}\r\nhost: f\r\nconnection: {value}\r\n\r\n");
+        let close = tokens.iter().any(|(_, t)| *t == ConnToken::Close);
+        let keep = tokens.iter().any(|(_, t)| *t == ConnToken::KeepAlive);
+        (req.into_bytes(), close || (!keep && !http11))
+    })
+}
+
+/// Property 3: `wants_close` agrees with the constructed token list.
+#[test]
+fn wants_close_honours_token_list_connection_headers() {
+    Checker::new("serve_fuzz::connection_tokens")
+        .cases_from_env_or(20_000)
+        .corpus(corpus_dir!())
+        .check(
+            &connection_case(),
+            |(bytes, expect): &(Vec<u8>, bool)| match parse_request(bytes, &limits()) {
+                Ok(Parse::Complete(req, _)) => {
+                    if req.wants_close() == *expect {
+                        Ok(())
+                    } else {
+                        Err(format!(
+                            "wants_close() = {} for {:?}, expected {expect}",
+                            req.wants_close(),
+                            String::from_utf8_lossy(bytes)
+                        ))
+                    }
+                }
+                other => Err(format!("constructed request failed to parse: {other:?}")),
+            },
+        );
+}
+
+/// The tag every `If-None-Match` case revalidates against.
+const TARGET_ETAG: &str = "\"suit-00112233445566778899aabbccddeeff\"";
+
+/// One `If-None-Match` list member plus whether the weak comparison
+/// must match [`TARGET_ETAG`]: the tag itself, its `W/` form and the
+/// `*` wildcard match; other tags, weak other tags, the unquoted
+/// spelling, and the empty member must not.
+fn etag_member() -> Gen<(&'static str, bool)> {
+    gen::from_slice(&[
+        ("\"suit-00112233445566778899aabbccddeeff\"", true),
+        ("W/\"suit-00112233445566778899aabbccddeeff\"", true),
+        ("*", true),
+        ("\"suit-ffffffffffffffffffffffffffffffff\"", false),
+        ("\"etag\"", false),
+        ("W/\"etag\"", false),
+        ("suit-00112233445566778899aabbccddeeff", false),
+        ("", false),
+    ])
+}
+
+/// A parseable request carrying an `If-None-Match` list, plus whether
+/// any member matches [`TARGET_ETAG`].
+fn if_none_match_case() -> Gen<(Vec<u8>, bool)> {
+    let members = etag_member().vec_up_to(3);
+    let sep = gen::from_slice(&[",", ", ", " ,\t", " , "]);
+    gen::pair(&members, &sep).map(|(members, sep)| {
+        let value = members
+            .iter()
+            .map(|(s, _)| *s)
+            .collect::<Vec<_>>()
+            .join(sep);
+        let req = format!(
+            "POST /v1/simulate HTTP/1.1\r\nhost: f\r\nif-none-match: {value}\r\n\
+             content-length: 0\r\n\r\n"
+        );
+        (req.into_bytes(), members.iter().any(|(_, m)| *m))
+    })
+}
+
+/// Property 4: `if_none_match` agrees with the constructed member list.
+#[test]
+fn if_none_match_honours_etag_lists_weak_tags_and_star() {
+    Checker::new("serve_fuzz::etag_lists")
+        .cases_from_env_or(20_000)
+        .corpus(corpus_dir!())
+        .check(
+            &if_none_match_case(),
+            |(bytes, expect): &(Vec<u8>, bool)| match parse_request(bytes, &limits()) {
+                Ok(Parse::Complete(req, _)) => {
+                    if req.if_none_match(TARGET_ETAG) == *expect {
+                        Ok(())
+                    } else {
+                        Err(format!(
+                            "if_none_match() = {} for {:?}, expected {expect}",
+                            req.if_none_match(TARGET_ETAG),
+                            String::from_utf8_lossy(bytes)
+                        ))
+                    }
+                }
+                other => Err(format!("constructed request failed to parse: {other:?}")),
+            },
+        );
 }
 
 /// A JSON-ish body: raw text, valid endpoint bodies, and valid bodies
