@@ -25,11 +25,13 @@ use suit_hw::{CpuKind, CpuModel, UndervoltLevel};
 use suit_isa::TABLE1;
 use suit_rng::SuitRng;
 use suit_sim::analytic::simulate_emulation;
-use suit_sim::engine::{simulate, SimConfig};
+use suit_sim::engine::{run_stream, simulate, SimConfig};
 use suit_sim::experiment::{run_table6, RowResult};
 use suit_sim::result::RunResult;
 use suit_telemetry::json::{escape, parse, Value};
 use suit_trace::profile;
+
+use crate::tracestore::StoredTrace;
 
 /// A request that failed validation (`400`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +71,9 @@ pub enum Job {
     Batch(BatchSpec),
     /// `POST /v1/faults`: a fault-injection campaign.
     Faults(FaultsSpec),
+    /// `POST /v1/simulate-trace`: streamed replay of a stored trace,
+    /// one point per strategy fanned out over `suit-exec`.
+    SimulateTrace(Box<TraceJob>),
 }
 
 /// A single simulation point (the CLI `simulate` surface as JSON).
@@ -108,6 +113,36 @@ pub enum BatchSpec {
         /// boxed to keep the enum variants close in size).
         template: Box<SimPoint>,
     },
+}
+
+/// The validated body of `POST /v1/simulate-trace` — everything but the
+/// stored trace itself, which the server resolves from the trace store
+/// by ID before queueing a [`TraceJob`].
+#[derive(Debug, Clone)]
+pub struct TraceSpec {
+    /// Content-addressed trace ID from `POST /v1/trace` (32 hex digits).
+    pub trace: String,
+    /// CPU model key: `a` | `b` | `c`.
+    pub cpu: CpuModel,
+    /// Strategy keys to replay, one engine run each. `e` (closed-form
+    /// emulation) needs an analytic workload profile and is rejected.
+    pub strategies: Vec<String>,
+    /// Undervolt level.
+    pub level: UndervoltLevel,
+    /// Optional instruction cap per replay.
+    pub insts: Option<u64>,
+    /// Root seed; replay `i` runs with `fork(i)`.
+    pub seed: u64,
+}
+
+/// A queued trace replay: the validated spec plus the stored container
+/// it resolved to (shared bytes, so queue clones are cheap).
+#[derive(Debug, Clone)]
+pub struct TraceJob {
+    /// The validated request.
+    pub spec: TraceSpec,
+    /// The stored trace the ID resolved to.
+    pub stored: StoredTrace,
 }
 
 /// A fault-campaign request (the Table 1 sweep surface as JSON).
@@ -339,6 +374,105 @@ pub fn parse_batch(body: &str) -> Result<(Job, Option<u64>), BadRequest> {
     }
 }
 
+/// Validates the body of `POST /v1/simulate-trace` into a [`TraceSpec`].
+/// The trace ID is syntax-checked here; resolving it against the store
+/// (and the `404` for an unknown ID) is the server's job.
+pub fn parse_simulate_trace(body: &str) -> Result<(TraceSpec, Option<u64>), BadRequest> {
+    let v = parse_body(body)?;
+    obj(
+        &v,
+        &[
+            "trace",
+            "cpu",
+            "strategy",
+            "strategies",
+            "offset",
+            "insts",
+            "seed",
+            "deadline_ms",
+        ],
+    )?;
+    let deadline_ms = get_u64(&v, "deadline_ms")?;
+    let trace = get_str(&v, "trace")?.ok_or_else(|| BadRequest("missing field 'trace'".into()))?;
+    if trace.len() != 32
+        || !trace
+            .bytes()
+            .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+    {
+        return Err(BadRequest(
+            "field 'trace' must be a 32-hex-digit trace ID (from POST /v1/trace)".into(),
+        ));
+    }
+    let check_strategy = |s: &str| -> Result<(), BadRequest> {
+        if s == "e" {
+            return Err(BadRequest(
+                "strategy 'e' is closed-form over an analytic profile; recorded traces replay \
+                 with fv, f, v or adaptive"
+                    .into(),
+            ));
+        }
+        if !STRATEGIES.contains(&s) {
+            return Err(BadRequest(format!(
+                "unknown strategy '{s}' (expected fv, f, v or adaptive)"
+            )));
+        }
+        Ok(())
+    };
+    let strategies = match (get_str(&v, "strategy")?, v.get("strategies")) {
+        (Some(_), Some(_)) => {
+            return Err(BadRequest(
+                "'strategy' and 'strategies' are mutually exclusive".into(),
+            ));
+        }
+        (Some(one), None) => {
+            check_strategy(&one)?;
+            vec![one]
+        }
+        (None, Some(Value::Arr(items))) => {
+            let mut keys = Vec::with_capacity(items.len());
+            for item in items {
+                let Value::Str(key) = item else {
+                    return Err(BadRequest(
+                        "field 'strategies' must be an array of strategy keys".into(),
+                    ));
+                };
+                check_strategy(key)?;
+                if keys.contains(key) {
+                    return Err(BadRequest(format!(
+                        "duplicate strategy '{key}' in 'strategies'"
+                    )));
+                }
+                keys.push(key.clone());
+            }
+            if keys.is_empty() {
+                return Err(BadRequest("field 'strategies' must not be empty".into()));
+            }
+            keys
+        }
+        (None, Some(_)) => {
+            return Err(BadRequest(
+                "field 'strategies' must be an array of strategy keys".into(),
+            ));
+        }
+        (None, None) => vec!["fv".into()],
+    };
+    let insts = get_u64(&v, "insts")?;
+    if insts == Some(0) {
+        return Err(BadRequest("field 'insts' must be at least 1".into()));
+    }
+    Ok((
+        TraceSpec {
+            trace,
+            cpu: parse_cpu(get_str(&v, "cpu")?)?,
+            strategies,
+            level: parse_level(get_u64(&v, "offset")?)?,
+            insts,
+            seed: get_u64(&v, "seed")?.unwrap_or(0x5017),
+        },
+        deadline_ms,
+    ))
+}
+
 /// Validates the body of `POST /v1/faults`.
 pub fn parse_faults(body: &str) -> Result<(Job, Option<u64>), BadRequest> {
     let v = parse_body(body)?;
@@ -450,7 +584,94 @@ pub fn execute(job: &Job, threads: Threads, deadline: Deadline) -> Result<String
                 ranking.join(",")
             ))
         }
+        Job::SimulateTrace(tj) => {
+            let root = SuitRng::seed_from_u64(tj.spec.seed);
+            let results = suit_exec::run(tj.spec.strategies.len(), threads, |i| {
+                if deadline.expired() {
+                    return None;
+                }
+                Some(replay_trace(
+                    tj,
+                    &tj.spec.strategies[i],
+                    root.fork(i as u64).root_seed(),
+                ))
+            });
+            let results: Option<Vec<RunResult>> = results.into_iter().collect();
+            match results {
+                None => Err(ExecError::DeadlineExpired),
+                Some(results) => {
+                    let items: Vec<String> = tj
+                        .spec
+                        .strategies
+                        .iter()
+                        .zip(&results)
+                        .map(|(s, r)| {
+                            format!(
+                                "{{\"strategy\":{},\"result\":{}}}",
+                                escape(s),
+                                run_result_json(r)
+                            )
+                        })
+                        .collect();
+                    Ok(format!(
+                        "{{\"trace\":{},\"results\":[{}]}}",
+                        trace_info_json(&tj.spec.trace, &tj.stored),
+                        items.join(",")
+                    ))
+                }
+            }
+        }
     }
+}
+
+/// Replays one stored trace under one strategy, streaming bursts out of
+/// the container through [`run_stream`] — replay memory is O(chunk),
+/// never O(trace). The container was fully decoded once at upload, so
+/// opening and streaming it again cannot fail.
+fn replay_trace(tj: &TraceJob, strategy: &str, seed: u64) -> RunResult {
+    let reader = suit_store::open_bytes(&tj.stored.bytes).expect("trace validated at upload");
+    let meta = reader.meta().clone();
+    let (strategy, adaptive) = match strategy {
+        "fv" => (OperatingStrategy::FreqVolt, None),
+        "f" => (OperatingStrategy::Frequency, None),
+        "v" => (OperatingStrategy::Voltage, None),
+        "adaptive" => (
+            OperatingStrategy::FreqVolt,
+            Some(AdaptiveConfig::for_cpu(&tj.spec.cpu.delays)),
+        ),
+        other => unreachable!("strategy '{other}' validated at parse time"),
+    };
+    let params = match tj.spec.cpu.kind {
+        CpuKind::AmdRyzen7700X => StrategyParams::amd(),
+        _ => StrategyParams::intel(),
+    };
+    let cfg = SimConfig {
+        strategy,
+        params,
+        level: tj.spec.level,
+        cores: 1,
+        seed,
+        max_insts: tj.spec.insts,
+        record_timeline: false,
+        adaptive,
+    };
+    run_stream(&tj.spec.cpu, &meta, reader.bursts(), &cfg)
+}
+
+/// The deterministic trace summary shared by the upload response,
+/// `GET /v1/trace/<id>` and the `/v1/simulate-trace` envelope.
+pub fn trace_info_json(id: &str, t: &StoredTrace) -> String {
+    format!(
+        "{{\"id\":{},\"workload\":{},\"ipc\":{},\"total_insts\":{},\"bursts\":{},\"chunks\":{},\
+         \"bytes\":{}}}",
+        escape(id),
+        escape(&t.workload),
+        json_num(t.ipc),
+        t.total_insts,
+        t.bursts,
+        t.chunks,
+        t.bytes.len()
+    )
 }
 
 /// Simulates one point of the template for `workload` with `seed` —
@@ -642,6 +863,41 @@ mod tests {
         };
         let direct = simulate_point(&template, "557.xz", root.fork(0).root_seed());
         assert!(one.contains(&run_result_json(&direct)));
+    }
+
+    #[test]
+    fn simulate_trace_body_validates_strictly() {
+        let id = "0123456789abcdef0123456789abcdef";
+        for bad in [
+            "".to_string(),
+            "{}".to_string(),
+            "{\"trace\":\"short\"}".to_string(),
+            format!("{{\"trace\":\"{}\"}}", id.to_uppercase()),
+            format!("{{\"trace\":\"{id}\",\"strategy\":\"e\"}}"),
+            format!("{{\"trace\":\"{id}\",\"strategy\":\"warp\"}}"),
+            format!("{{\"trace\":\"{id}\",\"strategies\":[]}}"),
+            format!("{{\"trace\":\"{id}\",\"strategies\":[\"fv\",\"fv\"]}}"),
+            format!("{{\"trace\":\"{id}\",\"strategies\":[\"fv\"],\"strategy\":\"f\"}}"),
+            format!("{{\"trace\":\"{id}\",\"strategies\":[1]}}"),
+            format!("{{\"trace\":\"{id}\",\"insts\":0}}"),
+            format!("{{\"trace\":\"{id}\",\"cores\":2}}"),
+            format!("{{\"trace\":\"{id}\",\"cpu\":\"z\"}}"),
+        ] {
+            assert!(parse_simulate_trace(&bad).is_err(), "accepted {bad:?}");
+        }
+        let (spec, deadline) = parse_simulate_trace(&format!(
+            "{{\"trace\":\"{id}\",\"strategies\":[\"fv\",\"adaptive\"],\"seed\":9,\
+             \"deadline_ms\":50}}"
+        ))
+        .unwrap();
+        assert_eq!(deadline, Some(50));
+        assert_eq!(spec.trace, id);
+        assert_eq!(spec.strategies, ["fv", "adaptive"]);
+        assert_eq!(spec.seed, 9);
+        // Defaults: single fv replay, paper seed.
+        let (spec, _) = parse_simulate_trace(&format!("{{\"trace\":\"{id}\"}}")).unwrap();
+        assert_eq!(spec.strategies, ["fv"]);
+        assert_eq!(spec.seed, 0x5017);
     }
 
     #[test]

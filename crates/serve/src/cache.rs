@@ -74,6 +74,22 @@ pub fn canonical_job(job: &Job) -> String {
             spec.seed,
             canonical_f64(spec.sigma_mv)
         ),
+        // The trace ID is itself content-addressed over the container
+        // bytes, so `(id, config)` fully determines the response and the
+        // stored bytes never need to enter the key.
+        Job::SimulateTrace(tj) => {
+            let strategies: Vec<String> = tj.spec.strategies.iter().map(|s| escape(s)).collect();
+            format!(
+                "{{\"cpu\":\"{}\",\"endpoint\":\"simulate-trace\",\"insts\":{},\"offset\":{},\
+                 \"seed\":{},\"strategies\":[{}],\"trace\":{}}}",
+                cpu_key(tj.spec.cpu.kind),
+                canonical_opt_u64(tj.spec.insts),
+                offset_key(tj.spec.level),
+                tj.spec.seed,
+                strategies.join(","),
+                escape(&tj.spec.trace)
+            )
+        }
     }
 }
 

@@ -35,6 +35,45 @@ pub fn request_with_headers(
     headers: &[(&str, &str)],
     timeout: Duration,
 ) -> std::io::Result<ClientResponse> {
+    request_raw(
+        addr,
+        method,
+        path,
+        body.map(|b| (b.as_bytes(), "application/json")),
+        headers,
+        timeout,
+    )
+}
+
+/// Issues one request with a binary body (e.g. a packed `SUITTRC2`
+/// container for `POST /v1/trace`), sent as `application/octet-stream`.
+pub fn request_bytes(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> std::io::Result<ClientResponse> {
+    request_raw(
+        addr,
+        method,
+        path,
+        Some((body, "application/octet-stream")),
+        &[],
+        timeout,
+    )
+}
+
+/// The shared transport: `body` is raw bytes plus the `content-type`
+/// to declare for them.
+fn request_raw(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<(&[u8], &str)>,
+    headers: &[(&str, &str)],
+    timeout: Duration,
+) -> std::io::Result<ClientResponse> {
     let sock_addr: std::net::SocketAddr = addr.parse().map_err(|e| {
         std::io::Error::new(
             std::io::ErrorKind::InvalidInput,
@@ -55,16 +94,16 @@ pub fn request_with_headers(
         }
         head.push_str(&format!("{name}: {value}\r\n"));
     }
-    if let Some(b) = body {
+    if let Some((b, content_type)) = body {
         head.push_str(&format!(
-            "content-type: application/json\r\ncontent-length: {}\r\n",
+            "content-type: {content_type}\r\ncontent-length: {}\r\n",
             b.len()
         ));
     }
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
-    if let Some(b) = body {
-        stream.write_all(b.as_bytes())?;
+    if let Some((b, _)) = body {
+        stream.write_all(b)?;
     }
     stream.flush()?;
     read_response(&mut stream).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))

@@ -11,14 +11,24 @@
 //!
 //! Endpoints:
 //!
-//! | endpoint           | method | body                                  |
-//! |--------------------|--------|---------------------------------------|
-//! | `/v1/simulate`     | POST   | one simulation point                  |
-//! | `/v1/batch`        | POST   | a sweep fanned over [`suit_exec`]     |
-//! | `/v1/faults`       | POST   | a fault-injection campaign            |
-//! | `/v1/metrics`      | GET    | request counters + latency histograms |
-//! | `/v1/healthz`      | GET    | liveness / drain state                |
-//! | `/v1/shutdown`     | POST   | begin graceful drain                  |
+//! | endpoint              | method | body                                    |
+//! |-----------------------|--------|-----------------------------------------|
+//! | `/v1/simulate`        | POST   | one simulation point                    |
+//! | `/v1/batch`           | POST   | a sweep fanned over [`suit_exec`]       |
+//! | `/v1/faults`          | POST   | a fault-injection campaign              |
+//! | `/v1/trace`           | POST   | a binary `SUITTRC2` container to store  |
+//! | `/v1/trace/<id>`      | GET    | summary of one stored trace             |
+//! | `/v1/simulate-trace`  | POST   | streamed replay of a stored trace       |
+//! | `/v1/metrics`         | GET    | request counters + latency histograms   |
+//! | `/v1/healthz`         | GET    | liveness / drain state                  |
+//! | `/v1/shutdown`        | POST   | begin graceful drain                    |
+//!
+//! `POST /v1/trace` uploads a packed trace (see `suit-store`) into a
+//! **bounded** in-memory store — content-addressed IDs, idempotent
+//! re-upload, structured `413` when full — and `/v1/simulate-trace`
+//! replays it through the engine's streaming entry point, one strategy
+//! per `suit_exec` fan-out lane, without ever materialising the burst
+//! vector.
 //!
 //! Determinism is the load-bearing property: batch jobs seed each point
 //! with `rng.fork(i)` and collect results in index order through
@@ -48,8 +58,10 @@ pub mod cache;
 pub mod client;
 pub mod http;
 pub mod server;
+pub mod tracestore;
 
 pub use api::{BadRequest, Deadline};
-pub use client::{request, request_text, request_with_headers};
+pub use client::{request, request_bytes, request_text, request_with_headers};
 pub use http::{ClientResponse, Limits, Request, Response};
 pub use server::{ServeConfig, Server, ShutdownHandle};
+pub use tracestore::{StoredTrace, TraceStore};

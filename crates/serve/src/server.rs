@@ -50,6 +50,7 @@ use suit_telemetry::{Counter, Hist, Telemetry};
 use crate::api::{self, Deadline, ExecError};
 use crate::cache::{self, Cache, FlightTable, Role};
 use crate::http::{parse_request, Limits, Method, Parse, Request, Response};
+use crate::tracestore::{Inserted, StoredTrace, TraceStore};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -74,6 +75,13 @@ pub struct ServeConfig {
     /// Result-cache byte budget over stored response bodies
     /// (`--cache-bytes`); `0` disables the cache like `cache_entries`.
     pub cache_bytes: usize,
+    /// Trace-store entry bound (`--trace-entries`): at most this many
+    /// uploaded trace containers; a full store answers `413`.
+    pub trace_entries: usize,
+    /// Trace-store byte budget over stored container bytes
+    /// (`--trace-bytes`); `0` (like `trace_entries: 0`) refuses every
+    /// upload.
+    pub trace_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +95,8 @@ impl Default for ServeConfig {
             max_connections: 64,
             cache_entries: 256,
             cache_bytes: 16 * 1024 * 1024,
+            trace_entries: 16,
+            trace_bytes: 64 * 1024 * 1024,
         }
     }
 }
@@ -109,6 +119,7 @@ enum Endpoint {
     Simulate,
     Batch,
     Faults,
+    SimulateTrace,
 }
 
 impl Endpoint {
@@ -117,6 +128,7 @@ impl Endpoint {
             Endpoint::Simulate => Hist::ServeSimulateUs,
             Endpoint::Batch => Hist::ServeBatchUs,
             Endpoint::Faults => Hist::ServeFaultsUs,
+            Endpoint::SimulateTrace => Hist::ServeSimulateTraceUs,
         }
     }
 }
@@ -136,6 +148,9 @@ struct State {
     /// Coalescing table: identical in-flight requests share one
     /// computation.
     flights: FlightTable,
+    /// Bounded store of uploaded trace containers, content-addressed
+    /// by `POST /v1/trace`.
+    traces: TraceStore,
 }
 
 /// A handle that requests graceful shutdown from outside the server —
@@ -182,6 +197,7 @@ impl Server {
         assert!(cfg.queue_depth >= 1, "queue depth must be at least 1");
         let listener = TcpListener::bind(addr)?;
         let cache = Cache::new(cfg.cache_entries, cfg.cache_bytes);
+        let traces = TraceStore::new(cfg.trace_entries, cfg.trace_bytes);
         Ok(Server {
             listener,
             state: Arc::new(State {
@@ -194,6 +210,7 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 cache,
                 flights: FlightTable::new(),
+                traces,
             }),
         })
     }
@@ -382,6 +399,61 @@ fn dispatch(state: &State, request: &Request) -> Response {
             state.begin_shutdown();
             Response::ok("{\"status\":\"draining\"}")
         }
+        // The upload body is the raw binary container — no UTF-8 pass.
+        (Method::Post, "/v1/trace") => trace_upload(state, &request.body, started),
+        (Method::Get, path) if path.starts_with("/v1/trace/") => {
+            let id = &path["/v1/trace/".len()..];
+            match state.traces.get(id) {
+                Some(t) => {
+                    state.tele.count(Counter::ServeRequests);
+                    Response::ok(format!("{{\"trace\":{}}}", api::trace_info_json(id, &t)))
+                }
+                None => {
+                    state.tele.count(Counter::ServeBadRequests);
+                    Response::error(404, &format!("no stored trace '{id}'"))
+                }
+            }
+        }
+        (Method::Post, "/v1/simulate-trace") => {
+            let body = match std::str::from_utf8(&request.body) {
+                Ok(s) => s,
+                Err(_) => {
+                    state.tele.count(Counter::ServeBadRequests);
+                    return Response::error(400, "request body is not valid UTF-8");
+                }
+            };
+            match api::parse_simulate_trace(body) {
+                Err(api::BadRequest(msg)) => {
+                    state.tele.count(Counter::ServeBadRequests);
+                    Response::error(400, &msg)
+                }
+                Ok((spec, deadline_ms)) => match state.traces.get(&spec.trace) {
+                    None => {
+                        state.tele.count(Counter::ServeBadRequests);
+                        Response::error(
+                            404,
+                            &format!(
+                                "no stored trace '{}' (upload it with POST /v1/trace)",
+                                spec.trace
+                            ),
+                        )
+                    }
+                    Some(stored) => {
+                        let deadline =
+                            Deadline::after_ms(deadline_ms.or(state.cfg.default_deadline_ms));
+                        let job = api::Job::SimulateTrace(Box::new(api::TraceJob { spec, stored }));
+                        submit_cached(
+                            state,
+                            request,
+                            job,
+                            Endpoint::SimulateTrace,
+                            deadline,
+                            started,
+                        )
+                    }
+                },
+            }
+        }
         (Method::Post, path @ ("/v1/simulate" | "/v1/batch" | "/v1/faults")) => {
             let body = match std::str::from_utf8(&request.body) {
                 Ok(s) => s,
@@ -416,7 +488,9 @@ fn dispatch(state: &State, request: &Request) -> Response {
                     | "/v1/simulate"
                     | "/v1/batch"
                     | "/v1/faults"
-            ) =>
+                    | "/v1/trace"
+                    | "/v1/simulate-trace"
+            ) || path.starts_with("/v1/trace/") =>
         {
             state.tele.count(Counter::ServeBadRequests);
             Response::error(405, &format!("wrong method for {path}"))
@@ -428,6 +502,96 @@ fn dispatch(state: &State, request: &Request) -> Response {
         (_, path) => {
             state.tele.count(Counter::ServeBadRequests);
             Response::error(404, &format!("no such endpoint '{path}'"))
+        }
+    }
+}
+
+/// `POST /v1/trace`: validate the uploaded container end to end, then
+/// insert it into the bounded store under its content-addressed ID.
+///
+/// Validation streams every chunk through the decoder once — index,
+/// chunk CRCs, every burst record — so replay jobs can trust stored
+/// bytes unconditionally (`replay_trace` opens them infallibly).
+/// Corrupt or truncated uploads are a structured `400`, a full store is
+/// `413`, and re-uploading identical bytes is idempotent (`200` with
+/// `"created":false`) even when the store is full.
+fn trace_upload(state: &State, bytes: &[u8], started: Instant) -> Response {
+    let resp = trace_upload_inner(state, bytes);
+    state
+        .tele
+        .observe(Hist::ServeTraceUploadUs, elapsed_us(started));
+    resp
+}
+
+fn trace_upload_inner(state: &State, bytes: &[u8]) -> Response {
+    let reader = match suit_store::open_bytes(bytes) {
+        Ok(r) => r,
+        Err(e) => {
+            state.tele.count(Counter::ServeBadRequests);
+            return Response::error(400, &format!("invalid trace container: {e}"));
+        }
+    };
+    // Full decode pass: every chunk is decompressed and CRC-checked,
+    // every burst record validated.
+    let mut bursts = reader.bursts();
+    for _ in bursts.by_ref() {}
+    let reader = match bursts.finish() {
+        Ok(r) => r,
+        Err(e) => {
+            state.tele.count(Counter::ServeBadRequests);
+            return Response::error(400, &format!("invalid trace container: {e}"));
+        }
+    };
+    let info = reader.info();
+    if info.bursts == 0 || info.meta.total_insts == 0 {
+        state.tele.count(Counter::ServeBadRequests);
+        return Response::error(400, "trace is empty (no bursts or zero virtual length)");
+    }
+    let id = TraceStore::id_for(bytes);
+    let stored = StoredTrace {
+        bytes: Arc::new(bytes.to_vec()),
+        workload: info.meta.name.clone(),
+        ipc: info.meta.ipc,
+        total_insts: info.meta.total_insts,
+        bursts: info.bursts,
+        chunks: info.chunks,
+    };
+    let body = |created: bool, t: &StoredTrace| {
+        format!(
+            "{{\"created\":{created},\"trace\":{}}}",
+            api::trace_info_json(&id, t)
+        )
+    };
+    match state.traces.insert(&id, stored.clone()) {
+        Inserted::Created => {
+            state.tele.count(Counter::ServeRequests);
+            state.tele.count(Counter::ServeTraceUploads);
+            Response::ok(body(true, &stored))
+        }
+        Inserted::Existing => {
+            state.tele.count(Counter::ServeRequests);
+            state.tele.count(Counter::ServeTraceDedup);
+            Response::ok(body(false, &stored))
+        }
+        Inserted::Full => {
+            state.tele.count(Counter::ServeBadRequests);
+            state.tele.count(Counter::ServeTraceStoreFull);
+            let (entries, used) = state.traces.usage();
+            let (cap_entries, cap_bytes) = state.traces.capacity();
+            Response::error(
+                413,
+                &format!(
+                    "trace store is full ({entries}/{cap_entries} traces, \
+                     {used}/{cap_bytes} bytes); raise --trace-entries/--trace-bytes"
+                ),
+            )
+        }
+        Inserted::IdCollision => {
+            state.tele.count(Counter::ServeBadRequests);
+            Response::error(
+                500,
+                "trace ID collision: different bytes hash to a stored ID",
+            )
         }
     }
 }
@@ -592,12 +756,17 @@ fn metrics_json(state: &State) -> String {
     let queued = state.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
     let (cache_entries, cache_bytes) = state.cache.usage();
     let (cap_entries, cap_bytes) = state.cache.capacity();
+    let (trace_entries, trace_bytes) = state.traces.usage();
+    let (trace_cap_entries, trace_cap_bytes) = state.traces.capacity();
     format!(
         "{{\"requests\":{{\"accepted\":{},\"rejected\":{},\"bad\":{},\"deadline_expired\":{}}},\
-         \"latency_us\":{{\"simulate\":{},\"batch\":{},\"faults\":{},\"metrics\":{}}},\
+         \"latency_us\":{{\"simulate\":{},\"batch\":{},\"faults\":{},\"metrics\":{},\
+         \"trace_upload\":{},\"simulate_trace\":{}}},\
          \"cache\":{{\"enabled\":{},\"hits\":{},\"misses\":{},\"coalesced\":{},\"evictions\":{},\
          \"not_modified\":{},\"entries\":{},\"bytes\":{},\"capacity_entries\":{},\
          \"capacity_bytes\":{},\"hit_latency_us\":{}}},\
+         \"traces\":{{\"entries\":{},\"bytes\":{},\"capacity_entries\":{},\"capacity_bytes\":{},\
+         \"uploads\":{},\"dedup\":{},\"store_full\":{}}},\
          \"queue\":{{\"depth\":{},\"capacity\":{},\"inflight\":{}}},\
          \"workers\":{},\"draining\":{}}}",
         snap.counter(Counter::ServeRequests),
@@ -608,6 +777,8 @@ fn metrics_json(state: &State) -> String {
         lat(Hist::ServeBatchUs),
         lat(Hist::ServeFaultsUs),
         lat(Hist::ServeMetricsUs),
+        lat(Hist::ServeTraceUploadUs),
+        lat(Hist::ServeSimulateTraceUs),
         state.cache.enabled(),
         snap.counter(Counter::ServeCacheHits),
         snap.counter(Counter::ServeCacheMisses),
@@ -619,6 +790,13 @@ fn metrics_json(state: &State) -> String {
         cap_entries,
         cap_bytes,
         lat(Hist::ServeCacheHitUs),
+        trace_entries,
+        trace_bytes,
+        trace_cap_entries,
+        trace_cap_bytes,
+        snap.counter(Counter::ServeTraceUploads),
+        snap.counter(Counter::ServeTraceDedup),
+        snap.counter(Counter::ServeTraceStoreFull),
         queued,
         state.cfg.queue_depth,
         state.inflight.load(Ordering::SeqCst),

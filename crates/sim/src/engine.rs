@@ -31,7 +31,8 @@ use suit_core::{
 use suit_hw::{CpuModel, OperatingPoint, TransitionDelays, UndervoltLevel};
 use suit_isa::{SimDuration, SimTime};
 use suit_telemetry::{Counter, EventKind, Hist, Telemetry};
-use suit_trace::{TraceGen, WorkloadProfile};
+use suit_trace::io::TraceMeta;
+use suit_trace::{Burst, TraceGen, WorkloadProfile};
 
 use crate::result::RunResult;
 
@@ -396,11 +397,16 @@ impl CpuControl for Hw {
     }
 }
 
-/// One core's position in its instruction stream.
-struct CoreStream<'p> {
-    gen: TraceGen<'p>,
+/// One core's position in its instruction stream. Generic over the burst
+/// source: a profile-driven [`TraceGen`] for synthetic runs, or any plain
+/// `Iterator<Item = Burst>` (e.g. a `suit-store` streaming reader) for
+/// recorded-trace replay — the event loop is identical either way.
+struct CoreStream<I> {
+    source: I,
+    /// Workload name reported in per-core outcomes.
+    name: String,
     /// Instructions until the next faultable instruction (∞ when the
-    /// generator is exhausted).
+    /// source is exhausted).
     rem_event: f64,
     /// Events left in the current burst after the upcoming one.
     burst_left: u32,
@@ -415,30 +421,53 @@ struct CoreStream<'p> {
     /// When the core finished its trace (`Some` ⇒ finished).
     finish_time: Option<SimTime>,
     events: u64,
-    /// The mix's dominant opcode, cached for exception records.
+    /// The stream's dominant opcode, cached for exception records.
     dominant_opcode: suit_isa::Opcode,
 }
 
-impl<'p> CoreStream<'p> {
+impl<'p> CoreStream<TraceGen<'p>> {
     fn new(profile: &'p WorkloadProfile, cpu: &CpuModel, seed: u64, cap: u64) -> Self {
         let pen = 1.0 - imul_penalty(profile);
         let nominal = profile.ipc * cpu.steady.base_freq_ghz * 1e9;
-        let mut c = CoreStream {
-            gen: TraceGen::new(profile, seed),
-            rem_event: 0.0,
-            burst_left: 0,
-            within: 0.0,
-            rem_total: cap as f64,
-            base_rate: nominal * pen,
-            baseline: SimDuration::from_secs_f64(cap as f64 / nominal),
-            finish_time: None,
-            events: 0,
-            dominant_opcode: profile
+        Self::from_source(
+            TraceGen::new(profile, seed),
+            profile.name.to_string(),
+            profile
                 .opcode_mix
                 .weights()
                 .first()
                 .map(|(op, _)| *op)
                 .expect("non-empty mix"),
+            nominal,
+            nominal * pen,
+            cap,
+        )
+    }
+}
+
+impl<I: Iterator<Item = Burst>> CoreStream<I> {
+    /// Builds a stream from raw parts: `nominal` is the no-SUIT
+    /// instruction rate (baseline), `rate` the SUIT-hardened one.
+    fn from_source(
+        source: I,
+        name: String,
+        dominant_opcode: suit_isa::Opcode,
+        nominal: f64,
+        rate: f64,
+        cap: u64,
+    ) -> Self {
+        let mut c = CoreStream {
+            source,
+            name,
+            rem_event: 0.0,
+            burst_left: 0,
+            within: 0.0,
+            rem_total: cap as f64,
+            base_rate: rate,
+            baseline: SimDuration::from_secs_f64(cap as f64 / nominal),
+            finish_time: None,
+            events: 0,
+            dominant_opcode,
         };
         c.load_next_gap();
         c
@@ -453,7 +482,7 @@ impl<'p> CoreStream<'p> {
         if self.burst_left > 0 {
             self.burst_left -= 1;
             self.rem_event = self.within + 1.0;
-        } else if let Some(b) = self.gen.next() {
+        } else if let Some(b) = self.source.next() {
             self.burst_left = b.events - 1;
             self.within = f64::from(b.within_gap_insts);
             self.rem_event = b.gap_insts as f64 + 1.0;
@@ -594,6 +623,85 @@ fn run(
     tele: &Telemetry,
 ) -> (MixedResult, Option<Vec<PointChange>>) {
     assert!(!profiles.is_empty(), "need at least one core");
+    let cores: Vec<CoreStream<TraceGen>> = profiles
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let cap = cfg.max_insts.unwrap_or(p.total_insts).min(p.total_insts);
+            CoreStream::new(p, cpu, cfg.seed.wrapping_add(i as u64), cap)
+        })
+        .collect();
+    let workload = if profiles.len() == 1 || profiles.iter().all(|p| p.name == profiles[0].name) {
+        profiles[0].name.to_string()
+    } else {
+        let names: Vec<&str> = profiles.iter().map(|p| p.name).collect();
+        format!("mix({})", names.join("+"))
+    };
+    run_cores(cpu, cores, workload, cfg, tele)
+}
+
+/// Simulates a *recorded* trace streamed from `bursts` on a single core
+/// — the out-of-core replay entry point. The source can be anything that
+/// yields [`Burst`]s (a `suit-store` streaming reader, a decoded
+/// `SUITTRC1` vector, a generator); the event loop is the same code path
+/// as [`simulate`], so results are byte-identical for identical burst
+/// sequences regardless of how they are stored.
+///
+/// `meta` supplies the instruction rate (`ipc`) and the virtual trace
+/// length; `cfg.max_insts` caps the replay as usual. Recorded traces
+/// already embody the recorded machine's IMUL behaviour, so no
+/// profile-model hardening penalty is applied. `cfg.cores` is ignored:
+/// one recorded stream drives one core.
+pub fn run_stream<I>(cpu: &CpuModel, meta: &TraceMeta, bursts: I, cfg: &SimConfig) -> RunResult
+where
+    I: IntoIterator<Item = Burst>,
+{
+    run_stream_telemetry(cpu, meta, bursts, cfg, &Telemetry::off())
+}
+
+/// [`run_stream`] with a telemetry handle attached.
+pub fn run_stream_telemetry<I>(
+    cpu: &CpuModel,
+    meta: &TraceMeta,
+    bursts: I,
+    cfg: &SimConfig,
+    tele: &Telemetry,
+) -> RunResult
+where
+    I: IntoIterator<Item = Burst>,
+{
+    assert!(
+        meta.ipc.is_finite() && meta.ipc > 0.0,
+        "trace IPC must be positive"
+    );
+    let cap = cfg
+        .max_insts
+        .unwrap_or(meta.total_insts)
+        .min(meta.total_insts);
+    assert!(cap > 0, "trace virtual length must be positive");
+    let mut source = bursts.into_iter().peekable();
+    // The exception record needs *a* faultable opcode (the policy never
+    // branches on it); use the trace's first burst, like the profile path
+    // uses the mix's dominant entry.
+    let dominant = source
+        .peek()
+        .map(|b| b.opcode)
+        .unwrap_or(suit_isa::Opcode::Aesenc);
+    let nominal = meta.ipc * cpu.steady.base_freq_ghz * 1e9;
+    let core = CoreStream::from_source(source, meta.name.clone(), dominant, nominal, nominal, cap);
+    run_cores(cpu, vec![core], meta.name.clone(), cfg, tele)
+        .0
+        .domain
+}
+
+fn run_cores<I: Iterator<Item = Burst>>(
+    cpu: &CpuModel,
+    mut cores: Vec<CoreStream<I>>,
+    workload: String,
+    cfg: &SimConfig,
+    tele: &Telemetry,
+) -> (MixedResult, Option<Vec<PointChange>>) {
+    assert!(!cores.is_empty(), "need at least one core");
     assert!(
         cfg.max_insts != Some(0),
         "instruction budget must be positive (got max_insts = Some(0))"
@@ -637,15 +745,6 @@ fn run(
         point_since: SimTime::ZERO,
         conservative_since: None,
     };
-
-    let mut cores: Vec<CoreStream> = profiles
-        .iter()
-        .enumerate()
-        .map(|(i, p)| {
-            let cap = cfg.max_insts.unwrap_or(p.total_insts).min(p.total_insts);
-            CoreStream::new(p, cpu, cfg.seed.wrapping_add(i as u64), cap)
-        })
-        .collect();
 
     let mut guard: u64 = 0;
 
@@ -758,18 +857,12 @@ fn run(
     let per_core: Vec<CoreOutcome> = cores
         .iter()
         .map(|c| CoreOutcome {
-            workload: c.gen.profile().name.to_string(),
+            workload: c.name.clone(),
             finish: c.finish_time.unwrap_or(hw.now).since(SimTime::ZERO),
             baseline: c.baseline,
             events: c.events,
         })
         .collect();
-    let workload = if profiles.len() == 1 || profiles.iter().all(|p| p.name == profiles[0].name) {
-        profiles[0].name.to_string()
-    } else {
-        let names: Vec<&str> = profiles.iter().map(|p| p.name).collect();
-        format!("mix({})", names.join("+"))
-    };
     let domain = RunResult {
         workload,
         duration: hw.now.since(SimTime::ZERO),
@@ -791,7 +884,7 @@ fn run(
     (MixedResult { domain, per_core }, hw.timeline)
 }
 
-impl CoreStream<'_> {
+impl<I> CoreStream<I> {
     /// The opcode of the faultable instruction currently at the head.
     /// The engine only needs *a* faultable opcode for the exception
     /// record (per-event opcode fidelity matters to the fault model,
@@ -1121,6 +1214,42 @@ mod tests {
         assert!(stats.count("curve_switch") > 0);
         assert!(stats.count("do_trap") > 0);
         assert!(stats.count("stall") > 0);
+    }
+
+    #[test]
+    fn run_stream_replays_recorded_bursts_deterministically() {
+        let cpu = CpuModel::xeon_4208();
+        let p = profile::by_name("502.gcc").unwrap();
+        let bursts: Vec<Burst> = suit_trace::TraceGen::new(p, 11).collect();
+        let meta = TraceMeta {
+            name: "recorded".into(),
+            ipc: p.ipc,
+            total_insts: p.total_insts,
+        };
+        let cfg = xeon_cfg().with_max_insts(200_000_000);
+        // Identical burst sequences through different iterator types must
+        // produce identical results — the storage layer is transparent.
+        let a = run_stream(&cpu, &meta, bursts.iter().copied(), &cfg);
+        let b = run_stream(&cpu, &meta, bursts.clone(), &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.workload, "recorded");
+        assert!(a.events > 0);
+        assert!(a.exceptions > 0);
+    }
+
+    #[test]
+    fn run_stream_with_an_empty_source_idles_to_the_cap() {
+        let cpu = CpuModel::xeon_4208();
+        let meta = TraceMeta {
+            name: "silence".into(),
+            ipc: 1.0,
+            total_insts: 1_000_000,
+        };
+        let r = run_stream(&cpu, &meta, Vec::new(), &xeon_cfg());
+        assert_eq!(r.events, 0);
+        assert_eq!(r.exceptions, 0);
+        // No faultable instructions ⇒ the whole run stays on E.
+        assert!(r.residency() > 0.999);
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! # suit-store
+//!
+//! Out-of-core trace storage: the `SUITTRC2` chunked, compressed,
+//! seekable container and its bounded-memory streaming reader.
+//!
+//! `suit-trace::io`'s `SUITTRC1` format is load-everything — the whole
+//! burst vector must fit in memory before a single event replays. Real
+//! trace-driven studies operate at 10¹¹-instruction / GiB scale (§5.1
+//! records 25 applications once and replays them across every CPU ×
+//! strategy × offset configuration), so this crate adds the storage layer
+//! that makes replay out-of-core:
+//!
+//! * [`container::pack`] — streams bursts into fixed-size chunks, each
+//!   independently compressed with the in-tree [`lz`] LZSS codec and
+//!   checksummed with [`crc`] CRC-32, then appends a fixed-size per-chunk
+//!   index footer (byte offset, burst count, first-burst virtual time,
+//!   CRC) and a trailer. Packing is a pure function of its inputs.
+//! * [`container::StreamingReader`] — validates the trailer, index
+//!   checksum and every index record against the physical file size
+//!   before trusting any length field, then yields [`suit_trace::Burst`]s
+//!   through a window of at most N decoded chunks: replay memory is
+//!   O(chunk), not O(trace), with the high-water mark observable via
+//!   [`container::StreamingReader::peak_resident_bursts`].
+//! * [`container::StreamingReader::seek_to_vtime`] — O(log chunks)
+//!   binary search of the index to the burst covering any virtual
+//!   instruction offset, decoding at most one chunk, with semantics
+//!   identical to skipping from the start.
+//!
+//! Everything is deterministic and total: same bytes in, same bursts
+//! out; corrupt or hostile input returns [`container::StoreError`],
+//! never panics, and never allocates more than the physical input could
+//! justify.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod container;
+pub mod crc;
+pub mod lz;
+
+pub use container::{
+    open_bytes, pack, pack_to_vec, read_all, Bursts, ChunkRecord, ContainerInfo, PackStats,
+    StoreError, StreamingReader, DEFAULT_CHUNK_BURSTS, MAX_CHUNK_BURSTS,
+};

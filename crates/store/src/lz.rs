@@ -1,0 +1,265 @@
+//! The in-tree LZSS codec compressing `SUITTRC2` chunks.
+//!
+//! Classic LZSS over a 4 KiB sliding window: a flag byte announces eight
+//! items, each either a literal byte (bit set) or a 2-byte match token
+//! (bit clear) packing a 12-bit distance and 4-bit length (3–18 bytes).
+//! The matcher is greedy with a bounded hash chain — determinism and a
+//! total, bounds-checked decoder matter here; ratio is secondary (varint
+//! burst streams are repetitive enough that even greedy LZSS halves them).
+//!
+//! Both directions are pure functions of their input: same bytes in, same
+//! bytes out, on every platform and at every call site.
+
+/// Sliding-window size: match distances are 1..=4096.
+const WINDOW: usize = 1 << 12;
+/// Shortest match worth a 2-byte token.
+const MIN_MATCH: usize = 3;
+/// Longest match a 4-bit length field can express.
+const MAX_MATCH: usize = MIN_MATCH + 15;
+const HASH_BITS: u32 = 13;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+/// Hash-chain probe depth: bounds worst-case compression time.
+const CHAIN_DEPTH: usize = 16;
+/// Sentinel for "no position" in the hash structures.
+const NIL: u32 = u32::MAX;
+
+/// Worst-case compressed size for `raw_len` input bytes: all literals
+/// (1 byte each) plus one flag byte per 8 items.
+pub fn max_compressed_len(raw_len: usize) -> usize {
+    raw_len + raw_len / 8 + 2
+}
+
+fn hash3(b: &[u8]) -> usize {
+    let v = u32::from(b[0]) | (u32::from(b[1]) << 8) | (u32::from(b[2]) << 16);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `input` into a fresh token stream.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    // `head[h]` is the most recent position hashing to `h`; `prev[p]` the
+    // previous position sharing `p`'s hash — a bounded-depth chain.
+    let mut head = [NIL; HASH_SIZE];
+    let mut prev = vec![NIL; input.len()];
+
+    let insert = |head: &mut [u32; HASH_SIZE], prev: &mut [u32], pos: usize| {
+        if pos + MIN_MATCH <= input.len() {
+            let h = hash3(&input[pos..]);
+            prev[pos] = head[h];
+            head[h] = pos as u32;
+        }
+    };
+
+    let mut i = 0;
+    let mut flag_pos = 0;
+    let mut flag = 0u8;
+    let mut flag_bit = 8u32; // forces a fresh flag byte on the first item
+    while i < input.len() {
+        // Greedy longest-match search through the chain.
+        let mut best_len = 0;
+        let mut best_dist = 0;
+        if i + MIN_MATCH <= input.len() {
+            let mut cand = head[hash3(&input[i..])];
+            let mut depth = 0;
+            while cand != NIL && depth < CHAIN_DEPTH {
+                let c = cand as usize;
+                if i - c > WINDOW {
+                    break; // chain is recency-ordered: older is farther
+                }
+                let cap = MAX_MATCH.min(input.len() - i);
+                let mut l = 0;
+                while l < cap && input[c + l] == input[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - c;
+                    if l == MAX_MATCH {
+                        break;
+                    }
+                }
+                cand = prev[c];
+                depth += 1;
+            }
+        }
+
+        if flag_bit == 8 {
+            flag_pos = out.len();
+            out.push(0);
+            flag = 0;
+            flag_bit = 0;
+        }
+        if best_len >= MIN_MATCH {
+            let token = ((best_dist - 1) as u16) | (((best_len - MIN_MATCH) as u16) << 12);
+            out.extend_from_slice(&token.to_le_bytes());
+            for pos in i..i + best_len {
+                insert(&mut head, &mut prev, pos);
+            }
+            i += best_len;
+        } else {
+            flag |= 1 << flag_bit;
+            out.push(input[i]);
+            insert(&mut head, &mut prev, i);
+            i += 1;
+        }
+        flag_bit += 1;
+        out[flag_pos] = flag;
+    }
+    out
+}
+
+/// Decompresses a token stream produced by [`compress`] into exactly
+/// `raw_len` bytes.
+///
+/// Total over arbitrary input: every malformed stream — truncated
+/// literals, match distances reaching before the start, matches overrunning
+/// the declared length, trailing garbage — returns an error, never panics,
+/// and never allocates more than `raw_len` output bytes.
+pub fn decompress(inp: &[u8], raw_len: usize) -> Result<Vec<u8>, &'static str> {
+    let mut out = Vec::with_capacity(raw_len);
+    let mut i = 0;
+    while out.len() < raw_len {
+        if i >= inp.len() {
+            return Err("compressed stream truncated");
+        }
+        let flag = inp[i];
+        i += 1;
+        for bit in 0..8 {
+            if out.len() == raw_len {
+                break;
+            }
+            if flag & (1 << bit) != 0 {
+                if i >= inp.len() {
+                    return Err("literal truncated");
+                }
+                out.push(inp[i]);
+                i += 1;
+            } else {
+                if i + 2 > inp.len() {
+                    return Err("match token truncated");
+                }
+                let token = u16::from_le_bytes([inp[i], inp[i + 1]]);
+                i += 2;
+                let dist = usize::from(token & 0x0FFF) + 1;
+                let len = usize::from(token >> 12) + MIN_MATCH;
+                if dist > out.len() {
+                    return Err("match distance reaches before stream start");
+                }
+                if out.len() + len > raw_len {
+                    return Err("match overruns declared length");
+                }
+                // Byte-at-a-time copy: overlapping matches (dist < len)
+                // replicate the just-written bytes, RLE-style.
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    if i != inp.len() {
+        return Err("trailing bytes after compressed stream");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let packed = compress(data);
+        let back = decompress(&packed, data.len()).expect("roundtrip");
+        assert_eq!(back, data);
+        assert!(packed.len() <= max_compressed_len(data.len()));
+    }
+
+    #[test]
+    fn roundtrips_structured_inputs() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abcabcabcabcabcabc");
+        roundtrip(&[0u8; 10_000]);
+        roundtrip(b"the quick brown fox jumps over the lazy dog");
+        // Varint-like repetitive structure (the real workload).
+        let mut v = Vec::new();
+        for n in 0u64..4000 {
+            v.extend_from_slice(&(n % 97).to_le_bytes());
+        }
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn roundtrips_pseudorandom_input() {
+        // Worst case for ratio, but identity must still hold.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let data: Vec<u8> = (0..33_333)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn compresses_repetitive_data() {
+        let data = vec![0xABu8; 65_536];
+        let packed = compress(&data);
+        assert!(packed.len() < data.len() / 4, "{} bytes", packed.len());
+    }
+
+    #[test]
+    fn long_range_matches_stay_inside_the_window() {
+        // A period-4097 pattern: matches must never claim distance > 4096.
+        let mut data = Vec::new();
+        for i in 0..20_000u32 {
+            data.push((i % 4097) as u8);
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn decompress_is_total_over_corrupt_streams() {
+        let packed = compress(b"abcabcabcabcabc");
+        // Truncations.
+        for cut in 0..packed.len() {
+            let _ = decompress(&packed[..cut], 15);
+        }
+        // Wrong declared lengths.
+        for raw_len in [0usize, 1, 14, 16, 1000] {
+            let _ = decompress(&packed, raw_len);
+        }
+        // Bit flips.
+        let mut copy = packed.clone();
+        for i in 0..copy.len() {
+            copy[i] ^= 0xFF;
+            let _ = decompress(&copy, 15);
+            copy[i] ^= 0xFF;
+        }
+    }
+
+    #[test]
+    fn rejects_distance_before_start() {
+        // Flag byte 0 (match), token with dist 100 at output position 0.
+        let stream = [0x00u8, 99, 0x00];
+        assert!(decompress(&stream, 10).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut packed = compress(b"hello world hello world");
+        packed.push(0xAA);
+        assert!(decompress(&packed, 23).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i * 7 % 251) as u8).collect();
+        assert_eq!(compress(&data), compress(&data));
+    }
+}

@@ -7,7 +7,9 @@
 //! suit-cli profile Nginx --trace-out trace.json --insts 200000000
 //! suit-cli validate-trace trace.json
 //! suit-cli trace record --workload 502.gcc --out gcc.suittrc --bursts 5000
-//! suit-cli trace info gcc.suittrc
+//! suit-cli trace pack gcc.suittrc gcc.suittrc2
+//! suit-cli trace seek gcc.suittrc2 --vtime 1000000
+//! suit-cli trace info gcc.suittrc2
 //! suit-cli security
 //! ```
 //!
@@ -33,12 +35,17 @@ const USAGE: &str =
 \x20          [--offset 70|97] [--cores N] [--insts N] [--seed N] [--events N] [--threads N]\n\
 \x20 validate-trace <file|->          (- reads the trace from stdin)\n\
 \x20 mix <office|webserver|hpc|media|all> [--cpu a|b|c] [--insts N] [--threads N]\n\
-\x20 trace record --workload <name> --out <file> [--bursts N]\n\
-\x20 trace info <file>\n\
+\x20 trace record --workload <name> --out <file> [--bursts N] [--seed N]\n\
+\x20       [--format v1|v2] [--chunk-bursts N]   (v2 streams into a SUITTRC2 container)\n\
+\x20 trace pack <in.suittrc> <out.suittrc2> [--chunk-bursts N]\n\
+\x20 trace unpack <in.suittrc2> <out.suittrc>\n\
+\x20 trace info <file>                           (SUITTRC1 or SUITTRC2)\n\
+\x20 trace seek <file.suittrc2> --vtime N\n\
 \x20 serve [--addr HOST:PORT] [--threads N] [--queue-depth N] [--deadline-ms N]\n\
 \x20       [--cache-entries N] [--cache-bytes N]   (0 disables the result cache)\n\
+\x20       [--trace-entries N] [--trace-bytes N]   (bounds the /v1/trace store)\n\
 \x20 client <path> [--addr HOST:PORT] [--method GET|POST] [--body <json>|-]\n\
-\x20        [--timeout-ms N] [--expect-json] [--etag TAG] [--show-etag]\n\
+\x20        [--body-file <file>] [--timeout-ms N] [--expect-json] [--etag TAG] [--show-etag]\n\
 \x20 --threads N fans workloads out over N workers; results are identical for every N";
 
 fn main() -> ExitCode {
@@ -294,10 +301,63 @@ fn cmd_simulate(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Parses `--chunk-bursts N` (bursts per compressed chunk in a
+/// `SUITTRC2` container), defaulting to the format's standard size.
+fn parse_chunk_bursts(args: &[String]) -> Result<usize, String> {
+    match opt(args, "--chunk-bursts") {
+        None => Ok(suit::store::DEFAULT_CHUNK_BURSTS),
+        Some(v) => match v.parse() {
+            Ok(n) if (1..=suit::store::MAX_CHUNK_BURSTS).contains(&n) => Ok(n),
+            _ => Err(format!(
+                "--chunk-bursts must be in 1..={}, got '{v}'",
+                suit::store::MAX_CHUNK_BURSTS
+            )),
+        },
+    }
+}
+
+/// All non-flag tokens, in order (the counterpart of [`first_positional`];
+/// only meaningful after [`check_args`] accepted the list).
+fn positionals(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            out.push(args[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Reads the 8-byte magic of a trace file to pick the container format.
+fn is_suittrc2(path: &str) -> Result<bool, String> {
+    use std::io::Read;
+    let mut f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut magic = [0u8; 8];
+    f.read_exact(&mut magic)
+        .map_err(|e| format!("{path}: {e}"))?;
+    Ok(&magic == b"SUITTRC2")
+}
+
 fn cmd_trace(args: &[String]) -> CliResult {
     match args.first().map(String::as_str) {
         Some("record") => {
-            check_args(args, &["--workload", "--out", "--bursts", "--seed"], &[], 1)?;
+            check_args(
+                args,
+                &[
+                    "--workload",
+                    "--out",
+                    "--bursts",
+                    "--seed",
+                    "--format",
+                    "--chunk-bursts",
+                ],
+                &[],
+                1,
+            )?;
             let name = opt(args, "--workload").ok_or("missing --workload")?;
             let p = profile::by_name(&name).ok_or_else(|| format!("unknown workload '{name}'"))?;
             let out = opt(args, "--out").ok_or("missing --out <file>")?;
@@ -312,15 +372,114 @@ fn cmd_trace(args: &[String]) -> CliResult {
                 ipc: p.ipc,
                 total_insts: p.total_insts,
             };
-            let mut f = std::fs::File::create(&out).map_err(|e| format!("{out}: {e}"))?;
-            write_trace(&mut f, &meta, TraceGen::new(p, seed).take(bursts))
+            let f = std::fs::File::create(&out).map_err(|e| format!("{out}: {e}"))?;
+            let mut w = std::io::BufWriter::new(f);
+            match opt(args, "--format").as_deref().unwrap_or("v1") {
+                "v1" => {
+                    write_trace(&mut w, &meta, TraceGen::new(p, seed).take(bursts))
+                        .map_err(|e| e.to_string())?;
+                    println!("wrote {bursts} bursts of {} to {out}", p.name);
+                }
+                // v2 streams generator → compressor → disk: memory stays
+                // O(chunk) no matter how long the recording runs.
+                "v2" => {
+                    let chunk_bursts = parse_chunk_bursts(args)?;
+                    let stats = suit::store::pack(
+                        &mut w,
+                        &meta,
+                        TraceGen::new(p, seed).take(bursts),
+                        chunk_bursts,
+                    )
+                    .map_err(|e| e.to_string())?;
+                    println!(
+                        "packed {} bursts of {} into {out} ({} chunks, {} -> {} bytes)",
+                        stats.bursts, p.name, stats.chunks, stats.raw_bytes, stats.packed_bytes
+                    );
+                }
+                other => return Err(format!("unknown --format '{other}' (expected v1 or v2)")),
+            }
+            use std::io::Write;
+            w.flush().map_err(|e| format!("{out}: {e}"))?;
+            Ok(())
+        }
+        Some("pack") => {
+            check_args(args, &["--chunk-bursts"], &[], 3)?;
+            let pos = positionals(args);
+            let (src, dst) = match (pos.get(1), pos.get(2)) {
+                (Some(s), Some(d)) => (s.clone(), d.clone()),
+                _ => return Err("usage: trace pack <in.suittrc> <out.suittrc2>".into()),
+            };
+            let chunk_bursts = parse_chunk_bursts(args)?;
+            let mut f = std::fs::File::open(&src).map_err(|e| format!("{src}: {e}"))?;
+            let (meta, bursts) = read_trace(&mut f).map_err(|e| e.to_string())?;
+            let out = std::fs::File::create(&dst).map_err(|e| format!("{dst}: {e}"))?;
+            let mut w = std::io::BufWriter::new(out);
+            let stats = suit::store::pack(&mut w, &meta, bursts.iter().copied(), chunk_bursts)
                 .map_err(|e| e.to_string())?;
-            println!("wrote {bursts} bursts of {} to {out}", p.name);
+            use std::io::Write;
+            w.flush().map_err(|e| format!("{dst}: {e}"))?;
+            println!(
+                "packed {src} -> {dst}: {} bursts, {} chunks, {} -> {} bytes ({:.2}x)",
+                stats.bursts,
+                stats.chunks,
+                stats.raw_bytes,
+                stats.packed_bytes,
+                stats.raw_bytes as f64 / stats.packed_bytes.max(1) as f64
+            );
+            Ok(())
+        }
+        Some("unpack") => {
+            check_args(args, &[], &[], 3)?;
+            let pos = positionals(args);
+            let (src, dst) = match (pos.get(1), pos.get(2)) {
+                (Some(s), Some(d)) => (s.clone(), d.clone()),
+                _ => return Err("usage: trace unpack <in.suittrc2> <out.suittrc>".into()),
+            };
+            let f = std::fs::File::open(&src).map_err(|e| format!("{src}: {e}"))?;
+            let reader = suit::store::StreamingReader::open(std::io::BufReader::new(f))
+                .map_err(|e| format!("{src}: {e}"))?;
+            let info = reader.info();
+            let out = std::fs::File::create(&dst).map_err(|e| format!("{dst}: {e}"))?;
+            let mut w = std::io::BufWriter::new(out);
+            // The index knows the burst count up front, so the v1 write
+            // streams too — chunk window in, varint records out.
+            let mut bursts = reader.bursts();
+            suit::trace::io::write_trace_counted(&mut w, &info.meta, info.bursts, &mut bursts)
+                .map_err(|e| e.to_string())?;
+            if let Some(e) = bursts.error() {
+                return Err(format!("{src}: {e}"));
+            }
+            use std::io::Write;
+            w.flush().map_err(|e| format!("{dst}: {e}"))?;
+            println!("unpacked {src} -> {dst}: {} bursts", info.bursts);
             Ok(())
         }
         Some("info") => {
             check_args(args, &[], &[], 2)?;
             let path = args.get(1).ok_or("missing <file>")?;
+            if is_suittrc2(path)? {
+                let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+                let reader = suit::store::StreamingReader::open(std::io::BufReader::new(f))
+                    .map_err(|e| format!("{path}: {e}"))?;
+                let info = reader.info();
+                println!(
+                    "{path}: SUITTRC2 container, workload {} (ipc {:.1})",
+                    info.meta.name, info.meta.ipc
+                );
+                println!("  bursts: {}", info.bursts);
+                println!(
+                    "  chunks: {} ({} bursts per full chunk)",
+                    info.chunks, info.chunk_bursts
+                );
+                println!(
+                    "  bytes: {} raw -> {} packed ({:.2}x)",
+                    info.raw_bytes,
+                    info.packed_bytes,
+                    info.raw_bytes as f64 / info.packed_bytes.max(1) as f64
+                );
+                println!("  virtual length: {} instructions", info.meta.total_insts);
+                return Ok(());
+            }
             let mut f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
             let (meta, bursts) = read_trace(&mut f).map_err(|e| e.to_string())?;
             let summary = suit::trace::event::TraceSummary::from_bursts(bursts.iter().copied());
@@ -332,7 +491,39 @@ fn cmd_trace(args: &[String]) -> CliResult {
             println!("  largest burst gap: {}", summary.max_gap);
             Ok(())
         }
-        _ => Err("usage: trace <record|info> ...".into()),
+        Some("seek") => {
+            check_args(args, &["--vtime"], &[], 2)?;
+            let pos = positionals(args);
+            let path = pos
+                .get(1)
+                .ok_or("usage: trace seek <file.suittrc2> --vtime N")?;
+            let vtime: u64 = opt(args, "--vtime")
+                .ok_or("missing --vtime <instructions>")?
+                .parse()
+                .map_err(|e| format!("--vtime: {e}"))?;
+            let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            let mut reader = suit::store::StreamingReader::open(std::io::BufReader::new(f))
+                .map_err(|e| format!("{path}: {e}"))?;
+            let start = reader
+                .seek_to_vtime(vtime)
+                .map_err(|e| format!("{path}: {e}"))?;
+            match reader.next_burst().map_err(|e| format!("{path}: {e}"))? {
+                Some(b) => {
+                    println!(
+                        "vtime {vtime}: burst starting at {start} (gap {}, {} events, \
+                         {} within-gap, opcode {})",
+                        b.gap_insts,
+                        b.events,
+                        b.within_gap_insts,
+                        b.opcode.mnemonic()
+                    );
+                    println!("  chunks decoded to get here: {}", reader.chunk_decodes());
+                }
+                None => println!("vtime {vtime}: past the end of the trace (length {start})"),
+            }
+            Ok(())
+        }
+        _ => Err("usage: trace <record|pack|unpack|info|seek> ...".into()),
     }
 }
 
@@ -598,6 +789,8 @@ fn cmd_serve(args: &[String]) -> CliResult {
             "--deadline-ms",
             "--cache-entries",
             "--cache-bytes",
+            "--trace-entries",
+            "--trace-bytes",
         ],
         &[],
         0,
@@ -635,12 +828,27 @@ fn cmd_serve(args: &[String]) -> CliResult {
             .parse()
             .map_err(|_| format!("--cache-bytes must be a non-negative integer, got '{v}'"))?,
     };
+    // `0` on either bound disables the trace store (uploads get 413).
+    let trace_entries: usize = match opt(args, "--trace-entries") {
+        None => default_cfg.trace_entries,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--trace-entries must be a non-negative integer, got '{v}'"))?,
+    };
+    let trace_bytes: usize = match opt(args, "--trace-bytes") {
+        None => default_cfg.trace_bytes,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--trace-bytes must be a non-negative integer, got '{v}'"))?,
+    };
     let cfg = suit::serve::ServeConfig {
         threads,
         queue_depth,
         default_deadline_ms: deadline_ms,
         cache_entries,
         cache_bytes,
+        trace_entries,
+        trace_bytes,
         ..default_cfg
     };
     let server = suit::serve::Server::bind(&sock.to_string(), cfg).map_err(|e| e.to_string())?;
@@ -671,10 +879,19 @@ fn cmd_serve(args: &[String]) -> CliResult {
 /// `If-None-Match` (quoting the tag if needed) and treats a bodiless
 /// `304 not modified` as success; `--show-etag` appends the response's
 /// `etag` header as a final `etag: …` line so scripts can capture it.
+/// `--body-file <file>` POSTs the file's raw bytes as
+/// `application/octet-stream` — the upload path for `/v1/trace`.
 fn cmd_client(args: &[String]) -> CliResult {
     check_args(
         args,
-        &["--addr", "--method", "--body", "--timeout-ms", "--etag"],
+        &[
+            "--addr",
+            "--method",
+            "--body",
+            "--body-file",
+            "--timeout-ms",
+            "--etag",
+        ],
         &["--expect-json", "--show-etag"],
         1,
     )?;
@@ -699,8 +916,19 @@ fn cmd_client(args: &[String]) -> CliResult {
         }
         other => other,
     };
+    let body_file = opt(args, "--body-file");
+    if body_file.is_some() && body.is_some() {
+        return Err("--body and --body-file are mutually exclusive".into());
+    }
+    if body_file.is_some() && opt(args, "--etag").is_some() {
+        return Err("--etag does not apply to binary uploads (--body-file)".into());
+    }
     // POST whenever a body is supplied; an explicit --method wins.
-    let default_method = if body.is_some() { "POST" } else { "GET" };
+    let default_method = if body.is_some() || body_file.is_some() {
+        "POST"
+    } else {
+        "GET"
+    };
     let method = opt(args, "--method").unwrap_or_else(|| default_method.into());
     match method.as_str() {
         "GET" | "POST" => {}
@@ -726,14 +954,21 @@ fn cmd_client(args: &[String]) -> CliResult {
         .as_deref()
         .map(|t| vec![("if-none-match", t)])
         .unwrap_or_default();
-    let resp = suit::serve::request_with_headers(
-        &addr,
-        &method,
-        &path,
-        body.as_deref(),
-        &headers,
-        std::time::Duration::from_millis(timeout_ms),
-    )
+    let timeout = std::time::Duration::from_millis(timeout_ms);
+    let resp = match body_file {
+        Some(file) => {
+            let bytes = std::fs::read(&file).map_err(|e| format!("{file}: {e}"))?;
+            suit::serve::request_bytes(&addr, &method, &path, &bytes, timeout)
+        }
+        None => suit::serve::request_with_headers(
+            &addr,
+            &method,
+            &path,
+            body.as_deref(),
+            &headers,
+            timeout,
+        ),
+    }
     .map_err(|e| e.to_string())?;
     let text = resp
         .text()

@@ -15,6 +15,7 @@
 //! | [`emu`] | `#DO` emulation: bit-sliced AES, scalar SIMD semantics |
 //! | [`hw`] | DVFS curves, transition delays, power & guardband models |
 //! | [`trace`] | Workload profiles and synthetic trace generation |
+//! | [`store`] | `SUITTRC2` chunked container, bounded-memory streaming replay |
 //! | [`faults`] | Vmin fault model, injection campaigns, security audit |
 //! | [`core`] | The SUIT mechanism: MSRs, `#DO`, deadline, strategies |
 //! | [`sim`] | The event-based system simulator (Tables 2/6, Figs 12/16) |
@@ -57,5 +58,6 @@ pub use suit_isa as isa;
 pub use suit_ooo as ooo;
 pub use suit_serve as serve;
 pub use suit_sim as sim;
+pub use suit_store as store;
 pub use suit_telemetry as telemetry;
 pub use suit_trace as trace;

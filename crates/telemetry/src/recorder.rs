@@ -127,6 +127,16 @@ id_enum! {
         /// `suit-serve`: `304 Not Modified` answers to `If-None-Match`
         /// revalidations.
         ServeNotModified => "serve_not_modified",
+        /// `suit-serve`: trace containers accepted into the trace store
+        /// (idempotent re-uploads count separately — see
+        /// `serve_trace_dedup`).
+        ServeTraceUploads => "serve_trace_uploads",
+        /// `suit-serve`: uploads answered with the existing entry (the
+        /// content hash already names a stored trace).
+        ServeTraceDedup => "serve_trace_dedup",
+        /// `suit-serve`: uploads refused with `413` because the bounded
+        /// trace store is full (entries or bytes).
+        ServeTraceStoreFull => "serve_trace_store_full",
     }
 }
 
@@ -158,6 +168,12 @@ id_enum! {
         /// serialization), µs — the microseconds-not-seconds pin for
         /// hot repeated queries.
         ServeCacheHitUs => "serve_cache_hit_us",
+        /// `suit-serve`: `POST /v1/trace` wall-clock latency, µs
+        /// (container validation + store insert).
+        ServeTraceUploadUs => "serve_trace_upload_us",
+        /// `suit-serve`: `POST /v1/simulate-trace` wall-clock latency,
+        /// µs (queue wait + streamed replay).
+        ServeSimulateTraceUs => "serve_simulate_trace_us",
     }
 }
 

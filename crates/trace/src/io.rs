@@ -107,23 +107,95 @@ where
     I: IntoIterator<Item = Burst>,
 {
     let bursts: Vec<Burst> = bursts.into_iter().collect();
+    let count = bursts.len() as u64;
+    write_trace_counted(w, meta, count, bursts)
+}
+
+/// Streaming variant of [`write_trace`] for callers that already know the
+/// burst count (e.g. unpacking a chunked container whose index carries
+/// it): the iterator is consumed as it is written, so memory stays O(1)
+/// instead of collecting the whole trace first.
+///
+/// Returns `Corrupt` if the iterator yields a different number of bursts
+/// than `count` — the header has been written by then, so the output must
+/// be discarded on error.
+pub fn write_trace_counted<W: Write, I>(
+    w: &mut W,
+    meta: &TraceMeta,
+    count: u64,
+    bursts: I,
+) -> Result<(), TraceIoError>
+where
+    I: IntoIterator<Item = Burst>,
+{
     w.write_all(MAGIC)?;
     write_varint(w, meta.name.len() as u64)?;
     w.write_all(meta.name.as_bytes())?;
     w.write_all(&meta.ipc.to_bits().to_le_bytes())?;
     write_varint(w, meta.total_insts)?;
-    write_varint(w, bursts.len() as u64)?;
-    for b in &bursts {
+    write_varint(w, count)?;
+    let mut written = 0u64;
+    for b in bursts {
         write_varint(w, b.gap_insts)?;
         write_varint(w, u64::from(b.events))?;
         write_varint(w, u64::from(b.within_gap_insts))?;
         w.write_all(&[b.opcode.index() as u8])?;
+        written += 1;
+    }
+    if written != count {
+        return Err(TraceIoError::Corrupt("declared burst count mismatch"));
     }
     Ok(())
 }
 
+/// A serialized burst is at least 3 varints (1 byte each) + 1 opcode byte.
+const MIN_BURST_BYTES: u64 = 4;
+
+/// How far `Vec` preallocation may run ahead of bytes actually seen when
+/// the stream length is unknown. The vector still *grows* to any real
+/// count — this only caps what a 10-byte hostile header can reserve.
+const UNSIZED_PREALLOC_CAP: usize = 4096;
+
+struct CountingReader<R> {
+    inner: R,
+    read: u64,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.read += n as u64;
+        Ok(n)
+    }
+}
+
 /// Reads a trace written by [`write_trace`].
+///
+/// The declared burst count is untrusted: on a plain `Read` the stream
+/// length is unknowable, so preallocation is capped at a small constant
+/// and the vector grows only as real burst bytes arrive. When the input
+/// is in memory, prefer [`read_trace_bytes`], which rejects counts that
+/// cannot fit the remaining bytes before allocating anything.
 pub fn read_trace<R: Read>(r: &mut R) -> Result<(TraceMeta, Vec<Burst>), TraceIoError> {
+    let mut counting = CountingReader { inner: r, read: 0 };
+    read_trace_impl(&mut counting, None)
+}
+
+/// Reads a trace from an in-memory buffer, validating the declared burst
+/// count against the physically remaining bytes (each burst costs ≥ 4
+/// bytes) before any allocation — a hostile header cannot OOM the loader.
+pub fn read_trace_bytes(bytes: &[u8]) -> Result<(TraceMeta, Vec<Burst>), TraceIoError> {
+    let mut counting = CountingReader {
+        inner: bytes,
+        read: 0,
+    };
+    read_trace_impl(&mut counting, Some(bytes.len() as u64))
+}
+
+fn read_trace_impl<R: Read>(
+    r: &mut CountingReader<R>,
+    stream_len: Option<u64>,
+) -> Result<(TraceMeta, Vec<Burst>), TraceIoError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -144,7 +216,19 @@ pub fn read_trace<R: Read>(r: &mut R) -> Result<(TraceMeta, Vec<Burst>), TraceIo
     }
     let total_insts = read_varint(r)?;
     let count = read_varint(r)? as usize;
-    let mut bursts = Vec::with_capacity(count.min(1 << 20));
+    let capacity = match stream_len {
+        Some(len) => {
+            let remaining = len.saturating_sub(r.read);
+            if (count as u64).saturating_mul(MIN_BURST_BYTES) > remaining {
+                return Err(TraceIoError::Corrupt(
+                    "burst count exceeds the remaining stream",
+                ));
+            }
+            count
+        }
+        None => count.min(UNSIZED_PREALLOC_CAP),
+    };
+    let mut bursts = Vec::with_capacity(capacity);
     for _ in 0..count {
         let gap = read_varint(r)?;
         let events = read_varint(r)?;
@@ -154,7 +238,11 @@ pub fn read_trace<R: Read>(r: &mut R) -> Result<(TraceMeta, Vec<Burst>), TraceIo
         let opcode = *Opcode::ALL
             .get(op[0] as usize)
             .ok_or(TraceIoError::Corrupt("opcode index out of range"))?;
-        if events == 0 || events > u64::from(u32::MAX) || !opcode.is_faultable() {
+        if events == 0
+            || events > u64::from(u32::MAX)
+            || within > u64::from(u32::MAX)
+            || !opcode.is_faultable()
+        {
             return Err(TraceIoError::Corrupt("invalid burst"));
         }
         bursts.push(Burst::new(gap, events as u32, within as u32, opcode));
@@ -381,6 +469,54 @@ mod tests {
         write_trace(&mut buf, &sample_meta(), bursts.clone()).unwrap();
         let (_, back) = read_trace(&mut buf.as_slice()).unwrap();
         assert_eq!(back, bursts);
+    }
+
+    #[test]
+    fn hostile_burst_count_is_rejected_before_allocation() {
+        // A 10-byte-ish header declaring u64::MAX bursts: the slice reader
+        // must reject it from the length equation, not try to reserve.
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_meta(), Vec::new()).unwrap();
+        // Replace the trailing count varint (0 → one byte) with u64::MAX.
+        buf.pop();
+        buf.extend(std::iter::repeat_n(0xFF, 9));
+        buf.push(0x01);
+        match read_trace_bytes(&buf) {
+            Err(TraceIoError::Corrupt(msg)) => assert!(msg.contains("remaining stream"), "{msg}"),
+            other => panic!("hostile count must be rejected, got {other:?}"),
+        }
+        // The generic reader caps preallocation and then fails on the
+        // (absent) burst bytes — still an error, never an OOM.
+        assert!(read_trace(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn read_trace_bytes_matches_read_trace() {
+        let p = profile::by_name("502.gcc").unwrap();
+        let bursts: Vec<Burst> = TraceGen::new(p, 7).take(500).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_meta(), bursts.clone()).unwrap();
+        let a = read_trace(&mut buf.as_slice()).unwrap();
+        let b = read_trace_bytes(&buf).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b.1, bursts);
+    }
+
+    #[test]
+    fn counted_write_streams_and_validates_the_count() {
+        let p = profile::by_name("557.xz").unwrap();
+        let bursts: Vec<Burst> = TraceGen::new(p, 5).take(200).collect();
+        let mut collected = Vec::new();
+        write_trace(&mut collected, &sample_meta(), bursts.clone()).unwrap();
+        let mut streamed = Vec::new();
+        write_trace_counted(&mut streamed, &sample_meta(), 200, bursts.iter().copied()).unwrap();
+        assert_eq!(collected, streamed, "counted write must be byte-identical");
+
+        let mut out = Vec::new();
+        assert!(matches!(
+            write_trace_counted(&mut out, &sample_meta(), 7, bursts.iter().copied().take(3)),
+            Err(TraceIoError::Corrupt(_))
+        ));
     }
 
     #[test]
