@@ -181,18 +181,20 @@ impl PointTable {
 }
 
 /// Hardware-side state: everything the OS policy manipulates through
-/// [`CpuControl`], plus the accounting.
-struct Hw {
-    now: SimTime,
-    point: Point,
-    pending: Option<(Point, SimTime)>,
+/// [`CpuControl`], plus the accounting. Shared between the event-heap
+/// scheduler in [`crate::event`] and the legacy scan loop kept for the
+/// differential equivalence suite.
+pub(crate) struct Hw {
+    pub(crate) now: SimTime,
+    pub(crate) point: Point,
+    pub(crate) pending: Option<(Point, SimTime)>,
     /// The architectural MSR pair: the engine drives the *real* register
     /// model from `suit-core`, so the §3.2 invariant (efficient curve ⇒
     /// faultable set disabled) is enforced on every simulated transition,
     /// not just asserted in unit tests.
     msrs: SuitMsrs,
-    timer: DeadlineTimer,
-    delays: TransitionDelays,
+    pub(crate) timer: DeadlineTimer,
+    pub(crate) delays: TransitionDelays,
     points: PointTable,
     // Accounting.
     energy_rel: f64,
@@ -212,12 +214,12 @@ struct Hw {
 }
 
 impl Hw {
-    fn disabled(&self) -> bool {
+    pub(crate) fn disabled(&self) -> bool {
         // The engine's opcode check: is the (shared) faultable set armed?
         self.msrs.is_disabled(suit_isa::Opcode::Aesenc)
     }
 
-    fn perf(&self) -> f64 {
+    pub(crate) fn perf(&self) -> f64 {
         self.points.get(self.point).perf
     }
 
@@ -227,7 +229,7 @@ impl Hw {
 
     /// Advances time with execution: instructions flow, state time and
     /// energy accumulate.
-    fn run_for(&mut self, dt: SimDuration) {
+    pub(crate) fn run_for(&mut self, dt: SimDuration) {
         self.energy_rel += self.power() * dt.as_secs_f64();
         // The telemetry time counters accumulate the *same* dt as the
         // engine aggregates, so residency re-derived from telemetry is
@@ -310,7 +312,7 @@ impl Hw {
     /// following §4.1: "SUIT only has to delay execution when switching
     /// from the efficient to the conservative curve; in the other
     /// direction ... it does not need to wait".
-    fn apply_pending(&mut self, target: Point) {
+    pub(crate) fn apply_pending(&mut self, target: Point) {
         if target != Point::E {
             self.stall_for(self.delays.freq_stall());
         }
@@ -401,7 +403,7 @@ impl CpuControl for Hw {
 /// source: a profile-driven [`TraceGen`] for synthetic runs, or any plain
 /// `Iterator<Item = Burst>` (e.g. a `suit-store` streaming reader) for
 /// recorded-trace replay — the event loop is identical either way.
-struct CoreStream<I> {
+pub(crate) struct CoreStream<I> {
     source: I,
     /// Workload name reported in per-core outcomes.
     name: String,
@@ -412,14 +414,14 @@ struct CoreStream<I> {
     burst_left: u32,
     within: f64,
     /// Instructions until this core's trace ends.
-    rem_total: f64,
+    pub(crate) rem_total: f64,
     /// This core's instruction rate at `point.perf = 1`, insts/sec
     /// (IPC × base frequency × IMUL-hardening penalty).
-    base_rate: f64,
+    pub(crate) base_rate: f64,
     /// Baseline (no-SUIT) duration of this core's trace.
     baseline: SimDuration,
     /// When the core finished its trace (`Some` ⇒ finished).
-    finish_time: Option<SimTime>,
+    pub(crate) finish_time: Option<SimTime>,
     events: u64,
     /// The stream's dominant opcode, cached for exception records.
     dominant_opcode: suit_isa::Opcode,
@@ -491,11 +493,11 @@ impl<I: Iterator<Item = Burst>> CoreStream<I> {
         }
     }
 
-    fn finished(&self) -> bool {
+    pub(crate) fn finished(&self) -> bool {
         self.finish_time.is_some()
     }
 
-    fn advance(&mut self, insts: f64) {
+    pub(crate) fn advance(&mut self, insts: f64) {
         if self.finished() {
             return;
         }
@@ -514,12 +516,15 @@ impl<I: Iterator<Item = Burst>> CoreStream<I> {
     }
 
     /// Instructions until this core's next point of interest.
-    fn rem_next(&self) -> f64 {
+    pub(crate) fn rem_next(&self) -> f64 {
         self.rem_total.min(self.rem_event)
     }
 }
 
-enum NextEvent {
+/// The kind of event a scheduler selected. Ties are resolved pending →
+/// timer → lowest core index; the legacy scan encodes that priority in
+/// its comparison order, the event heap in its component-id ordering.
+pub(crate) enum NextEvent {
     Pending,
     Timer,
     Core(usize),
@@ -592,6 +597,16 @@ pub fn simulate_mixed(
     run(cpu, profiles, cfg, &Telemetry::off()).0
 }
 
+/// [`simulate_mixed`] with a telemetry handle attached.
+pub fn simulate_mixed_telemetry(
+    cpu: &CpuModel,
+    profiles: &[&WorkloadProfile],
+    cfg: &SimConfig,
+    tele: &Telemetry,
+) -> MixedResult {
+    run(cpu, profiles, cfg, tele).0
+}
+
 /// Like [`simulate`], but also returns the p-state change timeline
 /// (recording is forced on), for the Fig. 5 / Fig. 6 experiments.
 pub fn simulate_with_timeline(
@@ -616,12 +631,24 @@ pub fn simulate_with_timeline_telemetry(
     (result.domain, timeline.unwrap_or_default())
 }
 
-fn run(
+pub(crate) fn run(
     cpu: &CpuModel,
     profiles: &[&WorkloadProfile],
     cfg: &SimConfig,
     tele: &Telemetry,
 ) -> (MixedResult, Option<Vec<PointChange>>) {
+    let (cores, workload) = build_cores(cpu, profiles, cfg);
+    run_cores(cpu, cores, workload, cfg, tele)
+}
+
+/// Builds the per-core streams and the aggregate workload label for a
+/// profile-driven run. Shared by the event-heap engine and the legacy
+/// reference loop so both simulate the identical instruction streams.
+pub(crate) fn build_cores<'p>(
+    cpu: &CpuModel,
+    profiles: &[&'p WorkloadProfile],
+    cfg: &SimConfig,
+) -> (Vec<CoreStream<TraceGen<'p>>>, String) {
     assert!(!profiles.is_empty(), "need at least one core");
     let cores: Vec<CoreStream<TraceGen>> = profiles
         .iter()
@@ -637,7 +664,7 @@ fn run(
         let names: Vec<&str> = profiles.iter().map(|p| p.name).collect();
         format!("mix({})", names.join("+"))
     };
-    run_cores(cpu, cores, workload, cfg, tele)
+    (cores, workload)
 }
 
 /// Simulates a *recorded* trace streamed from `bursts` on a single core
@@ -670,6 +697,20 @@ pub fn run_stream_telemetry<I>(
 where
     I: IntoIterator<Item = Burst>,
 {
+    let core = build_stream_core(cpu, meta, bursts.into_iter(), cfg);
+    run_cores(cpu, vec![core], meta.name.clone(), cfg, tele)
+        .0
+        .domain
+}
+
+/// Builds the single replay core for a recorded-trace stream. Shared by
+/// the event-heap engine and the legacy reference loop.
+pub(crate) fn build_stream_core<I: Iterator<Item = Burst>>(
+    cpu: &CpuModel,
+    meta: &TraceMeta,
+    bursts: I,
+    cfg: &SimConfig,
+) -> CoreStream<std::iter::Peekable<I>> {
     assert!(
         meta.ipc.is_finite() && meta.ipc > 0.0,
         "trace IPC must be positive"
@@ -679,7 +720,7 @@ where
         .unwrap_or(meta.total_insts)
         .min(meta.total_insts);
     assert!(cap > 0, "trace virtual length must be positive");
-    let mut source = bursts.into_iter().peekable();
+    let mut source = bursts.peekable();
     // The exception record needs *a* faultable opcode (the policy never
     // branches on it); use the trace's first burst, like the profile path
     // uses the mix's dominant entry.
@@ -688,13 +729,14 @@ where
         .map(|b| b.opcode)
         .unwrap_or(suit_isa::Opcode::Aesenc);
     let nominal = meta.ipc * cpu.steady.base_freq_ghz * 1e9;
-    let core = CoreStream::from_source(source, meta.name.clone(), dominant, nominal, nominal, cap);
-    run_cores(cpu, vec![core], meta.name.clone(), cfg, tele)
-        .0
-        .domain
+    CoreStream::from_source(source, meta.name.clone(), dominant, nominal, nominal, cap)
 }
 
-fn run_cores<I: Iterator<Item = Burst>>(
+/// Runs a set of cores sharing one DVFS domain to completion on the
+/// event-heap scheduler ([`crate::event`]) and collects the results.
+/// This is the single production entry point behind every `simulate*`
+/// and `run_stream*` adapter.
+pub(crate) fn run_cores<I: Iterator<Item = Burst>>(
     cpu: &CpuModel,
     mut cores: Vec<CoreStream<I>>,
     workload: String,
@@ -702,6 +744,16 @@ fn run_cores<I: Iterator<Item = Burst>>(
     tele: &Telemetry,
 ) -> (MixedResult, Option<Vec<PointChange>>) {
     assert!(!cores.is_empty(), "need at least one core");
+    let (mut hw, mut os) = boot(cpu, cfg, tele);
+    crate::event::run_domain(&mut cores, &mut hw, &mut os, tele);
+    collect(&cores, hw, &os, workload)
+}
+
+/// Boots the hardware-side state and the OS policy for one domain run:
+/// validates the configuration, builds the operating-point table, and
+/// performs the §3.2 boot write order (disable the faultable set, then
+/// select the efficient curve).
+pub(crate) fn boot(cpu: &CpuModel, cfg: &SimConfig, tele: &Telemetry) -> (Hw, SuitOs) {
     assert!(
         cfg.max_insts != Some(0),
         "instruction budget must be positive (got max_insts = Some(0))"
@@ -716,7 +768,7 @@ fn run_cores<I: Iterator<Item = Burst>>(
 
     let points = point_table(cpu, cfg.level, cfg.strategy, 1.0);
 
-    let mut os = match cfg.adaptive {
+    let os = match cfg.adaptive {
         Some(adaptive) => SuitOs::new_adaptive(cfg.params, adaptive),
         None => SuitOs::new(cfg.strategy, cfg.params),
     }
@@ -727,7 +779,7 @@ fn run_cores<I: Iterator<Item = Burst>>(
     msrs.disable_faultable();
     msrs.write_curve(CurveSelect::Efficient)
         .expect("faultable set disabled at boot");
-    let mut hw = Hw {
+    let hw = Hw {
         now: SimTime::ZERO,
         point: Point::E, // boots already on the efficient curve
         pending: None,
@@ -745,113 +797,92 @@ fn run_cores<I: Iterator<Item = Burst>>(
         point_since: SimTime::ZERO,
         conservative_since: None,
     };
+    (hw, os)
+}
 
-    let mut guard: u64 = 0;
-
-    loop {
-        guard += 1;
-        assert!(guard < 2_000_000_000, "simulation failed to converge");
-
-        if cores.iter().all(|c| c.finished()) {
-            break;
+/// Reacts to one scheduler-selected event. Shared verbatim between the
+/// event-heap engine and the legacy scan loop: the two schedulers may
+/// only differ in how they *find* the next event, never in how they
+/// process it, so the differential suite checks pure scheduling.
+pub(crate) fn dispatch_event<I: Iterator<Item = Burst>>(
+    kind: NextEvent,
+    cores: &mut [CoreStream<I>],
+    hw: &mut Hw,
+    os: &mut SuitOs,
+    tele: &Telemetry,
+) {
+    match kind {
+        NextEvent::Pending => {
+            let (target, _) = hw.pending.take().expect("pending checked above");
+            hw.apply_pending(target);
         }
-
-        let perf = hw.perf();
-
-        // Find the earliest next event. Priority on ties:
-        // pending arrival, then timer, then core events.
-        let mut t_next = SimTime::from_picos(u64::MAX);
-        let mut kind = NextEvent::Idle;
-        for (i, c) in cores.iter().enumerate() {
-            if c.finished() {
-                continue;
-            }
-            let t = hw.now + SimDuration::from_secs_f64(c.rem_next() / (c.base_rate * perf));
-            if t < t_next {
-                t_next = t;
-                kind = NextEvent::Core(i);
+        NextEvent::Timer => {
+            if hw.timer.take_expired(hw.now) {
+                os.on_timer_interrupt(hw);
             }
         }
-        if let Some(t) = hw.timer.expires_at() {
-            if t <= t_next {
-                t_next = t;
-                kind = NextEvent::Timer;
-            }
-        }
-        if let Some((_, t)) = hw.pending {
-            if t <= t_next {
-                t_next = t;
-                kind = NextEvent::Pending;
-            }
-        }
-
-        // Advance execution to the event.
-        let dt = t_next.saturating_since(hw.now);
-        if !dt.is_zero() {
-            for c in cores.iter_mut().filter(|c| !c.finished()) {
-                c.advance(c.base_rate * perf * dt.as_secs_f64());
-            }
-            hw.run_for(dt);
-        }
-
-        match kind {
-            NextEvent::Pending => {
-                let (target, _) = hw.pending.take().expect("pending checked above");
-                hw.apply_pending(target);
-            }
-            NextEvent::Timer => {
-                if hw.timer.take_expired(hw.now) {
-                    os.on_timer_interrupt(&mut hw);
-                }
-            }
-            NextEvent::Core(i) => {
-                let c = &mut cores[i];
-                if c.rem_total <= c.rem_event {
-                    // Trace end for this core.
-                    c.rem_total = 0.0;
-                    c.finish_time = Some(hw.now);
-                    continue;
-                }
-                // A faultable instruction is at the head of the pipeline.
-                c.rem_event = 0.0;
-                if hw.disabled() {
-                    // #DO: exception entry is core-local — the faulting
-                    // core loses the time, the rest of the domain keeps
-                    // executing.
-                    let rate_i = cores[i].base_rate * hw.perf();
-                    cores[i].stall_local(hw.delays.exception(), rate_i);
-                    let ex = DisabledOpcode::new(cores[i].peek_opcode(), i, hw.now);
-                    match os.on_disabled_opcode(&mut hw, &ex) {
-                        HandlerAction::SwitchedToConservative => {}
-                        HandlerAction::Emulated => {
-                            // §5.3: the measured emulation round trip
-                            // *includes* the exception entry already
-                            // charged above — charge only the remainder,
-                            // again core-locally.
-                            let remainder = hw
-                                .delays
-                                .emulation_call()
-                                .saturating_sub(hw.delays.exception());
-                            cores[i].stall_local(remainder, rate_i);
-                            let call = hw.delays.emulation_call();
-                            tele.span(EventKind::EmulationCall, hw.now, hw.now + call, i as u64);
-                            tele.observe(Hist::EmulationCallPs, call.as_picos());
-                        }
-                    }
-                }
-                // The instruction completes (natively post-switch, or via
-                // emulation) and resets the hardware deadline timer (§4.1).
-                cores[i].events += 1;
-                hw.timer.reset(hw.now);
-                cores[i].load_next_gap();
-            }
-            NextEvent::Idle => unreachable!("loop guard handles completion"),
-        }
+        NextEvent::Core(i) => cores[i].core_event(i, hw, os, tele),
+        NextEvent::Idle => unreachable!("loop guard handles completion"),
     }
+}
 
+impl<I: Iterator<Item = Burst>> CoreStream<I> {
+    /// Processes this core reaching its next point of interest: trace
+    /// end, or a faultable instruction at the head of the pipeline. `i`
+    /// is the core's domain index (exception records carry it).
+    pub(crate) fn core_event(&mut self, i: usize, hw: &mut Hw, os: &mut SuitOs, tele: &Telemetry) {
+        if self.rem_total <= self.rem_event {
+            // Trace end for this core.
+            self.rem_total = 0.0;
+            self.finish_time = Some(hw.now);
+            return;
+        }
+        // A faultable instruction is at the head of the pipeline.
+        self.rem_event = 0.0;
+        if hw.disabled() {
+            // #DO: exception entry is core-local — the faulting
+            // core loses the time, the rest of the domain keeps
+            // executing.
+            let rate_i = self.base_rate * hw.perf();
+            self.stall_local(hw.delays.exception(), rate_i);
+            let ex = DisabledOpcode::new(self.peek_opcode(), i, hw.now);
+            match os.on_disabled_opcode(hw, &ex) {
+                HandlerAction::SwitchedToConservative => {}
+                HandlerAction::Emulated => {
+                    // §5.3: the measured emulation round trip
+                    // *includes* the exception entry already
+                    // charged above — charge only the remainder,
+                    // again core-locally.
+                    let remainder = hw
+                        .delays
+                        .emulation_call()
+                        .saturating_sub(hw.delays.exception());
+                    self.stall_local(remainder, rate_i);
+                    let call = hw.delays.emulation_call();
+                    tele.span(EventKind::EmulationCall, hw.now, hw.now + call, i as u64);
+                    tele.observe(Hist::EmulationCallPs, call.as_picos());
+                }
+            }
+        }
+        // The instruction completes (natively post-switch, or via
+        // emulation) and resets the hardware deadline timer (§4.1).
+        self.events += 1;
+        hw.timer.reset(hw.now);
+        self.load_next_gap();
+    }
+}
+
+/// Collects the per-core outcomes and the domain aggregate after a run.
+pub(crate) fn collect<I>(
+    cores: &[CoreStream<I>],
+    hw: Hw,
+    os: &SuitOs,
+    workload: String,
+) -> (MixedResult, Option<Vec<PointChange>>) {
     // Close the final residency span so the exported timeline covers the
     // whole run.
-    tele.span(EventKind::Residency, hw.point_since, hw.now, hw.point.arg());
+    hw.tele
+        .span(EventKind::Residency, hw.point_since, hw.now, hw.point.arg());
 
     let stats = os.stats();
     let per_core: Vec<CoreOutcome> = cores

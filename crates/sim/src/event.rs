@@ -1,0 +1,365 @@
+//! The discrete-event scheduler: a deterministic binary min-heap of
+//! `(next_tick, component_id)` pairs and the [`Component`] model built
+//! on it.
+//!
+//! Every schedulable entity — a core waiting for its next faultable
+//! instruction, the deadline timer, an in-flight asynchronous p-state
+//! change, a fleet DVFS domain between thermal sync points, a rack's
+//! thermal governor — exposes the same two-phase contract:
+//!
+//! 1. [`Component::next_tick`] names the absolute simulation time of the
+//!    entity's next event (or `None` while idle);
+//! 2. [`Component::on_tick`] reacts when the global clock reaches it.
+//!
+//! The scheduler pops the earliest tick from the [`EventHeap`]; ties are
+//! broken by *component id*, ascending. The id assignment is therefore
+//! part of the semantics: within a domain, the pending p-state arrival
+//! (id 0) precedes the deadline timer (id 1) precedes the cores (ids
+//! 2..), which reproduces the event priority the engine has always had —
+//! and because the order is a pure function of `(tick, id)`, replay is
+//! byte-identical on every run and at every thread count.
+//!
+//! [`run_domain`] is the production event loop behind every `simulate*`
+//! and `run_stream*` entry point. It intentionally reuses the exact
+//! per-quantum advancement arithmetic of the legacy scan loop (kept in
+//! [`crate::legacy`] for the differential suite): only event *selection*
+//! moved to the heap, so results are bit-for-bit identical while
+//! finished (idle-parked) cores drop out of the live set instead of
+//! being rescanned on every iteration.
+
+use suit_core::SuitOs;
+use suit_isa::{SimDuration, SimTime};
+use suit_telemetry::{Counter, Telemetry};
+use suit_trace::Burst;
+
+use crate::engine::{CoreStream, Hw};
+
+/// A deterministic binary min-heap of `(tick, component_id)` events.
+///
+/// Ordering is lexicographic: earliest tick first, lowest component id
+/// on ties. The heap is a plain array-backed sift-up/sift-down heap with
+/// no randomization and no insertion-order dependence in its pop
+/// sequence (equal keys cannot exist — ids are unique per round), so a
+/// given set of events always drains in the same total order.
+#[derive(Debug, Default, Clone)]
+pub struct EventHeap {
+    entries: Vec<(SimTime, u32)>,
+}
+
+impl EventHeap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        EventHeap::default()
+    }
+
+    /// An empty heap with room for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventHeap {
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every scheduled event, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Schedules component `id` at time `tick`.
+    pub fn push(&mut self, tick: SimTime, id: u32) {
+        self.entries.push((tick, id));
+        self.sift_up(self.entries.len() - 1);
+    }
+
+    /// The earliest `(tick, id)` without removing it.
+    pub fn peek(&self) -> Option<(SimTime, u32)> {
+        self.entries.first().copied()
+    }
+
+    /// Removes and returns the earliest `(tick, id)`; lowest id wins
+    /// ties.
+    pub fn pop(&mut self) -> Option<(SimTime, u32)> {
+        let top = *self.entries.first()?;
+        let last = self.entries.pop().expect("non-empty");
+        if !self.entries.is_empty() {
+            self.entries[0] = last;
+            self.sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.entries[i] < self.entries[parent] {
+                self.entries.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.entries.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut min = i;
+            if l < n && self.entries[l] < self.entries[min] {
+                min = l;
+            }
+            if r < n && self.entries[r] < self.entries[min] {
+                min = r;
+            }
+            if min == i {
+                break;
+            }
+            self.entries.swap(i, min);
+            i = min;
+        }
+    }
+}
+
+/// A schedulable simulation entity.
+///
+/// `Ctx` is the shared state the component reads its clock from and
+/// mutates when dispatched — the domain hardware state for cores, the
+/// fleet state for DVFS domains and rack thermal governors. Components
+/// never see each other directly; all interaction flows through `Ctx`,
+/// which is what makes the scheduling order (and therefore replay) a
+/// pure function of the `(tick, id)` heap keys.
+pub trait Component<Ctx: ?Sized> {
+    /// Absolute time of this component's next event; `None` while it has
+    /// nothing scheduled (a finished core, an unarmed timer, a drained
+    /// epoch sequence).
+    fn next_tick(&self, ctx: &Ctx) -> Option<SimTime>;
+
+    /// Reacts to the clock reaching `next_tick()`. `now` is the popped
+    /// tick, clamped to never precede the context's current clock.
+    fn on_tick(&mut self, now: SimTime, ctx: &mut Ctx);
+}
+
+/// Heap component id of the pending asynchronous p-state arrival.
+pub(crate) const PENDING_ID: u32 = 0;
+/// Heap component id of the deadline timer.
+pub(crate) const TIMER_ID: u32 = 1;
+/// Heap component ids of the cores start here: core `i` is `2 + i`.
+pub(crate) const CORE_ID_BASE: u32 = 2;
+
+/// Shared intra-domain state handed to components on dispatch.
+pub(crate) struct DomainCtx<'a> {
+    pub(crate) hw: &'a mut Hw,
+    pub(crate) os: &'a mut SuitOs,
+    pub(crate) tele: &'a Telemetry,
+    /// Index of the core being dispatched (set by the scheduler before
+    /// a core's `on_tick`; exception records carry it).
+    pub(crate) core: usize,
+}
+
+impl<'a, I: Iterator<Item = Burst>> Component<DomainCtx<'a>> for CoreStream<I> {
+    fn next_tick(&self, ctx: &DomainCtx<'a>) -> Option<SimTime> {
+        if self.finished() {
+            return None;
+        }
+        // The same arithmetic, in the same order, as the legacy scan:
+        // instructions to the next point of interest over the current
+        // effective rate. Byte-identity of the differential suite hangs
+        // on this expression not being algebraically "simplified".
+        let hw = &*ctx.hw;
+        Some(hw.now + SimDuration::from_secs_f64(self.rem_next() / (self.base_rate * hw.perf())))
+    }
+
+    fn on_tick(&mut self, _now: SimTime, ctx: &mut DomainCtx<'a>) {
+        self.core_event(ctx.core, ctx.hw, ctx.os, ctx.tele);
+    }
+}
+
+/// The deadline timer as a schedulable component (§4.1: armed on every
+/// completed faultable instruction, fires the switch back to `E`).
+pub(crate) struct TimerSlot;
+
+impl<'a> Component<DomainCtx<'a>> for TimerSlot {
+    fn next_tick(&self, ctx: &DomainCtx<'a>) -> Option<SimTime> {
+        ctx.hw.timer.expires_at()
+    }
+
+    fn on_tick(&mut self, _now: SimTime, ctx: &mut DomainCtx<'a>) {
+        // Verbatim the legacy Timer arm: expiry is checked against the
+        // hardware clock, which the advance phase has already moved.
+        if ctx.hw.timer.take_expired(ctx.hw.now) {
+            ctx.os.on_timer_interrupt(ctx.hw);
+        }
+    }
+}
+
+/// An in-flight asynchronous p-state change as a schedulable component
+/// (e.g. the 𝑓𝑉 strategy's voltage raise completing 335 µs later).
+pub(crate) struct PendingSlot;
+
+impl<'a> Component<DomainCtx<'a>> for PendingSlot {
+    fn next_tick(&self, ctx: &DomainCtx<'a>) -> Option<SimTime> {
+        ctx.hw.pending.map(|(_, t)| t)
+    }
+
+    fn on_tick(&mut self, _now: SimTime, ctx: &mut DomainCtx<'a>) {
+        // Verbatim the legacy Pending arm.
+        let (target, _) = ctx.hw.pending.take().expect("pending scheduled this round");
+        ctx.hw.apply_pending(target);
+    }
+}
+
+/// The event-heap domain loop: runs `cores` (one shared DVFS domain) to
+/// completion against the booted `hw`/`os` state.
+///
+/// Each round re-schedules every live component on the heap and
+/// dispatches the earliest `(tick, id)`. Cores whose trace has ended
+/// leave the `live` set permanently: an idle-parked core is neither
+/// rescanned, advanced, nor counted — `Counter::CoreSteps` increments
+/// only for cores that actually execute during a quantum, which is the
+/// observable fix for the legacy loop's "step every core of the domain,
+/// idle or not" behaviour.
+pub(crate) fn run_domain<I: Iterator<Item = Burst>>(
+    cores: &mut [CoreStream<I>],
+    hw: &mut Hw,
+    os: &mut SuitOs,
+    tele: &Telemetry,
+) {
+    let mut heap = EventHeap::with_capacity(cores.len() + 2);
+    let mut live: Vec<u32> = (0..cores.len() as u32).collect();
+    let mut guard: u64 = 0;
+
+    loop {
+        guard += 1;
+        assert!(guard < 2_000_000_000, "simulation failed to converge");
+
+        live.retain(|&i| !cores[i as usize].finished());
+        if live.is_empty() {
+            break;
+        }
+
+        let mut ctx = DomainCtx {
+            hw,
+            os,
+            tele,
+            core: 0,
+        };
+
+        // Schedule every live component. Equal ticks drain in id order:
+        // pending (0) before timer (1) before cores (2 + index), exactly
+        // the tie priority of the legacy scan.
+        heap.clear();
+        for &i in &live {
+            if let Some(t) = cores[i as usize].next_tick(&ctx) {
+                heap.push(t, CORE_ID_BASE + i);
+            }
+        }
+        if let Some(t) = TimerSlot.next_tick(&ctx) {
+            heap.push(t, TIMER_ID);
+        }
+        if let Some(t) = PendingSlot.next_tick(&ctx) {
+            heap.push(t, PENDING_ID);
+        }
+        let (t_next, id) = heap.pop().expect("live set is non-empty");
+
+        // Advance execution to the event: the identical per-quantum
+        // arithmetic as the legacy loop (same perf load, same product),
+        // restricted to the live set — advancing a finished core was
+        // always a no-op, so skipping it cannot change results.
+        let dt = t_next.saturating_since(ctx.hw.now);
+        if !dt.is_zero() {
+            let perf = ctx.hw.perf();
+            for &i in &live {
+                let c = &mut cores[i as usize];
+                c.advance(c.base_rate * perf * dt.as_secs_f64());
+            }
+            tele.count(Counter::EngineQuanta);
+            tele.add(Counter::CoreSteps, live.len() as u64);
+            ctx.hw.run_for(dt);
+        }
+
+        match id {
+            PENDING_ID => PendingSlot.on_tick(t_next, &mut ctx),
+            TIMER_ID => TimerSlot.on_tick(t_next, &mut ctx),
+            id => {
+                let i = (id - CORE_ID_BASE) as usize;
+                ctx.core = i;
+                // `on_tick` takes the component itself; hand it the one
+                // core the id names.
+                let (c, ctx) = (&mut cores[i], &mut ctx);
+                c.on_tick(t_next, ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ps: u64) -> SimTime {
+        SimTime::from_picos(ps)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut h = EventHeap::new();
+        for (tick, id) in [(5u64, 1u32), (3, 2), (9, 3), (1, 4), (7, 5)] {
+            h.push(t(tick), id);
+        }
+        let mut out = Vec::new();
+        while let Some(e) = h.pop() {
+            out.push(e);
+        }
+        assert_eq!(
+            out,
+            vec![(t(1), 4), (t(3), 2), (t(5), 1), (t(7), 5), (t(9), 3)]
+        );
+    }
+
+    #[test]
+    fn equal_ticks_drain_in_id_order() {
+        // Push ids against insertion order to make sure ordering comes
+        // from the key, not the arrival sequence.
+        let mut h = EventHeap::new();
+        for id in [7u32, 3, 9, 0, 5, 1] {
+            h.push(t(42), id);
+        }
+        let ids: Vec<u32> = std::iter::from_fn(|| h.pop()).map(|(_, id)| id).collect();
+        assert_eq!(ids, vec![0, 1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut h = EventHeap::new();
+        h.push(t(10), 0);
+        h.push(t(4), 1);
+        assert_eq!(h.pop(), Some((t(4), 1)));
+        h.push(t(2), 2);
+        h.push(t(10), 3);
+        assert_eq!(h.pop(), Some((t(2), 2)));
+        assert_eq!(h.pop(), Some((t(10), 0)));
+        assert_eq!(h.pop(), Some((t(10), 3)));
+        assert_eq!(h.pop(), None);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_the_heap_usable() {
+        let mut h = EventHeap::with_capacity(4);
+        h.push(t(1), 1);
+        h.clear();
+        assert_eq!(h.len(), 0);
+        h.push(t(8), 2);
+        h.push(t(6), 3);
+        assert_eq!(h.peek(), Some((t(6), 3)));
+    }
+}

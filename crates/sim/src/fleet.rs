@@ -1,0 +1,1090 @@
+//! Fleet-scale simulation: racks of DVFS domains under per-rack thermal
+//! governors, sharded across `suit-exec` between thermal sync points.
+//!
+//! The single-machine engine simulates one DVFS domain. A fleet is
+//! thousands of them: `racks × domains_per_rack` domains of
+//! `cores_per_domain` cores each, where every rack has its own cooling
+//! (fan speed), its own age (borrowable guardband), and therefore its
+//! own *realized* Vmin curve — the governor of `suit-core::governor`
+//! decides per rack which undervolt level is safe, and the fleet runs
+//! each domain at the shallower of the requested and the allowed level.
+//!
+//! Time is divided into *epochs* (thermal sync points). Within an epoch
+//! every active domain is independent: its slice is a pure function of
+//! `(seed, domain, epoch)` — seeds derive via the fork chain
+//! `SuitRng::seed_from_u64(seed).fork(domain).fork(epoch)` — so epochs
+//! shard over [`suit_exec::run`] with results byte-identical at every
+//! thread count. At the sync point each rack aggregates its domains in
+//! domain-index order, integrates package power into its thermal model,
+//! and the governor re-decides the allowed level for the next epoch.
+//! Slice results only depend on the level (workloads are statistically
+//! stationary, the same argument as [`crate::thermal_loop`]), so
+//! domains need no resumable engine state across epochs.
+//!
+//! Two drivers produce bit-for-bit identical [`FleetResult`]s:
+//!
+//! * [`FleetSim::run`] — the production path: epoch loop, domains
+//!   fanned out over `suit-exec`, telemetry roll-ups merged in
+//!   domain-index order.
+//! * [`FleetSim::run_event_driven`] — the same fleet driven through the
+//!   [`Component`]/[`EventHeap`] scheduler of [`crate::event`]: DVFS
+//!   domains and rack thermal loops are scheduled as components on one
+//!   global clock, ties broken by component id (thermal ids precede
+//!   domain ids, so a sync point settles before the next epoch starts).
+//!   The equality of the two is pinned by the scheduler property suite.
+//!
+//! The *consolidation knob* (`utilization`) parks whole domains:
+//! workloads consolidate onto the lowest-indexed domains and parked
+//! domains are power-gated — they execute nothing, draw nothing, and
+//! contribute zero per-core step events. Fewer active domains per rack
+//! mean lower rack power, cooler packages, and deeper allowed
+//! undervolt levels on what remains: the fleet-economics interplay the
+//! Scrooge-attack literature studies, here on the defender's side.
+
+use suit_core::governor::{GovernorConfig, OffsetGovernor};
+use suit_core::strategy::StrategyParams;
+use suit_core::OperatingStrategy;
+use suit_exec::Threads;
+use suit_hw::{CpuModel, UndervoltLevel};
+use suit_isa::{SimDuration, SimTime};
+use suit_rng::{RngCore, SuitRng};
+use suit_telemetry::{json, Telemetry, TelemetrySnapshot};
+use suit_trace::{profile, WorkloadProfile};
+
+use crate::engine::{simulate_telemetry, SimConfig};
+use crate::event::{Component, EventHeap};
+use crate::result::RunResult;
+
+/// Upper bound on racks.
+pub const MAX_RACKS: usize = 4096;
+/// Upper bound on total domains (`racks × domains_per_rack`).
+pub const MAX_DOMAINS: usize = 1 << 16;
+/// Upper bound on total cores (`domains × cores_per_domain`).
+pub const MAX_CORES: usize = 1 << 20;
+/// Upper bound on epochs.
+pub const MAX_EPOCHS: usize = 100_000;
+/// Upper bound on instructions per core per epoch.
+pub const MAX_EPOCH_INSTS: u64 = 1_000_000_000_000;
+/// Upper bound on `epochs × epoch_insts` (keeps epoch ticks well inside
+/// the picosecond clock).
+pub const MAX_TOTAL_INSTS: u64 = 1_000_000_000_000_000;
+/// Upper bound on the workload rotation list.
+pub const MAX_WORKLOADS: usize = 4096;
+
+/// Configuration of a fleet scenario.
+///
+/// Constructed directly, via [`Default`], or parsed from JSON with
+/// [`FleetConfig::from_json`]. [`FleetSim::new`] validates every field
+/// (and every count *before* any allocation derived from it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// CPU model: `'a'` (i9-9900K), `'b'` (Ryzen 7700X), `'c'`
+    /// (Xeon 4208).
+    pub cpu: char,
+    /// Operating strategy (a curve-switching one: 𝑓𝑉, 𝑓 or 𝑉).
+    pub strategy: OperatingStrategy,
+    /// Requested undervolt level; each rack's governor may cap it.
+    pub level: UndervoltLevel,
+    /// Number of racks (independent cooling + aging + governor each).
+    pub racks: usize,
+    /// DVFS domains per rack.
+    pub domains_per_rack: usize,
+    /// Cores per DVFS domain (sharing one curve state).
+    pub cores_per_domain: usize,
+    /// Thermal sync points to simulate.
+    pub epochs: usize,
+    /// Instructions per core per epoch.
+    pub epoch_insts: u64,
+    /// Root seed; per-slice seeds fork as `seed → domain → epoch`.
+    pub seed: u64,
+    /// Consolidation knob in `(0, 1]`: the fraction of domains that are
+    /// powered on (lowest-indexed first); the rest are parked.
+    pub utilization: f64,
+    /// Workload names, assigned round-robin by domain index.
+    pub workloads: Vec<String>,
+    /// Per-rack fan speed, RPM. Empty selects the default cooling
+    /// gradient (1800 RPM at rack 0 falling linearly to 1000 RPM).
+    pub rack_fan_rpm: Vec<f64>,
+    /// Per-rack deployment age, years. Empty uses `deployment_years`
+    /// for every rack.
+    pub rack_age_years: Vec<f64>,
+    /// Default deployment age, years (aging guardband budget).
+    pub deployment_years: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            cpu: 'c',
+            strategy: OperatingStrategy::FreqVolt,
+            level: UndervoltLevel::Mv97,
+            racks: 4,
+            domains_per_rack: 4,
+            cores_per_domain: 4,
+            epochs: 4,
+            epoch_insts: 20_000_000,
+            seed: 0x5017,
+            utilization: 1.0,
+            workloads: vec!["502.gcc".to_string()],
+            rack_fan_rpm: Vec::new(),
+            rack_age_years: Vec::new(),
+            deployment_years: 0.0,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Validates every field; counts are bounds-checked with checked
+    /// arithmetic before anything is allocated from them.
+    pub fn validate(&self) -> Result<(), String> {
+        if !matches!(self.cpu, 'a' | 'b' | 'c') {
+            return Err(format!("unknown cpu '{}' (a|b|c)", self.cpu));
+        }
+        if matches!(self.strategy, OperatingStrategy::Emulation) {
+            return Err("fleet strategy must be curve-switching (fv|f|v)".to_string());
+        }
+        if self.racks == 0 || self.racks > MAX_RACKS {
+            return Err(format!("racks must be in 1..={MAX_RACKS}"));
+        }
+        if self.domains_per_rack == 0 {
+            return Err("domains_per_rack must be positive".to_string());
+        }
+        if self.cores_per_domain == 0 {
+            return Err("cores_per_domain must be positive".to_string());
+        }
+        let domains = self
+            .racks
+            .checked_mul(self.domains_per_rack)
+            .filter(|&d| d <= MAX_DOMAINS)
+            .ok_or_else(|| format!("total domains exceed {MAX_DOMAINS}"))?;
+        domains
+            .checked_mul(self.cores_per_domain)
+            .filter(|&c| c <= MAX_CORES)
+            .ok_or_else(|| format!("total cores exceed {MAX_CORES}"))?;
+        if self.epochs == 0 || self.epochs > MAX_EPOCHS {
+            return Err(format!("epochs must be in 1..={MAX_EPOCHS}"));
+        }
+        if self.epoch_insts == 0 || self.epoch_insts > MAX_EPOCH_INSTS {
+            return Err(format!("epoch_insts must be in 1..={MAX_EPOCH_INSTS}"));
+        }
+        (self.epochs as u64)
+            .checked_mul(self.epoch_insts)
+            .filter(|&t| t <= MAX_TOTAL_INSTS)
+            .ok_or_else(|| format!("epochs x epoch_insts exceeds {MAX_TOTAL_INSTS}"))?;
+        if !(self.utilization.is_finite() && self.utilization > 0.0 && self.utilization <= 1.0) {
+            return Err("utilization must be in (0, 1]".to_string());
+        }
+        if self.workloads.is_empty() || self.workloads.len() > MAX_WORKLOADS {
+            return Err(format!("workloads must name 1..={MAX_WORKLOADS} profiles"));
+        }
+        for name in &self.workloads {
+            if profile::by_name(name).is_none() {
+                return Err(format!("unknown workload '{name}'"));
+            }
+        }
+        for (field, v) in [
+            ("rack_fan_rpm", &self.rack_fan_rpm),
+            ("rack_age_years", &self.rack_age_years),
+        ] {
+            if !v.is_empty() && v.len() != self.racks {
+                return Err(format!(
+                    "{field} must be empty or have one entry per rack ({})",
+                    self.racks
+                ));
+            }
+        }
+        for rpm in &self.rack_fan_rpm {
+            if !(rpm.is_finite() && (0.0..=10_000.0).contains(rpm)) {
+                return Err("rack_fan_rpm entries must be finite, in 0..=10000".to_string());
+            }
+        }
+        for (field, v, hi) in [
+            ("rack_age_years", &self.rack_age_years, 30.0),
+            ("deployment_years", &vec![self.deployment_years], 30.0),
+        ] {
+            for y in v {
+                if !(y.is_finite() && (0.0..=hi).contains(y)) {
+                    return Err(format!("{field} entries must be finite, in 0..={hi}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses a fleet scenario from a JSON document.
+    ///
+    /// Same contract as the `SUITTRC` readers: arbitrary byte soup,
+    /// truncation, and hostile counts must come back as a structured
+    /// `Err`, never a panic — counts are validated before any
+    /// count-proportional allocation. Unknown keys are rejected so
+    /// typos fail loudly.
+    pub fn from_json(src: &str) -> Result<FleetConfig, String> {
+        let doc = json::parse(src)?;
+        let json::Value::Obj(pairs) = &doc else {
+            return Err("fleet config must be a JSON object".to_string());
+        };
+        let mut cfg = FleetConfig::default();
+        for (key, value) in pairs {
+            match key.as_str() {
+                "cpu" => {
+                    let s = value
+                        .as_str()
+                        .ok_or_else(|| "'cpu' must be a string".to_string())?;
+                    let mut chars = s.chars();
+                    cfg.cpu = match (chars.next(), chars.next()) {
+                        (Some(c), None) => c,
+                        _ => return Err(format!("'cpu' must be one letter, got '{s}'")),
+                    };
+                }
+                "strategy" => {
+                    cfg.strategy = match value.as_str() {
+                        Some("fv") => OperatingStrategy::FreqVolt,
+                        Some("f") => OperatingStrategy::Frequency,
+                        Some("v") => OperatingStrategy::Voltage,
+                        _ => return Err("'strategy' must be \"fv\", \"f\" or \"v\"".to_string()),
+                    };
+                }
+                "offset" => {
+                    cfg.level = match value.as_f64() {
+                        Some(70.0) => UndervoltLevel::Mv70,
+                        Some(97.0) => UndervoltLevel::Mv97,
+                        _ => return Err("'offset' must be 70 or 97".to_string()),
+                    };
+                }
+                "racks" => cfg.racks = json_count(value, key)? as usize,
+                "domains_per_rack" => cfg.domains_per_rack = json_count(value, key)? as usize,
+                "cores_per_domain" => cfg.cores_per_domain = json_count(value, key)? as usize,
+                "epochs" => cfg.epochs = json_count(value, key)? as usize,
+                "epoch_insts" => cfg.epoch_insts = json_count(value, key)?,
+                "seed" => cfg.seed = json_count(value, key)?,
+                "utilization" => {
+                    cfg.utilization = value
+                        .as_f64()
+                        .ok_or_else(|| "'utilization' must be a number".to_string())?;
+                }
+                "deployment_years" => {
+                    cfg.deployment_years = value
+                        .as_f64()
+                        .ok_or_else(|| "'deployment_years' must be a number".to_string())?;
+                }
+                "workloads" => {
+                    let arr = value
+                        .as_arr()
+                        .ok_or_else(|| "'workloads' must be an array".to_string())?;
+                    cfg.workloads = arr
+                        .iter()
+                        .map(|v| {
+                            v.as_str()
+                                .map(str::to_string)
+                                .ok_or_else(|| "'workloads' entries must be strings".to_string())
+                        })
+                        .collect::<Result<Vec<String>, String>>()?;
+                }
+                "rack_fan_rpm" => cfg.rack_fan_rpm = json_numbers(value, key)?,
+                "rack_age_years" => cfg.rack_age_years = json_numbers(value, key)?,
+                other => return Err(format!("unknown key '{other}'")),
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+/// Extracts a non-negative integer count from a JSON number, rejecting
+/// fractions, negatives, and anything beyond exact-f64 range.
+fn json_count(v: &json::Value, key: &str) -> Result<u64, String> {
+    let n = v
+        .as_f64()
+        .ok_or_else(|| format!("'{key}' must be a number"))?;
+    if !n.is_finite() || n.fract() != 0.0 || !(0.0..=9_007_199_254_740_992.0).contains(&n) {
+        return Err(format!("'{key}' must be a non-negative integer"));
+    }
+    Ok(n as u64)
+}
+
+/// Extracts an array of finite numbers.
+fn json_numbers(v: &json::Value, key: &str) -> Result<Vec<f64>, String> {
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| format!("'{key}' must be an array"))?;
+    arr.iter()
+        .map(|x| {
+            x.as_f64()
+                .filter(|n| n.is_finite())
+                .ok_or_else(|| format!("'{key}' entries must be finite numbers"))
+        })
+        .collect()
+}
+
+/// One rack's aggregate over the whole run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RackReport {
+    /// Rack index.
+    pub rack: usize,
+    /// This rack's fan speed, RPM.
+    pub fan_rpm: f64,
+    /// This rack's deployment age, years.
+    pub age_years: f64,
+    /// Domains of this rack that were powered on.
+    pub active_domains: usize,
+    /// Executed `(domain, epoch)` slices.
+    pub slices: u64,
+    /// Slices that ran on some efficient (undervolted) curve.
+    pub enabled_slices: u64,
+    /// Slices that ran at the deepest evaluated level (−97 mV).
+    pub deep_slices: u64,
+    /// Σ slice durations over active domains, seconds.
+    pub duration_s: f64,
+    /// Σ no-SUIT baseline durations, seconds.
+    pub baseline_s: f64,
+    /// Σ relative package energy (relative-power · seconds).
+    pub energy_rel: f64,
+    /// Faultable instructions executed.
+    pub events: u64,
+    /// `#DO` exceptions taken.
+    pub exceptions: u64,
+    /// Junction temperature after the last sync point, °C.
+    pub final_temp_c: f64,
+}
+
+impl RackReport {
+    fn new(rack: usize, fan_rpm: f64, age_years: f64, active_domains: usize) -> Self {
+        RackReport {
+            rack,
+            fan_rpm,
+            age_years,
+            active_domains,
+            slices: 0,
+            enabled_slices: 0,
+            deep_slices: 0,
+            duration_s: 0.0,
+            baseline_s: 0.0,
+            energy_rel: 0.0,
+            events: 0,
+            exceptions: 0,
+            final_temp_c: 0.0,
+        }
+    }
+
+    fn add(&mut self, out: &EpochOut) {
+        self.slices += 1;
+        self.enabled_slices += u64::from(out.level.is_some());
+        self.deep_slices += u64::from(out.level == Some(UndervoltLevel::Mv97));
+        self.duration_s += out.result.duration.as_secs_f64();
+        self.baseline_s += out.result.baseline_duration.as_secs_f64();
+        self.energy_rel += out.result.energy_rel;
+        self.events += out.result.events;
+        self.exceptions += out.result.exceptions;
+    }
+
+    /// Throughput-weighted performance change vs. baseline.
+    pub fn perf(&self) -> f64 {
+        if self.duration_s > 0.0 {
+            self.baseline_s / self.duration_s - 1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean package-power change vs. baseline.
+    pub fn power(&self) -> f64 {
+        if self.duration_s > 0.0 {
+            self.energy_rel / self.duration_s - 1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Efficiency change, `(1 + perf) / (1 + power) − 1`.
+    pub fn efficiency(&self) -> f64 {
+        (1.0 + self.perf()) / (1.0 + self.power()) - 1.0
+    }
+
+    /// Fraction of slices that ran undervolted.
+    pub fn enabled_fraction(&self) -> f64 {
+        self.enabled_slices as f64 / (self.slices.max(1)) as f64
+    }
+
+    /// Fraction of slices that ran at the deepest level — this rack's
+    /// realized Vmin curve in one number (cooling and age cap it).
+    pub fn deep_fraction(&self) -> f64 {
+        self.deep_slices as f64 / (self.slices.max(1)) as f64
+    }
+}
+
+/// The fleet-run outcome: per-rack reports (in rack order) plus the
+/// topology they aggregate over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetResult {
+    /// One report per rack, in rack-index order.
+    pub racks: Vec<RackReport>,
+    /// Total domains in the topology.
+    pub domains: usize,
+    /// Domains that were powered on (consolidation knob).
+    pub active_domains: usize,
+    /// Total cores (active domains × cores per domain).
+    pub cores: usize,
+    /// Epochs simulated.
+    pub epochs: usize,
+}
+
+impl FleetResult {
+    /// Σ slice durations across the fleet, seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.racks.iter().map(|r| r.duration_s).sum()
+    }
+
+    /// Σ baseline durations across the fleet, seconds.
+    pub fn baseline_s(&self) -> f64 {
+        self.racks.iter().map(|r| r.baseline_s).sum()
+    }
+
+    /// Σ relative package energy across the fleet.
+    pub fn energy_rel(&self) -> f64 {
+        self.racks.iter().map(|r| r.energy_rel).sum()
+    }
+
+    /// Faultable instructions executed fleet-wide.
+    pub fn events(&self) -> u64 {
+        self.racks.iter().map(|r| r.events).sum()
+    }
+
+    /// `#DO` exceptions taken fleet-wide.
+    pub fn exceptions(&self) -> u64 {
+        self.racks.iter().map(|r| r.exceptions).sum()
+    }
+
+    /// Fleet performance change vs. baseline.
+    pub fn perf(&self) -> f64 {
+        let d = self.duration_s();
+        if d > 0.0 {
+            self.baseline_s() / d - 1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Fleet mean package-power change vs. baseline.
+    pub fn power(&self) -> f64 {
+        let d = self.duration_s();
+        if d > 0.0 {
+            self.energy_rel() / d - 1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Fleet efficiency change.
+    pub fn efficiency(&self) -> f64 {
+        (1.0 + self.perf()) / (1.0 + self.power()) - 1.0
+    }
+
+    /// Fraction of executed slices that ran undervolted.
+    pub fn enabled_fraction(&self) -> f64 {
+        let slices: u64 = self.racks.iter().map(|r| r.slices).sum();
+        let enabled: u64 = self.racks.iter().map(|r| r.enabled_slices).sum();
+        enabled as f64 / slices.max(1) as f64
+    }
+
+    /// Renders the deterministic text report the CLI prints (identical
+    /// bytes for identical configs, at every thread count).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fleet: {} domains ({} active) x {} cores = {} cores over {} racks, {} epochs\n",
+            self.domains,
+            self.active_domains,
+            self.cores.checked_div(self.active_domains).unwrap_or(0),
+            self.cores,
+            self.racks.len(),
+            self.epochs,
+        ));
+        out.push_str(&format!(
+            "{:>5} {:>8} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}\n",
+            "rack",
+            "fan_rpm",
+            "age_y",
+            "temp_C",
+            "enabled",
+            "deep",
+            "perf%",
+            "power%",
+            "eff%",
+            "events"
+        ));
+        for r in &self.racks {
+            out.push_str(&format!(
+                "{:>5} {:>8.0} {:>6.1} {:>8.2} {:>7.1}% {:>7.1}% {:>8.3} {:>8.3} {:>8.3} {:>10}\n",
+                r.rack,
+                r.fan_rpm,
+                r.age_years,
+                r.final_temp_c,
+                r.enabled_fraction() * 100.0,
+                r.deep_fraction() * 100.0,
+                r.perf() * 100.0,
+                r.power() * 100.0,
+                r.efficiency() * 100.0,
+                r.events,
+            ));
+        }
+        out.push_str(&format!(
+            "fleet: perf {:+.3}%  power {:+.3}%  eff {:+.3}%  undervolted {:.1}%  events {}  exceptions {}\n",
+            self.perf() * 100.0,
+            self.power() * 100.0,
+            self.efficiency() * 100.0,
+            self.enabled_fraction() * 100.0,
+            self.events(),
+            self.exceptions(),
+        ));
+        out
+    }
+}
+
+/// One domain's epoch slice outcome.
+#[derive(Debug, Clone, PartialEq)]
+struct EpochOut {
+    result: RunResult,
+    /// The realized undervolt level (`None`: stock fallback).
+    level: Option<UndervoltLevel>,
+}
+
+/// A validated fleet scenario, ready to run.
+#[derive(Debug)]
+pub struct FleetSim {
+    cfg: FleetConfig,
+    cpu: CpuModel,
+    params: StrategyParams,
+    profiles: Vec<&'static WorkloadProfile>,
+}
+
+/// Event-ring capacity per domain-epoch telemetry shard.
+const TELEMETRY_CAPACITY: usize = 2048;
+
+impl FleetSim {
+    /// Validates `cfg` and resolves the CPU model, strategy parameters
+    /// and workload profiles.
+    pub fn new(cfg: FleetConfig) -> Result<FleetSim, String> {
+        cfg.validate()?;
+        let cpu = match cfg.cpu {
+            'a' => CpuModel::i9_9900k(),
+            'b' => CpuModel::ryzen_7700x(),
+            _ => CpuModel::xeon_4208(),
+        };
+        let params = match cfg.cpu {
+            'b' => StrategyParams::amd(),
+            _ => StrategyParams::intel(),
+        };
+        let profiles: Vec<&'static WorkloadProfile> = cfg
+            .workloads
+            .iter()
+            .map(|name| profile::by_name(name).expect("validated"))
+            .collect();
+        Ok(FleetSim {
+            cfg,
+            cpu,
+            params,
+            profiles,
+        })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Total domains in the topology.
+    pub fn domains(&self) -> usize {
+        self.cfg.racks * self.cfg.domains_per_rack
+    }
+
+    /// Powered-on domains under the consolidation knob (at least one).
+    pub fn active_domains(&self) -> usize {
+        let total = self.domains();
+        ((self.cfg.utilization * total as f64).round() as usize).clamp(1, total)
+    }
+
+    fn fan_rpm(&self, rack: usize) -> f64 {
+        if !self.cfg.rack_fan_rpm.is_empty() {
+            self.cfg.rack_fan_rpm[rack]
+        } else if self.cfg.racks == 1 {
+            1800.0
+        } else {
+            // Default cooling gradient: front-of-row racks run cooler.
+            1800.0 - 800.0 * rack as f64 / (self.cfg.racks - 1) as f64
+        }
+    }
+
+    fn age_years(&self, rack: usize) -> f64 {
+        if self.cfg.rack_age_years.is_empty() {
+            self.cfg.deployment_years
+        } else {
+            self.cfg.rack_age_years[rack]
+        }
+    }
+
+    fn governor(&self, rack: usize) -> OffsetGovernor {
+        OffsetGovernor::new(
+            GovernorConfig {
+                deployment_years: self.age_years(rack),
+                reserve_frac: 0.8,
+                curve: self.cpu.curve().clone(),
+            },
+            self.fan_rpm(rack),
+        )
+    }
+
+    /// The sync grid: one epoch of instructions at the base clock. The
+    /// grid is a scheduling device (domains run different workloads at
+    /// different IPCs), but it is the *same* device in both drivers,
+    /// which is all determinism needs.
+    fn epoch_dt(&self) -> SimDuration {
+        SimDuration::from_secs_f64(
+            self.cfg.epoch_insts as f64 / (self.cpu.steady.base_freq_ghz * 1e9),
+        )
+    }
+
+    fn epoch_tick(&self, epoch: usize) -> SimTime {
+        SimTime::from_picos(self.epoch_dt().as_picos().saturating_mul(epoch as u64))
+    }
+
+    /// Per-slice seed: the `seed → domain → epoch` fork chain.
+    fn epoch_seed(&self, domain: usize, epoch: usize) -> u64 {
+        SuitRng::seed_from_u64(self.cfg.seed)
+            .fork(domain as u64)
+            .fork(epoch as u64)
+            .next_u64()
+    }
+
+    /// The level a domain actually runs at: the shallower of the
+    /// requested level and what the rack's governor allows.
+    fn realized_level(&self, allowed: Option<UndervoltLevel>) -> Option<UndervoltLevel> {
+        allowed.map(|a| match (self.cfg.level, a) {
+            (UndervoltLevel::Mv97, UndervoltLevel::Mv97) => UndervoltLevel::Mv97,
+            _ => UndervoltLevel::Mv70,
+        })
+    }
+
+    /// Runs one domain's epoch slice: a pure function of
+    /// `(config, domain, epoch, allowed level)`.
+    fn run_domain_epoch(
+        &self,
+        domain: usize,
+        epoch: usize,
+        allowed: Option<UndervoltLevel>,
+        tele: &Telemetry,
+    ) -> EpochOut {
+        let p = self.profiles[domain % self.profiles.len()];
+        match self.realized_level(allowed) {
+            Some(level) => {
+                let sc = SimConfig {
+                    strategy: self.cfg.strategy,
+                    params: self.params,
+                    level,
+                    cores: self.cfg.cores_per_domain,
+                    seed: self.epoch_seed(domain, epoch),
+                    max_insts: Some(self.cfg.epoch_insts),
+                    record_timeline: false,
+                    adaptive: None,
+                };
+                EpochOut {
+                    result: simulate_telemetry(&self.cpu, p, &sc, tele),
+                    level: Some(level),
+                }
+            }
+            None => EpochOut {
+                result: self.stock_epoch(p),
+                level: None,
+            },
+        }
+    }
+
+    /// The no-SUIT slice a too-hot rack falls back to: stock operation
+    /// at the conservative point, closed-form (no events, no traps).
+    fn stock_epoch(&self, p: &WorkloadProfile) -> RunResult {
+        let cap = self.cfg.epoch_insts.min(p.total_insts);
+        let nominal = p.ipc * self.cpu.steady.base_freq_ghz * 1e9;
+        let d = SimDuration::from_secs_f64(cap as f64 / nominal);
+        RunResult {
+            workload: p.name.to_string(),
+            duration: d,
+            baseline_duration: d,
+            energy_rel: d.as_secs_f64(),
+            time_e: SimDuration::ZERO,
+            time_cf: SimDuration::ZERO,
+            time_cv: d,
+            time_stall: SimDuration::ZERO,
+            events: 0,
+            exceptions: 0,
+            timer_fires: 0,
+            thrash_hits: 0,
+        }
+    }
+
+    /// Stock package watts for this CPU's SPEC operating point — the
+    /// scale the rack thermal model integrates.
+    fn base_watts(&self) -> f64 {
+        self.cpu.steady.response(0.0).power_w
+    }
+
+    /// The thermal sync point for one rack: aggregate this epoch's
+    /// domain slices in domain-index order, integrate package power
+    /// over the sync grid, and let the governor re-decide.
+    fn rack_sync(&self, outs: &[EpochOut], governor: &mut OffsetGovernor, report: &mut RackReport) {
+        let base = self.base_watts();
+        let mut watts_sum = 0.0;
+        for out in outs {
+            report.add(out);
+            watts_sum += base * (out.result.energy_rel / out.result.duration.as_secs_f64());
+        }
+        // Parked (power-gated) domains draw nothing; an all-parked rack
+        // integrates zero watts and cools toward ambient.
+        let watts = if outs.is_empty() {
+            0.0
+        } else {
+            watts_sum / outs.len() as f64
+        };
+        governor.step(self.epoch_dt(), watts);
+        report.final_temp_c = governor.temperature_c();
+    }
+
+    /// Runs the fleet: the production sharded driver.
+    pub fn run(&self, threads: Threads) -> FleetResult {
+        self.run_sharded(threads, None)
+    }
+
+    /// [`FleetSim::run`] with telemetry: every domain-epoch slice
+    /// records into its own shard, and shards merge in domain-index
+    /// order within each epoch, epochs in order — so the merged
+    /// snapshot is byte-identical at every thread count.
+    pub fn run_with_telemetry(&self, threads: Threads) -> (FleetResult, TelemetrySnapshot) {
+        let mut merged = TelemetrySnapshot::default();
+        let result = self.run_sharded(threads, Some(&mut merged));
+        (result, merged)
+    }
+
+    fn run_sharded(
+        &self,
+        threads: Threads,
+        mut telemetry: Option<&mut TelemetrySnapshot>,
+    ) -> FleetResult {
+        let dpr = self.cfg.domains_per_rack;
+        let active = self.active_domains();
+        let mut governors: Vec<OffsetGovernor> =
+            (0..self.cfg.racks).map(|r| self.governor(r)).collect();
+        let mut reports: Vec<RackReport> = (0..self.cfg.racks)
+            .map(|r| {
+                let lo = r * dpr;
+                let act = (lo + dpr).min(active).saturating_sub(lo);
+                RackReport::new(r, self.fan_rpm(r), self.age_years(r), act)
+            })
+            .collect();
+
+        for epoch in 0..self.cfg.epochs {
+            let levels: Vec<Option<UndervoltLevel>> = governors.iter().map(|g| g.level()).collect();
+            let outs: Vec<EpochOut> = match telemetry.as_deref_mut() {
+                Some(merged) => {
+                    let (outs, snap) =
+                        suit_exec::run_telemetry(active, threads, TELEMETRY_CAPACITY, |d, tele| {
+                            self.run_domain_epoch(d, epoch, levels[d / dpr], tele)
+                        });
+                    merged.merge_shard(&snap);
+                    outs
+                }
+                None => suit_exec::run(active, threads, |d| {
+                    self.run_domain_epoch(d, epoch, levels[d / dpr], &Telemetry::off())
+                }),
+            };
+            for r in 0..self.cfg.racks {
+                let lo = (r * dpr).min(active);
+                let hi = ((r + 1) * dpr).min(active);
+                self.rack_sync(&outs[lo..hi], &mut governors[r], &mut reports[r]);
+            }
+        }
+
+        FleetResult {
+            racks: reports,
+            domains: self.domains(),
+            active_domains: active,
+            cores: active * self.cfg.cores_per_domain,
+            epochs: self.cfg.epochs,
+        }
+    }
+
+    /// Runs the fleet through the [`Component`]/[`EventHeap`] scheduler
+    /// of [`crate::event`]: every DVFS domain and every rack thermal
+    /// loop is a component on one global clock. Serial by construction
+    /// (components share the fleet state), bit-for-bit identical to
+    /// [`FleetSim::run`] — the scheduler property suite pins it.
+    pub fn run_event_driven(&self) -> FleetResult {
+        let dpr = self.cfg.domains_per_rack;
+        let active = self.active_domains();
+        let racks = self.cfg.racks;
+
+        let mut ctx = FleetCtx {
+            sim: self,
+            levels: (0..racks).map(|r| self.governor(r).level()).collect(),
+            governors: (0..racks).map(|r| self.governor(r)).collect(),
+            mailbox: vec![Vec::new(); racks],
+            reports: (0..racks)
+                .map(|r| {
+                    let lo = r * dpr;
+                    let act = (lo + dpr).min(active).saturating_sub(lo);
+                    RackReport::new(r, self.fan_rpm(r), self.age_years(r), act)
+                })
+                .collect(),
+        };
+
+        // Component ids: rack thermal loops first (ids 0..racks), then
+        // domains (ids racks..racks+active). At an epoch boundary every
+        // rack's sync point therefore settles — governor stepped, level
+        // re-decided — before any domain starts the next epoch: the
+        // heap's id tie-break *is* the sync-point barrier.
+        let mut comps: Vec<FleetComponent> = (0..racks)
+            .map(|rack| FleetComponent::Thermal { rack, epoch: 0 })
+            .chain((0..active).map(|domain| FleetComponent::Domain { domain, epoch: 0 }))
+            .collect();
+        let mut heap = EventHeap::with_capacity(comps.len());
+        for (id, c) in comps.iter().enumerate() {
+            if let Some(t) = c.next_tick(&ctx) {
+                heap.push(t, id as u32);
+            }
+        }
+        while let Some((tick, id)) = heap.pop() {
+            let c = &mut comps[id as usize];
+            c.on_tick(tick, &mut ctx);
+            if let Some(t) = c.next_tick(&ctx) {
+                heap.push(t, id);
+            }
+        }
+
+        FleetResult {
+            racks: ctx.reports,
+            domains: self.domains(),
+            active_domains: active,
+            cores: active * self.cfg.cores_per_domain,
+            epochs: self.cfg.epochs,
+        }
+    }
+}
+
+/// Shared fleet state the components interact through.
+struct FleetCtx<'a> {
+    sim: &'a FleetSim,
+    /// Per-rack allowed level, re-decided at each rack's sync point.
+    levels: Vec<Option<UndervoltLevel>>,
+    governors: Vec<OffsetGovernor>,
+    /// Per-rack slice results of the epoch in flight, appended in
+    /// domain-index order (domains dispatch in id order).
+    mailbox: Vec<Vec<EpochOut>>,
+    reports: Vec<RackReport>,
+}
+
+/// The fleet-level components: a DVFS domain running its epoch slices,
+/// and a rack's thermal sync point.
+enum FleetComponent {
+    /// Rack `rack`'s thermal loop; ticks at the *end* of each epoch.
+    Thermal { rack: usize, epoch: usize },
+    /// Domain `domain`; ticks at the *start* of each epoch.
+    Domain { domain: usize, epoch: usize },
+}
+
+impl<'a> Component<FleetCtx<'a>> for FleetComponent {
+    fn next_tick(&self, ctx: &FleetCtx<'a>) -> Option<SimTime> {
+        let epochs = ctx.sim.cfg.epochs;
+        match *self {
+            // The sync point for epoch k settles at the start of k+1.
+            FleetComponent::Thermal { epoch, .. } => {
+                (epoch < epochs).then(|| ctx.sim.epoch_tick(epoch + 1))
+            }
+            FleetComponent::Domain { epoch, .. } => {
+                (epoch < epochs).then(|| ctx.sim.epoch_tick(epoch))
+            }
+        }
+    }
+
+    fn on_tick(&mut self, _now: SimTime, ctx: &mut FleetCtx<'a>) {
+        match self {
+            FleetComponent::Thermal { rack, epoch } => {
+                let r = *rack;
+                let outs = std::mem::take(&mut ctx.mailbox[r]);
+                let sim = ctx.sim;
+                sim.rack_sync(&outs, &mut ctx.governors[r], &mut ctx.reports[r]);
+                ctx.levels[r] = ctx.governors[r].level();
+                *epoch += 1;
+            }
+            FleetComponent::Domain { domain, epoch } => {
+                let d = *domain;
+                let rack = d / ctx.sim.cfg.domains_per_rack;
+                let out = ctx
+                    .sim
+                    .run_domain_epoch(d, *epoch, ctx.levels[rack], &Telemetry::off());
+                ctx.mailbox[rack].push(out);
+                *epoch += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FleetConfig {
+        FleetConfig {
+            racks: 2,
+            domains_per_rack: 2,
+            cores_per_domain: 2,
+            epochs: 2,
+            epoch_insts: 5_000_000,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn sharded_run_is_thread_invariant() {
+        let sim = FleetSim::new(tiny()).unwrap();
+        let a = sim.run(Threads::Fixed(1));
+        let b = sim.run(Threads::Fixed(4));
+        assert_eq!(a, b);
+        assert!(a.events() > 0);
+        assert!(a.duration_s() > 0.0);
+    }
+
+    #[test]
+    fn event_driven_matches_sharded() {
+        let sim = FleetSim::new(tiny()).unwrap();
+        assert_eq!(sim.run(Threads::Fixed(2)), sim.run_event_driven());
+    }
+
+    #[test]
+    fn telemetry_is_observational_and_thread_invariant() {
+        let sim = FleetSim::new(tiny()).unwrap();
+        let plain = sim.run(Threads::Fixed(1));
+        let (r1, t1) = sim.run_with_telemetry(Threads::Fixed(1));
+        let (r4, t4) = sim.run_with_telemetry(Threads::Fixed(4));
+        assert_eq!(plain, r1);
+        assert_eq!(r1, r4);
+        assert_eq!(t1.to_perfetto_json(), t4.to_perfetto_json());
+        assert!(t1.counter(suit_telemetry::Counter::CoreSteps) > 0);
+    }
+
+    #[test]
+    fn consolidation_parks_domains_and_keeps_determinism() {
+        let mut cfg = tiny();
+        cfg.utilization = 0.5;
+        let sim = FleetSim::new(cfg).unwrap();
+        let r = sim.run(Threads::Fixed(2));
+        assert_eq!(r.active_domains, 2);
+        assert_eq!(r.domains, 4);
+        // Rack 1's domains (indices 2, 3) are parked.
+        assert_eq!(r.racks[0].slices, 4);
+        assert_eq!(r.racks[1].slices, 0);
+        assert_eq!(r.racks[1].events, 0);
+        assert_eq!(sim.run_event_driven(), r);
+
+        // Regression: utilization low enough that a whole rack sits past
+        // the active range used to panic on an out-of-range slice start.
+        let mut cfg = tiny();
+        cfg.utilization = 0.25;
+        let sim = FleetSim::new(cfg).unwrap();
+        let r = sim.run(Threads::Fixed(2));
+        assert_eq!(r.active_domains, 1);
+        assert_eq!(r.racks[1].slices, 0);
+        assert_eq!(sim.run_event_driven(), r);
+    }
+
+    #[test]
+    fn aged_rack_caps_undervolt_level() {
+        // A 9.5-year-old rack has no borrowable aging guardband left:
+        // its governor caps the requested -97 mV to -70 mV from the
+        // first epoch, while the fresh rack runs the full depth.
+        let mut cfg = tiny();
+        cfg.rack_fan_rpm = vec![1800.0, 1800.0];
+        cfg.rack_age_years = vec![0.0, 9.5];
+        let sim = FleetSim::new(cfg).unwrap();
+        let r = sim.run(Threads::Fixed(2));
+        assert_eq!(r.racks[0].deep_slices, r.racks[0].slices);
+        assert_eq!(r.racks[1].deep_slices, 0);
+        assert_eq!(r.racks[1].enabled_slices, r.racks[1].slices);
+        // The shallower offset saves less power.
+        assert!(r.racks[0].power() < r.racks[1].power());
+    }
+
+    #[test]
+    fn hot_rack_falls_back_to_shallower_level() {
+        // A starved rack (300 RPM) heats past the Table 3 crossover
+        // where -97 mV stops being safe (~42 degC) while the well-cooled
+        // rack is still far from its (higher) steady state.
+        let mut cfg = tiny();
+        cfg.domains_per_rack = 1;
+        cfg.cores_per_domain = 1;
+        cfg.workloads = vec!["557.xz".into()];
+        cfg.epochs = 72;
+        cfg.epoch_insts = 2_000_000_000;
+        cfg.rack_fan_rpm = vec![1800.0, 300.0];
+        let sim = FleetSim::new(cfg).unwrap();
+        let r = sim.run(Threads::Fixed(4));
+        assert!(r.racks[1].final_temp_c > r.racks[0].final_temp_c);
+        assert!(
+            r.racks[1].deep_slices < r.racks[1].slices,
+            "hot rack never left -97 mV: {:.1} degC after {} slices",
+            r.racks[1].final_temp_c,
+            r.racks[1].slices
+        );
+        assert!(r.racks[1].deep_slices < r.racks[0].deep_slices);
+    }
+
+    #[test]
+    fn config_validation_rejects_hostile_counts() {
+        for (mutate, msg) in [
+            (
+                Box::new(|c: &mut FleetConfig| c.racks = usize::MAX) as Box<dyn Fn(&mut _)>,
+                "racks",
+            ),
+            (Box::new(|c: &mut FleetConfig| c.epochs = 0), "epochs"),
+            (
+                Box::new(|c: &mut FleetConfig| {
+                    c.racks = 4096;
+                    c.domains_per_rack = usize::MAX / 4096 + 1;
+                }),
+                "domains",
+            ),
+            (
+                Box::new(|c: &mut FleetConfig| c.utilization = f64::NAN),
+                "utilization",
+            ),
+            (
+                Box::new(|c: &mut FleetConfig| c.workloads = vec!["no-such".into()]),
+                "workload",
+            ),
+        ] {
+            let mut cfg = tiny();
+            mutate(&mut cfg);
+            let err = FleetSim::new(cfg).expect_err(msg);
+            assert!(err.contains(msg), "{msg}: {err}");
+        }
+    }
+
+    #[test]
+    fn json_round_trips_and_rejects_unknown_keys() {
+        let cfg = FleetConfig::from_json(
+            r#"{"racks": 2, "domains_per_rack": 3, "cores_per_domain": 1,
+                "epochs": 2, "epoch_insts": 1000000, "seed": 9,
+                "utilization": 0.5, "workloads": ["557.xz", "Nginx"],
+                "rack_fan_rpm": [1800, 900], "offset": 70, "strategy": "f",
+                "cpu": "b"}"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.racks, 2);
+        assert_eq!(cfg.level, UndervoltLevel::Mv70);
+        assert_eq!(cfg.strategy, OperatingStrategy::Frequency);
+        assert_eq!(cfg.workloads, vec!["557.xz", "Nginx"]);
+
+        assert!(FleetConfig::from_json(r#"{"rakcs": 2}"#)
+            .unwrap_err()
+            .contains("unknown key"));
+        assert!(FleetConfig::from_json(r#"{"racks": 1e300}"#).is_err());
+        assert!(FleetConfig::from_json("[1,2]").is_err());
+        assert!(FleetConfig::from_json("{\"racks\":").is_err());
+    }
+}

@@ -35,7 +35,11 @@
 
 pub mod analytic;
 pub mod engine;
+pub mod event;
 pub mod experiment;
+pub mod fleet;
+#[doc(hidden)]
+pub mod legacy;
 pub mod montecarlo;
 pub mod result;
 pub mod thermal_loop;

@@ -28,13 +28,17 @@ use suit::trace::io::{read_trace, write_trace, TraceMeta};
 use suit::trace::{profile, TraceGen};
 
 const USAGE: &str =
-    "usage: suit-cli <list|simulate|profile|validate-trace|mix|trace|analyze|security|serve|client> [options]\n\
+    "usage: suit-cli <list|simulate|profile|validate-trace|mix|fleet|trace|analyze|security|serve|client> [options]\n\
 \x20 simulate --workload <name[,name...]|all> [--cpu a|b|c] [--strategy fv|f|v|e|adaptive]\n\
 \x20          [--offset 70|97] [--cores N] [--insts N] [--seed N] [--threads N]\n\
 \x20 profile <workload> [--trace-out <file>] [--cpu a|b|c] [--strategy fv|f|v|adaptive]\n\
 \x20          [--offset 70|97] [--cores N] [--insts N] [--seed N] [--events N] [--threads N]\n\
 \x20 validate-trace <file|->          (- reads the trace from stdin)\n\
 \x20 mix <office|webserver|hpc|media|all> [--cpu a|b|c] [--insts N] [--threads N]\n\
+\x20 fleet [--config <file.json>] [--racks N] [--domains N | --cores N] [--cores-per-domain N]\n\
+\x20       [--workload name[,name...]] [--epochs N] [--insts N] [--utilization F]\n\
+\x20       [--cpu a|b|c] [--strategy fv|f|v] [--offset 70|97] [--seed N] [--threads N]\n\
+\x20       [--event-driven]   (serial component-scheduler driver; same bytes)\n\
 \x20 trace record --workload <name> --out <file> [--bursts N] [--seed N]\n\
 \x20       [--format v1|v2] [--chunk-bursts N]   (v2 streams into a SUITTRC2 container)\n\
 \x20 trace pack <in.suittrc> <out.suittrc2> [--chunk-bursts N]\n\
@@ -73,6 +77,7 @@ fn main() -> ExitCode {
         Some("security") => cmd_security(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("mix") => cmd_mix(&args[1..]),
+        Some("fleet") => cmd_fleet(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
         Some(other) => Err(format!("unknown subcommand '{other}'")),
@@ -525,6 +530,116 @@ fn cmd_trace(args: &[String]) -> CliResult {
         }
         _ => Err("usage: trace <record|pack|unpack|info|seek> ...".into()),
     }
+}
+
+/// `fleet`: rack-scale scenario over the event engine — racks of DVFS
+/// domains with per-rack cooling/age governors, sharded between thermal
+/// sync points. Output is byte-identical at every `--threads`, and the
+/// `--event-driven` driver reproduces it exactly.
+fn cmd_fleet(args: &[String]) -> CliResult {
+    use suit::sim::fleet::{FleetConfig, FleetSim};
+    check_args(
+        args,
+        &[
+            "--config",
+            "--racks",
+            "--domains",
+            "--cores-per-domain",
+            "--cores",
+            "--workload",
+            "--epochs",
+            "--insts",
+            "--utilization",
+            "--offset",
+            "--strategy",
+            "--cpu",
+            "--seed",
+            "--threads",
+        ],
+        &["--event-driven"],
+        0,
+    )?;
+    let mut cfg = match opt(args, "--config") {
+        Some(path) => {
+            let src = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            FleetConfig::from_json(&src).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => FleetConfig::default(),
+    };
+    if let Some(v) = opt(args, "--racks") {
+        cfg.racks = v.parse().map_err(|e| format!("--racks: {e}"))?;
+    }
+    if let Some(v) = opt(args, "--domains") {
+        cfg.domains_per_rack = v.parse().map_err(|e| format!("--domains: {e}"))?;
+    }
+    if let Some(v) = opt(args, "--cores-per-domain") {
+        cfg.cores_per_domain = v.parse().map_err(|e| format!("--cores-per-domain: {e}"))?;
+    }
+    if let Some(v) = opt(args, "--epochs") {
+        cfg.epochs = v.parse().map_err(|e| format!("--epochs: {e}"))?;
+    }
+    if let Some(v) = opt(args, "--insts") {
+        cfg.epoch_insts = v.parse().map_err(|e| format!("--insts: {e}"))?;
+    }
+    if let Some(v) = opt(args, "--seed") {
+        cfg.seed = v.parse().map_err(|e| format!("--seed: {e}"))?;
+    }
+    if let Some(v) = opt(args, "--utilization") {
+        cfg.utilization = v.parse().map_err(|e| format!("--utilization: {e}"))?;
+    }
+    if let Some(v) = opt(args, "--workload") {
+        cfg.workloads = v.split(',').map(str::to_string).collect();
+    }
+    if let Some(v) = opt(args, "--cpu") {
+        let mut chars = v.chars();
+        cfg.cpu = match (chars.next(), chars.next()) {
+            (Some(c), None) => c,
+            _ => return Err(format!("--cpu must be one letter, got '{v}'")),
+        };
+    }
+    if let Some(v) = opt(args, "--strategy") {
+        cfg.strategy = match v.as_str() {
+            "fv" => suit::core::OperatingStrategy::FreqVolt,
+            "f" => suit::core::OperatingStrategy::Frequency,
+            "v" => suit::core::OperatingStrategy::Voltage,
+            other => return Err(format!("--strategy must be fv|f|v, got '{other}'")),
+        };
+    }
+    if let Some(v) = opt(args, "--offset") {
+        cfg.level = match v.as_str() {
+            "70" => suit::hw::UndervoltLevel::Mv70,
+            "97" => suit::hw::UndervoltLevel::Mv97,
+            other => return Err(format!("--offset must be 70 or 97, got '{other}'")),
+        };
+    }
+    // `--cores N` sizes the fleet by total core count: with racks and
+    // cores-per-domain fixed, N must split evenly into domains.
+    if let Some(v) = opt(args, "--cores") {
+        if opt(args, "--domains").is_some() {
+            return Err("--cores and --domains are mutually exclusive".to_string());
+        }
+        let total: usize = v.parse().map_err(|e| format!("--cores: {e}"))?;
+        let per = cfg
+            .racks
+            .checked_mul(cfg.cores_per_domain)
+            .filter(|&p| p > 0)
+            .ok_or_else(|| "--cores: racks x cores-per-domain overflows".to_string())?;
+        if total == 0 || total % per != 0 {
+            return Err(format!(
+                "--cores {total} must be a positive multiple of racks x cores-per-domain ({per})"
+            ));
+        }
+        cfg.domains_per_rack = total / per;
+    }
+    let threads = parse_threads(args)?;
+    let sim = FleetSim::new(cfg)?;
+    let result = if args.iter().any(|a| a == "--event-driven") {
+        sim.run_event_driven()
+    } else {
+        sim.run(threads)
+    };
+    print!("{}", result.render());
+    Ok(())
 }
 
 fn cmd_mix(args: &[String]) -> CliResult {

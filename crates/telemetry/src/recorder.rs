@@ -137,6 +137,14 @@ id_enum! {
         /// `suit-serve`: uploads refused with `413` because the bounded
         /// trace store is full (entries or bytes).
         ServeTraceStoreFull => "serve_trace_store_full",
+        /// Engine: event-loop quanta that advanced time (a non-zero `dt`
+        /// between consecutive scheduler events).
+        EngineQuanta => "engine_quanta",
+        /// Engine: per-core advance steps across all quanta. Finished
+        /// (idle-parked) cores are skipped by the scheduler, so an idle
+        /// window contributes zero steps — `core_steps` counts only
+        /// cores that actually executed during a quantum.
+        CoreSteps => "core_steps",
     }
 }
 

@@ -1,0 +1,178 @@
+//! Differential equivalence suite: event-heap engine vs. the legacy
+//! scan loop.
+//!
+//! The engine rewrite (`suit::sim::event`) replaced the per-iteration
+//! linear scan over cores/timer/pending with a deterministic binary
+//! min-heap, keeping the boot, per-quantum advancement, dispatch, and
+//! collection code shared verbatim (`suit::sim::engine`). The old loop
+//! stays in-tree as `suit::sim::legacy` purely as the reference: this
+//! suite pins the two **byte-identical** — same `Debug` rendering, so
+//! every `f64` bit pattern agrees, not just approximate equality —
+//! across:
+//!
+//! * every built-in workload profile × all three curve-switching
+//!   strategies (`fv`, `f`, `V`), at 1 and 4 executor threads;
+//! * multi-core consolidation mixes on the shared-domain CPU
+//!   (`simulate_mixed`);
+//! * streamed traces through `run_stream`;
+//! * a ≥1024-core fleet scenario, sharded at 1 and 4 threads and via
+//!   the serial component-scheduler driver.
+//!
+//! The suite also pins the idle-park bugfix: the legacy loop advanced
+//! *every* core of a shared DVFS domain each quantum, finished or not;
+//! the event engine drops finished cores from its live set, so an idle
+//! window contributes zero per-core step events to telemetry.
+
+use suit::exec::Threads;
+use suit::hw::{CpuModel, UndervoltLevel};
+use suit::sim::engine::{run_stream, simulate, simulate_mixed, SimConfig};
+use suit::sim::fleet::{FleetConfig, FleetSim};
+use suit::sim::legacy;
+use suit::telemetry::{Counter, Telemetry};
+use suit::trace::{profile, TraceGen};
+
+const INSTS: u64 = 20_000_000;
+
+fn strategies(level: UndervoltLevel) -> Vec<(&'static str, SimConfig)> {
+    let fv = SimConfig::fv_intel(level);
+    let f = SimConfig {
+        strategy: suit::core::OperatingStrategy::Frequency,
+        ..SimConfig::fv_intel(level)
+    };
+    let v = SimConfig {
+        strategy: suit::core::OperatingStrategy::Voltage,
+        ..SimConfig::fv_intel(level)
+    };
+    vec![("fv", fv), ("f", f), ("V", v)]
+}
+
+/// Every (workload × strategy) cell, one engine run and one legacy run,
+/// compared byte-for-byte — fanned out at both 1 and 4 threads, which
+/// must also agree with each other.
+#[test]
+fn all_workloads_all_strategies_match_legacy() {
+    let cpu = CpuModel::xeon_4208();
+    let cells: Vec<(&'static str, SimConfig)> = profile::all()
+        .iter()
+        .flat_map(|p| {
+            strategies(UndervoltLevel::Mv97)
+                .into_iter()
+                .map(move |(_, cfg)| (p.name, cfg.with_max_insts(INSTS)))
+        })
+        .collect();
+    assert!(cells.len() >= 75, "expected 25 workloads x 3 strategies");
+
+    let run_all = |threads: Threads| -> Vec<String> {
+        suit::exec::run(cells.len(), threads, |i| {
+            let (name, cfg) = &cells[i];
+            let p = profile::by_name(name).expect("known profile");
+            let new = simulate(&cpu, p, cfg);
+            let old = legacy::simulate(&cpu, p, cfg);
+            assert_eq!(new, old, "{name} {:?} diverged from legacy", cfg.strategy);
+            format!("{new:?}")
+        })
+    };
+
+    let t1 = run_all(Threads::Fixed(1));
+    let t4 = run_all(Threads::Fixed(4));
+    assert_eq!(t1, t4, "results depend on thread count");
+}
+
+/// Consolidation mixes exercise the multi-core shared-domain path
+/// (heterogeneous cores, one curve) where event-selection order
+/// matters most.
+#[test]
+fn consolidation_mixes_match_legacy() {
+    let cpu = CpuModel::i9_9900k();
+    let cfg = SimConfig::fv_intel(UndervoltLevel::Mv97).with_max_insts(INSTS);
+    for name in profile::MIX_NAMES {
+        let workloads = profile::mix(name).expect("known mix");
+        let new = simulate_mixed(&cpu, &workloads, &cfg);
+        let old = legacy::simulate_mixed(&cpu, &workloads, &cfg);
+        assert_eq!(
+            format!("{new:?}"),
+            format!("{old:?}"),
+            "mix '{name}' diverged from legacy"
+        );
+    }
+}
+
+/// Streamed input (`run_stream`) drives the engine through the
+/// iterator-backed core instead of the lazy generator.
+#[test]
+fn streamed_traces_match_legacy() {
+    let cpu = CpuModel::xeon_4208();
+    let p = profile::by_name("502.gcc").expect("502.gcc");
+    let meta = suit::trace::io::TraceMeta {
+        name: p.name.into(),
+        ipc: p.ipc,
+        total_insts: p.total_insts,
+    };
+    for (label, cfg) in strategies(UndervoltLevel::Mv97) {
+        let cfg = cfg.with_max_insts(INSTS);
+        let bursts: Vec<suit::trace::Burst> = TraceGen::new(p, 0x5EED).collect();
+        let new = run_stream(&cpu, &meta, bursts.iter().copied(), &cfg);
+        let old = legacy::run_stream(&cpu, &meta, bursts.iter().copied(), &cfg);
+        assert_eq!(
+            format!("{new:?}"),
+            format!("{old:?}"),
+            "streamed {label} diverged from legacy"
+        );
+    }
+}
+
+/// A ≥1024-core fleet: byte-identical across thread counts, and the
+/// component-scheduler driver reproduces the sharded result exactly.
+#[test]
+fn kilo_core_fleet_is_engine_invariant() {
+    let cfg = FleetConfig {
+        racks: 16,
+        domains_per_rack: 16,
+        cores_per_domain: 4, // 16 x 16 x 4 = 1024 cores
+        epochs: 2,
+        epoch_insts: 1_000_000,
+        workloads: vec!["502.gcc".into(), "557.xz".into()],
+        ..FleetConfig::default()
+    };
+    let sim = FleetSim::new(cfg).expect("valid fleet");
+    assert_eq!(sim.active_domains() * sim.config().cores_per_domain, 1024);
+    let t1 = sim.run(Threads::Fixed(1));
+    let t4 = sim.run(Threads::Fixed(4));
+    assert_eq!(format!("{t1:?}"), format!("{t4:?}"), "thread-dependent");
+    let ev = sim.run_event_driven();
+    assert_eq!(format!("{t1:?}"), format!("{ev:?}"), "driver-dependent");
+    assert!(t1.events() > 0, "fleet simulated nothing");
+}
+
+/// Idle-park regression: cores that finish early leave the scheduler's
+/// live set, so idle windows contribute zero per-core step events. A
+/// 4-core mix with very different workload lengths makes the cores
+/// finish far apart; if parked cores were still being stepped, the
+/// per-core step count would equal `cores x quanta`.
+#[test]
+fn idle_parked_cores_contribute_zero_steps() {
+    let cpu = CpuModel::i9_9900k();
+    let tele = Telemetry::with_capacity(64);
+    let cfg = SimConfig {
+        cores: 4,
+        ..SimConfig::fv_intel(UndervoltLevel::Mv97).with_max_insts(8_000_000)
+    };
+    // Heterogeneous IPCs make the cores finish far apart (the 0.5-IPC
+    // mcf core runs ~4x longer than the 1.8-IPC perlbench core).
+    let profiles: Vec<&suit::trace::profile::WorkloadProfile> =
+        ["505.mcf", "502.gcc", "557.xz", "500.perlbench"]
+            .iter()
+            .map(|n| profile::by_name(n).expect("known profile"))
+            .collect();
+    let _ = suit::sim::engine::simulate_mixed_telemetry(&cpu, &profiles, &cfg, &tele);
+    let snap = tele.snapshot();
+    let quanta = snap.counter(Counter::EngineQuanta);
+    let steps = snap.counter(Counter::CoreSteps);
+    assert!(quanta > 0, "no quanta recorded");
+    assert!(
+        steps < 4 * quanta,
+        "every quantum stepped all 4 cores ({steps} steps over {quanta} quanta): \
+         idle-parked cores are being advanced"
+    );
+    assert!(steps >= quanta, "fewer steps than quanta is impossible");
+}
