@@ -1,0 +1,19 @@
+//! Hot-path throughput of the core simulation engine.
+//!
+//! Three measurements on the median-of-K harness:
+//!
+//! * `monte_carlo` — a single-thread Monte-Carlo campaign (sampled
+//!   per-run delays and trace seeds), the metric the data-layout
+//!   refactor targets;
+//! * `quantum_loop` — one deterministic engine run, normalised to
+//!   nanoseconds per faultable-instruction event;
+//! * `aes` — bit-sliced AES block throughput through the widest lane
+//!   batch.
+//!
+//! `--json <path>` writes the committed `BENCH_engine.json` baseline
+//! (carrying any previously committed `baseline` section forward, so
+//! the document always shows before/after); `--test` shrinks the
+//! scenario and asserts determinism plus sanity bounds for CI.
+fn main() {
+    suit_bench::perf::engine_hotpath(&suit_bench::perf::PerfOpts::from_args());
+}

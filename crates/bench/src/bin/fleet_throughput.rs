@@ -1,105 +1,12 @@
 //! Throughput of the discrete-event fleet engine.
 //!
 //! One fixed rack-scale scenario (16 racks × 4 domains × 4 cores,
-//! 256 cores total) measured three ways:
-//!
-//! * `serial`  — the sharded driver pinned to one worker;
-//! * `sharded` — the same driver at `Threads::Auto` (the production
-//!   configuration: domains fan out between thermal sync points);
-//! * `event`   — the serial component-scheduler driver
-//!   ([`FleetSim::run_event_driven`]), the reference the equivalence
-//!   suite pins the sharded driver against.
-//!
-//! The figure of merit is core·epoch slices per second. `--json <path>`
+//! 256 cores total) measured three ways (serial, sharded, event-driven);
+//! the figure of merit is core·epoch slices per second. `--json <path>`
 //! writes the committed `BENCH_fleet.json` baseline; `--test` shrinks
-//! the fleet and asserts sanity bounds (and cross-driver equality)
-//! for CI.
-use suit_bench::harness::{bench_with_throughput, Measurement};
-use suit_exec::Threads;
-use suit_sim::fleet::{FleetConfig, FleetSim};
-
-fn scenario(test_mode: bool) -> FleetConfig {
-    FleetConfig {
-        racks: if test_mode { 4 } else { 16 },
-        domains_per_rack: 4,
-        cores_per_domain: 4,
-        epochs: if test_mode { 2 } else { 4 },
-        epoch_insts: if test_mode { 2_000_000 } else { 10_000_000 },
-        ..FleetConfig::default()
-    }
-}
-
+//! the fleet and asserts sanity bounds (and cross-driver equality) for
+//! CI. The measurement body lives in [`suit_bench::perf`] so the
+//! `render_all` driver runs the identical code.
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let test_mode = args.iter().any(|a| a == "--test");
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
-
-    let cfg = scenario(test_mode);
-    let sim = FleetSim::new(cfg.clone()).expect("bench scenario is valid");
-    let slices = (sim.active_domains() * cfg.cores_per_domain * cfg.epochs) as u64;
-    println!(
-        "fleet_throughput: {} racks x {} domains x {} cores, {} epochs ({} core-epoch slices)\n",
-        cfg.racks, cfg.domains_per_rack, cfg.cores_per_domain, cfg.epochs, slices
-    );
-
-    let serial = bench_with_throughput("serial (1 thread)", Some(slices), || {
-        sim.run(Threads::Fixed(1))
-    });
-    let sharded = bench_with_throughput("sharded (auto threads)", Some(slices), || {
-        sim.run(Threads::Auto)
-    });
-    let event = bench_with_throughput("event-driven (reference)", Some(slices), || {
-        sim.run_event_driven()
-    });
-
-    let rate = |m: &Measurement| slices as f64 / m.median.as_secs_f64().max(1e-12);
-    let serial_sps = rate(&serial);
-    let sharded_sps = rate(&sharded);
-    let event_sps = rate(&event);
-    println!(
-        "\nserial {serial_sps:.0} slices/s, sharded {sharded_sps:.0} slices/s \
-         ({:.2}x), event-driven {event_sps:.0} slices/s",
-        sharded_sps / serial_sps.max(1e-12)
-    );
-
-    if let Some(path) = json_path {
-        let doc = format!(
-            "{{\n  \"bench\": \"fleet_throughput\",\n  \"racks\": {},\n  \
-             \"domains_per_rack\": {},\n  \"cores_per_domain\": {},\n  \
-             \"epochs\": {},\n  \"epoch_insts\": {},\n  \"slices\": {slices},\n  \
-             \"serial\": {{\"median_ms\": {:.3}, \"slices_per_s\": {:.0}}},\n  \
-             \"sharded\": {{\"median_ms\": {:.3}, \"slices_per_s\": {:.0}}},\n  \
-             \"event_driven\": {{\"median_ms\": {:.3}, \"slices_per_s\": {:.0}}}\n}}\n",
-            cfg.racks,
-            cfg.domains_per_rack,
-            cfg.cores_per_domain,
-            cfg.epochs,
-            cfg.epoch_insts,
-            serial.median.as_secs_f64() * 1e3,
-            serial_sps,
-            sharded.median.as_secs_f64() * 1e3,
-            sharded_sps,
-            event.median.as_secs_f64() * 1e3,
-            event_sps,
-        );
-        std::fs::write(&path, doc).expect("write bench JSON");
-        println!("wrote {path}");
-    }
-
-    if test_mode {
-        // Sanity floors, not perf gates — plus the determinism contract:
-        // all three drivers must agree bit for bit.
-        let a = sim.run(Threads::Fixed(1));
-        let b = sim.run(Threads::Auto);
-        let c = sim.run_event_driven();
-        assert!(a == b && b == c, "fleet drivers disagree");
-        assert!(
-            serial_sps > 10.0,
-            "serial below 10 slices/s: {serial_sps:.1}"
-        );
-        println!("OK: fleet drivers agree and throughput is sane");
-    }
+    suit_bench::perf::fleet_throughput(&suit_bench::perf::PerfOpts::from_args());
 }

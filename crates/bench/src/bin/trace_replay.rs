@@ -1,123 +1,10 @@
 //! Throughput of the out-of-core trace pipeline: `SUITTRC2` pack,
-//! decode, and streaming simulation replay.
-//!
-//! Three measurements over one multi-chunk 502.gcc container:
-//!
-//! * `pack`   — bursts → compressed container (MB/s of raw burst bytes);
-//! * `decode` — container → bursts, full streaming drain through the
-//!   bounded window (MB/s of container bytes);
-//! * `replay` — container → simulation via `run_stream` (bursts/s
-//!   simulated end to end, decompression included).
-//!
-//! `--json <path>` additionally writes the numbers as a small JSON
-//! document (the committed `BENCH_trace_replay.json` baseline); `--test`
-//! shrinks the trace and asserts sanity bounds for CI.
-use suit_bench::harness::{bench_with_throughput, Measurement};
-use suit_hw::{CpuModel, UndervoltLevel};
-use suit_sim::engine::{run_stream, SimConfig};
-use suit_store as store;
-use suit_trace::io::TraceMeta;
-use suit_trace::{profile, TraceGen};
-
-/// Chunk size for the benchmark container: small enough that the test
-/// trace spans many chunks, large enough to amortize per-chunk costs.
-const CHUNK_BURSTS: usize = 1024;
-
+//! decode, and streaming simulation replay over one multi-chunk
+//! 502.gcc container. `--json <path>` writes the committed
+//! `BENCH_trace_replay.json` baseline; `--test` shrinks the trace and
+//! asserts sanity bounds for CI. The measurement body lives in
+//! [`suit_bench::perf`] so the `render_all` driver runs the identical
+//! code.
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let test_mode = args.iter().any(|a| a == "--test");
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
-
-    let n_bursts: usize = if test_mode { 20_000 } else { 200_000 };
-    let p = profile::by_name("502.gcc").expect("502.gcc profile");
-    let meta = TraceMeta {
-        name: p.name.into(),
-        ipc: p.ipc,
-        total_insts: p.total_insts,
-    };
-    // One TraceGen pass is finite (~2.3k bursts for 502.gcc), so chain
-    // reseeded generators until the target length.
-    let bursts: Vec<suit_trace::Burst> = (0u64..)
-        .flat_map(|s| TraceGen::new(p, 0xBE7C + s))
-        .take(n_bursts)
-        .collect();
-
-    let packed =
-        store::pack_to_vec(&meta, bursts.iter().copied(), CHUNK_BURSTS).expect("pack bench trace");
-    let info = store::open_bytes(&packed).expect("open").info();
-    println!(
-        "trace_replay: {} bursts, {} chunks, {} raw -> {} container bytes ({:.2}x)\n",
-        info.bursts,
-        info.chunks,
-        info.raw_bytes,
-        info.packed_bytes,
-        info.raw_bytes as f64 / info.packed_bytes.max(1) as f64
-    );
-
-    let pack = bench_with_throughput("pack (raw bytes)", Some(info.raw_bytes), || {
-        store::pack_to_vec(&meta, bursts.iter().copied(), CHUNK_BURSTS).expect("pack")
-    });
-
-    let decode = bench_with_throughput("decode (container bytes)", Some(info.packed_bytes), || {
-        let mut reader = store::open_bytes(&packed).expect("open");
-        let mut n = 0u64;
-        while reader.next_burst().expect("decode").is_some() {
-            n += 1;
-        }
-        n
-    });
-
-    let cpu = CpuModel::xeon_4208();
-    let cfg = SimConfig::fv_intel(UndervoltLevel::Mv97);
-    let replay = bench_with_throughput("replay (bursts)", Some(info.bursts), || {
-        let reader = store::open_bytes(&packed).expect("open");
-        let meta = reader.meta().clone();
-        run_stream(&cpu, &meta, reader.bursts(), &cfg)
-    });
-
-    let mb = |bytes: u64, m: &Measurement| bytes as f64 / 1e6 / m.median.as_secs_f64().max(1e-12);
-    let pack_mbs = mb(info.raw_bytes, &pack);
-    let decode_mbs = mb(info.packed_bytes, &decode);
-    let replay_bps = info.bursts as f64 / replay.median.as_secs_f64().max(1e-12);
-    println!(
-        "\npack {pack_mbs:.1} MB/s raw, decode {decode_mbs:.1} MB/s container, \
-         replay {replay_bps:.3e} bursts/s"
-    );
-
-    if let Some(path) = json_path {
-        let doc = format!(
-            "{{\n  \"bench\": \"trace_replay\",\n  \"workload\": \"502.gcc\",\n  \
-             \"bursts\": {},\n  \"chunks\": {},\n  \"chunk_bursts\": {CHUNK_BURSTS},\n  \
-             \"raw_bytes\": {},\n  \"container_bytes\": {},\n  \
-             \"pack\": {{\"median_ms\": {:.3}, \"raw_mb_per_s\": {:.1}}},\n  \
-             \"decode\": {{\"median_ms\": {:.3}, \"container_mb_per_s\": {:.1}}},\n  \
-             \"replay\": {{\"median_ms\": {:.3}, \"bursts_per_s\": {:.0}}}\n}}\n",
-            info.bursts,
-            info.chunks,
-            info.raw_bytes,
-            info.packed_bytes,
-            pack.median.as_secs_f64() * 1e3,
-            pack_mbs,
-            decode.median.as_secs_f64() * 1e3,
-            decode_mbs,
-            replay.median.as_secs_f64() * 1e3,
-            replay_bps,
-        );
-        std::fs::write(&path, doc).expect("write bench JSON");
-        println!("wrote {path}");
-    }
-
-    if test_mode {
-        // Generous sanity floors, not perf gates: the point is that the
-        // pipeline streams at all on CI hardware.
-        assert!(decode_mbs > 1.0, "decode below 1 MB/s: {decode_mbs:.2}");
-        assert!(
-            replay_bps > 1_000.0,
-            "replay below 1k bursts/s: {replay_bps:.0}"
-        );
-        println!("OK: trace pipeline throughput within sanity bounds");
-    }
+    suit_bench::perf::trace_replay(&suit_bench::perf::PerfOpts::from_args());
 }

@@ -17,8 +17,10 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod emit;
 pub mod figs;
 pub mod harness;
+pub mod perf;
 pub mod render;
 pub mod tables;
 
