@@ -1,0 +1,69 @@
+//! `render_all` — regenerates the complete EXPERIMENTS.md artefact set
+//! (every table, figure, the delay/residency/security reports and the
+//! four ablations) plus all three committed `BENCH_*.json` baselines in
+//! a single run.
+//!
+//! The table/figure jobs fan out over `suit-exec` (`--threads N`, same
+//! validation as every other binary); the perf benches run serially
+//! afterwards so their medians are not polluted by sibling jobs.
+//!
+//! Flags:
+//! * `--out DIR`      artefact directory (default `artifacts/`);
+//! * `--threads N`    outer worker count (default: all cores);
+//! * `--full`         uncapped traces (default caps at 4 × 10⁹ insts);
+//! * `--test`         CI smoke mode: tiny scenarios, sanity asserts,
+//!   and the `BENCH_*.json` files go to the artefact directory instead
+//!   of the repository root so committed baselines stay untouched;
+//! * `--check-bench`  validate the committed `BENCH_*.json` against the
+//!   shared emitter schema and exit — the CI staleness gate.
+
+use std::path::{Path, PathBuf};
+
+use suit_bench::render_all::{check_bench_files, render_all, RenderAllOpts};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+
+    if args.iter().any(|a| a == "--check-bench") {
+        match check_bench_files(Path::new(".")) {
+            Ok(report) => {
+                for line in report {
+                    println!("{line}");
+                }
+                println!("all committed BENCH_*.json files match the emitter schema");
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("regenerate with: cargo run --release -p suit-bench --bin render_all");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let test_mode = args.iter().any(|a| a == "--test");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("artifacts"));
+    let bench_dir = if test_mode {
+        out_dir.clone()
+    } else {
+        PathBuf::from(".")
+    };
+    let cap = if test_mode {
+        Some(50_000_000)
+    } else {
+        suit_bench::cap_from_args()
+    };
+
+    render_all(&RenderAllOpts {
+        out_dir,
+        bench_dir,
+        cap,
+        threads: suit_bench::threads_from_args(),
+        test_mode,
+    });
+}

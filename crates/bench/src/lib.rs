@@ -22,6 +22,7 @@ pub mod figs;
 pub mod harness;
 pub mod perf;
 pub mod render;
+pub mod render_all;
 pub mod tables;
 
 pub use render::TextTable;

@@ -99,11 +99,11 @@ pub fn engine_hotpath(opts: &PerfOpts) {
     // (3) Bit-sliced AES block throughput through the widest lane batch
     // the crate offers (`aes_width` blocks per kernel invocation).
     let key = Aes128Key::expand([0x42; 16]);
-    let blocks: [Vec128; 4] =
+    let blocks: [Vec128; 8] =
         std::array::from_fn(|i| Vec128::from_u128(0x0123_4567_89ab_cdef ^ ((i as u128) << 96)));
-    let aes_width: u64 = 4;
-    let aes = bench_with_throughput("aes_encrypt128_x4 (blocks)", Some(aes_width), || {
-        bitsliced::encrypt128_x4(&key, std::hint::black_box(blocks))
+    let aes_width: u64 = 8;
+    let aes = bench_with_throughput("aes_encrypt128_x8 (blocks)", Some(aes_width), || {
+        bitsliced::encrypt128_x8(&key, std::hint::black_box(blocks))
     });
     let aes_blocks_per_s = aes_width as f64 / aes.median.as_secs_f64().max(1e-12);
 

@@ -163,19 +163,19 @@ pub fn gcm_encrypt(
 }
 
 /// XORs the CTR keystream (counters inc32(j0), inc32²(j0), …) over
-/// `input`, appending to `out` — batching four counter blocks per
-/// bit-sliced kernel invocation (the 4-wide lanes are the whole point of
-/// the bit-sliced layout).
+/// `input`, appending to `out` — batching eight counter blocks per
+/// bit-sliced kernel invocation (the wide lanes are the whole point of
+/// the bit-sliced layout: one transpose pays for eight blocks).
 fn apply_ctr_keystream(key: &Aes128Key, j0: Vec128, input: &[u8], out: &mut Vec<u8>) {
     let mut counter = j0;
-    for quad in input.chunks(64) {
-        let mut ctrs = [Vec128::ZERO; 4];
+    for octet in input.chunks(128) {
+        let mut ctrs = [Vec128::ZERO; 8];
         for c in &mut ctrs {
             counter = inc32(counter);
             *c = counter;
         }
-        let ks = bitsliced::encrypt128_x4(key, ctrs);
-        for (i, &byte) in quad.iter().enumerate() {
+        let ks = bitsliced::encrypt128_x8(key, ctrs);
+        for (i, &byte) in octet.iter().enumerate() {
             out.push(byte ^ ks[i / 16].to_bytes()[i % 16]);
         }
     }

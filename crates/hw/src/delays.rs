@@ -120,6 +120,113 @@ impl TransitionDelays {
     }
 }
 
+/// The three operating points as the precomputed delay table indexes
+/// them: the efficient curve and the two conservative points (frequency
+/// raise only, or full voltage + frequency move).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum PointKind {
+    /// The efficient (undervolted) curve, `E`.
+    Efficient = 0,
+    /// Conservative via frequency raise only, `C_f`.
+    ConservativeFreq = 1,
+    /// Conservative via voltage raise at full frequency, `C_V`.
+    ConservativeVolt = 2,
+}
+
+impl PointKind {
+    /// Every operating point, in index order.
+    pub const ALL: [PointKind; 3] = [
+        PointKind::Efficient,
+        PointKind::ConservativeFreq,
+        PointKind::ConservativeVolt,
+    ];
+}
+
+/// Every delay the inner simulation loop charges, precomputed once per
+/// simulation as fixed-point [`SimDuration`]s and indexed by
+/// ([`PointKind`], transition kind).
+///
+/// [`TransitionDelays`] stores the measured values as f64 microseconds,
+/// so every transition used to pay a float multiply + round to convert
+/// µs → picoseconds (and the `C_V` synchronous wait paid two plus an
+/// add). The table performs those exact conversions — same operations,
+/// same order — at construction, so a lookup is bit-identical to the
+/// closed form (pinned by `delay_table_matches_closed_form` here and the
+/// `model_properties` suite, including the Monte-Carlo jittered paths,
+/// which rebuild the table from each run's sampled delays).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayTable {
+    sync_wait: [SimDuration; 3],
+    async_delay: [SimDuration; 3],
+    freq_stall: SimDuration,
+    exception: SimDuration,
+    emulation_call: SimDuration,
+    emulation_remainder: SimDuration,
+}
+
+impl DelayTable {
+    /// Precomputes every delay of `d`.
+    pub fn new(d: &TransitionDelays) -> Self {
+        let sync = |target: PointKind| match target {
+            // Frequency-only move: the core (domain) waits for the clock.
+            PointKind::Efficient | PointKind::ConservativeFreq => d.freq_change(),
+            // Full p-state move: voltage first, then frequency (§5.2,
+            // Xeon PCPS behaviour).
+            PointKind::ConservativeVolt => d.volt_change() + d.freq_change(),
+        };
+        let async_ = |target: PointKind| match target {
+            PointKind::Efficient | PointKind::ConservativeFreq => d.freq_change(),
+            PointKind::ConservativeVolt => d.volt_change(),
+        };
+        DelayTable {
+            sync_wait: PointKind::ALL.map(sync),
+            async_delay: PointKind::ALL.map(async_),
+            freq_stall: d.freq_stall(),
+            exception: d.exception(),
+            emulation_call: d.emulation_call(),
+            emulation_remainder: d.emulation_call().saturating_sub(d.exception()),
+        }
+    }
+
+    /// Stall charged by a synchronous p-state change to `target`.
+    #[inline]
+    pub fn sync_wait(&self, target: PointKind) -> SimDuration {
+        self.sync_wait[target as usize]
+    }
+
+    /// Transport delay of an asynchronous p-state change to `target`.
+    #[inline]
+    pub fn async_delay(&self, target: PointKind) -> SimDuration {
+        self.async_delay[target as usize]
+    }
+
+    /// Stall charged when a pending conservative frequency raise lands.
+    #[inline]
+    pub fn freq_stall(&self) -> SimDuration {
+        self.freq_stall
+    }
+
+    /// `#DO` exception entry delay.
+    #[inline]
+    pub fn exception(&self) -> SimDuration {
+        self.exception
+    }
+
+    /// Full user-space emulation round trip.
+    #[inline]
+    pub fn emulation_call(&self) -> SimDuration {
+        self.emulation_call
+    }
+
+    /// The emulation round trip minus the exception entry already
+    /// charged — the remainder billed by the `Emulated` handler action.
+    #[inline]
+    pub fn emulation_remainder(&self) -> SimDuration {
+        self.emulation_remainder
+    }
+}
+
 fn sample_jittered<R: Rng + ?Sized>(rng: &mut R, mean_us: f64, sigma_us: f64) -> SimDuration {
     // Irwin–Hall: the sum of 3 uniform(−1, 1) draws has σ = 1 exactly
     // (3 · 1/3) and is roughly bell-shaped — a normal approximation
@@ -238,6 +345,33 @@ mod tests {
         let c = TransitionDelays::xeon_4208();
         assert_eq!(c.volt_change_us, 335.0);
         assert_eq!(c.freq_stall_us, 27.0);
+    }
+
+    #[test]
+    fn delay_table_matches_closed_form() {
+        for d in [
+            TransitionDelays::i9_9900k(),
+            TransitionDelays::ryzen_7700x(),
+            TransitionDelays::xeon_4208(),
+        ] {
+            let t = DelayTable::new(&d);
+            assert_eq!(t.sync_wait(PointKind::Efficient), d.freq_change());
+            assert_eq!(t.sync_wait(PointKind::ConservativeFreq), d.freq_change());
+            assert_eq!(
+                t.sync_wait(PointKind::ConservativeVolt),
+                d.volt_change() + d.freq_change()
+            );
+            assert_eq!(t.async_delay(PointKind::Efficient), d.freq_change());
+            assert_eq!(t.async_delay(PointKind::ConservativeFreq), d.freq_change());
+            assert_eq!(t.async_delay(PointKind::ConservativeVolt), d.volt_change());
+            assert_eq!(t.freq_stall(), d.freq_stall());
+            assert_eq!(t.exception(), d.exception());
+            assert_eq!(t.emulation_call(), d.emulation_call());
+            assert_eq!(
+                t.emulation_remainder(),
+                d.emulation_call().saturating_sub(d.exception())
+            );
+        }
     }
 
     #[test]

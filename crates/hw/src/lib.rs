@@ -44,5 +44,5 @@ pub mod thermal;
 pub mod undervolt;
 
 pub use cpu::{CpuKind, CpuModel, DomainLayout, OperatingPoint, UndervoltLevel};
-pub use delays::TransitionDelays;
+pub use delays::{DelayTable, PointKind, TransitionDelays};
 pub use pstate::{DvfsCurve, PState};

@@ -28,7 +28,7 @@ use suit_core::{
     CpuControl, CurveSelect, CurveTarget, DisabledOpcode, HandlerAction, OperatingStrategy,
     SuitMsrs, SuitOs,
 };
-use suit_hw::{CpuModel, OperatingPoint, TransitionDelays, UndervoltLevel};
+use suit_hw::{CpuModel, DelayTable, OperatingPoint, PointKind, UndervoltLevel};
 use suit_isa::{SimDuration, SimTime};
 use suit_telemetry::{Counter, EventKind, Hist, Telemetry};
 use suit_trace::io::TraceMeta;
@@ -147,6 +147,15 @@ impl Point {
             Point::Cv => 2,
         }
     }
+
+    /// The delay-table row for transitions targeting this point.
+    fn kind(self) -> PointKind {
+        match self {
+            Point::E => PointKind::Efficient,
+            Point::Cf => PointKind::ConservativeFreq,
+            Point::Cv => PointKind::ConservativeVolt,
+        }
+    }
 }
 
 /// One recorded p-state change (for Figs. 5 and 6).
@@ -181,9 +190,10 @@ impl PointTable {
 }
 
 /// Hardware-side state: everything the OS policy manipulates through
-/// [`CpuControl`], plus the accounting. Shared between the event-heap
-/// scheduler in [`crate::event`] and the legacy scan loop kept for the
-/// differential equivalence suite.
+/// [`CpuControl`], plus the accounting. Shared between the production
+/// arena scheduler in [`crate::arena`], the event-heap reference in
+/// [`crate::event`], and the legacy scan loop kept for the differential
+/// equivalence suite.
 pub(crate) struct Hw {
     pub(crate) now: SimTime,
     pub(crate) point: Point,
@@ -194,7 +204,10 @@ pub(crate) struct Hw {
     /// not just asserted in unit tests.
     msrs: SuitMsrs,
     pub(crate) timer: DeadlineTimer,
-    pub(crate) delays: TransitionDelays,
+    /// Transition delays precomputed per (target point, transition kind)
+    /// at boot — the hot path does one table lookup where it used to
+    /// re-derive sums from the µs-valued [`suit_hw::TransitionDelays`].
+    pub(crate) dtab: DelayTable,
     points: PointTable,
     // Accounting.
     energy_rel: f64,
@@ -251,6 +264,37 @@ impl Hw {
             }
         }
         self.now += dt;
+    }
+
+    /// Advances `n` identical execution quanta of `dt` in one call — the
+    /// batched form of [`run_for`](Self::run_for) behind the arena
+    /// engine's intra-burst fast path. Energy still accumulates with `n`
+    /// sequential additions (f64 addition is not associative, and the
+    /// batch must reproduce the per-event sums bit for bit); the integer
+    /// time accounting takes the closed form.
+    pub(crate) fn run_for_n(&mut self, dt: SimDuration, n: u64) {
+        let p = self.power() * dt.as_secs_f64();
+        for _ in 0..n {
+            self.energy_rel += p;
+        }
+        let total = dt * n;
+        match self.point {
+            Point::E => {
+                self.time_e += total;
+                self.tele.add(Counter::TimeEfficientPs, total.as_picos());
+            }
+            Point::Cf => {
+                self.time_cf += total;
+                self.tele
+                    .add(Counter::TimeConservativeFreqPs, total.as_picos());
+            }
+            Point::Cv => {
+                self.time_cv += total;
+                self.tele
+                    .add(Counter::TimeConservativeVoltPs, total.as_picos());
+            }
+        }
+        self.now += total;
     }
 
     /// Advances time without execution (switch waits, exception entries).
@@ -314,7 +358,7 @@ impl Hw {
     /// direction ... it does not need to wait".
     pub(crate) fn apply_pending(&mut self, target: Point) {
         if target != Point::E {
-            self.stall_for(self.delays.freq_stall());
+            self.stall_for(self.dtab.freq_stall());
         }
         self.set_point(target);
     }
@@ -357,13 +401,10 @@ impl CpuControl for Hw {
             self.change_pstate_async(raw_target);
             return;
         }
-        let wait = match target {
-            // Frequency-only move: the core (domain) waits for the clock.
-            Point::Cf | Point::E => self.delays.freq_change(),
-            // Full p-state move: voltage first, then frequency (§5.2,
-            // Xeon PCPS behaviour).
-            Point::Cv => self.delays.volt_change() + self.delays.freq_change(),
-        };
+        // Frequency-only moves (→ `C_f`, → `E`) wait for the clock; a
+        // full p-state move (→ `C_V`) waits voltage-then-frequency (§5.2,
+        // Xeon PCPS behaviour). The table rows encode exactly those sums.
+        let wait = self.dtab.sync_wait(target.kind());
         self.stall_for(wait);
         self.set_point(target);
     }
@@ -376,10 +417,9 @@ impl CpuControl for Hw {
             self.pending = None;
             return;
         }
-        let delay = match target {
-            Point::Cf | Point::E => self.delays.freq_change(),
-            Point::Cv => self.delays.volt_change(),
-        };
+        // Frequency-only targets arrive after the clock settles; a
+        // background voltage raise (→ `C_V`) after the rail settles.
+        let delay = self.dtab.async_delay(target.kind());
         self.pending = Some((target, self.now + delay));
     }
 
@@ -399,32 +439,54 @@ impl CpuControl for Hw {
     }
 }
 
-/// One core's position in its instruction stream. Generic over the burst
-/// source: a profile-driven [`TraceGen`] for synthetic runs, or any plain
-/// `Iterator<Item = Burst>` (e.g. a `suit-store` streaming reader) for
-/// recorded-trace replay — the event loop is identical either way.
+/// One core's *cold* identity: the burst source plus everything the hot
+/// loop never touches. Generic over the burst source: a profile-driven
+/// [`TraceGen`] for synthetic runs, or any plain `Iterator<Item = Burst>`
+/// (e.g. a `suit-store` streaming reader) for recorded-trace replay — the
+/// event loop is identical either way. The per-instruction scheduling
+/// state lives in [`CoreArena`], struct-of-arrays style, so the quantum
+/// loop strides over dense `f64` columns instead of these fat structs.
 pub(crate) struct CoreStream<I> {
     source: I,
     /// Workload name reported in per-core outcomes.
     name: String,
-    /// Instructions until the next faultable instruction (∞ when the
-    /// source is exhausted).
-    rem_event: f64,
-    /// Events left in the current burst after the upcoming one.
-    burst_left: u32,
-    within: f64,
-    /// Instructions until this core's trace ends.
-    pub(crate) rem_total: f64,
     /// This core's instruction rate at `point.perf = 1`, insts/sec
-    /// (IPC × base frequency × IMUL-hardening penalty).
+    /// (IPC × base frequency × IMUL-hardening penalty). Seeds the
+    /// arena's `rate` column.
     pub(crate) base_rate: f64,
+    /// Instruction cap of this core's trace; seeds the arena's
+    /// `rem_total` column.
+    cap: f64,
     /// Baseline (no-SUIT) duration of this core's trace.
     baseline: SimDuration,
-    /// When the core finished its trace (`Some` ⇒ finished).
-    pub(crate) finish_time: Option<SimTime>,
-    events: u64,
     /// The stream's dominant opcode, cached for exception records.
     dominant_opcode: suit_isa::Opcode,
+}
+
+/// Hot per-core scheduling state in struct-of-arrays layout, indexed by
+/// domain core id. One arena is (re)used across runs — see
+/// [`crate::arena`] for the thread-local scratch — and [`reset`] seeds it
+/// from the cold [`CoreStream`]s, so the inner quantum loop touches only
+/// these flat columns and allocates nothing.
+///
+/// [`reset`]: CoreArena::reset
+#[derive(Debug, Default)]
+pub(crate) struct CoreArena {
+    /// Instructions until the next faultable instruction (∞ when the
+    /// source is exhausted).
+    pub(crate) rem_event: Vec<f64>,
+    /// Instructions until the core's trace ends.
+    pub(crate) rem_total: Vec<f64>,
+    /// Instruction rate at `point.perf = 1` (copied from the stream).
+    pub(crate) rate: Vec<f64>,
+    /// Events left in the current burst after the upcoming one.
+    pub(crate) burst_left: Vec<u32>,
+    /// Intra-burst event stride of the current burst.
+    pub(crate) within: Vec<f64>,
+    /// When the core finished its trace (`Some` ⇒ finished).
+    pub(crate) finish_time: Vec<Option<SimTime>>,
+    /// Faultable instructions the core has executed.
+    pub(crate) events: Vec<u64>,
 }
 
 impl<'p> CoreStream<TraceGen<'p>> {
@@ -458,66 +520,94 @@ impl<I: Iterator<Item = Burst>> CoreStream<I> {
         rate: f64,
         cap: u64,
     ) -> Self {
-        let mut c = CoreStream {
+        CoreStream {
             source,
             name,
-            rem_event: 0.0,
-            burst_left: 0,
-            within: 0.0,
-            rem_total: cap as f64,
             base_rate: rate,
+            cap: cap as f64,
             baseline: SimDuration::from_secs_f64(cap as f64 / nominal),
-            finish_time: None,
-            events: 0,
             dominant_opcode,
-        };
-        c.load_next_gap();
-        c
+        }
+    }
+}
+
+impl CoreArena {
+    /// Reseeds the arena for a fresh run over `cores`, reusing the
+    /// column allocations. A reset that had to grow the columns ticks
+    /// [`Counter::EngineScratchAllocs`] once — the equivalence suite
+    /// asserts a warmed-up quantum loop never does.
+    pub(crate) fn reset<I: Iterator<Item = Burst>>(
+        &mut self,
+        cores: &mut [CoreStream<I>],
+        tele: &Telemetry,
+    ) {
+        let n = cores.len();
+        if self.rem_event.capacity() < n {
+            // The seven columns grow in lockstep; one tick per
+            // allocating reset keeps the signal simple.
+            tele.count(Counter::EngineScratchAllocs);
+        }
+        self.rem_event.clear();
+        self.rem_event.resize(n, 0.0);
+        self.rem_total.clear();
+        self.rem_total.resize(n, 0.0);
+        self.rate.clear();
+        self.rate.resize(n, 0.0);
+        self.burst_left.clear();
+        self.burst_left.resize(n, 0);
+        self.within.clear();
+        self.within.resize(n, 0.0);
+        self.finish_time.clear();
+        self.finish_time.resize(n, None);
+        self.events.clear();
+        self.events.resize(n, 0);
+        for (i, c) in cores.iter_mut().enumerate() {
+            self.rem_total[i] = c.cap;
+            self.rate[i] = c.base_rate;
+            self.load_next_gap(i, &mut c.source);
+        }
     }
 
-    /// Sets `rem_event` to the distance of the next faultable instruction,
-    /// called when an event executes. Strides match the canonical
-    /// [`Burst::event_offsets`] layout: the consumed event occupies one
-    /// instruction slot, so the next event is `within + 1` (intra-burst)
-    /// or `gap + 1` (next burst) instructions ahead.
-    fn load_next_gap(&mut self) {
-        if self.burst_left > 0 {
-            self.burst_left -= 1;
-            self.rem_event = self.within + 1.0;
-        } else if let Some(b) = self.source.next() {
-            self.burst_left = b.events - 1;
-            self.within = f64::from(b.within_gap_insts);
-            self.rem_event = b.gap_insts as f64 + 1.0;
+    /// Sets `rem_event[i]` to the distance of the next faultable
+    /// instruction, called when an event executes. Strides match the
+    /// canonical [`Burst::event_offsets`] layout: the consumed event
+    /// occupies one instruction slot, so the next event is `within + 1`
+    /// (intra-burst) or `gap + 1` (next burst) instructions ahead.
+    fn load_next_gap<I: Iterator<Item = Burst>>(&mut self, i: usize, source: &mut I) {
+        if self.burst_left[i] > 0 {
+            self.burst_left[i] -= 1;
+            self.rem_event[i] = self.within[i] + 1.0;
+        } else if let Some(b) = source.next() {
+            self.burst_left[i] = b.events - 1;
+            self.within[i] = f64::from(b.within_gap_insts);
+            self.rem_event[i] = b.gap_insts as f64 + 1.0;
         } else {
-            self.rem_event = f64::INFINITY;
+            self.rem_event[i] = f64::INFINITY;
         }
     }
 
-    pub(crate) fn finished(&self) -> bool {
-        self.finish_time.is_some()
+    pub(crate) fn finished(&self, i: usize) -> bool {
+        self.finish_time[i].is_some()
     }
 
-    pub(crate) fn advance(&mut self, insts: f64) {
-        if self.finished() {
-            return;
-        }
-        self.rem_event -= insts;
-        self.rem_total -= insts;
+    pub(crate) fn advance(&mut self, i: usize, insts: f64) {
+        self.rem_event[i] -= insts;
+        self.rem_total[i] -= insts;
     }
 
     /// Charges a core-local stall (exception entry, user-space emulation)
     /// as *instruction debt*: the core makes no progress for `dt` while
     /// the rest of the domain keeps executing — unlike a frequency-change
     /// stall, which freezes the whole domain.
-    fn stall_local(&mut self, dt: SimDuration, rate: f64) {
+    fn stall_local(&mut self, i: usize, dt: SimDuration, rate: f64) {
         let debt = dt.as_secs_f64() * rate;
-        self.rem_event += debt;
-        self.rem_total += debt;
+        self.rem_event[i] += debt;
+        self.rem_total[i] += debt;
     }
 
-    /// Instructions until this core's next point of interest.
-    pub(crate) fn rem_next(&self) -> f64 {
-        self.rem_total.min(self.rem_event)
+    /// Instructions until core `i`'s next point of interest.
+    pub(crate) fn rem_next(&self, i: usize) -> f64 {
+        self.rem_total[i].min(self.rem_event[i])
     }
 }
 
@@ -733,9 +823,11 @@ pub(crate) fn build_stream_core<I: Iterator<Item = Burst>>(
 }
 
 /// Runs a set of cores sharing one DVFS domain to completion on the
-/// event-heap scheduler ([`crate::event`]) and collects the results.
-/// This is the single production entry point behind every `simulate*`
-/// and `run_stream*` adapter.
+/// arena scheduler ([`crate::arena`]) and collects the results. This is
+/// the single production entry point behind every `simulate*` and
+/// `run_stream*` adapter; the hot state lives in the thread-local
+/// [`CoreArena`] scratch, so back-to-back runs (Monte-Carlo, fleet
+/// epochs) reuse one set of allocations.
 pub(crate) fn run_cores<I: Iterator<Item = Burst>>(
     cpu: &CpuModel,
     mut cores: Vec<CoreStream<I>>,
@@ -745,8 +837,18 @@ pub(crate) fn run_cores<I: Iterator<Item = Burst>>(
 ) -> (MixedResult, Option<Vec<PointChange>>) {
     assert!(!cores.is_empty(), "need at least one core");
     let (mut hw, mut os) = boot(cpu, cfg, tele);
-    crate::event::run_domain(&mut cores, &mut hw, &mut os, tele);
-    collect(&cores, hw, &os, workload)
+    crate::arena::with_scratch(|scratch| {
+        scratch.arena.reset(&mut cores, tele);
+        crate::arena::run_domain(
+            &mut cores,
+            &mut scratch.arena,
+            &mut scratch.live,
+            &mut hw,
+            &mut os,
+            tele,
+        );
+        collect(&cores, &scratch.arena, hw, &os, workload)
+    })
 }
 
 /// Boots the hardware-side state and the OS policy for one domain run:
@@ -785,7 +887,10 @@ pub(crate) fn boot(cpu: &CpuModel, cfg: &SimConfig, tele: &Telemetry) -> (Hw, Su
         pending: None,
         msrs,
         timer: DeadlineTimer::new(),
-        delays: cpu.delays,
+        // Precomputed per-(point, transition) delays; Monte-Carlo runs
+        // mutate the CPU's µs-valued delays *before* boot, so jittered
+        // samples flow through the table automatically.
+        dtab: DelayTable::new(&cpu.delays),
         points,
         energy_rel: 0.0,
         time_e: SimDuration::ZERO,
@@ -801,11 +906,13 @@ pub(crate) fn boot(cpu: &CpuModel, cfg: &SimConfig, tele: &Telemetry) -> (Hw, Su
 }
 
 /// Reacts to one scheduler-selected event. Shared verbatim between the
-/// event-heap engine and the legacy scan loop: the two schedulers may
-/// only differ in how they *find* the next event, never in how they
-/// process it, so the differential suite checks pure scheduling.
+/// arena engine, the event-heap reference, and the legacy scan loop:
+/// the schedulers may only differ in how they *find* the next event,
+/// never in how they process it, so the differential suite checks pure
+/// scheduling.
 pub(crate) fn dispatch_event<I: Iterator<Item = Burst>>(
     kind: NextEvent,
+    arena: &mut CoreArena,
     cores: &mut [CoreStream<I>],
     hw: &mut Hw,
     os: &mut SuitOs,
@@ -821,31 +928,38 @@ pub(crate) fn dispatch_event<I: Iterator<Item = Burst>>(
                 os.on_timer_interrupt(hw);
             }
         }
-        NextEvent::Core(i) => cores[i].core_event(i, hw, os, tele),
+        NextEvent::Core(i) => arena.core_event(i, &mut cores[i], hw, os, tele),
         NextEvent::Idle => unreachable!("loop guard handles completion"),
     }
 }
 
-impl<I: Iterator<Item = Burst>> CoreStream<I> {
-    /// Processes this core reaching its next point of interest: trace
-    /// end, or a faultable instruction at the head of the pipeline. `i`
-    /// is the core's domain index (exception records carry it).
-    pub(crate) fn core_event(&mut self, i: usize, hw: &mut Hw, os: &mut SuitOs, tele: &Telemetry) {
-        if self.rem_total <= self.rem_event {
+impl CoreArena {
+    /// Processes core `i` reaching its next point of interest: trace
+    /// end, or a faultable instruction at the head of the pipeline.
+    /// `core` is the matching cold stream (burst source + identity).
+    pub(crate) fn core_event<I: Iterator<Item = Burst>>(
+        &mut self,
+        i: usize,
+        core: &mut CoreStream<I>,
+        hw: &mut Hw,
+        os: &mut SuitOs,
+        tele: &Telemetry,
+    ) {
+        if self.rem_total[i] <= self.rem_event[i] {
             // Trace end for this core.
-            self.rem_total = 0.0;
-            self.finish_time = Some(hw.now);
+            self.rem_total[i] = 0.0;
+            self.finish_time[i] = Some(hw.now);
             return;
         }
         // A faultable instruction is at the head of the pipeline.
-        self.rem_event = 0.0;
+        self.rem_event[i] = 0.0;
         if hw.disabled() {
             // #DO: exception entry is core-local — the faulting
             // core loses the time, the rest of the domain keeps
             // executing.
-            let rate_i = self.base_rate * hw.perf();
-            self.stall_local(hw.delays.exception(), rate_i);
-            let ex = DisabledOpcode::new(self.peek_opcode(), i, hw.now);
+            let rate_i = self.rate[i] * hw.perf();
+            self.stall_local(i, hw.dtab.exception(), rate_i);
+            let ex = DisabledOpcode::new(core.peek_opcode(), i, hw.now);
             match os.on_disabled_opcode(hw, &ex) {
                 HandlerAction::SwitchedToConservative => {}
                 HandlerAction::Emulated => {
@@ -853,12 +967,9 @@ impl<I: Iterator<Item = Burst>> CoreStream<I> {
                     // *includes* the exception entry already
                     // charged above — charge only the remainder,
                     // again core-locally.
-                    let remainder = hw
-                        .delays
-                        .emulation_call()
-                        .saturating_sub(hw.delays.exception());
-                    self.stall_local(remainder, rate_i);
-                    let call = hw.delays.emulation_call();
+                    let remainder = hw.dtab.emulation_remainder();
+                    self.stall_local(i, remainder, rate_i);
+                    let call = hw.dtab.emulation_call();
                     tele.span(EventKind::EmulationCall, hw.now, hw.now + call, i as u64);
                     tele.observe(Hist::EmulationCallPs, call.as_picos());
                 }
@@ -866,15 +977,16 @@ impl<I: Iterator<Item = Burst>> CoreStream<I> {
         }
         // The instruction completes (natively post-switch, or via
         // emulation) and resets the hardware deadline timer (§4.1).
-        self.events += 1;
+        self.events[i] += 1;
         hw.timer.reset(hw.now);
-        self.load_next_gap();
+        self.load_next_gap(i, &mut core.source);
     }
 }
 
 /// Collects the per-core outcomes and the domain aggregate after a run.
 pub(crate) fn collect<I>(
     cores: &[CoreStream<I>],
+    arena: &CoreArena,
     hw: Hw,
     os: &SuitOs,
     workload: String,
@@ -887,11 +999,12 @@ pub(crate) fn collect<I>(
     let stats = os.stats();
     let per_core: Vec<CoreOutcome> = cores
         .iter()
-        .map(|c| CoreOutcome {
+        .enumerate()
+        .map(|(i, c)| CoreOutcome {
             workload: c.name.clone(),
-            finish: c.finish_time.unwrap_or(hw.now).since(SimTime::ZERO),
+            finish: arena.finish_time[i].unwrap_or(hw.now).since(SimTime::ZERO),
             baseline: c.baseline,
-            events: c.events,
+            events: arena.events[i],
         })
         .collect();
     let domain = RunResult {

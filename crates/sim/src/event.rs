@@ -19,20 +19,24 @@
 //! and because the order is a pure function of `(tick, id)`, replay is
 //! byte-identical on every run and at every thread count.
 //!
-//! [`run_domain`] is the production event loop behind every `simulate*`
-//! and `run_stream*` entry point. It intentionally reuses the exact
-//! per-quantum advancement arithmetic of the legacy scan loop (kept in
-//! [`crate::legacy`] for the differential suite): only event *selection*
-//! moved to the heap, so results are bit-for-bit identical while
-//! finished (idle-parked) cores drop out of the live set instead of
-//! being rescanned on every iteration.
+//! [`run_domain`] is the event-heap domain loop. It was the production
+//! engine of PR 8 and is now kept — entry points in
+//! [`crate::heap_ref`] — as the second reference implementation for the
+//! differential equivalence suite, alongside [`crate::legacy`]'s linear
+//! scan; production moved to the arena scheduler in [`crate::arena`],
+//! which replaces the per-round heap rebuild with a linear argmin over
+//! the flat core state and batches lone-core intra-burst events. All
+//! three share the exact per-quantum advancement arithmetic, so results
+//! are bit-for-bit identical. The [`EventHeap`] and [`Component`]
+//! abstractions remain the production machinery of the fleet engine
+//! ([`crate::fleet`]).
 
 use suit_core::SuitOs;
 use suit_isa::{SimDuration, SimTime};
 use suit_telemetry::{Counter, Telemetry};
 use suit_trace::Burst;
 
-use crate::engine::{CoreStream, Hw};
+use crate::engine::{dispatch_event, CoreArena, CoreStream, Hw, NextEvent};
 
 /// A deterministic binary min-heap of `(tick, component_id)` events.
 ///
@@ -155,68 +159,6 @@ pub(crate) const TIMER_ID: u32 = 1;
 /// Heap component ids of the cores start here: core `i` is `2 + i`.
 pub(crate) const CORE_ID_BASE: u32 = 2;
 
-/// Shared intra-domain state handed to components on dispatch.
-pub(crate) struct DomainCtx<'a> {
-    pub(crate) hw: &'a mut Hw,
-    pub(crate) os: &'a mut SuitOs,
-    pub(crate) tele: &'a Telemetry,
-    /// Index of the core being dispatched (set by the scheduler before
-    /// a core's `on_tick`; exception records carry it).
-    pub(crate) core: usize,
-}
-
-impl<'a, I: Iterator<Item = Burst>> Component<DomainCtx<'a>> for CoreStream<I> {
-    fn next_tick(&self, ctx: &DomainCtx<'a>) -> Option<SimTime> {
-        if self.finished() {
-            return None;
-        }
-        // The same arithmetic, in the same order, as the legacy scan:
-        // instructions to the next point of interest over the current
-        // effective rate. Byte-identity of the differential suite hangs
-        // on this expression not being algebraically "simplified".
-        let hw = &*ctx.hw;
-        Some(hw.now + SimDuration::from_secs_f64(self.rem_next() / (self.base_rate * hw.perf())))
-    }
-
-    fn on_tick(&mut self, _now: SimTime, ctx: &mut DomainCtx<'a>) {
-        self.core_event(ctx.core, ctx.hw, ctx.os, ctx.tele);
-    }
-}
-
-/// The deadline timer as a schedulable component (§4.1: armed on every
-/// completed faultable instruction, fires the switch back to `E`).
-pub(crate) struct TimerSlot;
-
-impl<'a> Component<DomainCtx<'a>> for TimerSlot {
-    fn next_tick(&self, ctx: &DomainCtx<'a>) -> Option<SimTime> {
-        ctx.hw.timer.expires_at()
-    }
-
-    fn on_tick(&mut self, _now: SimTime, ctx: &mut DomainCtx<'a>) {
-        // Verbatim the legacy Timer arm: expiry is checked against the
-        // hardware clock, which the advance phase has already moved.
-        if ctx.hw.timer.take_expired(ctx.hw.now) {
-            ctx.os.on_timer_interrupt(ctx.hw);
-        }
-    }
-}
-
-/// An in-flight asynchronous p-state change as a schedulable component
-/// (e.g. the 𝑓𝑉 strategy's voltage raise completing 335 µs later).
-pub(crate) struct PendingSlot;
-
-impl<'a> Component<DomainCtx<'a>> for PendingSlot {
-    fn next_tick(&self, ctx: &DomainCtx<'a>) -> Option<SimTime> {
-        ctx.hw.pending.map(|(_, t)| t)
-    }
-
-    fn on_tick(&mut self, _now: SimTime, ctx: &mut DomainCtx<'a>) {
-        // Verbatim the legacy Pending arm.
-        let (target, _) = ctx.hw.pending.take().expect("pending scheduled this round");
-        ctx.hw.apply_pending(target);
-    }
-}
-
 /// The event-heap domain loop: runs `cores` (one shared DVFS domain) to
 /// completion against the booted `hw`/`os` state.
 ///
@@ -229,6 +171,7 @@ impl<'a> Component<DomainCtx<'a>> for PendingSlot {
 /// idle or not" behaviour.
 pub(crate) fn run_domain<I: Iterator<Item = Burst>>(
     cores: &mut [CoreStream<I>],
+    arena: &mut CoreArena,
     hw: &mut Hw,
     os: &mut SuitOs,
     tele: &Telemetry,
@@ -241,31 +184,30 @@ pub(crate) fn run_domain<I: Iterator<Item = Burst>>(
         guard += 1;
         assert!(guard < 2_000_000_000, "simulation failed to converge");
 
-        live.retain(|&i| !cores[i as usize].finished());
+        live.retain(|&i| !arena.finished(i as usize));
         if live.is_empty() {
             break;
         }
-
-        let mut ctx = DomainCtx {
-            hw,
-            os,
-            tele,
-            core: 0,
-        };
 
         // Schedule every live component. Equal ticks drain in id order:
         // pending (0) before timer (1) before cores (2 + index), exactly
         // the tie priority of the legacy scan.
         heap.clear();
         for &i in &live {
-            if let Some(t) = cores[i as usize].next_tick(&ctx) {
-                heap.push(t, CORE_ID_BASE + i);
-            }
+            let idx = i as usize;
+            // The same arithmetic, in the same order, as the other
+            // engines: instructions to the next point of interest over
+            // the current effective rate. Byte-identity of the
+            // differential suite hangs on this expression not being
+            // algebraically "simplified".
+            let t = hw.now
+                + SimDuration::from_secs_f64(arena.rem_next(idx) / (arena.rate[idx] * hw.perf()));
+            heap.push(t, CORE_ID_BASE + i);
         }
-        if let Some(t) = TimerSlot.next_tick(&ctx) {
+        if let Some(t) = hw.timer.expires_at() {
             heap.push(t, TIMER_ID);
         }
-        if let Some(t) = PendingSlot.next_tick(&ctx) {
+        if let Some((_, t)) = hw.pending {
             heap.push(t, PENDING_ID);
         }
         let (t_next, id) = heap.pop().expect("live set is non-empty");
@@ -274,30 +216,25 @@ pub(crate) fn run_domain<I: Iterator<Item = Burst>>(
         // arithmetic as the legacy loop (same perf load, same product),
         // restricted to the live set — advancing a finished core was
         // always a no-op, so skipping it cannot change results.
-        let dt = t_next.saturating_since(ctx.hw.now);
+        let dt = t_next.saturating_since(hw.now);
         if !dt.is_zero() {
-            let perf = ctx.hw.perf();
+            let perf = hw.perf();
             for &i in &live {
-                let c = &mut cores[i as usize];
-                c.advance(c.base_rate * perf * dt.as_secs_f64());
+                let idx = i as usize;
+                let insts = arena.rate[idx] * perf * dt.as_secs_f64();
+                arena.advance(idx, insts);
             }
             tele.count(Counter::EngineQuanta);
             tele.add(Counter::CoreSteps, live.len() as u64);
-            ctx.hw.run_for(dt);
+            hw.run_for(dt);
         }
 
-        match id {
-            PENDING_ID => PendingSlot.on_tick(t_next, &mut ctx),
-            TIMER_ID => TimerSlot.on_tick(t_next, &mut ctx),
-            id => {
-                let i = (id - CORE_ID_BASE) as usize;
-                ctx.core = i;
-                // `on_tick` takes the component itself; hand it the one
-                // core the id names.
-                let (c, ctx) = (&mut cores[i], &mut ctx);
-                c.on_tick(t_next, ctx);
-            }
-        }
+        let kind = match id {
+            PENDING_ID => NextEvent::Pending,
+            TIMER_ID => NextEvent::Timer,
+            id => NextEvent::Core((id - CORE_ID_BASE) as usize),
+        };
+        dispatch_event(kind, arena, cores, hw, os, tele);
     }
 }
 

@@ -1,0 +1,67 @@
+//! Entry points for the PR 8 event-heap engine ([`crate::event`]), kept
+//! as the second reference implementation for the differential
+//! equivalence suite (`tests/engine_equivalence.rs`).
+//!
+//! Production moved to the arena scheduler ([`crate::arena`]); this
+//! module runs the identical boot / advancement / dispatch code with
+//! event selection through the deterministic binary min-heap, so the
+//! suite can pin arena ≡ heap ≡ legacy three ways. Not part of the
+//! supported API: the adapters in [`crate::engine`] are the only
+//! production entry points.
+
+use suit_hw::CpuModel;
+use suit_telemetry::Telemetry;
+use suit_trace::io::TraceMeta;
+use suit_trace::{Burst, WorkloadProfile};
+
+use crate::engine::{
+    boot, build_cores, build_stream_core, collect, CoreArena, CoreStream, MixedResult, SimConfig,
+};
+use crate::result::RunResult;
+
+/// Reference [`crate::engine::simulate`]: the event-heap loop.
+pub fn simulate(cpu: &CpuModel, profile: &WorkloadProfile, cfg: &SimConfig) -> RunResult {
+    let profiles: Vec<&WorkloadProfile> = (0..cfg.cores).map(|_| profile).collect();
+    let (cores, workload) = build_cores(cpu, &profiles, cfg);
+    run_cores_heap(cpu, cores, workload, cfg, &Telemetry::off())
+        .0
+        .domain
+}
+
+/// Reference [`crate::engine::simulate_mixed`]: the event-heap loop.
+pub fn simulate_mixed(
+    cpu: &CpuModel,
+    profiles: &[&WorkloadProfile],
+    cfg: &SimConfig,
+) -> MixedResult {
+    let (cores, workload) = build_cores(cpu, profiles, cfg);
+    run_cores_heap(cpu, cores, workload, cfg, &Telemetry::off()).0
+}
+
+/// Reference [`crate::engine::run_stream`]: the event-heap loop.
+pub fn run_stream<I>(cpu: &CpuModel, meta: &TraceMeta, bursts: I, cfg: &SimConfig) -> RunResult
+where
+    I: IntoIterator<Item = Burst>,
+{
+    let core = build_stream_core(cpu, meta, bursts.into_iter(), cfg);
+    run_cores_heap(cpu, vec![core], meta.name.clone(), cfg, &Telemetry::off())
+        .0
+        .domain
+}
+
+fn run_cores_heap<I: Iterator<Item = Burst>>(
+    cpu: &CpuModel,
+    mut cores: Vec<CoreStream<I>>,
+    workload: String,
+    cfg: &SimConfig,
+    tele: &Telemetry,
+) -> (MixedResult, Option<Vec<crate::engine::PointChange>>) {
+    assert!(!cores.is_empty(), "need at least one core");
+    let (mut hw, mut os) = boot(cpu, cfg, tele);
+    // The reference loops build a private arena per run (no scratch
+    // reuse): storage is shared with production, scheduling is not.
+    let mut arena = CoreArena::default();
+    arena.reset(&mut cores, tele);
+    crate::event::run_domain(&mut cores, &mut arena, &mut hw, &mut os, tele);
+    collect(&cores, &arena, hw, &os, workload)
+}

@@ -1,15 +1,17 @@
-//! The pre-event-heap engine loop, kept verbatim as the reference
+//! The original (pre-event-heap) engine loop, kept as a reference
 //! implementation for the differential equivalence suite
 //! (`tests/engine_equivalence.rs`).
 //!
-//! The production engine ([`crate::event`]) selects the next event with
-//! a deterministic binary min-heap; this module selects it with the
+//! The production engine ([`crate::arena`]) batches and scans flat
+//! arrays; the PR 8 reference ([`crate::heap_ref`]) selects events with
+//! a deterministic binary min-heap; this module selects them with the
 //! original linear scan over every core plus the timer and pending
-//! slots. Both share the *identical* boot, per-quantum advancement, and
-//! event-dispatch code from [`crate::engine`], so any divergence between
-//! the two is a scheduling bug — which is exactly what the suite exists
-//! to catch. Not part of the supported API: the adapters in
-//! [`crate::engine`] are the only production entry points.
+//! slots, visiting finished cores too. All three share the *identical*
+//! boot, per-quantum advancement, and event-dispatch code from
+//! [`crate::engine`], so any divergence is a scheduling bug — which is
+//! exactly what the suite exists to catch. Not part of the supported
+//! API: the adapters in [`crate::engine`] are the only production entry
+//! points.
 
 use suit_hw::CpuModel;
 use suit_isa::{SimDuration, SimTime};
@@ -18,8 +20,8 @@ use suit_trace::io::TraceMeta;
 use suit_trace::{Burst, WorkloadProfile};
 
 use crate::engine::{
-    boot, build_cores, build_stream_core, collect, dispatch_event, CoreStream, MixedResult,
-    NextEvent, SimConfig,
+    boot, build_cores, build_stream_core, collect, dispatch_event, CoreArena, CoreStream,
+    MixedResult, NextEvent, SimConfig,
 };
 use crate::result::RunResult;
 
@@ -64,6 +66,10 @@ fn run_cores_legacy<I: Iterator<Item = Burst>>(
 ) -> (MixedResult, Option<Vec<crate::engine::PointChange>>) {
     assert!(!cores.is_empty(), "need at least one core");
     let (mut hw, mut os) = boot(cpu, cfg, tele);
+    // The reference loops build a private arena per run (no scratch
+    // reuse): storage is shared with production, scheduling is not.
+    let mut arena = CoreArena::default();
+    arena.reset(&mut cores, tele);
 
     let mut guard: u64 = 0;
 
@@ -71,7 +77,7 @@ fn run_cores_legacy<I: Iterator<Item = Burst>>(
         guard += 1;
         assert!(guard < 2_000_000_000, "simulation failed to converge");
 
-        if cores.iter().all(|c| c.finished()) {
+        if (0..cores.len()).all(|i| arena.finished(i)) {
             break;
         }
 
@@ -81,11 +87,11 @@ fn run_cores_legacy<I: Iterator<Item = Burst>>(
         // pending arrival, then timer, then core events.
         let mut t_next = SimTime::from_picos(u64::MAX);
         let mut kind = NextEvent::Idle;
-        for (i, c) in cores.iter().enumerate() {
-            if c.finished() {
+        for i in 0..cores.len() {
+            if arena.finished(i) {
                 continue;
             }
-            let t = hw.now + SimDuration::from_secs_f64(c.rem_next() / (c.base_rate * perf));
+            let t = hw.now + SimDuration::from_secs_f64(arena.rem_next(i) / (arena.rate[i] * perf));
             if t < t_next {
                 t_next = t;
                 kind = NextEvent::Core(i);
@@ -105,20 +111,24 @@ fn run_cores_legacy<I: Iterator<Item = Burst>>(
         }
 
         // Advance execution to the event — every core of the domain is
-        // visited, finished (idle-parked) or not. The event engine
-        // instead drops finished cores from its live set; the results
+        // visited, finished (idle-parked) or not. The other engines
+        // instead drop finished cores from their live sets; the results
         // are identical (advancing a finished core is a no-op), only
         // the per-core step accounting differs.
         let dt = t_next.saturating_since(hw.now);
         if !dt.is_zero() {
-            for c in cores.iter_mut().filter(|c| !c.finished()) {
-                c.advance(c.base_rate * perf * dt.as_secs_f64());
+            for i in 0..cores.len() {
+                if arena.finished(i) {
+                    continue;
+                }
+                let insts = arena.rate[i] * perf * dt.as_secs_f64();
+                arena.advance(i, insts);
             }
             hw.run_for(dt);
         }
 
-        dispatch_event(kind, &mut cores, &mut hw, &mut os, tele);
+        dispatch_event(kind, &mut arena, &mut cores, &mut hw, &mut os, tele);
     }
 
-    collect(&cores, hw, &os, workload)
+    collect(&cores, &arena, hw, &os, workload)
 }

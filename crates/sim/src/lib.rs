@@ -34,10 +34,13 @@
 #![warn(missing_docs)]
 
 pub mod analytic;
+mod arena;
 pub mod engine;
 pub mod event;
 pub mod experiment;
 pub mod fleet;
+#[doc(hidden)]
+pub mod heap_ref;
 #[doc(hidden)]
 pub mod legacy;
 pub mod montecarlo;

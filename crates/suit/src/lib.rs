@@ -56,6 +56,7 @@ pub use suit_faults as faults;
 pub use suit_hw as hw;
 pub use suit_isa as isa;
 pub use suit_ooo as ooo;
+pub use suit_rng as rng;
 pub use suit_serve as serve;
 pub use suit_sim as sim;
 pub use suit_store as store;

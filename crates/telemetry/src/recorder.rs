@@ -145,6 +145,14 @@ id_enum! {
         /// window contributes zero steps — `core_steps` counts only
         /// cores that actually executed during a quantum.
         CoreSteps => "core_steps",
+        /// Engine: heap (re)allocations of the scheduler's reusable
+        /// scratch state. Counted only when a buffer grows, so a steady
+        /// inner quantum loop must keep this at its warm-up value — the
+        /// equivalence suite asserts the loop is allocation-free. A
+        /// worker-*thread* fact, not a simulation fact: it is dropped by
+        /// [`TelemetrySnapshot::merge_shard`], so only serial
+        /// same-thread snapshots carry it.
+        EngineScratchAllocs => "engine_scratch_allocs",
     }
 }
 
@@ -395,9 +403,24 @@ impl TelemetrySnapshot {
     /// concatenate in call order, so merging shards **position-ordered**
     /// (shard 0 first, then 1, …) yields the same bytes at any worker
     /// thread count.
+    ///
+    /// One exception: [`Counter::EngineScratchAllocs`] is dropped at
+    /// merge. It records a *worker-thread* fact (this thread's reusable
+    /// scratch had to grow), not a simulation fact — under dynamic work
+    /// stealing, which shard's run lands on a cold thread is scheduling
+    /// noise, so summing it would break the thread-count-invariance
+    /// contract above. Read it from a serial, same-thread snapshot (as
+    /// the engine-equivalence suite does), never from a merged one.
     pub fn merge_shard(&mut self, shard: &TelemetrySnapshot) {
-        for (a, b) in self.counters.iter_mut().zip(shard.counters.iter()) {
-            *a += b;
+        for (i, (a, b)) in self
+            .counters
+            .iter_mut()
+            .zip(shard.counters.iter())
+            .enumerate()
+        {
+            if i != Counter::EngineScratchAllocs.index() {
+                *a += b;
+            }
         }
         for (a, b) in self.hists.iter_mut().zip(shard.hists.iter()) {
             a.merge(b);
@@ -527,6 +550,21 @@ mod tests {
             flat.events.iter().map(|e| e.arg).collect::<Vec<_>>(),
             [1, 2, 3]
         );
+    }
+
+    #[test]
+    fn merge_drops_worker_thread_scratch_counter() {
+        // EngineScratchAllocs records which worker thread ran cold — a
+        // scheduling fact, so it must not survive into merged snapshots.
+        let t = Telemetry::recording();
+        t.add(Counter::EngineScratchAllocs, 3);
+        t.add(Counter::DoTraps, 5);
+        let shard = t.snapshot();
+        let mut merged = TelemetrySnapshot::default();
+        merged.merge_shard(&shard);
+        merged.merge_shard(&shard);
+        assert_eq!(merged.counter(Counter::DoTraps), 10);
+        assert_eq!(merged.counter(Counter::EngineScratchAllocs), 0);
     }
 
     #[test]

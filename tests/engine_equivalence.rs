@@ -1,14 +1,15 @@
-//! Differential equivalence suite: event-heap engine vs. the legacy
-//! scan loop.
+//! Differential equivalence suite: the production arena scheduler vs.
+//! the event-heap reference vs. the legacy scan loop.
 //!
-//! The engine rewrite (`suit::sim::event`) replaced the per-iteration
-//! linear scan over cores/timer/pending with a deterministic binary
-//! min-heap, keeping the boot, per-quantum advancement, dispatch, and
-//! collection code shared verbatim (`suit::sim::engine`). The old loop
-//! stays in-tree as `suit::sim::legacy` purely as the reference: this
-//! suite pins the two **byte-identical** — same `Debug` rendering, so
-//! every `f64` bit pattern agrees, not just approximate equality —
-//! across:
+//! Three engines share the boot, per-quantum advancement, dispatch, and
+//! collection code verbatim (`suit::sim::engine`) and differ only in
+//! event selection: the production arena loop (`suit::sim::arena` —
+//! linear argmin over flat core state plus a batched lone-core fast
+//! path), the PR 8 event-heap loop (entry points in
+//! `suit::sim::heap_ref`), and the original linear scan
+//! (`suit::sim::legacy`). This suite pins all three **byte-identical** —
+//! same `Debug` rendering, so every `f64` bit pattern agrees, not just
+//! approximate equality — across:
 //!
 //! * every built-in workload profile × all three curve-switching
 //!   strategies (`fv`, `f`, `V`), at 1 and 4 executor threads;
@@ -20,14 +21,17 @@
 //!
 //! The suite also pins the idle-park bugfix: the legacy loop advanced
 //! *every* core of a shared DVFS domain each quantum, finished or not;
-//! the event engine drops finished cores from its live set, so an idle
-//! window contributes zero per-core step events to telemetry.
+//! the production engines drop finished cores from their live sets, so
+//! an idle window contributes zero per-core step events to telemetry.
+//! Finally it asserts the arena scheduler's hot loop is allocation-free
+//! once its thread-local scratch is warm, via the telemetry
+//! `EngineScratchAllocs` counter.
 
 use suit::exec::Threads;
 use suit::hw::{CpuModel, UndervoltLevel};
 use suit::sim::engine::{run_stream, simulate, simulate_mixed, SimConfig};
 use suit::sim::fleet::{FleetConfig, FleetSim};
-use suit::sim::legacy;
+use suit::sim::{heap_ref, legacy};
 use suit::telemetry::{Counter, Telemetry};
 use suit::trace::{profile, TraceGen};
 
@@ -46,9 +50,9 @@ fn strategies(level: UndervoltLevel) -> Vec<(&'static str, SimConfig)> {
     vec![("fv", fv), ("f", f), ("V", v)]
 }
 
-/// Every (workload × strategy) cell, one engine run and one legacy run,
-/// compared byte-for-byte — fanned out at both 1 and 4 threads, which
-/// must also agree with each other.
+/// Every (workload × strategy) cell, one production arena run against
+/// both references, compared byte-for-byte — fanned out at both 1 and 4
+/// threads, which must also agree with each other.
 #[test]
 fn all_workloads_all_strategies_match_legacy() {
     let cpu = CpuModel::xeon_4208();
@@ -67,7 +71,9 @@ fn all_workloads_all_strategies_match_legacy() {
             let (name, cfg) = &cells[i];
             let p = profile::by_name(name).expect("known profile");
             let new = simulate(&cpu, p, cfg);
+            let heap = heap_ref::simulate(&cpu, p, cfg);
             let old = legacy::simulate(&cpu, p, cfg);
+            assert_eq!(new, heap, "{name} {:?} diverged from heap", cfg.strategy);
             assert_eq!(new, old, "{name} {:?} diverged from legacy", cfg.strategy);
             format!("{new:?}")
         })
@@ -88,7 +94,13 @@ fn consolidation_mixes_match_legacy() {
     for name in profile::MIX_NAMES {
         let workloads = profile::mix(name).expect("known mix");
         let new = simulate_mixed(&cpu, &workloads, &cfg);
+        let heap = heap_ref::simulate_mixed(&cpu, &workloads, &cfg);
         let old = legacy::simulate_mixed(&cpu, &workloads, &cfg);
+        assert_eq!(
+            format!("{new:?}"),
+            format!("{heap:?}"),
+            "mix '{name}' diverged from the event-heap reference"
+        );
         assert_eq!(
             format!("{new:?}"),
             format!("{old:?}"),
@@ -112,7 +124,13 @@ fn streamed_traces_match_legacy() {
         let cfg = cfg.with_max_insts(INSTS);
         let bursts: Vec<suit::trace::Burst> = TraceGen::new(p, 0x5EED).collect();
         let new = run_stream(&cpu, &meta, bursts.iter().copied(), &cfg);
+        let heap = heap_ref::run_stream(&cpu, &meta, bursts.iter().copied(), &cfg);
         let old = legacy::run_stream(&cpu, &meta, bursts.iter().copied(), &cfg);
+        assert_eq!(
+            format!("{new:?}"),
+            format!("{heap:?}"),
+            "streamed {label} diverged from the event-heap reference"
+        );
         assert_eq!(
             format!("{new:?}"),
             format!("{old:?}"),
@@ -175,4 +193,53 @@ fn idle_parked_cores_contribute_zero_steps() {
          idle-parked cores are being advanced"
     );
     assert!(steps >= quanta, "fewer steps than quanta is impossible");
+}
+
+/// Allocation-free hot loop: once a warm-up run has grown the arena
+/// scheduler's thread-local scratch to its high-water mark, later runs
+/// on the same thread never reallocate — `EngineScratchAllocs` ticks
+/// only when a reset has to grow a buffer, and must stay at zero for a
+/// fresh recording run of the same shape (single-core and the 4-core
+/// shared-domain path).
+#[test]
+fn warm_quantum_loop_never_allocates_scratch() {
+    let cpu = CpuModel::xeon_4208();
+    let p = profile::by_name("502.gcc").expect("502.gcc");
+    let cfg = SimConfig::fv_intel(UndervoltLevel::Mv97).with_max_insts(INSTS);
+    let mixed_cpu = CpuModel::i9_9900k();
+    let mixed_cfg = SimConfig {
+        cores: 4,
+        ..SimConfig::fv_intel(UndervoltLevel::Mv97).with_max_insts(8_000_000)
+    };
+    let profiles: Vec<&suit::trace::profile::WorkloadProfile> =
+        ["505.mcf", "502.gcc", "557.xz", "500.perlbench"]
+            .iter()
+            .map(|n| profile::by_name(n).expect("known profile"))
+            .collect();
+
+    // Warm-up: grows this thread's scratch to the 4-core high-water mark.
+    let _ = simulate(&cpu, p, &cfg);
+    let _ = simulate_mixed(&mixed_cpu, &profiles, &mixed_cfg);
+
+    // Recording runs on the warmed thread must not touch the allocator.
+    let tele = Telemetry::with_capacity(64);
+    let warm_single = suit::sim::engine::simulate_telemetry(&cpu, p, &cfg, &tele);
+    let _ = suit::sim::engine::simulate_mixed_telemetry(&mixed_cpu, &profiles, &mixed_cfg, &tele);
+    let snap = tele.snapshot();
+    assert!(
+        snap.counter(Counter::EngineQuanta) > 0,
+        "no quanta recorded"
+    );
+    assert_eq!(
+        snap.counter(Counter::EngineScratchAllocs),
+        0,
+        "warm arena runs grew their scratch buffers"
+    );
+
+    // The reuse is invisible in the results: a warmed run is byte-equal
+    // to a cold reference run.
+    assert_eq!(
+        format!("{warm_single:?}"),
+        format!("{:?}", legacy::simulate(&cpu, p, &cfg))
+    );
 }

@@ -9,8 +9,9 @@
 use suit::check::{corpus_dir, gen, Checker};
 use suit::core::strategy::StrategyParams;
 use suit::core::thrash::ThrashGuard;
-use suit::hw::{CpuModel, DvfsCurve, UndervoltLevel};
+use suit::hw::{CpuModel, DelayTable, DvfsCurve, PointKind, TransitionDelays, UndervoltLevel};
 use suit::isa::{SimDuration, SimTime};
+use suit::rng::SuitRng;
 use suit::sim::engine::{simulate, SimConfig};
 use suit::trace::{profile, Burst, TraceGen};
 
@@ -88,6 +89,63 @@ fn undervolt_response_is_sane() {
                 if r.score >= 0.25 {
                     return Err(format!("{}: implausible score {}", cpu.name, r.score));
                 }
+            }
+            Ok(())
+        });
+}
+
+/// The precomputed [`DelayTable`] is bit-identical to the closed-form
+/// µs → [`SimDuration`] conversions for every operating point ×
+/// transition kind — including the Monte-Carlo jittered paths, which
+/// rebuild the table from each run's sampled delays (mirroring the
+/// resampling `sim::montecarlo` performs before boot).
+#[test]
+fn delay_table_matches_closed_form_under_jitter() {
+    let case = gen::pair(&gen::u64_any(), &gen::usize_in(0..=2));
+    Checker::new("model::delay_table")
+        .cases(256)
+        .corpus(corpus_dir!())
+        .check(&case, move |&(seed, which)| {
+            let base = match which {
+                0 => TransitionDelays::i9_9900k(),
+                1 => TransitionDelays::ryzen_7700x(),
+                _ => TransitionDelays::xeon_4208(),
+            };
+            let mut d = base;
+            let mut rng = SuitRng::seed_from_u64(seed);
+            d.freq_change_us = base.sample_freq_change(&mut rng).as_micros_f64();
+            d.volt_change_us = base.sample_volt_change(&mut rng).as_micros_f64();
+            if base.freq_stall_us > 0.0 {
+                d.freq_stall_us = d.freq_change_us.min(base.freq_stall_us);
+            }
+            let t = DelayTable::new(&d);
+            for kind in PointKind::ALL {
+                let sync = match kind {
+                    PointKind::ConservativeVolt => d.volt_change() + d.freq_change(),
+                    _ => d.freq_change(),
+                };
+                let async_ = match kind {
+                    PointKind::ConservativeVolt => d.volt_change(),
+                    _ => d.freq_change(),
+                };
+                if t.sync_wait(kind) != sync {
+                    return Err(format!("{kind:?}: sync_wait diverges from closed form"));
+                }
+                if t.async_delay(kind) != async_ {
+                    return Err(format!("{kind:?}: async_delay diverges from closed form"));
+                }
+            }
+            if t.freq_stall() != d.freq_stall() {
+                return Err("freq_stall diverges".into());
+            }
+            if t.exception() != d.exception() {
+                return Err("exception diverges".into());
+            }
+            if t.emulation_call() != d.emulation_call() {
+                return Err("emulation_call diverges".into());
+            }
+            if t.emulation_remainder() != d.emulation_call().saturating_sub(d.exception()) {
+                return Err("emulation_remainder diverges".into());
             }
             Ok(())
         });
