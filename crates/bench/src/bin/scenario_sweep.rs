@@ -1,0 +1,13 @@
+//! Throughput of the scenario subsystem.
+//!
+//! Times the SRAM fault-domain campaign (bank × offset sweep plus the
+//! dual-class audit matrix) and the Scrooge attacker-economics search
+//! (grid + coordinate refinement + fleet validation + defence audits)
+//! end to end. `--json <path>` writes the committed
+//! `BENCH_scenarios.json` baseline; `--test` shrinks the campaigns and
+//! asserts sanity bounds plus 1-vs-4-worker byte-identity for CI. The
+//! measurement body lives in [`suit_bench::perf`] so the `render_all`
+//! driver runs the identical code.
+fn main() {
+    suit_bench::perf::scenario_sweep(&suit_bench::perf::PerfOpts::from_args());
+}

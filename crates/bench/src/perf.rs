@@ -1,7 +1,8 @@
-//! The three performance benches behind the committed `BENCH_*.json`
+//! The performance benches behind the committed `BENCH_*.json`
 //! baselines, as library functions so both the standalone binaries
-//! (`engine_hotpath`, `fleet_throughput`, `trace_replay`) and the
-//! `render_all` driver run the identical measurement code.
+//! (`engine_hotpath`, `fleet_throughput`, `trace_replay`,
+//! `scenario_sweep`) and the `render_all` driver run the identical
+//! measurement code.
 //!
 //! Every document is written through [`crate::emit::BenchDoc`], so all
 //! baselines share the one schema and are validated with the in-tree
@@ -11,10 +12,12 @@ use suit_emu::aes::{bitsliced, Aes128Key};
 use suit_exec::Threads;
 use suit_hw::{CpuModel, UndervoltLevel};
 use suit_isa::Vec128;
+use suit_scenarios::{scrooge, sram, ScroogeConfig, SramScenarioConfig};
 use suit_sim::engine::{run_stream, simulate, SimConfig};
 use suit_sim::fleet::{FleetConfig, FleetSim};
 use suit_sim::montecarlo::monte_carlo_with_threads;
 use suit_store as store;
+use suit_telemetry::Telemetry;
 use suit_trace::io::TraceMeta;
 use suit_trace::{profile, TraceGen};
 
@@ -352,5 +355,115 @@ pub fn trace_replay(opts: &PerfOpts) {
             "replay below 1k bursts/s: {replay_bps:.0}"
         );
         println!("OK: trace pipeline throughput within sanity bounds");
+    }
+}
+
+/// The scenario-subsystem bench: the SRAM fault-domain campaign (bank ×
+/// offset sweep + dual-class audit matrix) and the Scrooge economic
+/// search (grid + refinement + fleet validation + defence audits), each
+/// timed end to end on one `suit-exec` worker.
+pub fn scenario_sweep(opts: &PerfOpts) {
+    let mut sram_cfg = SramScenarioConfig::default();
+    let mut scrooge_cfg = ScroogeConfig::default();
+    if opts.test_mode {
+        sram_cfg.reads = 512;
+        sram_cfg.audit_len = 500;
+        scrooge_cfg.epoch_insts = 200_000;
+        scrooge_cfg.audit_len = 500;
+    }
+    let sram_points =
+        ((sram_cfg.cache_banks + sram_cfg.rob_banks) * sram_cfg.offsets_mv.len()) as u64;
+    let scrooge_points =
+        (scrooge_cfg.offset_steps * scrooge_cfg.freq_steps + 4 * scrooge_cfg.refine_rounds) as u64;
+    println!(
+        "scenario_sweep: sram {} banks x {} offsets x {} reads, scrooge {} grid+refine points \
+         over {} domains (1 thread)\n",
+        sram_cfg.cache_banks + sram_cfg.rob_banks,
+        sram_cfg.offsets_mv.len(),
+        sram_cfg.reads,
+        scrooge_points,
+        scrooge_cfg.racks * scrooge_cfg.domains_per_rack
+    );
+
+    let sram_bench = bench_with_throughput(
+        "sram_campaign (bank-offset points)",
+        Some(sram_points),
+        || sram::run(&sram_cfg, 1, &Telemetry::off()),
+    );
+    let sram_report = sram::run(&sram_cfg, 1, &Telemetry::off());
+    let sram_pps = sram_points as f64 / sram_bench.median.as_secs_f64().max(1e-12);
+
+    let scrooge_bench =
+        bench_with_throughput("scrooge_search (grid points)", Some(scrooge_points), || {
+            scrooge::search(&scrooge_cfg, 1, &Telemetry::off()).expect("bench scenario is valid")
+        });
+    let scrooge_report =
+        scrooge::search(&scrooge_cfg, 1, &Telemetry::off()).expect("bench scenario is valid");
+    let scrooge_pps = scrooge_points as f64 / scrooge_bench.median.as_secs_f64().max(1e-12);
+
+    println!(
+        "\nsram {sram_pps:.0} points/s ({} faults, {} bits), scrooge {scrooge_pps:.0} points/s \
+         (chosen {} mV @ {:.3}x, net ${:.2})",
+        sram_report.total_faults,
+        sram_report.bits_flipped,
+        scrooge_report.chosen.offset_mv,
+        scrooge_report.chosen.freq_scale,
+        scrooge_report.chosen.net
+    );
+
+    if let Some(path) = &opts.json_path {
+        let mut doc = BenchDoc::new("scenario_sweep");
+        doc.config(
+            "sram_banks",
+            Val::U64((sram_cfg.cache_banks + sram_cfg.rob_banks) as u64),
+        );
+        doc.config("sram_offsets", Val::U64(sram_cfg.offsets_mv.len() as u64));
+        doc.config("sram_reads", Val::U64(sram_cfg.reads as u64));
+        doc.config("scrooge_points", Val::U64(scrooge_points));
+        doc.config(
+            "scrooge_domains",
+            Val::U64((scrooge_cfg.racks * scrooge_cfg.domains_per_rack) as u64),
+        );
+        doc.metric("sram", "median_ms", Val::F64(ms(&sram_bench), 3));
+        doc.metric("sram", "points_per_s", Val::F64(sram_pps, 0));
+        doc.metric("sram", "total_faults", Val::U64(sram_report.total_faults));
+        doc.metric("scrooge", "median_ms", Val::F64(ms(&scrooge_bench), 3));
+        doc.metric("scrooge", "points_per_s", Val::F64(scrooge_pps, 0));
+        doc.metric(
+            "scrooge",
+            "points_evaluated",
+            Val::U64(scrooge_report.points_evaluated),
+        );
+        doc.write(path);
+    }
+
+    if opts.test_mode {
+        // Determinism contract first (both reports byte-identical at 1
+        // and 4 workers), sanity floors second.
+        for threads in [1, 4] {
+            assert_eq!(
+                sram_report.to_json(),
+                sram::run(&sram_cfg, threads, &Telemetry::off()).to_json(),
+                "sram scenario diverged at {threads} threads"
+            );
+            assert_eq!(
+                scrooge_report.to_json(),
+                scrooge::search(&scrooge_cfg, threads, &Telemetry::off())
+                    .expect("bench scenario is valid")
+                    .to_json(),
+                "scrooge search diverged at {threads} threads"
+            );
+        }
+        assert!(sram_report.total_faults > 0, "sweep found no faults");
+        assert!(
+            sram_report.defended_rows_secure(),
+            "a defended audit row leaked silent errors"
+        );
+        assert!(sram_pps > 1.0, "sram below 1 point/s: {sram_pps:.2}");
+        assert!(
+            scrooge_pps > 1.0,
+            "scrooge below 1 point/s: {scrooge_pps:.2}"
+        );
+        println!("OK: scenario campaigns deterministic and within sanity bounds");
     }
 }

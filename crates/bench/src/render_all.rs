@@ -8,10 +8,11 @@
 //! owns all parallelism. Rendering is a pure function of the models, so
 //! the artefacts are byte-identical at every worker count.
 //!
-//! The three performance benches (`engine_hotpath`, `fleet_throughput`,
-//! `trace_replay`) then run **serially after** the render fan-out:
-//! timings must not share the machine with other jobs, or the medians
-//! would measure scheduler contention instead of the code.
+//! The performance benches (`engine_hotpath`, `fleet_throughput`,
+//! `trace_replay`, `scenario_sweep`) then run **serially after** the
+//! render fan-out: timings must not share the machine with other jobs,
+//! or the medians would measure scheduler contention instead of the
+//! code.
 
 use std::path::{Path, PathBuf};
 
@@ -23,10 +24,11 @@ use crate::{ablation, emit, figs, tables};
 
 /// The committed benchmark baselines, with the bench name each must
 /// carry — the contract [`check_bench_files`] enforces.
-pub const BENCH_FILES: [(&str, &str); 3] = [
+pub const BENCH_FILES: [(&str, &str); 4] = [
     ("BENCH_engine.json", "engine_hotpath"),
     ("BENCH_fleet.json", "fleet_throughput"),
     ("BENCH_trace_replay.json", "trace_replay"),
+    ("BENCH_scenarios.json", "scenario_sweep"),
 ];
 
 /// Options for one render-all run.
@@ -34,7 +36,7 @@ pub const BENCH_FILES: [(&str, &str); 3] = [
 pub struct RenderAllOpts {
     /// Directory the rendered text artefacts are written into.
     pub out_dir: PathBuf,
-    /// Directory the three `BENCH_*.json` files are written into — the
+    /// Directory the `BENCH_*.json` files are written into — the
     /// repository root for baseline regeneration, the artefact directory
     /// in `--test` mode so CI never dirties committed baselines.
     pub bench_dir: PathBuf,
@@ -137,13 +139,14 @@ fn jobs(cap: Option<u64>, test_mode: bool) -> Vec<Job> {
 
 /// Runs the full driver: fans the render jobs out, writes one
 /// `<out_dir>/<id>.txt` per artefact plus an `INDEX.txt`, then runs the
-/// three perf benches serially, writing `BENCH_*.json` into `bench_dir`.
+/// perf benches serially, writing `BENCH_*.json` into `bench_dir`.
 pub fn render_all(opts: &RenderAllOpts) {
     let jobs = jobs(opts.cap, opts.test_mode);
     println!(
-        "render_all: {} artefacts over {} worker(s), then 3 serial perf benches\n",
+        "render_all: {} artefacts over {} worker(s), then {} serial perf benches\n",
         jobs.len(),
-        opts.threads.count().min(jobs.len())
+        opts.threads.count().min(jobs.len()),
+        BENCH_FILES.len()
     );
 
     let rendered: Vec<(&'static str, String)> =
@@ -174,7 +177,9 @@ pub fn render_all(opts: &RenderAllOpts) {
         match file {
             "BENCH_engine.json" => perf::engine_hotpath(&popts),
             "BENCH_fleet.json" => perf::fleet_throughput(&popts),
-            _ => perf::trace_replay(&popts),
+            "BENCH_trace_replay.json" => perf::trace_replay(&popts),
+            "BENCH_scenarios.json" => perf::scenario_sweep(&popts),
+            other => unreachable!("no perf bench registered for {other}"),
         }
     }
 }

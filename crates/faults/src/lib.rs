@@ -24,6 +24,12 @@
 //!   Plundervolt-style RSA-CRT signer whose undervolted `IMUL`s leak a
 //!   prime factor via Boneh–DeMillo–Lipton, and the SUIT configuration
 //!   that defeats it.
+//! * [`sram`] — the second fault domain: per-bank SRAM retention margins
+//!   (Soyturk et al.), a distinct, lower-variance Vmin family whose
+//!   faults are deterministic weak-cell bit flips in cache/ROB banks,
+//!   with its own injection campaign and the SRAM-aware extension of the
+//!   §6.9 audit (*no live bank below its bank-Vmin, or its contents are
+//!   untrusted*).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,9 +37,14 @@
 pub mod attack;
 pub mod inject;
 pub mod security;
+pub mod sram;
 pub mod vmin;
 
 pub use attack::{attack, sign_crt, RsaKey, SignerEnv};
 pub use inject::{Campaign, CampaignReport};
-pub use security::{audit_naive_undervolt, audit_suit_system, AuditOutcome};
+pub use security::{audit_naive_undervolt, audit_suit_system, audit_suit_traps_only, AuditOutcome};
+pub use sram::{
+    audit_sram_guarded, audit_sram_naive, SramArrayModel, SramBank, SramBankKind, SramCampaign,
+    SramCampaignReport,
+};
 pub use vmin::{ChipVminModel, VminSample};

@@ -18,7 +18,7 @@
 
 use suit_core::{CurveSelect, SuitMsrs};
 use suit_emu::EmuOperands;
-use suit_isa::{Opcode, Vec128};
+use suit_isa::{FaultableSet, Opcode, Vec128};
 use suit_rng::{Rng, SuitRng};
 
 use crate::inject::execute_with_faults;
@@ -110,8 +110,57 @@ pub fn audit_suit_system(
     seed: u64,
     len: usize,
 ) -> AuditOutcome {
-    let mut rng = SuitRng::seed_from_u64(seed ^ 0xBEEF);
-    let mut msrs = SuitMsrs::suit_cpu();
+    audit_suit(
+        chip,
+        core,
+        offset_mv,
+        seed ^ 0xBEEF,
+        seed,
+        len,
+        SuitMsrs::suit_cpu(),
+        true,
+    )
+}
+
+/// Audits a SUIT system **without** the hardened-IMUL option: the
+/// vendor-qualified faultable set is all of Table 1, so `IMUL` also
+/// traps with `#DO` instead of executing hardened on the efficient
+/// curve. This is the "SUIT traps" defence point of the scenario matrix
+/// — slower (every `IMUL` pays a curve transition) but equally secure.
+pub fn audit_suit_traps_only(
+    chip: &ChipVminModel,
+    core: usize,
+    offset_mv: f64,
+    seed: u64,
+    len: usize,
+) -> AuditOutcome {
+    audit_suit(
+        chip,
+        core,
+        offset_mv,
+        seed ^ 0xFACE,
+        seed,
+        len,
+        SuitMsrs::new(FaultableSet::table1()),
+        false,
+    )
+}
+
+/// Shared body of the SUIT audits: `msrs` carries the vendor faultable
+/// set (what `disable_faultable` disables), `hardened_imul` selects
+/// whether `IMUL` executes on the efficient curve with its extra margin.
+#[allow(clippy::too_many_arguments)]
+fn audit_suit(
+    chip: &ChipVminModel,
+    core: usize,
+    offset_mv: f64,
+    rng_seed: u64,
+    seed: u64,
+    len: usize,
+    mut msrs: SuitMsrs,
+    hardened_imul: bool,
+) -> AuditOutcome {
+    let mut rng = SuitRng::seed_from_u64(rng_seed);
     msrs.disable_faultable();
     msrs.write_curve(CurveSelect::Efficient)
         .expect("faultable set is disabled");
@@ -131,7 +180,7 @@ pub fn audit_suit_system(
                     .expect("always legal");
                 msrs.enable_all().expect("legal on conservative");
                 (0.0, true)
-            } else if op == Opcode::Imul {
+            } else if hardened_imul && op == Opcode::Imul {
                 // Hardened IMUL on the efficient curve: the relaxed
                 // critical path absorbs the offset.
                 ((offset_mv + HARDENED_IMUL_EXTRA_MARGIN_MV).min(0.0), false)
@@ -215,6 +264,20 @@ mod tests {
         // system on the conservative curve for a few instructions, so
         // roughly one in six executions traps.
         assert!(out.trapped > out.executed / 8, "{out:?}");
+    }
+
+    #[test]
+    fn traps_only_suit_is_clean_and_traps_imul_too() {
+        // Structurally, the traps-only vendor set covers all of Table 1,
+        // so IMUL is disabled on the efficient curve instead of hardened.
+        let mut msrs = SuitMsrs::new(FaultableSet::table1());
+        msrs.disable_faultable();
+        assert!(msrs.is_disabled(Opcode::Imul));
+        for seed in 0..10 {
+            let out = audit_suit_traps_only(&chip(), 0, -130.0, seed, 2000);
+            assert!(out.is_secure(), "seed {seed}: {out:?}");
+            assert!(out.trapped > out.executed / 8, "seed {seed}: {out:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,501 @@
+//! Strict JSON configuration for the scenario campaigns.
+//!
+//! Same contract as `FleetConfig::from_json` and the `SUITTRC` readers:
+//! arbitrary byte soup, truncation, and hostile counts must come back as
+//! a structured `Err`, never a panic — every count is bounds-checked
+//! here *before* any count-proportional allocation happens in the
+//! runners, and unknown keys are rejected so typos fail loudly.
+//!
+//! The same document shape is accepted everywhere a scenario enters the
+//! stack: `suit-cli scenario sram|scrooge --config <file>` (the
+//! `"scenario"` discriminator is optional — the subcommand names it) and
+//! `POST /v1/scenario` (the discriminator is required; service-level
+//! keys like `deadline_ms` are passed through `skip`).
+
+use suit_hw::UndervoltLevel;
+use suit_sim::fleet::FleetConfig;
+use suit_telemetry::json;
+
+/// Upper bound on banks of either kind in a sampled SRAM array.
+pub const MAX_BANKS: usize = 4096;
+/// Upper bound on offsets in an SRAM sweep.
+pub const MAX_OFFSETS: usize = 256;
+/// Upper bound on accesses per (bank, offset) point.
+pub const MAX_READS: u32 = 1 << 20;
+/// Upper bound on audit sequence length.
+pub const MAX_AUDIT_LEN: usize = 1_000_000;
+/// Upper bound on audited cores in the SRAM scenario.
+pub const MAX_CORES: usize = 1024;
+/// Upper bound on grid steps along either search axis.
+pub const MAX_STEPS: usize = 64;
+/// Upper bound on coordinate-refinement rounds.
+pub const MAX_REFINE_ROUNDS: usize = 16;
+
+/// Configuration of the SRAM fault-domain scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SramScenarioConfig {
+    /// Cache banks in the sampled array.
+    pub cache_banks: usize,
+    /// Reorder-buffer banks in the sampled array.
+    pub rob_banks: usize,
+    /// Datapath process-variation sigma, mV (the SRAM family scales it
+    /// down internally).
+    pub sigma_mv: f64,
+    /// Undervolt offsets to sweep, mV (non-positive).
+    pub offsets_mv: Vec<f64>,
+    /// Accesses per (bank, offset) point.
+    pub reads: u32,
+    /// Instructions / accesses per audit run.
+    pub audit_len: usize,
+    /// Cores in the instruction-class audit chip.
+    pub cores: usize,
+    /// Root seed for the array, the chip and every audit.
+    pub seed: u64,
+}
+
+impl Default for SramScenarioConfig {
+    fn default() -> Self {
+        SramScenarioConfig {
+            cache_banks: 8,
+            rob_banks: 4,
+            sigma_mv: 12.0,
+            offsets_mv: (10..=18).map(|i| -10.0 * i as f64).collect(),
+            reads: 4096,
+            audit_len: 2000,
+            cores: 2,
+            seed: 0x5017,
+        }
+    }
+}
+
+impl SramScenarioConfig {
+    /// Validates every field; counts are bounds-checked before anything
+    /// is allocated from them.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cache_banks > MAX_BANKS || self.rob_banks > MAX_BANKS {
+            return Err(format!("bank counts must be at most {MAX_BANKS}"));
+        }
+        if self.cache_banks + self.rob_banks == 0 {
+            return Err("need at least one bank (cache_banks + rob_banks >= 1)".to_string());
+        }
+        if !(self.sigma_mv.is_finite() && (0.0..=200.0).contains(&self.sigma_mv)) {
+            return Err("sigma_mv must be finite, in 0..=200".to_string());
+        }
+        if self.offsets_mv.is_empty() || self.offsets_mv.len() > MAX_OFFSETS {
+            return Err(format!("offsets_mv must list 1..={MAX_OFFSETS} offsets"));
+        }
+        for o in &self.offsets_mv {
+            if !(o.is_finite() && (-1000.0..=0.0).contains(o)) {
+                return Err("offsets_mv entries must be finite, in -1000..=0".to_string());
+            }
+        }
+        if self.reads == 0 || self.reads > MAX_READS {
+            return Err(format!("reads must be in 1..={MAX_READS}"));
+        }
+        if self.audit_len == 0 || self.audit_len > MAX_AUDIT_LEN {
+            return Err(format!("audit_len must be in 1..={MAX_AUDIT_LEN}"));
+        }
+        if self.cores == 0 || self.cores > MAX_CORES {
+            return Err(format!("cores must be in 1..={MAX_CORES}"));
+        }
+        Ok(())
+    }
+
+    /// Parses a config from a JSON document.
+    pub fn from_json(src: &str) -> Result<SramScenarioConfig, String> {
+        Self::from_value(&json::parse(src)?, &[])
+    }
+
+    /// Parses a config from an already-parsed document, ignoring the
+    /// keys in `skip` (service-level fields such as `deadline_ms`). A
+    /// `"scenario"` key, if present, must name this scenario.
+    pub fn from_value(v: &json::Value, skip: &[&str]) -> Result<SramScenarioConfig, String> {
+        let json::Value::Obj(pairs) = v else {
+            return Err("scenario config must be a JSON object".to_string());
+        };
+        let mut cfg = SramScenarioConfig::default();
+        for (key, value) in pairs {
+            if skip.contains(&key.as_str()) {
+                continue;
+            }
+            match key.as_str() {
+                "scenario" => {
+                    if value.as_str() != Some("sram") {
+                        return Err("'scenario' must be \"sram\" here".to_string());
+                    }
+                }
+                "cache_banks" => cfg.cache_banks = json_count(value, key)? as usize,
+                "rob_banks" => cfg.rob_banks = json_count(value, key)? as usize,
+                "sigma_mv" => {
+                    cfg.sigma_mv = value
+                        .as_f64()
+                        .ok_or_else(|| "'sigma_mv' must be a number".to_string())?;
+                }
+                "offsets_mv" => cfg.offsets_mv = json_numbers(value, key)?,
+                "reads" => cfg.reads = json_count(value, key)? as u32,
+                "audit_len" => cfg.audit_len = json_count(value, key)? as usize,
+                "cores" => cfg.cores = json_count(value, key)? as usize,
+                "seed" => cfg.seed = json_count(value, key)?,
+                other => return Err(format!("unknown key '{other}'")),
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+/// Configuration of the Scrooge attacker-economics scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScroogeConfig {
+    /// Racks in the attacked fleet.
+    pub racks: usize,
+    /// DVFS domains per rack.
+    pub domains_per_rack: usize,
+    /// Cores per domain.
+    pub cores_per_domain: usize,
+    /// Thermal epochs of the validation fleet run.
+    pub epochs: usize,
+    /// Instructions per epoch of the validation fleet run.
+    pub epoch_insts: u64,
+    /// Workload every domain runs.
+    pub workload: String,
+    /// Datapath process-variation sigma, mV.
+    pub sigma_mv: f64,
+    /// Cache banks per domain's SRAM array.
+    pub cache_banks: usize,
+    /// ROB banks per domain's SRAM array.
+    pub rob_banks: usize,
+    /// Deepest voltage offset the search may choose, mV (negative).
+    pub offset_min_mv: f64,
+    /// Grid steps along the offset axis (0 → `offset_min_mv`).
+    pub offset_steps: usize,
+    /// Lowest frequency scale the search may choose, in (0, 1].
+    pub freq_min: f64,
+    /// Grid steps along the frequency axis (1 → `freq_min`).
+    pub freq_steps: usize,
+    /// Coordinate-refinement rounds after the grid pass.
+    pub refine_rounds: usize,
+    /// Energy price, $ per MWh.
+    pub energy_price: f64,
+    /// Expected cost of one crash over the horizon, $ per domain.
+    pub crash_cost: f64,
+    /// Expected cost of one silent data corruption, $ per domain.
+    pub sdc_cost: f64,
+    /// SLA penalty per unit of lost throughput, $ per domain-hour.
+    pub sla_cost: f64,
+    /// Nominal power per domain, W.
+    pub domain_power_w: f64,
+    /// Attack horizon, hours.
+    pub horizon_hours: f64,
+    /// Instructions / accesses per defence audit.
+    pub audit_len: usize,
+    /// Root seed: per-domain chips and arrays fork from it.
+    pub seed: u64,
+}
+
+impl Default for ScroogeConfig {
+    fn default() -> Self {
+        ScroogeConfig {
+            racks: 2,
+            domains_per_rack: 2,
+            cores_per_domain: 2,
+            epochs: 2,
+            epoch_insts: 1_000_000,
+            workload: "502.gcc".to_string(),
+            sigma_mv: 12.0,
+            cache_banks: 4,
+            rob_banks: 2,
+            offset_min_mv: -180.0,
+            offset_steps: 13,
+            freq_min: 0.7,
+            freq_steps: 7,
+            refine_rounds: 3,
+            energy_price: 80.0,
+            crash_cost: 50.0,
+            sdc_cost: 500.0,
+            sla_cost: 0.02,
+            domain_power_w: 350.0,
+            horizon_hours: 720.0,
+            audit_len: 1500,
+            seed: 0x5017,
+        }
+    }
+}
+
+impl ScroogeConfig {
+    /// The validation fleet this scenario attacks, at `level`. The fleet
+    /// shape (racks, domains, cores, epochs, workload) is validated by
+    /// `FleetConfig::validate`, so the Scrooge scenario inherits every
+    /// fleet bound.
+    pub fn fleet_config(&self, level: UndervoltLevel) -> FleetConfig {
+        FleetConfig {
+            level,
+            racks: self.racks,
+            domains_per_rack: self.domains_per_rack,
+            cores_per_domain: self.cores_per_domain,
+            epochs: self.epochs,
+            epoch_insts: self.epoch_insts,
+            seed: self.seed,
+            workloads: vec![self.workload.clone()],
+            ..FleetConfig::default()
+        }
+    }
+
+    /// Validates every field (fleet shape through `FleetConfig`).
+    pub fn validate(&self) -> Result<(), String> {
+        self.fleet_config(UndervoltLevel::Mv97).validate()?;
+        if !(self.sigma_mv.is_finite() && (0.0..=200.0).contains(&self.sigma_mv)) {
+            return Err("sigma_mv must be finite, in 0..=200".to_string());
+        }
+        if self.cache_banks > MAX_BANKS || self.rob_banks > MAX_BANKS {
+            return Err(format!("bank counts must be at most {MAX_BANKS}"));
+        }
+        if self.cache_banks + self.rob_banks == 0 {
+            return Err("need at least one bank (cache_banks + rob_banks >= 1)".to_string());
+        }
+        if !(self.offset_min_mv.is_finite() && (-400.0..0.0).contains(&self.offset_min_mv)) {
+            return Err("offset_min_mv must be finite, in -400..<0".to_string());
+        }
+        if !(2..=MAX_STEPS).contains(&self.offset_steps)
+            || !(2..=MAX_STEPS).contains(&self.freq_steps)
+        {
+            return Err(format!("grid steps must be in 2..={MAX_STEPS}"));
+        }
+        if !(self.freq_min.is_finite() && self.freq_min > 0.0 && self.freq_min <= 1.0) {
+            return Err("freq_min must be in (0, 1]".to_string());
+        }
+        if self.refine_rounds > MAX_REFINE_ROUNDS {
+            return Err(format!("refine_rounds must be at most {MAX_REFINE_ROUNDS}"));
+        }
+        for (field, v) in [
+            ("energy_price", self.energy_price),
+            ("crash_cost", self.crash_cost),
+            ("sdc_cost", self.sdc_cost),
+            ("sla_cost", self.sla_cost),
+        ] {
+            if !(v.is_finite() && (0.0..=1e9).contains(&v)) {
+                return Err(format!("{field} must be finite, in 0..=1e9"));
+            }
+        }
+        if !(self.domain_power_w.is_finite() && (0.0..=100_000.0).contains(&self.domain_power_w))
+            || self.domain_power_w == 0.0
+        {
+            return Err("domain_power_w must be finite, in (0, 100000]".to_string());
+        }
+        if !(self.horizon_hours.is_finite() && (0.0..=1_000_000.0).contains(&self.horizon_hours))
+            || self.horizon_hours == 0.0
+        {
+            return Err("horizon_hours must be finite, in (0, 1000000]".to_string());
+        }
+        if self.audit_len == 0 || self.audit_len > MAX_AUDIT_LEN {
+            return Err(format!("audit_len must be in 1..={MAX_AUDIT_LEN}"));
+        }
+        Ok(())
+    }
+
+    /// Parses a config from a JSON document.
+    pub fn from_json(src: &str) -> Result<ScroogeConfig, String> {
+        Self::from_value(&json::parse(src)?, &[])
+    }
+
+    /// Parses a config from an already-parsed document, ignoring the
+    /// keys in `skip`. A `"scenario"` key, if present, must name this
+    /// scenario.
+    pub fn from_value(v: &json::Value, skip: &[&str]) -> Result<ScroogeConfig, String> {
+        let json::Value::Obj(pairs) = v else {
+            return Err("scenario config must be a JSON object".to_string());
+        };
+        let mut cfg = ScroogeConfig::default();
+        for (key, value) in pairs {
+            if skip.contains(&key.as_str()) {
+                continue;
+            }
+            match key.as_str() {
+                "scenario" => {
+                    if value.as_str() != Some("scrooge") {
+                        return Err("'scenario' must be \"scrooge\" here".to_string());
+                    }
+                }
+                "racks" => cfg.racks = json_count(value, key)? as usize,
+                "domains_per_rack" => cfg.domains_per_rack = json_count(value, key)? as usize,
+                "cores_per_domain" => cfg.cores_per_domain = json_count(value, key)? as usize,
+                "epochs" => cfg.epochs = json_count(value, key)? as usize,
+                "epoch_insts" => cfg.epoch_insts = json_count(value, key)?,
+                "workload" => {
+                    cfg.workload = value
+                        .as_str()
+                        .ok_or_else(|| "'workload' must be a string".to_string())?
+                        .to_string();
+                }
+                "sigma_mv" => cfg.sigma_mv = json_number(value, key)?,
+                "cache_banks" => cfg.cache_banks = json_count(value, key)? as usize,
+                "rob_banks" => cfg.rob_banks = json_count(value, key)? as usize,
+                "offset_min_mv" => cfg.offset_min_mv = json_number(value, key)?,
+                "offset_steps" => cfg.offset_steps = json_count(value, key)? as usize,
+                "freq_min" => cfg.freq_min = json_number(value, key)?,
+                "freq_steps" => cfg.freq_steps = json_count(value, key)? as usize,
+                "refine_rounds" => cfg.refine_rounds = json_count(value, key)? as usize,
+                "energy_price" => cfg.energy_price = json_number(value, key)?,
+                "crash_cost" => cfg.crash_cost = json_number(value, key)?,
+                "sdc_cost" => cfg.sdc_cost = json_number(value, key)?,
+                "sla_cost" => cfg.sla_cost = json_number(value, key)?,
+                "domain_power_w" => cfg.domain_power_w = json_number(value, key)?,
+                "horizon_hours" => cfg.horizon_hours = json_number(value, key)?,
+                "audit_len" => cfg.audit_len = json_count(value, key)? as usize,
+                "seed" => cfg.seed = json_count(value, key)?,
+                other => return Err(format!("unknown key '{other}'")),
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+/// A parsed scenario request: the `"scenario"` discriminator plus the
+/// matching config. This is what `POST /v1/scenario` and the fuzz suite
+/// parse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioConfig {
+    /// The SRAM fault-domain scenario.
+    Sram(SramScenarioConfig),
+    /// The Scrooge attacker-economics scenario.
+    Scrooge(ScroogeConfig),
+}
+
+impl ScenarioConfig {
+    /// Parses a discriminated scenario document.
+    pub fn from_json(src: &str) -> Result<ScenarioConfig, String> {
+        Self::from_value(&json::parse(src)?, &[])
+    }
+
+    /// Parses a discriminated scenario document that is already a JSON
+    /// value, ignoring the keys in `skip`.
+    pub fn from_value(v: &json::Value, skip: &[&str]) -> Result<ScenarioConfig, String> {
+        let json::Value::Obj(_) = v else {
+            return Err("scenario config must be a JSON object".to_string());
+        };
+        match v.get("scenario").and_then(|s| s.as_str()) {
+            Some("sram") => Ok(ScenarioConfig::Sram(SramScenarioConfig::from_value(
+                v, skip,
+            )?)),
+            Some("scrooge") => Ok(ScenarioConfig::Scrooge(ScroogeConfig::from_value(v, skip)?)),
+            Some(other) => Err(format!(
+                "unknown scenario '{other}' (expected \"sram\" or \"scrooge\")"
+            )),
+            None => Err("missing 'scenario' (\"sram\" or \"scrooge\")".to_string()),
+        }
+    }
+}
+
+/// Extracts a non-negative integer count from a JSON number, rejecting
+/// fractions, negatives, and anything beyond exact-f64 range.
+fn json_count(v: &json::Value, key: &str) -> Result<u64, String> {
+    let n = v
+        .as_f64()
+        .ok_or_else(|| format!("'{key}' must be a number"))?;
+    if !n.is_finite() || n.fract() != 0.0 || !(0.0..=9_007_199_254_740_992.0).contains(&n) {
+        return Err(format!("'{key}' must be a non-negative integer"));
+    }
+    Ok(n as u64)
+}
+
+/// Extracts a finite number (range checks happen in `validate`).
+fn json_number(v: &json::Value, key: &str) -> Result<f64, String> {
+    v.as_f64()
+        .filter(|n| n.is_finite())
+        .ok_or_else(|| format!("'{key}' must be a finite number"))
+}
+
+/// Extracts an array of finite numbers.
+fn json_numbers(v: &json::Value, key: &str) -> Result<Vec<f64>, String> {
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| format!("'{key}' must be an array"))?;
+    arr.iter()
+        .map(|x| {
+            x.as_f64()
+                .filter(|n| n.is_finite())
+                .ok_or_else(|| format!("'{key}' entries must be finite numbers"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        SramScenarioConfig::default().validate().unwrap();
+        ScroogeConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn empty_objects_parse_to_defaults() {
+        assert_eq!(
+            SramScenarioConfig::from_json("{}").unwrap(),
+            SramScenarioConfig::default()
+        );
+        assert_eq!(
+            ScroogeConfig::from_json("{}").unwrap(),
+            ScroogeConfig::default()
+        );
+    }
+
+    #[test]
+    fn discriminator_routes_and_is_required() {
+        let sram = ScenarioConfig::from_json("{\"scenario\":\"sram\",\"cache_banks\":2}").unwrap();
+        assert!(matches!(sram, ScenarioConfig::Sram(ref c) if c.cache_banks == 2));
+        let scrooge = ScenarioConfig::from_json("{\"scenario\":\"scrooge\",\"racks\":1}").unwrap();
+        assert!(matches!(scrooge, ScenarioConfig::Scrooge(ref c) if c.racks == 1));
+        assert!(ScenarioConfig::from_json("{}")
+            .unwrap_err()
+            .contains("scenario"));
+        assert!(ScenarioConfig::from_json("{\"scenario\":\"x\"}")
+            .unwrap_err()
+            .contains("unknown scenario"));
+        // The per-type parsers reject a mismatched discriminator.
+        assert!(SramScenarioConfig::from_json("{\"scenario\":\"scrooge\"}").is_err());
+    }
+
+    #[test]
+    fn unknown_keys_and_hostile_counts_are_rejected() {
+        assert!(SramScenarioConfig::from_json("{\"cache_bankz\":1}")
+            .unwrap_err()
+            .contains("unknown key"));
+        assert!(ScroogeConfig::from_json("{\"racks\":1e30}").is_err());
+        assert!(ScroogeConfig::from_json("{\"racks\":-1}").is_err());
+        assert!(SramScenarioConfig::from_json("{\"reads\":2.5}").is_err());
+        assert!(SramScenarioConfig::from_json("{\"cache_banks\":99999999}").is_err());
+        assert!(SramScenarioConfig::from_json("{\"offsets_mv\":[1e999]}").is_err());
+        assert!(SramScenarioConfig::from_json("not json").is_err());
+        assert!(SramScenarioConfig::from_json("[1,2]").is_err());
+    }
+
+    #[test]
+    fn skip_keys_pass_through() {
+        let v = json::parse("{\"scenario\":\"sram\",\"deadline_ms\":50,\"seed\":7}").unwrap();
+        let cfg = ScenarioConfig::from_value(&v, &["deadline_ms"]).unwrap();
+        assert!(matches!(cfg, ScenarioConfig::Sram(ref c) if c.seed == 7));
+        // ...but without skip, the service-level key is unknown.
+        assert!(ScenarioConfig::from_value(&v, &[]).is_err());
+    }
+
+    #[test]
+    fn scrooge_inherits_fleet_bounds() {
+        assert!(ScroogeConfig::from_json("{\"workload\":\"no-such\"}")
+            .unwrap_err()
+            .contains("unknown workload"));
+        assert!(ScroogeConfig::from_json("{\"racks\":0}").is_err());
+        assert!(ScroogeConfig::from_json("{\"epoch_insts\":0}").is_err());
+    }
+
+    #[test]
+    fn search_space_bounds_hold() {
+        assert!(ScroogeConfig::from_json("{\"offset_min_mv\":5}").is_err());
+        assert!(ScroogeConfig::from_json("{\"offset_steps\":1}").is_err());
+        assert!(ScroogeConfig::from_json("{\"freq_min\":0}").is_err());
+        assert!(ScroogeConfig::from_json("{\"freq_min\":1.5}").is_err());
+        assert!(ScroogeConfig::from_json("{\"refine_rounds\":99}").is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! # suit-scenarios
+//!
+//! Scenario campaigns over the SUIT reproduction — the two axes the
+//! ROADMAP names from the related-work corpus:
+//!
+//! * [`sram`] — the **SRAM fault domain** scenario (Soyturk et al.,
+//!   "Hardware Versus Software Fault Injection of Modern Undervolted
+//!   SRAMs"): sweep a sampled per-bank SRAM array over a set of
+//!   undervolt offsets with the thread-count-invariant campaign from
+//!   `suit-faults`, then run the extended §6.9 audit matrix over *both*
+//!   fault classes (instruction-Vmin datapath faults and per-bank
+//!   retention bit flips) at the deepest offset.
+//! * [`scrooge`] — the **attacker-economics** scenario ("Scrooge Attack:
+//!   Undervolting ARM Processors for Profit"): a deterministic seeded
+//!   search — grid plus coordinate refinement over `suit-exec`,
+//!   byte-identical at any thread count — for the cheapest stable
+//!   operating point of a `FleetSim` fleet, balancing energy savings
+//!   against expected crash/SDC penalties, followed by an evaluation of
+//!   every defence configuration at the attacker's chosen point.
+//! * [`config`] — the strict JSON configuration parser shared by the
+//!   CLI (`suit-cli scenario`), the service (`POST /v1/scenario`) and
+//!   the fuzz/property suites: byte soup, truncation and hostile counts
+//!   come back as structured errors *before* any count-proportional
+//!   allocation, and unknown keys are rejected so typos fail loudly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod scrooge;
+pub mod sram;
+
+pub use config::{ScenarioConfig, ScroogeConfig, SramScenarioConfig};
+pub use scrooge::{search, PointEval, ScroogeReport};
+pub use sram::{run, SramScenarioReport};
+
+/// Canonical JSON float text shared by the report serializers: finite
+/// values render with Rust's shortest round-trip `Display` (stable
+/// across platforms), non-finite values as `null`.
+pub(crate) fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}

@@ -24,6 +24,7 @@ use suit_faults::vmin::ChipVminModel;
 use suit_hw::{CpuKind, CpuModel, UndervoltLevel};
 use suit_isa::TABLE1;
 use suit_rng::SuitRng;
+use suit_scenarios::ScenarioConfig;
 use suit_sim::analytic::simulate_emulation;
 use suit_sim::engine::{run_stream, simulate, SimConfig};
 use suit_sim::experiment::{run_table6, RowResult};
@@ -74,6 +75,9 @@ pub enum Job {
     /// `POST /v1/simulate-trace`: streamed replay of a stored trace,
     /// one point per strategy fanned out over `suit-exec`.
     SimulateTrace(Box<TraceJob>),
+    /// `POST /v1/scenario`: an SRAM fault-domain or Scrooge
+    /// attacker-economics campaign over `suit-scenarios`.
+    Scenario(Box<ScenarioConfig>),
 }
 
 /// A single simulation point (the CLI `simulate` surface as JSON).
@@ -508,6 +512,17 @@ pub fn parse_faults(body: &str) -> Result<(Job, Option<u64>), BadRequest> {
     ))
 }
 
+/// Validates the body of `POST /v1/scenario`. Field validation lives in
+/// `suit-scenarios` itself (the CLI and the service share one config
+/// document, discriminated by the required `"scenario"` key); only the
+/// service-level `deadline_ms` field is peeled off here.
+pub fn parse_scenario(body: &str) -> Result<(Job, Option<u64>), BadRequest> {
+    let v = parse_body(body)?;
+    let deadline_ms = get_u64(&v, "deadline_ms")?;
+    let cfg = ScenarioConfig::from_value(&v, &["deadline_ms"]).map_err(BadRequest)?;
+    Ok((Job::Scenario(Box::new(cfg)), deadline_ms))
+}
+
 /// Runs a validated job. Fan-out inside batch jobs goes over
 /// [`suit_exec`] with `threads`; the deadline is checked cooperatively
 /// between simulation bursts (each fan-out point checks before it
@@ -583,6 +598,23 @@ pub fn execute(job: &Job, threads: Threads, deadline: Deadline) -> Result<String
                 table1.join(","),
                 ranking.join(",")
             ))
+        }
+        Job::Scenario(cfg) => {
+            let tele = suit_telemetry::Telemetry::off();
+            let out = match cfg.as_ref() {
+                ScenarioConfig::Sram(c) => {
+                    suit_scenarios::sram::run(c, threads.count(), &tele).to_json()
+                }
+                ScenarioConfig::Scrooge(c) => {
+                    suit_scenarios::scrooge::search(c, threads.count(), &tele)
+                        .expect("scenario config validated at parse time")
+                        .to_json()
+                }
+            };
+            if deadline.expired() {
+                return Err(ExecError::DeadlineExpired);
+            }
+            Ok(out)
         }
         Job::SimulateTrace(tj) => {
             let root = SuitRng::seed_from_u64(tj.spec.seed);
@@ -925,6 +957,34 @@ mod tests {
         // Determinism across thread counts.
         let again = execute(&job, Threads::Fixed(1), Deadline(None)).unwrap();
         assert_eq!(body, again);
+    }
+
+    #[test]
+    fn scenario_body_validates_and_is_thread_count_invariant() {
+        for bad in [
+            "",
+            "{}",
+            "[1,2]",
+            "{\"scenario\":\"warp\"}",
+            "{\"scenario\":\"sram\",\"bogus\":1}",
+            "{\"scenario\":\"sram\",\"reads\":0}",
+            "{\"scenario\":\"sram\",\"cache_banks\":99999999}",
+            "{\"scenario\":\"scrooge\",\"offset_steps\":1}",
+            "{\"scenario\":\"scrooge\",\"workload\":\"no-such\"}",
+        ] {
+            assert!(parse_scenario(bad).is_err(), "accepted {bad:?}");
+        }
+        let (job, deadline) = parse_scenario(
+            "{\"scenario\":\"sram\",\"cache_banks\":2,\"rob_banks\":1,\"reads\":64,\
+             \"offsets_mv\":[-120,-160],\"audit_len\":200,\"deadline_ms\":5000}",
+        )
+        .unwrap();
+        assert_eq!(deadline, Some(5000));
+        let one = execute(&job, Threads::Fixed(1), Deadline(None)).unwrap();
+        let four = execute(&job, Threads::Fixed(4), Deadline(None)).unwrap();
+        assert_eq!(one, four, "scenario diverged across thread counts");
+        let v = parse(&one).expect("valid JSON");
+        assert_eq!(v.get("scenario").and_then(Value::as_str), Some("sram"));
     }
 
     #[test]

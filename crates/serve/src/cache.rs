@@ -37,6 +37,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use crate::api::{BatchSpec, Job, SimPoint};
 use crate::http::Response;
 use suit_hw::{CpuKind, UndervoltLevel};
+use suit_scenarios::ScenarioConfig;
 use suit_telemetry::json::escape;
 
 // ---------------------------------------------------------------------------
@@ -90,6 +91,7 @@ pub fn canonical_job(job: &Job) -> String {
                 escape(&tj.spec.trace)
             )
         }
+        Job::Scenario(cfg) => canonical_scenario(cfg),
     }
 }
 
@@ -110,6 +112,60 @@ fn canonical_point(p: &SimPoint, workload: Option<&str>) -> String {
         escape(&p.strategy),
         workload
     )
+}
+
+/// Canonical form of a scenario config: every field spelled out, keys
+/// sorted, so bodies relying on defaults and bodies naming them share a
+/// cache entry.
+fn canonical_scenario(cfg: &ScenarioConfig) -> String {
+    match cfg {
+        ScenarioConfig::Sram(c) => {
+            let offsets: Vec<String> = c.offsets_mv.iter().map(|o| canonical_f64(*o)).collect();
+            format!(
+                "{{\"audit_len\":{},\"cache_banks\":{},\"cores\":{},\"endpoint\":\"scenario\",\
+                 \"offsets_mv\":[{}],\"reads\":{},\"rob_banks\":{},\"scenario\":\"sram\",\
+                 \"seed\":{},\"sigma_mv\":{}}}",
+                c.audit_len,
+                c.cache_banks,
+                c.cores,
+                offsets.join(","),
+                c.reads,
+                c.rob_banks,
+                c.seed,
+                canonical_f64(c.sigma_mv)
+            )
+        }
+        ScenarioConfig::Scrooge(c) => format!(
+            "{{\"audit_len\":{},\"cache_banks\":{},\"cores_per_domain\":{},\"crash_cost\":{},\
+             \"domain_power_w\":{},\"domains_per_rack\":{},\"endpoint\":\"scenario\",\
+             \"energy_price\":{},\"epoch_insts\":{},\"epochs\":{},\"freq_min\":{},\
+             \"freq_steps\":{},\"horizon_hours\":{},\"offset_min_mv\":{},\"offset_steps\":{},\
+             \"racks\":{},\"refine_rounds\":{},\"rob_banks\":{},\"scenario\":\"scrooge\",\
+             \"sdc_cost\":{},\"seed\":{},\"sigma_mv\":{},\"sla_cost\":{},\"workload\":{}}}",
+            c.audit_len,
+            c.cache_banks,
+            c.cores_per_domain,
+            canonical_f64(c.crash_cost),
+            canonical_f64(c.domain_power_w),
+            c.domains_per_rack,
+            canonical_f64(c.energy_price),
+            c.epoch_insts,
+            c.epochs,
+            canonical_f64(c.freq_min),
+            c.freq_steps,
+            canonical_f64(c.horizon_hours),
+            canonical_f64(c.offset_min_mv),
+            c.offset_steps,
+            c.racks,
+            c.refine_rounds,
+            c.rob_banks,
+            canonical_f64(c.sdc_cost),
+            c.seed,
+            canonical_f64(c.sigma_mv),
+            canonical_f64(c.sla_cost),
+            escape(&c.workload)
+        ),
+    }
 }
 
 fn canonical_opt_u64(v: Option<u64>) -> String {
@@ -386,11 +442,31 @@ impl FlightTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::api::{parse_batch, parse_simulate};
+    use crate::api::{parse_batch, parse_scenario, parse_simulate};
 
     fn canon(body: &str) -> String {
         let (job, _) = parse_simulate(body).expect("valid body");
         canonical_job(&job)
+    }
+
+    #[test]
+    fn scenario_canonicalization_fills_defaults_and_separates_kinds() {
+        let (a, _) = parse_scenario("{\"scenario\":\"sram\"}").unwrap();
+        let (b, _) = parse_scenario(
+            "{\"scenario\":\"sram\",\"seed\":20503,\"cache_banks\":8,\"rob_banks\":4,\
+             \"deadline_ms\":75}",
+        )
+        .unwrap();
+        assert_eq!(
+            canonical_job(&a),
+            canonical_job(&b),
+            "defaults spelled out (and deadlines) must canonicalize identically"
+        );
+        let (s, _) = parse_scenario("{\"scenario\":\"scrooge\"}").unwrap();
+        assert_ne!(canonical_job(&a), canonical_job(&s));
+        for key in [canonical_job(&a), canonical_job(&s)] {
+            assert!(key.contains("\"endpoint\":\"scenario\""), "{key}");
+        }
     }
 
     #[test]

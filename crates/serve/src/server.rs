@@ -120,6 +120,7 @@ enum Endpoint {
     Batch,
     Faults,
     SimulateTrace,
+    Scenario,
 }
 
 impl Endpoint {
@@ -129,6 +130,7 @@ impl Endpoint {
             Endpoint::Batch => Hist::ServeBatchUs,
             Endpoint::Faults => Hist::ServeFaultsUs,
             Endpoint::SimulateTrace => Hist::ServeSimulateTraceUs,
+            Endpoint::Scenario => Hist::ServeScenarioUs,
         }
     }
 }
@@ -454,7 +456,7 @@ fn dispatch(state: &State, request: &Request) -> Response {
                 },
             }
         }
-        (Method::Post, path @ ("/v1/simulate" | "/v1/batch" | "/v1/faults")) => {
+        (Method::Post, path @ ("/v1/simulate" | "/v1/batch" | "/v1/faults" | "/v1/scenario")) => {
             let body = match std::str::from_utf8(&request.body) {
                 Ok(s) => s,
                 Err(_) => {
@@ -465,6 +467,7 @@ fn dispatch(state: &State, request: &Request) -> Response {
             let (endpoint, parsed) = match path {
                 "/v1/simulate" => (Endpoint::Simulate, api::parse_simulate(body)),
                 "/v1/batch" => (Endpoint::Batch, api::parse_batch(body)),
+                "/v1/scenario" => (Endpoint::Scenario, api::parse_scenario(body)),
                 _ => (Endpoint::Faults, api::parse_faults(body)),
             };
             match parsed {
@@ -488,6 +491,7 @@ fn dispatch(state: &State, request: &Request) -> Response {
                     | "/v1/simulate"
                     | "/v1/batch"
                     | "/v1/faults"
+                    | "/v1/scenario"
                     | "/v1/trace"
                     | "/v1/simulate-trace"
             ) || path.starts_with("/v1/trace/") =>
@@ -760,8 +764,8 @@ fn metrics_json(state: &State) -> String {
     let (trace_cap_entries, trace_cap_bytes) = state.traces.capacity();
     format!(
         "{{\"requests\":{{\"accepted\":{},\"rejected\":{},\"bad\":{},\"deadline_expired\":{}}},\
-         \"latency_us\":{{\"simulate\":{},\"batch\":{},\"faults\":{},\"metrics\":{},\
-         \"trace_upload\":{},\"simulate_trace\":{}}},\
+         \"latency_us\":{{\"simulate\":{},\"batch\":{},\"faults\":{},\"scenario\":{},\
+         \"metrics\":{},\"trace_upload\":{},\"simulate_trace\":{}}},\
          \"cache\":{{\"enabled\":{},\"hits\":{},\"misses\":{},\"coalesced\":{},\"evictions\":{},\
          \"not_modified\":{},\"entries\":{},\"bytes\":{},\"capacity_entries\":{},\
          \"capacity_bytes\":{},\"hit_latency_us\":{}}},\
@@ -776,6 +780,7 @@ fn metrics_json(state: &State) -> String {
         lat(Hist::ServeSimulateUs),
         lat(Hist::ServeBatchUs),
         lat(Hist::ServeFaultsUs),
+        lat(Hist::ServeScenarioUs),
         lat(Hist::ServeMetricsUs),
         lat(Hist::ServeTraceUploadUs),
         lat(Hist::ServeSimulateTraceUs),

@@ -28,7 +28,7 @@ use suit::trace::io::{read_trace, write_trace, TraceMeta};
 use suit::trace::{profile, TraceGen};
 
 const USAGE: &str =
-    "usage: suit-cli <list|simulate|profile|validate-trace|mix|fleet|trace|analyze|security|serve|client> [options]\n\
+    "usage: suit-cli <list|simulate|profile|validate-trace|mix|fleet|trace|analyze|security|scenario|serve|client> [options]\n\
 \x20 simulate --workload <name[,name...]|all> [--cpu a|b|c] [--strategy fv|f|v|e|adaptive]\n\
 \x20          [--offset 70|97] [--cores N] [--insts N] [--seed N] [--threads N]\n\
 \x20 profile <workload> [--trace-out <file>] [--cpu a|b|c] [--strategy fv|f|v|adaptive]\n\
@@ -45,6 +45,8 @@ const USAGE: &str =
 \x20 trace unpack <in.suittrc2> <out.suittrc>\n\
 \x20 trace info <file>                           (SUITTRC1 or SUITTRC2)\n\
 \x20 trace seek <file.suittrc2> --vtime N\n\
+\x20 scenario <sram|scrooge> [--config <file.json>] [--seed N] [--threads N] [--json]\n\
+\x20          (SRAM fault-domain sweep / Scrooge attacker-economics search)\n\
 \x20 serve [--addr HOST:PORT] [--threads N] [--queue-depth N] [--deadline-ms N]\n\
 \x20       [--cache-entries N] [--cache-bytes N]   (0 disables the result cache)\n\
 \x20       [--trace-entries N] [--trace-bytes N]   (bounds the /v1/trace store)\n\
@@ -75,6 +77,7 @@ fn main() -> ExitCode {
         Some("validate-trace") => cmd_validate_trace(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("security") => cmd_security(&args[1..]),
+        Some("scenario") => cmd_scenario(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("mix") => cmd_mix(&args[1..]),
         Some("fleet") => cmd_fleet(&args[1..]),
@@ -94,6 +97,7 @@ fn main() -> ExitCode {
                 || e.contains("--threads")
                 || e.contains("--addr")
                 || e.contains("--queue-depth")
+                || e.contains("expected sram or scrooge")
             {
                 eprintln!("{USAGE}");
             }
@@ -755,6 +759,69 @@ fn cmd_analyze(args: &[String]) -> CliResult {
 fn cmd_security(args: &[String]) -> CliResult {
     check_args(args, &[], &[], 0)?;
     println!("{}", suit::bench::tables::security_report(10, 3_000));
+    Ok(())
+}
+
+/// `scenario <sram|scrooge>`: the suit-scenarios campaigns — an SRAM
+/// fault-domain sweep with the dual-class §6.9 audit matrix, or the
+/// Scrooge attacker-economics search. `--config` takes the same JSON
+/// document `POST /v1/scenario` accepts (the `"scenario"` discriminator
+/// is optional here — the subcommand names it); `--json` prints the
+/// service's canonical JSON report instead of the text rendering.
+fn cmd_scenario(args: &[String]) -> CliResult {
+    let kind = match args.first().map(String::as_str) {
+        Some(k @ ("sram" | "scrooge")) => k,
+        Some(other) => {
+            return Err(format!(
+                "unknown scenario '{other}' (expected sram or scrooge)"
+            ))
+        }
+        None => return Err("missing scenario (expected sram or scrooge)".into()),
+    };
+    let rest = &args[1..];
+    check_args(rest, &["--config", "--seed", "--threads"], &["--json"], 0)?;
+    let threads = parse_threads(rest)?;
+    let as_json = rest.iter().any(|a| a == "--json");
+    let seed: Option<u64> = opt(rest, "--seed")
+        .map(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?;
+    let src = match opt(rest, "--config") {
+        Some(path) => Some(std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?),
+        None => None,
+    };
+    let tele = suit::telemetry::Telemetry::off();
+    match kind {
+        "sram" => {
+            let mut cfg = match &src {
+                Some(s) => suit::scenarios::SramScenarioConfig::from_json(s)?,
+                None => suit::scenarios::SramScenarioConfig::default(),
+            };
+            if let Some(s) = seed {
+                cfg.seed = s;
+            }
+            let report = suit::scenarios::sram::run(&cfg, threads.count(), &tele);
+            if as_json {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.render());
+            }
+        }
+        _ => {
+            let mut cfg = match &src {
+                Some(s) => suit::scenarios::ScroogeConfig::from_json(s)?,
+                None => suit::scenarios::ScroogeConfig::default(),
+            };
+            if let Some(s) = seed {
+                cfg.seed = s;
+            }
+            let report = suit::scenarios::scrooge::search(&cfg, threads.count(), &tele)?;
+            if as_json {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.render());
+            }
+        }
+    }
     Ok(())
 }
 

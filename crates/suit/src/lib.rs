@@ -19,6 +19,7 @@
 //! | [`faults`] | Vmin fault model, injection campaigns, security audit |
 //! | [`core`] | The SUIT mechanism: MSRs, `#DO`, deadline, strategies |
 //! | [`sim`] | The event-based system simulator (Tables 2/6, Figs 12/16) |
+//! | [`scenarios`] | SRAM fault-domain & Scrooge attacker-economics campaigns |
 //! | [`ooo`] | The out-of-order core model (Fig. 14) |
 //! | [`telemetry`] | Counters, histograms, event rings, Perfetto export |
 //! | [`exec`] | Deterministic fan-out executor behind every parallel sweep |
@@ -57,6 +58,7 @@ pub use suit_hw as hw;
 pub use suit_isa as isa;
 pub use suit_ooo as ooo;
 pub use suit_rng as rng;
+pub use suit_scenarios as scenarios;
 pub use suit_serve as serve;
 pub use suit_sim as sim;
 pub use suit_store as store;

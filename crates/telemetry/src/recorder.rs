@@ -153,6 +153,14 @@ id_enum! {
         /// [`TelemetrySnapshot::merge_shard`], so only serial
         /// same-thread snapshots carry it.
         EngineScratchAllocs => "engine_scratch_allocs",
+        /// SRAM campaign: bank shards swept.
+        SramBanksSwept => "sram_banks_swept",
+        /// SRAM campaign: weak-cell bits flipped across all faulting
+        /// (bank, offset) points.
+        SramBitFlips => "sram_bit_flips",
+        /// Scrooge search: economic-objective points evaluated (grid +
+        /// refinement candidates).
+        ScroogePointsEvaluated => "scrooge_points_evaluated",
     }
 }
 
@@ -190,6 +198,11 @@ id_enum! {
         /// `suit-serve`: `POST /v1/simulate-trace` wall-clock latency,
         /// µs (queue wait + streamed replay).
         ServeSimulateTraceUs => "serve_simulate_trace_us",
+        /// SRAM campaign: retention faults observed per bank shard.
+        SramFaultsPerBank => "sram_faults_per_bank",
+        /// `suit-serve`: `POST /v1/scenario` wall-clock latency, µs
+        /// (queue wait + scenario execution).
+        ServeScenarioUs => "serve_scenario_us",
     }
 }
 

@@ -126,6 +126,76 @@ fn mix_all_runs_every_mix() {
 }
 
 #[test]
+fn scenario_rejects_bad_kinds_and_flags() {
+    let out = cli(&["scenario"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("expected sram or scrooge"), "{err}");
+    assert!(err.contains("usage: suit-cli"), "{err}");
+
+    let out = cli(&["scenario", "warp"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown scenario 'warp'"));
+
+    let out = cli(&["scenario", "sram", "--bogus"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown flag '--bogus'"), "{err}");
+    assert!(err.contains("usage: suit-cli"), "{err}");
+
+    let out = cli(&["scenario", "sram", "--threads", "0"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--threads must be a positive integer"));
+}
+
+#[test]
+fn scenario_runs_both_kinds_deterministically() {
+    // --json output must be byte-identical across worker counts; the
+    // human rendering must carry the audit verdicts.
+    let json = |threads: &'static str, kind: &'static str| {
+        let out = cli(&["scenario", kind, "--json", "--threads", threads]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        stdout(&out)
+    };
+    for kind in ["sram", "scrooge"] {
+        let one = json("1", kind);
+        assert_eq!(one, json("2", kind), "{kind} diverged across threads");
+        assert!(one.contains(&format!("\"scenario\":\"{kind}\"")), "{one}");
+    }
+    let out = cli(&["scenario", "sram"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let log = stdout(&out);
+    assert!(log.contains("audit matrix"), "{log}");
+    assert!(log.contains("INSECURE"), "{log}");
+    assert!(log.contains("secure"), "{log}");
+}
+
+#[test]
+fn scenario_config_file_overrides_and_bad_configs_fail() {
+    let path = std::env::temp_dir().join(format!("suit-cli-scenario-{}.json", std::process::id()));
+    let path = path.to_str().expect("utf-8 temp path");
+    std::fs::write(
+        path,
+        r#"{"scenario": "sram", "cache_banks": 2, "rob_banks": 1}"#,
+    )
+    .expect("write config");
+    let out = cli(&["scenario", "sram", "--config", path, "--json"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    // 3 banks -> 3 bank rows in the JSON report.
+    assert_eq!(stdout(&out).matches("\"margin_mv\"").count(), 3);
+
+    // A config naming the other scenario must be refused, as must junk.
+    let out = cli(&["scenario", "scrooge", "--config", path]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("error:"));
+    std::fs::write(path, "not json").expect("write config");
+    let out = cli(&["scenario", "sram", "--config", path]);
+    std::fs::remove_file(path).ok();
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("error:"));
+}
+
+#[test]
 fn serve_flag_validation_prints_usage_and_fails() {
     // Bad values must fail *before* any socket is bound: validation is
     // fast, loud, and routed through the same usage path as --threads.

@@ -227,6 +227,89 @@ fn faults_campaign_reports_table1_and_is_deterministic() {
 }
 
 #[test]
+fn scenario_round_trips_match_the_direct_library_call_at_1_and_4_workers() {
+    use suit::scenarios::{scrooge, sram, ScroogeConfig, SramScenarioConfig};
+    use suit::telemetry::Telemetry;
+
+    // Small but representative configs; the server must serialize the
+    // exact bytes of the library reports at every worker count.
+    let sram_body = "{\"scenario\":\"sram\",\"cache_banks\":3,\"rob_banks\":2,\"reads\":128,\
+                     \"offsets_mv\":[-100,-150,-180],\"audit_len\":300,\"seed\":9}";
+    let sram_cfg = SramScenarioConfig {
+        cache_banks: 3,
+        rob_banks: 2,
+        reads: 128,
+        offsets_mv: vec![-100.0, -150.0, -180.0],
+        audit_len: 300,
+        seed: 9,
+        ..SramScenarioConfig::default()
+    };
+    let scrooge_body = "{\"scenario\":\"scrooge\",\"epoch_insts\":200000,\"audit_len\":300,\
+                        \"seed\":9}";
+    let scrooge_cfg = ScroogeConfig {
+        epoch_insts: 200_000,
+        audit_len: 300,
+        seed: 9,
+        ..ScroogeConfig::default()
+    };
+    for workers in [1, 4] {
+        let threads = workers; // suit-exec fan-out tracks the pool size
+        let (addr, handle, join) = start(ServeConfig {
+            threads: Threads::Fixed(workers),
+            ..ServeConfig::default()
+        });
+        let got = post(&addr, "/v1/scenario", sram_body).expect("sram scenario");
+        assert_eq!(
+            got,
+            sram::run(&sram_cfg, threads, &Telemetry::off()).to_json(),
+            "/v1/scenario (sram) diverged from the library at {workers} worker(s)"
+        );
+        let got = post(&addr, "/v1/scenario", scrooge_body).expect("scrooge scenario");
+        assert_eq!(
+            got,
+            scrooge::search(&scrooge_cfg, threads, &Telemetry::off())
+                .unwrap()
+                .to_json(),
+            "/v1/scenario (scrooge) diverged from the library at {workers} worker(s)"
+        );
+
+        // The endpoint has its own latency histogram on /v1/metrics.
+        let metrics = request_text(&addr, "GET", "/v1/metrics", None, TIMEOUT).expect("metrics");
+        let m = parse(&metrics).expect("metrics JSON");
+        assert!(matches!(
+            field(field(field(&m, "latency_us"), "scenario"), "count"),
+            Value::Num(n) if *n >= 2.0
+        ));
+        stop(handle, join);
+    }
+}
+
+#[test]
+fn scenario_bodies_validate_strictly_over_the_wire() {
+    let (addr, handle, join) = start(ServeConfig::default());
+    for bad in [
+        "{}",
+        "{\"scenario\":\"warp\"}",
+        "{\"scenario\":\"sram\",\"bogus\":1}",
+        "{\"scenario\":\"sram\",\"cache_banks\":1e308}",
+        "{\"scenario\":\"sram\",\"sigma_mv\":1e999}",
+        "{\"scenario\":\"scrooge\",\"offset_steps\":1}",
+    ] {
+        let resp = request(&addr, "POST", "/v1/scenario", Some(bad), TIMEOUT).expect("request");
+        assert_eq!(resp.status, 400, "accepted {bad:?}");
+        let err = parse(resp.text().expect("utf-8")).expect("error body is valid JSON");
+        assert!(matches!(
+            field(field(&err, "error"), "status"),
+            Value::Num(n) if *n == 400.0
+        ));
+    }
+    // Wrong method is routed like every other compute endpoint.
+    let resp = request(&addr, "GET", "/v1/scenario", None, TIMEOUT).expect("request");
+    assert_eq!(resp.status, 405);
+    stop(handle, join);
+}
+
+#[test]
 fn graceful_shutdown_drains_the_inflight_job() {
     let (addr, handle, join) = start(ServeConfig {
         threads: Threads::Fixed(1),
